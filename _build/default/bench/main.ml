@@ -1,0 +1,194 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (printed as rows/series in the paper's units), then
+   runs bechamel micro-benchmarks for the design-choice ablations called
+   out in DESIGN.md (optimizer on/off, storage backend diversity, SQL
+   front-end, codec and Paxos step costs).
+
+   `dune exec bench/main.exe` runs everything at quick scale;
+   `dune exec bench/main.exe -- --full` uses paper-scale parameters;
+   `dune exec bench/main.exe -- --skip-micro` omits the bechamel part. *)
+
+let quick = not (Array.exists (( = ) "--full") Sys.argv)
+let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Paper tables and figures                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_paper_experiments () =
+  print_endline "########################################################";
+  print_endline "# Reproduction of the paper's evaluation              #";
+  print_endline "########################################################";
+  Harness.Table1.print (Harness.Table1.rows ());
+  Harness.Fig8.print (Harness.Fig8.run ~quick ());
+  Harness.Fig9.print Harness.Fig9.Micro (Harness.Fig9.run ~quick Harness.Fig9.Micro);
+  Harness.Fig9.print Harness.Fig9.Tpcc (Harness.Fig9.run ~quick Harness.Fig9.Tpcc);
+  Harness.Fig10.print_timeline
+    (Harness.Fig10.run_timeline ~rows:(if quick then 20_000 else 50_000) ());
+  Harness.Fig10.print_transfers (Harness.Fig10.run_transfers ~quick ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (real time, not simulated time)           *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+module Message = Loe.Message
+module Cls = Loe.Cls
+
+(* Ablation 1: the program optimizer (tree-walking interpreter vs fused
+   machine with common-subexpression sharing). CLK is tiny, so the gain is
+   modest there; on a wide specification (many composed classes over a
+   shared base, like the Paxos node spec) the fused machine avoids
+   rebuilding the whole instance tree per event. *)
+let bench_gpm_backends =
+  let h : int Message.hdr = Message.declare "bench" in
+  let base = Cls.base h in
+  (* A wide spec: 24 state classes over the same (shared) base class,
+     paired through composition — CSE collapses the shared base. *)
+  let wide =
+    let cell i =
+      Cls.state (Printf.sprintf "s%d" i)
+        ~init:(fun _ -> i)
+        ~upd:(fun _ v s -> s + v)
+        base
+    in
+    let rec build i =
+      if i = 0 then Cls.map (fun v -> v) base
+      else Cls.( ||| ) (Cls.o2 (fun _ v s -> [ v + s ]) base (cell i)) (build (i - 1))
+    in
+    build 24
+  in
+  let msgs = Array.init 64 (fun i -> Message.make h i) in
+  let tree () =
+    let proc = ref (Gpm.Compile.compile 0 wide) in
+    Array.iter
+      (fun m ->
+        let p, _ = Gpm.Proc.step !proc m in
+        proc := p)
+      msgs
+  in
+  let fused () =
+    let machine = Gpm.Opt.compile 0 wide in
+    Array.iter (fun m -> ignore (Gpm.Opt.step machine m)) msgs
+  in
+  Test.make_grouped ~name:"gpm(wide spec,64 events)"
+    [
+      Test.make ~name:"interpreted-tree" (Staged.stage tree);
+      Test.make ~name:"optimized-fused" (Staged.stage fused);
+    ]
+
+(* Ablation 3: point operations across the three diverse backends. *)
+let bench_backends =
+  let mk kind () =
+    let s = Storage.Store.create kind in
+    for i = 0 to 999 do
+      s.Storage.Store.insert
+        [ Storage.Value.Int ((i * 7919) mod 1000) ]
+        [| Storage.Value.Int i; Storage.Value.Int (i * 2) |]
+    done;
+    for i = 0 to 999 do
+      ignore (s.Storage.Store.find [ Storage.Value.Int i ])
+    done
+  in
+  Test.make_grouped ~name:"store(1k ins + 1k find)"
+    [
+      Test.make ~name:"hazel-hash" (Staged.stage (mk Storage.Store.Hazel));
+      Test.make ~name:"hickory-btree" (Staged.stage (mk Storage.Store.Hickory));
+      Test.make ~name:"dogwood-avl" (Staged.stage (mk Storage.Store.Dogwood));
+    ]
+
+let bench_sql =
+  let sql =
+    "SELECT a, b FROM t WHERE (a = 1) AND (b < 'x') ORDER BY a ASC LIMIT 5"
+  in
+  Test.make ~name:"sql-parse" (Staged.stage (fun () -> Storage.Sql_parser.parse sql))
+
+let bench_codec =
+  let txn =
+    {
+      Shadowdb.Txn.client = 3;
+      seq = 42;
+      kind = "deposit";
+      params = [ Storage.Value.Int 17; Storage.Value.Int 100 ];
+    }
+  in
+  Test.make ~name:"txn-codec-roundtrip"
+    (Staged.stage (fun () ->
+         Shadowdb.Codec.decode_txn (Shadowdb.Codec.encode_txn txn)))
+
+let bench_paxos_step =
+  Test.make ~name:"paxos-acceptor-step"
+    (Staged.stage (fun () ->
+         let a = Consensus.Acceptor.create ~self:1 in
+         let b = { Consensus.Paxos_msg.round = 1; leader = 0 } in
+         ignore (Consensus.Acceptor.step a (Consensus.Paxos_msg.P1a { src = 0; b }))))
+
+let bench_btree_bulk =
+  Test.make ~name:"btree-1k-inserts"
+    (Staged.stage (fun () ->
+         let t = ref (Storage.Btree.create ~cmp:Int.compare) in
+         for i = 0 to 999 do
+           t := Storage.Btree.insert !t ((i * 2654435761) land 0xFFFF) i
+         done))
+
+let run_micro () =
+  print_endline "\n########################################################";
+  print_endline "# Bechamel micro-benchmarks (ablations)               #";
+  print_endline "########################################################";
+  let tests =
+    Test.make_grouped ~name:"micro"
+      [
+        bench_gpm_backends;
+        bench_backends;
+        bench_sql;
+        bench_codec;
+        bench_paxos_step;
+        bench_btree_bulk;
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~stabilize:true ~quota:(Time.second 0.4) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Stats.Table.print_table ~title:"micro-benchmarks (monotonic clock)"
+    ~header:[ "benchmark"; "ns/run" ]
+    (List.map (fun (n, v) -> [ n; Stats.Table.fmt_f v ]) rows)
+
+let run_ablations () =
+  print_endline "\n########################################################";
+  print_endline "# Virtual-time ablations (DESIGN.md design choices)    #";
+  print_endline "########################################################";
+  Harness.Ablations.print ~title:"ablation — broadcast batching"
+    (Harness.Ablations.batching ());
+  Harness.Ablations.print ~title:"ablation — consensus module under the TOB"
+    (Harness.Ablations.consensus_modules ());
+  Harness.Ablations.print ~title:"ablation — lock granularity under contention"
+    (Harness.Ablations.lock_granularity ());
+  Harness.Ablations.print
+    ~title:"extension — replication styles over the same substrate"
+    (Harness.Ablations.replication_styles ())
+
+let () =
+  run_paper_experiments ();
+  run_ablations ();
+  if not skip_micro then run_micro ();
+  print_endline "\nbench: done."

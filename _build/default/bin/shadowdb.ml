@@ -1,0 +1,184 @@
+(* The ShadowDB command-line tool.
+
+   `shadowdb run` deploys a replicated database on the simulator and
+   drives a workload against it, optionally crashing a replica mid-run;
+   `shadowdb sql` is a small SQL shell over the embedded storage engine
+   (reads statements from stdin, one per line). *)
+
+open Cmdliner
+module Engine = Sim.Engine
+module S = Shadowdb.System.Make (Consensus.Paxos)
+
+type mode = Pbr | Smr | Chain
+
+let mode_conv =
+  Arg.enum [ ("pbr", Pbr); ("smr", Smr); ("chain", Chain) ]
+
+type wl = Bank | Tpcc
+
+let wl_conv = Arg.enum [ ("bank", Bank); ("tpcc", Tpcc) ]
+
+let run_cluster mode wl clients count crash_at seed diverse =
+  let world : S.wire Engine.t = Engine.create ~seed () in
+  let registry, setup, make_txn, read_kinds =
+    match wl with
+    | Bank ->
+        let rows = 10_000 in
+        ( Workload.Bank.registry,
+          (fun db -> Workload.Bank.setup ~rows db),
+          (fun ~client ~seq ->
+            if seq mod 4 = 3 then
+              Workload.Bank.balance
+                ~account:(abs (Hashtbl.hash (client, seq)) mod rows)
+            else
+              Workload.Bank.deposit
+                ~account:(abs (Hashtbl.hash (client, seq)) mod rows)
+                ~amount:(1 + (seq mod 9))),
+          [ "balance" ] )
+    | Tpcc ->
+        let scale = Workload.Tpcc.small_scale in
+        ( (fun () -> Workload.Tpcc.registry ~scale ()),
+          (fun db -> Workload.Tpcc.setup ~scale db),
+          (fun ~client ~seq ->
+            let rng = Sim.Prng.create (Hashtbl.hash (client, seq)) in
+            Workload.Tpcc.make_txn ~scale rng
+              ~h_id:((client * 1_000_000) + seq)),
+          [ "order_status"; "stock_level" ] )
+  in
+  let backends =
+    if diverse then
+      [ Storage.Store.Hazel; Storage.Store.Hickory; Storage.Store.Dogwood ]
+    else [ Storage.Store.Hazel ]
+  in
+  let describe, target, replicas, gseq_of, hash_of =
+    match mode with
+    | Pbr ->
+        let c =
+          S.spawn_pbr ~backends ~world ~registry ~setup ~n_active:2 ~n_spare:1 ()
+        in
+        ("primary-backup (2 active + 1 spare)", S.To_pbr c, c.S.pbr_replicas,
+         c.S.pbr_gseq_of, c.S.pbr_hash_of)
+    | Chain ->
+        let c =
+          S.spawn_chain ~read_kinds ~backends ~world ~registry ~setup
+            ~n_active:3 ~n_spare:1 ()
+        in
+        ("chain (3 links + 1 spare)", S.To_pbr c, c.S.pbr_replicas,
+         c.S.pbr_gseq_of, c.S.pbr_hash_of)
+    | Smr ->
+        let c = S.spawn_smr ~backends ~world ~registry ~setup ~n_active:2 () in
+        ("state machine replication (2 of 3)", S.To_smr c, c.S.smr_nodes,
+         c.S.smr_gseq_of, c.S.smr_hash_of)
+  in
+  let latencies = Stats.Sample.create () in
+  let commits = ref 0 in
+  let last = ref 0.0 in
+  let _, completed =
+    S.spawn_clients ~world ~target ~n:clients ~count ~make_txn
+      ~retry_timeout:2.0
+      ~on_commit:(fun now l ->
+        incr commits;
+        last := now;
+        Stats.Sample.add latencies l)
+      ()
+  in
+  (match crash_at with
+  | Some t ->
+      Engine.at world t (fun () ->
+          Printf.printf "t=%-8.2f crashing node %d\n" t (List.hd replicas);
+          Engine.crash world (List.hd replicas))
+  | None -> ());
+  Printf.printf "deployment : %s%s\n" describe
+    (if diverse then ", diverse backends (hazel/hickory/dogwood)" else "");
+  Printf.printf "workload   : %d clients x %d txns\n%!" clients count;
+  Engine.run ~until:3600.0 ~max_events:500_000_000 world;
+  Printf.printf "completed  : %d/%d clients\n" (completed ()) clients;
+  Printf.printf "committed  : %d txns in %.3f s virtual\n" !commits !last;
+  Printf.printf "throughput : %.0f txns/s\n" (float_of_int !commits /. !last);
+  Printf.printf "latency    : mean %.2f ms, p99 %.2f ms\n"
+    (Stats.Sample.mean latencies *. 1e3)
+    (Stats.Sample.percentile latencies 99.0 *. 1e3);
+  let alive = List.filter (Engine.is_alive world) replicas in
+  let hashes =
+    List.filter_map
+      (fun l -> if gseq_of l > 0 then Some (hash_of l) else None)
+      alive
+  in
+  Printf.printf "replicas   : %s executed %s txns\n"
+    (String.concat "," (List.map string_of_int alive))
+    (String.concat "/" (List.map (fun l -> string_of_int (gseq_of l)) alive));
+  Printf.printf "agreement  : %b\n"
+    (match hashes with h :: t -> List.for_all (( = ) h) t | [] -> true);
+  if completed () <> clients then exit 1
+
+let sql_shell backend =
+  let kind =
+    Option.value ~default:Storage.Store.Hazel
+      (Storage.Store.kind_of_string backend)
+  in
+  let db = Storage.Database.create kind in
+  Printf.printf "shadowdb sql shell (%s backend); one statement per line.\n%!"
+    (Storage.Store.kind_name kind);
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then
+         match Storage.Sql_exec.exec_sql db line with
+         | Error e -> Printf.printf "error: %s\n%!" e
+         | Ok Storage.Sql_exec.Done -> Printf.printf "ok\n%!"
+         | Ok (Storage.Sql_exec.Affected n) -> Printf.printf "ok, %d rows\n%!" n
+         | Ok (Storage.Sql_exec.Rows { columns; rows }) ->
+             Printf.printf "%s\n" (String.concat " | " columns);
+             List.iter
+               (fun row ->
+                 Printf.printf "%s\n"
+                   (String.concat " | "
+                      (Array.to_list (Array.map Storage.Value.to_string row))))
+               rows;
+             Printf.printf "(%d rows)\n%!" (List.length rows)
+     done
+   with End_of_file -> ())
+
+let run_cmd =
+  let mode =
+    Arg.(value & opt mode_conv Pbr & info [ "mode" ] ~doc:"pbr, smr or chain.")
+  in
+  let wl =
+    Arg.(value & opt wl_conv Bank & info [ "workload" ] ~doc:"bank or tpcc.")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Closed-loop clients.")
+  in
+  let count =
+    Arg.(value & opt int 1000 & info [ "count" ] ~doc:"Transactions per client.")
+  in
+  let crash =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "crash-at" ] ~doc:"Crash the first replica at this virtual time.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let diverse =
+    Arg.(value & flag & info [ "diverse" ] ~doc:"Deploy diverse storage backends.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Deploy a replicated database and drive a workload.")
+    Term.(
+      const run_cluster $ mode $ wl $ clients $ count $ crash $ seed $ diverse)
+
+let sql_cmd =
+  let backend =
+    Arg.(
+      value & opt string "hazel"
+      & info [ "backend" ] ~doc:"hazel (hash), hickory (B+-tree) or dogwood (AVL).")
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"SQL shell over the embedded storage engine (stdin).")
+    Term.(const sql_shell $ backend)
+
+let () =
+  let info =
+    Cmd.info "shadowdb" ~doc:"Replicated databases on a simulated cluster."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sql_cmd ]))

@@ -1,0 +1,1 @@
+examples/bank_failover.ml: Consensus Hashtbl List Printf Shadowdb Sim Storage String Workload

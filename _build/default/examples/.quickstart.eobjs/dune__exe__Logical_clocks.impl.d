@@ -1,0 +1,1 @@
+examples/logical_clocks.ml: Clocks Format Gpm List Loe Printf Sim

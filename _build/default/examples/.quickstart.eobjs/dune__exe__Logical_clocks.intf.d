@@ -1,0 +1,1 @@
+examples/logical_clocks.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Consensus List Printf Shadowdb Sim Storage Workload

@@ -1,0 +1,1 @@
+examples/tpcc_demo.ml: Consensus Hashtbl List Option Printf Shadowdb Sim Storage String Workload

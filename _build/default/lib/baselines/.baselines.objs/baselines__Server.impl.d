@@ -1,0 +1,1 @@
+lib/baselines/server.ml: Hashtbl List Shadowdb Sim Storage

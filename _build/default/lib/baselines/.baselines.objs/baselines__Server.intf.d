@@ -1,0 +1,1 @@
+lib/baselines/server.mli: Shadowdb Sim Storage

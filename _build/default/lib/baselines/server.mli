@@ -1,0 +1,67 @@
+(** Baseline (conventionally replicated) database servers — the comparison
+    systems of Fig. 9.
+
+    - [Standalone]: one unreplicated database server (the paper's
+      H2-standalone curve, the upper bound).
+    - [Lockstep_repl]: eager primary-backup replication with table-level
+      locks held across the synchronous propagation round trip — the
+      behaviour behind the H2-replication curve's early saturation and
+      lock-timeout aborts.
+    - [Semisync_repl]: primary executes under short locks and answers once
+      the backup has received (not necessarily applied) the transaction —
+      MySQL-style; with [Table_level] locks it models the MEMORY engine,
+      with [Row_level] InnoDB.
+
+    Concurrency: unlike ShadowDB's sequential executor, these servers
+    admit concurrent transactions, so a lock manager with waiter queues
+    and timeout aborts runs in virtual time. *)
+
+type wire =
+  | Client of Shadowdb.Txn.t
+  | Reply of Shadowdb.Txn.reply
+  | Repl of { id : int; txn : Shadowdb.Txn.t }
+  | Repl_ack of { id : int }
+
+type mode =
+  | Standalone
+  | Lockstep_repl
+  | Semisync_repl of Storage.Lock.granularity
+
+type cluster = {
+  primary : int;
+  backup : int option;
+  commits : unit -> int;
+  aborts : unit -> int;
+}
+
+val spawn :
+  ?backend:Storage.Store.kind ->
+  ?exec_factor:float ->
+  ?lock_timeout:float ->
+  ?lock_of:(Shadowdb.Txn.t -> string * Storage.Store.key option) ->
+  ?stmt_delay:(Shadowdb.Txn.t -> float) ->
+  world:wire Sim.Engine.t ->
+  registry:(unit -> Shadowdb.Txn.registry) ->
+  setup:(Storage.Database.t -> unit) ->
+  mode ->
+  cluster
+(** [exec_factor] scales execution CPU cost relative to the "hazel"
+    profile (MySQL's engine is slower than H2's: the paper's Fig. 9).
+    [lock_timeout] is the queue-wait budget before an abort (default
+    50 ms). [stmt_delay] models per-transaction client↔server statement
+    round trips (locks stay held, CPU idles) — the paper notes TPC-C
+    involves several per transaction, which ShadowDB's co-located
+    execution avoids. *)
+
+val spawn_clients :
+  world:wire Sim.Engine.t ->
+  cluster:cluster ->
+  n:int ->
+  count:int ->
+  make_txn:(client:int -> seq:int -> string * Storage.Value.t list) ->
+  ?on_commit:(float -> float -> unit) ->
+  unit ->
+  unit -> int
+(** Closed-loop clients; aborted transactions are retried immediately
+    (the retry latency is included in the next commit's latency, and only
+    commits are counted). Returns a completion counter. *)

@@ -1,0 +1,1 @@
+lib/broadcast/shell.ml: Consensus Gpm List Printf Sim String Tob

@@ -1,0 +1,1 @@
+lib/broadcast/shell.mli: Consensus Gpm Sim Tob

@@ -1,0 +1,1 @@
+lib/broadcast/tob.ml: Consensus List Set

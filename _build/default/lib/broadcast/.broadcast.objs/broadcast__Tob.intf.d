@@ -1,0 +1,1 @@
+lib/broadcast/tob.mli: Consensus

@@ -1,0 +1,1 @@
+lib/broadcast/tob_spec.ml: Consensus Hashtbl List Loe Tob

@@ -1,0 +1,84 @@
+module Engine = Sim.Engine
+
+type costs = { client_msg : float; core_msg : float; per_entry : float }
+
+(* Calibrated against Fig. 8 (see EXPERIMENTS.md): with the engine factors
+   in {!Gpm.Engine_profile}, these constants put the compiled service at
+   ≈8.8 ms one-client latency and ≈900 delivered msgs/s at 43 clients. *)
+let default_costs =
+  { client_msg = 5.0e-5; core_msg = 1.92e-3; per_entry = 3.9e-4 }
+
+module Make (C : Consensus.Consensus_intf.S) = struct
+  module T = Tob.Make (C)
+
+  let entry_size (e : Tob.entry) = String.length e.Tob.payload + 24
+
+  let msg_size = function
+    | T.Broadcast e -> entry_size e
+    | T.Core _ -> 256 (* consensus messages carry batches; flat estimate *)
+
+  let spawn ?(costs = default_costs) ?(profile = Gpm.Engine_profile.Compiled)
+      ?batch_cap ?suspect_timeout ~world ~inj ~prj ~inj_notify ~n ~subscribers
+      () =
+    let lat_f = Gpm.Engine_profile.cpu_factor profile in
+    let data_f = Gpm.Engine_profile.data_factor profile in
+    let members = ref [] in
+    let handler locref () =
+      let state = ref None in
+      let get () =
+        match !state with
+        | Some s -> s
+        | None ->
+            let s =
+              T.create ?batch_cap ?suspect_timeout ~self:!locref
+                ~members:!members ~subscribers:(subscribers ()) ()
+            in
+            state := Some s;
+            s
+      in
+      let apply ctx before (t, acts) =
+        let after = T.delivered t in
+        Engine.charge ctx
+          (float_of_int (after - before) *. costs.per_entry *. data_f);
+        state := Some t;
+        List.iter
+          (function
+            | T.Send (dst, m) -> Engine.send ctx ~size:(msg_size m) dst (inj m)
+            | T.Notify (dst, d) ->
+                Engine.send ctx ~size:(entry_size d.Tob.entry + 8) dst
+                  (inj_notify d)
+            | T.Set_timer delay -> ignore (Engine.set_timer ctx delay "tob"))
+          acts
+      in
+      fun ctx -> function
+        | Engine.Init ->
+            let t = get () in
+            apply ctx (T.delivered t) (T.start t ~now:(Engine.time ctx))
+        | Engine.Recv { src; msg } -> (
+            match prj msg with
+            | None -> ()
+            | Some m ->
+                let t = get () in
+                (match m with
+                | T.Broadcast _ -> Engine.charge ctx costs.client_msg
+                | T.Core _ -> Engine.charge ctx (costs.core_msg *. lat_f));
+                apply ctx (T.delivered t)
+                  (T.recv t ~now:(Engine.time ctx) ~src m))
+        | Engine.Timer _ ->
+            let t = get () in
+            apply ctx (T.delivered t) (T.tick t ~now:(Engine.time ctx))
+    in
+    let ids =
+      List.init n (fun i ->
+          let locref = ref (-1) in
+          let id =
+            Engine.spawn world
+              ~name:(Printf.sprintf "tob%d" i)
+              (handler locref)
+          in
+          locref := id;
+          id)
+    in
+    members := ids;
+    ids
+end

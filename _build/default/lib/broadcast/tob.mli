@@ -1,0 +1,59 @@
+(** Total-order broadcast service (pure state machine).
+
+    The paper's core verified artifact: participating processes deliver
+    the same messages in the same order (uniform total order, no creation,
+    no duplication). Built modularly over a consensus core — instantiate
+    {!Make} with {!Consensus.Paxos} or {!Consensus.Twothird_multi}.
+
+    Messages submitted by clients are accumulated and proposed as batches
+    (one outstanding batch per member at a time — the paper's batching
+    optimization); decided batches are unfolded into individually
+    sequence-numbered deliveries, deduplicated by (origin, id). *)
+
+type loc = int
+
+type entry = { origin : loc; id : int; payload : string }
+(** One broadcast message: submitting client, client-local id, payload. *)
+
+type batch = entry list
+(** The unit of consensus. *)
+
+type deliver = { seqno : int; entry : entry }
+(** A delivery notification: global sequence number plus the message. *)
+
+module Make (C : Consensus.Consensus_intf.S) : sig
+  type msg =
+    | Broadcast of entry  (** Client → service member. *)
+    | Core of batch C.msg  (** Service member ↔ service member. *)
+
+  type action =
+    | Send of loc * msg
+    | Notify of loc * deliver  (** Delivery notification to a subscriber. *)
+    | Set_timer of float
+
+  type t
+
+  val create :
+    ?batch_cap:int ->
+    ?suspect_timeout:float ->
+    self:loc ->
+    members:loc list ->
+    subscribers:loc list ->
+    unit ->
+    t
+  (** [subscribers] receive a [Notify] for every delivered message.
+      [batch_cap] bounds entries per proposal (default 64).
+      [suspect_timeout] is the no-progress interval after which the member
+      prods the consensus core (leader re-election / retransmission;
+      default 0.5 s). *)
+
+  val start : t -> now:float -> t * action list
+  val recv : t -> now:float -> src:loc -> msg -> t * action list
+  val tick : t -> now:float -> t * action list
+
+  val delivered : t -> int
+  (** Number of messages this member has delivered so far. *)
+
+  val log : t -> entry list
+  (** Delivered messages in delivery order (the agreed sequence). *)
+end

@@ -1,0 +1,105 @@
+(* The total-order broadcast service as a constructive specification over
+   the Paxos consensus core — the "Broadcast Service" row of Table I.
+   Handlers delegate to the pure service machine ({!Tob.Make}), preserving
+   the modular composition the paper demonstrates (the broadcast service
+   is layered over a pluggable consensus module). On top of the pure
+   machine, the specification adds dynamic subscription: a [Subscribers]
+   state class folds subscribe requests, and each delivery fans out to the
+   current subscriber set. *)
+
+module Message = Loe.Message
+module Cls = Loe.Cls
+module T = Tob.Make (Consensus.Paxos)
+
+type io = {
+  bcast : Tob.entry Message.hdr;  (* client → member *)
+  core : (Message.loc * string) Message.hdr;
+      (* member ↔ member: src + encoded core message (the wire form) *)
+  tick : unit Message.hdr;
+  start : unit Message.hdr;  (* boot: starts the consensus core *)
+  subscribe : Message.loc Message.hdr;  (* learner → member *)
+  deliver : Tob.deliver Message.hdr;  (* member → subscriber *)
+}
+
+(* The constructive specification carries core messages opaquely between
+   members; within a single simulation the codec can be the identity
+   through a side table. *)
+module Core_codec = struct
+  let table : (int, T.msg) Hashtbl.t = Hashtbl.create 256
+  let next = ref 0
+
+  let encode m =
+    incr next;
+    Hashtbl.replace table !next m;
+    string_of_int !next
+
+  let decode s =
+    match int_of_string_opt s with
+    | Some k -> Hashtbl.find_opt table k
+    | None -> None
+end
+
+let declare_io () =
+  {
+    bcast = Message.declare "tob-bcast";
+    core = Message.declare "tob-core";
+    tick = Message.declare "tob-tick";
+    start = Message.declare "tob-start";
+    subscribe = Message.declare "tob-subscribe";
+    deliver = Message.declare "tob-deliver";
+  }
+
+type event =
+  | E_bcast of Tob.entry
+  | E_core of Message.loc * string
+  | E_tick
+  | E_start
+
+let make ~locs ~subscribers =
+  let io = declare_io () in
+  let inputs =
+    Cls.( ||| )
+      (Cls.map (fun e -> E_bcast e) (Cls.base io.bcast))
+      (Cls.( ||| )
+         (Cls.map (fun (src, m) -> E_core (src, m)) (Cls.base io.core))
+         (Cls.( ||| )
+            (Cls.map (fun () -> E_tick) (Cls.base io.tick))
+            (Cls.map (fun () -> E_start) (Cls.base io.start))))
+  in
+  let step slf event (svc, _) =
+    match event with
+    | E_bcast entry ->
+        T.recv svc ~now:0.0 ~src:entry.Tob.origin (T.Broadcast entry)
+    | E_core (src, encoded) -> (
+        match Core_codec.decode encoded with
+        | Some m -> T.recv svc ~now:0.0 ~src m
+        | None -> (svc, []))
+    | E_tick ->
+        ignore slf;
+        T.tick svc ~now:0.0
+    | E_start -> T.start svc ~now:0.0
+  in
+  let service =
+    Cls.state "TOB"
+      (* The machine notifies [self]; the fan-out below re-addresses each
+         notification to the live subscriber set. *)
+      ~init:(fun slf ->
+        (T.create ~self:slf ~members:locs ~subscribers:[ slf ] (), []))
+      ~upd:step inputs
+  in
+  let subs =
+    Cls.state "Subscribers"
+      ~init:(fun _ -> subscribers)
+      ~upd:(fun _ l subs -> if List.mem l subs then subs else l :: subs)
+      (Cls.base io.subscribe)
+  in
+  let emit slf _event (_, acts) subs =
+    List.concat_map
+      (function
+        | T.Send (dst, m) -> [ Message.send io.core dst (slf, Core_codec.encode m) ]
+        | T.Notify (_, d) -> List.map (fun s -> Message.send io.deliver s d) subs
+        | T.Set_timer delay -> [ Message.send_after io.tick delay slf () ])
+      acts
+  in
+  let handler = Cls.o3 emit inputs service subs in
+  (Loe.Spec.v ~name:"Broadcast-Service" ~locs handler, io)

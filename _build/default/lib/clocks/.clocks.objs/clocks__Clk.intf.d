@@ -1,0 +1,1 @@
+lib/clocks/clk.mli: Loe

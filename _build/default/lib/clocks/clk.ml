@@ -1,0 +1,24 @@
+module Message = Loe.Message
+module Cls = Loe.Cls
+
+type timestamp = int
+
+type 'v t = {
+  spec : Loe.Spec.t;
+  msg : ('v * timestamp) Message.hdr;
+  clock : timestamp Cls.t;
+}
+
+(* imax timestamp clock + 1 *)
+let upd_clock _slf (_, timestamp) clock = max timestamp clock + 1
+
+let make ~locs ~handle =
+  let msg = Message.declare "msg" in
+  let msg_base = Cls.base msg in
+  let clock = Cls.state "Clock" ~init:(fun _ -> 0) ~upd:upd_clock msg_base in
+  let on_msg slf (value, _) clock =
+    let newval, recipient = handle slf value in
+    [ Message.send msg recipient (newval, clock) ]
+  in
+  let handler = Cls.o2 on_msg msg_base clock in
+  { spec = Loe.Spec.v ~name:"CLK" ~locs handler; msg; clock }

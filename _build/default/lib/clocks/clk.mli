@@ -1,0 +1,29 @@
+(** Lamport's logical clocks, specified exactly as the paper's Fig. 3.
+
+    The specification [CLK] is parameterized by the system's locations,
+    the message-value type, and the [handle] function that computes the
+    next value and recipient for each received message. Each process keeps
+    a clock ([State] class, initial value 0, update
+    [max timestamp clock + 1]) and tags outgoing messages with it. *)
+
+type timestamp = int
+
+type 'v t = {
+  spec : Loe.Spec.t;  (** [main Handler @ locs]. *)
+  msg : ('v * timestamp) Loe.Message.hdr;
+      (** The [internal msg : MsgVal x Timestamp] declaration; exposed so
+          drivers can inject messages and observers can recognize them. *)
+  clock : timestamp Loe.Cls.t;
+      (** The [Clock] state class, for direct observation in tests. *)
+}
+
+val make :
+  locs:Loe.Message.loc list ->
+  handle:(Loe.Message.loc -> 'v -> 'v * Loe.Message.loc) ->
+  'v t
+(** Instantiate CLK with the given parameters (the paper's [locs],
+    [MsgVal] and [handle]). *)
+
+val upd_clock : Loe.Message.loc -> 'v * timestamp -> timestamp -> timestamp
+(** The clock update function (lines 11–12 of Fig. 3):
+    [max timestamp clock + 1]. Exposed for the progress-property test. *)

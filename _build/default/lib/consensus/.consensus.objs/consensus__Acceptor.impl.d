@@ -1,0 +1,1 @@
+lib/consensus/acceptor.ml: Int List Map Paxos_msg

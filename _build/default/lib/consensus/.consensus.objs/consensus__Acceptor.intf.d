@@ -1,0 +1,1 @@
+lib/consensus/acceptor.mli: Paxos_msg

@@ -1,0 +1,1 @@
+lib/consensus/leader.ml: Int List Map Paxos_msg Set

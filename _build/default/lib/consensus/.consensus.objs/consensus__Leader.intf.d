@@ -1,0 +1,1 @@
+lib/consensus/leader.mli: Paxos_msg

@@ -1,0 +1,1 @@
+lib/consensus/paxos.ml: Acceptor Consensus_intf Leader List Paxos_msg Replica

@@ -1,0 +1,1 @@
+lib/consensus/paxos.mli: Consensus_intf Paxos_msg

@@ -1,0 +1,1 @@
+lib/consensus/paxos_msg.ml: Format Int List

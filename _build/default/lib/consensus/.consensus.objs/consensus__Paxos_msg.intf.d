@@ -1,0 +1,1 @@
+lib/consensus/paxos_msg.mli: Format

@@ -1,0 +1,1 @@
+lib/consensus/paxos_spec.ml: Acceptor Leader List Loe Paxos_msg Replica

@@ -1,0 +1,1 @@
+lib/consensus/replica.ml: Int List Map Paxos_msg

@@ -1,0 +1,1 @@
+lib/consensus/replica.mli: Paxos_msg

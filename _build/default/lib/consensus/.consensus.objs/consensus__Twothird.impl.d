@@ -1,0 +1,1 @@
+lib/consensus/twothird.ml: Int List Map Option

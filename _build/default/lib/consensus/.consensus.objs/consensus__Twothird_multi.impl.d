@@ -1,0 +1,1 @@
+lib/consensus/twothird_multi.ml: Consensus_intf Int List Map Twothird

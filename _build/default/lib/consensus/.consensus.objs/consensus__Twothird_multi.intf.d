@@ -1,0 +1,1 @@
+lib/consensus/twothird_multi.mli: Consensus_intf Twothird

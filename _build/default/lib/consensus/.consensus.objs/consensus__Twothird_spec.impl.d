@@ -1,0 +1,1 @@
+lib/consensus/twothird_spec.ml: Consensus_intf List Loe Twothird_multi

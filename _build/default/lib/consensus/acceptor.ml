@@ -1,0 +1,61 @@
+module M = Paxos_msg
+
+module Slot_map = Map.Make (Int)
+
+type 'c t = {
+  self : M.loc;
+  ballot : M.ballot option;
+  accepted : 'c M.pvalue Slot_map.t;
+}
+
+let create ~self = { self; ballot = None; accepted = Slot_map.empty }
+
+let self t = t.self
+
+let ballot t = t.ballot
+
+let accepted t = List.map snd (Slot_map.bindings t.accepted)
+
+let ballot_lt a b = M.ballot_compare a b < 0
+
+let step t (msg : 'c M.t) =
+  match msg with
+  | M.P1a { src; b } ->
+      let t =
+        match t.ballot with
+        | Some cur when not (ballot_lt cur b) -> t
+        | Some _ | None -> { t with ballot = Some b }
+      in
+      let reply_ballot =
+        match t.ballot with Some b -> b | None -> assert false
+      in
+      ( t,
+        [
+          (src, M.P1b { src = t.self; b = reply_ballot; accepted = accepted t });
+        ] )
+  | M.P2a { src; pv } ->
+      let accept =
+        match t.ballot with
+        | Some cur -> not (ballot_lt pv.M.b cur)
+        | None -> true
+      in
+      let t =
+        if accept then
+          let keep =
+            match Slot_map.find_opt pv.M.s t.accepted with
+            | Some old -> ballot_lt pv.M.b old.M.b
+            | None -> false
+          in
+          {
+            t with
+            ballot = Some pv.M.b;
+            accepted =
+              (if keep then t.accepted else Slot_map.add pv.M.s pv t.accepted);
+          }
+        else t
+      in
+      let reply_ballot =
+        match t.ballot with Some b -> b | None -> pv.M.b
+      in
+      (t, [ (src, M.P2b { src = t.self; b = reply_ballot; s = pv.M.s }) ])
+  | M.P1b _ | M.P2b _ | M.Propose _ | M.Decision _ -> (t, [])

@@ -1,0 +1,21 @@
+(** The Paxos acceptor role (pure state machine).
+
+    Maintains the promised ballot and the highest-ballot accepted pvalue
+    per slot. Never forgets a promise — the paper recounts how Google's
+    disk-corruption extension broke exactly this invariant. *)
+
+type 'c t
+
+val create : self:Paxos_msg.loc -> 'c t
+val self : 'c t -> Paxos_msg.loc
+
+val ballot : 'c t -> Paxos_msg.ballot option
+(** Current promise (monotonically non-decreasing). *)
+
+val accepted : 'c t -> 'c Paxos_msg.pvalue list
+(** Highest-ballot accepted pvalue for each slot. *)
+
+val step :
+  'c t -> 'c Paxos_msg.t -> 'c t * (Paxos_msg.loc * 'c Paxos_msg.t) list
+(** Process one message; returns replies as [(destination, message)].
+    Non-acceptor messages are ignored. *)

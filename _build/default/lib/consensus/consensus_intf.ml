@@ -1,0 +1,39 @@
+(** Common interface of multi-decree consensus cores, as consumed by the
+    total-order broadcast service. A core runs at every broadcast-service
+    member, accepts command proposals, and delivers decided commands in
+    slot order, exactly once per slot. The broadcast service can be
+    instantiated with either the Paxos Synod core ({!Paxos}) or the
+    TwoThird core ({!Twothird_multi}) — the paper's modularity claim. *)
+
+type loc = int
+
+type ('c, 'm) action =
+  | Send of loc * 'm  (** Emit a protocol message to another member. *)
+  | Deliver of { s : int; c : 'c }
+      (** Command decided in slot [s]; emitted in increasing slot order,
+          exactly once per slot. *)
+  | Set_timer of float  (** Request a {!tick} after the given delay. *)
+
+module type S = sig
+  type 'c msg
+  (** Wire messages exchanged between core members. *)
+
+  type 'c t
+
+  val create : self:loc -> members:loc list -> 'c t
+  (** A core member; [members] lists all of them, including [self]. *)
+
+  val start : 'c t -> 'c t * ('c, 'c msg) action list
+  (** Called once when the hosting node boots. *)
+
+  val propose : 'c t -> 'c -> 'c t * ('c, 'c msg) action list
+  (** Submit a command for ordering. *)
+
+  val recv : 'c t -> src:loc -> 'c msg -> 'c t * ('c, 'c msg) action list
+
+  val tick : 'c t -> 'c t * ('c, 'c msg) action list
+  (** A previously requested timer fired (retransmission / backoff). *)
+
+  val name : string
+  (** Human-readable protocol name, for benches and traces. *)
+end

@@ -1,0 +1,30 @@
+(** The Paxos leader role (pure state machine), with the scout and
+    commander sub-protocols embedded — the paper implements these with the
+    LoE delegation combinator; here they are sub-records of the leader
+    state, spawned per ballot and per slot respectively. *)
+
+type 'c action =
+  | Send of Paxos_msg.loc * 'c Paxos_msg.t
+  | Set_timer of float
+      (** Request a tick after the given delay (preemption backoff). *)
+
+type 'c input =
+  | Start  (** Begin scouting for leadership. *)
+  | Tick  (** A requested timer fired. *)
+  | Msg of 'c Paxos_msg.t
+
+type 'c t
+
+val create :
+  self:Paxos_msg.loc ->
+  acceptors:Paxos_msg.loc list ->
+  replicas:Paxos_msg.loc list ->
+  'c t
+(** [replicas] are the destinations of [Decision] messages. *)
+
+val is_active : 'c t -> bool
+(** True after the scout's ballot was adopted by a majority. *)
+
+val ballot : 'c t -> Paxos_msg.ballot
+
+val step : 'c t -> 'c input -> 'c t * 'c action list

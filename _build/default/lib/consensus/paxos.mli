@@ -1,0 +1,13 @@
+(** Multi-decree Paxos Synod as a consensus core.
+
+    Every member co-hosts the three PMMC roles (replica, acceptor,
+    leader); messages addressed to the local node are short-circuited
+    internally, mirroring the paper's co-located deployment of the
+    broadcast service on three machines. The member with the smallest
+    identifier scouts for leadership at start-up; preempted leaders back
+    off and re-scout, so leadership survives crashes. *)
+
+include Consensus_intf.S with type 'c msg = 'c Paxos_msg.t
+
+val leader_active : 'c t -> bool
+(** Whether the local leader role currently holds an adopted ballot. *)

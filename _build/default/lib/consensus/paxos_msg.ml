@@ -1,0 +1,35 @@
+type loc = int
+
+type ballot = { round : int; leader : loc }
+
+let ballot_compare a b =
+  match Int.compare a.round b.round with
+  | 0 -> Int.compare a.leader b.leader
+  | c -> c
+
+let ballot_zero leader = { round = 0; leader }
+
+let ballot_succ b self = { round = b.round + 1; leader = self }
+
+let pp_ballot fmt b = Format.fprintf fmt "(%d,%d)" b.round b.leader
+
+type 'c pvalue = { b : ballot; s : int; c : 'c }
+
+type 'c t =
+  | P1a of { src : loc; b : ballot }
+  | P1b of { src : loc; b : ballot; accepted : 'c pvalue list }
+  | P2a of { src : loc; pv : 'c pvalue }
+  | P2b of { src : loc; b : ballot; s : int }
+  | Propose of { s : int; c : 'c }
+  | Decision of { s : int; c : 'c }
+
+let pp pp_c fmt = function
+  | P1a { src; b } -> Format.fprintf fmt "p1a[%d,%a]" src pp_ballot b
+  | P1b { src; b; accepted } ->
+      Format.fprintf fmt "p1b[%d,%a,|%d|]" src pp_ballot b
+        (List.length accepted)
+  | P2a { src; pv } ->
+      Format.fprintf fmt "p2a[%d,%a,%d,%a]" src pp_ballot pv.b pv.s pp_c pv.c
+  | P2b { src; b; s } -> Format.fprintf fmt "p2b[%d,%a,%d]" src pp_ballot b s
+  | Propose { s; c } -> Format.fprintf fmt "propose[%d,%a]" s pp_c c
+  | Decision { s; c } -> Format.fprintf fmt "decision[%d,%a]" s pp_c c

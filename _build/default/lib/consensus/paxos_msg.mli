@@ -1,0 +1,34 @@
+(** Wire messages of the multi-decree Paxos Synod protocol, following the
+    roles of "Paxos Made Moderately Complex" (the paper's informal source
+    [20]): replicas, acceptors, and leaders with scout/commander
+    sub-protocols. *)
+
+type loc = int
+
+type ballot = { round : int; leader : loc }
+(** Ballots are lexicographically ordered (round, leader id); the leader
+    component makes ballots of distinct leaders incomparable-proof. *)
+
+val ballot_compare : ballot -> ballot -> int
+val ballot_zero : loc -> ballot
+val ballot_succ : ballot -> loc -> ballot
+(** [ballot_succ b self] is the smallest ballot owned by [self] strictly
+    greater than [b]. *)
+
+val pp_ballot : Format.formatter -> ballot -> unit
+
+type 'c pvalue = { b : ballot; s : int; c : 'c }
+(** An accepted triple: ballot, slot, command. *)
+
+type 'c t =
+  | P1a of { src : loc; b : ballot }  (** Scout phase-1 request. *)
+  | P1b of { src : loc; b : ballot; accepted : 'c pvalue list }
+      (** Acceptor phase-1 reply: its current ballot and accepted set. *)
+  | P2a of { src : loc; pv : 'c pvalue }  (** Commander phase-2 request. *)
+  | P2b of { src : loc; b : ballot; s : int }
+      (** Acceptor phase-2 reply. *)
+  | Propose of { s : int; c : 'c }  (** Replica → leaders. *)
+  | Decision of { s : int; c : 'c }  (** Commander → replicas. *)
+
+val pp :
+  (Format.formatter -> 'c -> unit) -> Format.formatter -> 'c t -> unit

@@ -1,0 +1,155 @@
+(* The multi-decree Paxos Synod protocol as a constructive specification,
+   corresponding to the paper's Paxos-Synod EventML spec of Table I.
+
+   The specification mirrors the protocol's modular structure: each
+   co-located role (acceptor, leader with its scout/commander
+   sub-protocols, replica) is a separate [State] class over its own input
+   classes, and the node's behaviour is the parallel composition of the
+   three roles — the "divide and conquer" structuring the paper credits to
+   the LoE combinators. *)
+
+module Message = Loe.Message
+module Cls = Loe.Cls
+module M = Paxos_msg
+
+type command = string
+
+type io = {
+  p1a : (Message.loc * M.ballot) Message.hdr;
+  p1b : (Message.loc * M.ballot * command M.pvalue list) Message.hdr;
+  p2a : (Message.loc * command M.pvalue) Message.hdr;
+  p2b : (Message.loc * M.ballot * int) Message.hdr;
+  propose : (int * command) Message.hdr;
+  decision : (int * command) Message.hdr;
+  request : command Message.hdr;  (* client → replica *)
+  ltick : unit Message.hdr;  (* leader backoff timer *)
+  start : unit Message.hdr;  (* leadership bootstrap *)
+  perform : (int * command) Message.hdr;  (* replica → learner *)
+}
+
+let declare_io () =
+  {
+    p1a = Message.declare "p1a";
+    p1b = Message.declare "p1b";
+    p2a = Message.declare "p2a";
+    p2b = Message.declare "p2b";
+    propose = Message.declare "propose";
+    decision = Message.declare "decision";
+    request = Message.declare "request";
+    ltick = Message.declare "ltick";
+    start = Message.declare "start";
+    perform = Message.declare "perform";
+  }
+
+(* Acceptor role: reacts to phase-1 and phase-2 requests. *)
+let acceptor_cls io =
+  let inputs =
+    Cls.( ||| )
+      (Cls.map (fun (src, b) -> M.P1a { src; b }) (Cls.base io.p1a))
+      (Cls.map (fun (src, pv) -> M.P2a { src; pv }) (Cls.base io.p2a))
+  in
+  let step slf msg (acc, _) =
+    ignore slf;
+    Acceptor.step acc msg
+  in
+  let state =
+    Cls.state "Acceptor"
+      ~init:(fun slf -> (Acceptor.create ~self:slf, []))
+      ~upd:step inputs
+  in
+  let emit _slf _msg (_, replies) =
+    List.map
+      (fun (dst, reply) ->
+        match reply with
+        | M.P1b { src; b; accepted } -> Message.send io.p1b dst (src, b, accepted)
+        | M.P2b { src; b; s } -> Message.send io.p2b dst (src, b, s)
+        | M.P1a _ | M.P2a _ | M.Propose _ | M.Decision _ ->
+            invalid_arg "acceptor emits only p1b/p2b")
+      replies
+  in
+  Cls.o2 emit inputs state
+
+(* Leader role: scouts and commanders live inside the leader state; the
+   preemption backoff timer is a delayed self-send. *)
+let leader_cls io ~locs =
+  let inputs =
+    Cls.( ||| )
+      (Cls.map
+         (fun (src, b, accepted) -> Leader.Msg (M.P1b { src; b; accepted }))
+         (Cls.base io.p1b))
+      (Cls.( ||| )
+         (Cls.map (fun (src, b, s) -> Leader.Msg (M.P2b { src; b; s })) (Cls.base io.p2b))
+         (Cls.( ||| )
+            (Cls.map (fun (s, c) -> Leader.Msg (M.Propose { s; c })) (Cls.base io.propose))
+            (Cls.( ||| )
+               (Cls.map (fun () -> Leader.Tick) (Cls.base io.ltick))
+               (Cls.map (fun () -> Leader.Start) (Cls.base io.start)))))
+  in
+  let step slf input (leader, _) =
+    ignore slf;
+    Leader.step leader input
+  in
+  let state =
+    Cls.state "Leader"
+      ~init:(fun slf ->
+        (Leader.create ~self:slf ~acceptors:locs ~replicas:locs, []))
+      ~upd:step inputs
+  in
+  (state, inputs)
+
+let leader_emit io slf acts =
+  List.map
+    (function
+      | Leader.Send (dst, M.P1a { src; b }) -> Message.send io.p1a dst (src, b)
+      | Leader.Send (dst, M.P2a { src; pv }) -> Message.send io.p2a dst (src, pv)
+      | Leader.Send (dst, M.Decision { s; c }) -> Message.send io.decision dst (s, c)
+      | Leader.Send (_, (M.P1b _ | M.P2b _ | M.Propose _)) ->
+          invalid_arg "leader emits only p1a/p2a/decision"
+      | Leader.Set_timer d -> Message.send_after io.ltick d slf ())
+    acts
+
+(* Replica role: assigns requests to slots and performs decisions in
+   order. *)
+let replica_cls io ~locs ~learner =
+  let inputs =
+    Cls.( ||| )
+      (Cls.map (fun c -> Replica.Request c) (Cls.base io.request))
+      (Cls.map
+         (fun (s, c) -> Replica.Msg (M.Decision { s; c }))
+         (Cls.base io.decision))
+  in
+  let step slf input (rep, _) =
+    ignore slf;
+    Replica.step rep input
+  in
+  let state =
+    Cls.state "Replica"
+      ~init:(fun slf -> (Replica.create ~self:slf ~leaders:locs, []))
+      ~upd:step inputs
+  in
+  let emit _slf _input (_, acts) =
+    List.map
+      (function
+        | Replica.Send (dst, M.Propose { s; c }) ->
+            Message.send io.propose dst (s, c)
+        | Replica.Send (_, (M.P1a _ | M.P1b _ | M.P2a _ | M.P2b _ | M.Decision _)) ->
+            invalid_arg "replica emits only propose"
+        | Replica.Perform { s; c } -> Message.send io.perform learner (s, c))
+      acts
+  in
+  Cls.o2 emit inputs state
+
+(* [make ~locs ~learner] — the full Synod node specification: the three
+   roles in parallel, every role broadcasting within [locs]. *)
+let make ~locs ~learner =
+  let io = declare_io () in
+  let acceptor = acceptor_cls io in
+  let leader_state, leader_inputs = leader_cls io ~locs in
+  let leader =
+    Cls.o2
+      (fun slf _input (_, acts) -> leader_emit io slf acts)
+      leader_inputs leader_state
+  in
+  let replica = replica_cls io ~locs ~learner in
+  let handler = Cls.( ||| ) acceptor (Cls.( ||| ) leader replica) in
+  (Loe.Spec.v ~name:"Paxos-Synod" ~locs handler, io)

@@ -1,0 +1,26 @@
+(** The Paxos replica role (pure state machine): assigns incoming commands
+    to slots, proposes them to the leaders, and performs decided commands
+    in slot order, re-proposing its own commands that lost their slot. *)
+
+type 'c action =
+  | Send of Paxos_msg.loc * 'c Paxos_msg.t
+  | Perform of { s : int; c : 'c }
+      (** Deliver the command decided in slot [s]; emitted in strictly
+          increasing slot order, exactly once per slot. *)
+
+type 'c input = Request of 'c | Msg of 'c Paxos_msg.t
+
+type 'c t
+
+val window : int
+(** Maximum number of slots proposed ahead of the last performed slot. *)
+
+val create : self:Paxos_msg.loc -> leaders:Paxos_msg.loc list -> 'c t
+
+val slot_out : 'c t -> int
+(** Next slot to perform (number of commands performed so far). *)
+
+val decisions : 'c t -> (int * 'c) list
+(** Known decisions, sorted by slot. *)
+
+val step : 'c t -> 'c input -> 'c t * 'c action list

@@ -1,0 +1,157 @@
+type loc = int
+
+type 'v msg =
+  | Vote of { round : int; value : 'v }
+  | Decided of 'v
+
+type 'v input =
+  | Propose of 'v
+  | Recv of { src : loc; msg : 'v msg }
+  | Tick
+
+type 'v action = Send of loc * 'v msg | Decide of 'v
+
+module Loc_map = Map.Make (Int)
+module Round_map = Map.Make (Int)
+
+type 'v t = {
+  self : loc;
+  members : loc list;
+  round : int;
+  estimate : 'v option;
+  decided : 'v option;
+  votes : 'v Loc_map.t Round_map.t;  (* round -> voter -> value *)
+}
+
+let create ~self ~members =
+  assert (List.mem self members);
+  {
+    self;
+    members;
+    round = 0;
+    estimate = None;
+    decided = None;
+    votes = Round_map.empty;
+  }
+
+let round t = t.round
+let decided t = t.decided
+let estimate t = t.estimate
+
+let n t = List.length t.members
+
+(* Strictly more than two thirds of the members. *)
+let quorum t = ((2 * n t) / 3) + 1
+
+let votes_for t r =
+  Option.value ~default:Loc_map.empty (Round_map.find_opt r t.votes)
+
+let record_vote t r voter value =
+  let m = votes_for t r in
+  (* First vote wins: duplicates (retransmissions) are idempotent. *)
+  if Loc_map.mem voter m then t
+  else { t with votes = Round_map.add r (Loc_map.add voter value m) t.votes }
+
+let others t = List.filter (fun m -> m <> t.self) t.members
+
+let broadcast t msg = List.map (fun m -> Send (m, msg)) (others t)
+
+(* Smallest most-frequent value among the votes of a round (deterministic:
+   counts first, then structural order on values breaks ties). *)
+let winner votes =
+  let counts =
+    Loc_map.fold
+      (fun _ v acc ->
+        let cur = try List.assoc v acc with Not_found -> 0 in
+        (v, cur + 1) :: List.remove_assoc v acc)
+      votes []
+  in
+  match
+    List.sort
+      (fun (v1, c1) (v2, c2) ->
+        match Int.compare c2 c1 with 0 -> compare v1 v2 | c -> c)
+      counts
+  with
+  | [] -> invalid_arg "winner: no votes"
+  | (v, c) :: _ -> (v, c)
+
+let decide t v =
+  ( { t with decided = Some v; estimate = Some v },
+    (Decide v :: broadcast t (Decided v)) )
+
+(* On reaching a quorum in the current round: decide, or adopt the winner
+   and advance. *)
+let rec check_quorum t acts =
+  match t.estimate with
+  | None -> (t, acts)
+  | Some _ ->
+      if t.decided <> None then (t, acts)
+      else begin
+        let votes = votes_for t t.round in
+        if Loc_map.cardinal votes < quorum t then (t, acts)
+        else begin
+          let v, count = winner votes in
+          if count * 3 > 2 * n t then
+            let t, dacts = decide t v in
+            (t, acts @ dacts)
+          else begin
+            let t = { t with round = t.round + 1; estimate = Some v } in
+            let t = record_vote t t.round t.self v in
+            let acts = acts @ broadcast t (Vote { round = t.round; value = v }) in
+            check_quorum t acts
+          end
+        end
+      end
+
+let handle_propose t v =
+  match (t.estimate, t.decided) with
+  | Some _, _ | _, Some _ -> (t, [])
+  | None, None ->
+      let t = { t with estimate = Some v } in
+      let t = record_vote t t.round t.self v in
+      let acts = broadcast t (Vote { round = t.round; value = v }) in
+      check_quorum t acts
+
+let handle_vote t src r value =
+  if t.decided <> None then
+    (* Frozen: point the laggard at the decision. *)
+    ( t,
+      [ Send (src, Decided (Option.get t.decided)) ] )
+  else if r < t.round then
+    (* Stale vote: help the sender catch up with our current vote. *)
+    match t.estimate with
+    | Some e -> (t, [ Send (src, Vote { round = t.round; value = e }) ])
+    | None -> (t, [])
+  else
+    let t = record_vote t r src value in
+    if r = t.round && t.estimate <> None then check_quorum t []
+    else if r > t.round || t.estimate = None then begin
+      (* Join (no estimate yet) or jump to a higher round, adopting the
+         received value. Safe: if some value was decided in an earlier
+         round, every vote in later rounds carries the decided value;
+         before any decision, adopting a received estimate preserves
+         validity because it originates from some proposal. *)
+      let t = { t with round = r; estimate = Some value } in
+      let t = record_vote t t.round t.self value in
+      let acts = broadcast t (Vote { round = t.round; value }) in
+      check_quorum t acts
+    end
+    else (t, [])
+
+let handle_decided t v =
+  if t.decided <> None then (t, [])
+  else
+    let t = { t with decided = Some v; estimate = Some v } in
+    (t, [ Decide v ])
+
+let handle_tick t =
+  match (t.decided, t.estimate) with
+  | Some v, _ -> (t, broadcast t (Decided v))
+  | None, Some e -> (t, broadcast t (Vote { round = t.round; value = e }))
+  | None, None -> (t, [])
+
+let step t = function
+  | Propose v -> handle_propose t v
+  | Recv { src; msg = Vote { round = r; value } } -> handle_vote t src r value
+  | Recv { src = _; msg = Decided v } -> handle_decided t v
+  | Tick -> handle_tick t

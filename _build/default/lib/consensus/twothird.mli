@@ -1,0 +1,39 @@
+(** TwoThird consensus: the leaderless, round-based, fully symmetric
+    protocol the paper bases on the One-Third Rule algorithm (Charron-Bost
+    & Schiper's Heard-Of model). Single decree; tolerates fewer than n/3
+    crash failures.
+
+    Each round every participant broadcasts its estimate; upon hearing
+    from more than two thirds of the members it decides if a single value
+    holds more than two thirds of all votes, and otherwise adopts the
+    smallest most-frequent value and advances to the next round. *)
+
+type loc = int
+
+type 'v msg =
+  | Vote of { round : int; value : 'v }
+  | Decided of 'v
+      (** Broadcast once upon deciding; laggards adopt it directly (and a
+          decided member answers any vote with it), so decided members
+          never advance rounds — the protocol quiesces. *)
+
+type 'v input =
+  | Propose of 'v  (** Local proposal (at most the first one counts). *)
+  | Recv of { src : loc; msg : 'v msg }
+  | Tick  (** Retransmit the current-round vote (liveness under loss). *)
+
+type 'v action = Send of loc * 'v msg | Decide of 'v
+
+type 'v t
+
+val create : self:loc -> members:loc list -> 'v t
+(** [members] must include [self]. *)
+
+val round : 'v t -> int
+val decided : 'v t -> 'v option
+val estimate : 'v t -> 'v option
+
+val step : 'v t -> 'v input -> 'v t * 'v action list
+(** The [Decide] action is emitted exactly once, on the step where the
+    decision is first reached; the protocol keeps voting afterwards so
+    slower members can also decide. *)

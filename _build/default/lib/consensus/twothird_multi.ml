@@ -1,0 +1,113 @@
+type 'c slot_msg = { slot : int; vote : 'c Twothird.msg }
+
+type 'c msg = 'c slot_msg
+
+module Slot_map = Map.Make (Int)
+
+type 'c t = {
+  self : Consensus_intf.loc;
+  members : Consensus_intf.loc list;
+  instances : 'c Twothird.t Slot_map.t;
+  decided : 'c Slot_map.t;
+  queue : 'c list;  (* commands not yet assigned to a slot *)
+  outstanding : (int * 'c) option;  (* our in-flight proposal *)
+  next_slot : int;
+  slot_out : int;  (* next slot to deliver *)
+}
+
+let name = "twothird"
+
+let create ~self ~members =
+  {
+    self;
+    members;
+    instances = Slot_map.empty;
+    decided = Slot_map.empty;
+    queue = [];
+    outstanding = None;
+    next_slot = 0;
+    slot_out = 0;
+  }
+
+let undecided_slots t =
+  Slot_map.fold
+    (fun s _ acc -> if Slot_map.mem s t.decided then acc else s :: acc)
+    t.instances []
+
+let instance t s =
+  match Slot_map.find_opt s t.instances with
+  | Some inst -> inst
+  | None -> Twothird.create ~self:t.self ~members:t.members
+
+let lift_sends s acts =
+  List.filter_map
+    (function
+      | Twothird.Send (dst, vote) ->
+          Some (Consensus_intf.Send (dst, { slot = s; vote }))
+      | Twothird.Decide _ -> None)
+    acts
+
+let decided_value acts =
+  List.find_map
+    (function Twothird.Decide v -> Some v | Twothird.Send _ -> None)
+    acts
+
+(* Feed one input to the instance of slot [s] and integrate the outcome:
+   record decisions, release lost proposals back onto the queue, deliver
+   in slot order, and keep proposing. *)
+let rec feed t s input acc =
+  let inst, acts = Twothird.step (instance t s) input in
+  let t = { t with instances = Slot_map.add s inst t.instances } in
+  let t = { t with next_slot = max t.next_slot (s + 1) } in
+  let acc = acc @ lift_sends s acts in
+  match decided_value acts with
+  | None -> try_propose t acc
+  | Some v ->
+      let t = { t with decided = Slot_map.add s v t.decided } in
+      let t =
+        match t.outstanding with
+        | Some (s', mine) when s' = s ->
+            if mine = v then { t with outstanding = None }
+            else { t with outstanding = None; queue = mine :: t.queue }
+        | Some _ | None -> t
+      in
+      let t, delivers = deliver t [] in
+      try_propose t (acc @ delivers)
+
+and deliver t acc =
+  match Slot_map.find_opt t.slot_out t.decided with
+  | None -> (t, List.rev acc)
+  | Some c ->
+      let s = t.slot_out in
+      deliver { t with slot_out = s + 1 } (Consensus_intf.Deliver { s; c } :: acc)
+
+and try_propose t acc =
+  match (t.outstanding, t.queue) with
+  | Some _, _ | None, [] -> (t, acc)
+  | None, c :: rest ->
+      let s = t.next_slot in
+      let t =
+        {
+          t with
+          queue = rest;
+          outstanding = Some (s, c);
+          next_slot = s + 1;
+        }
+      in
+      feed t s (Twothird.Propose c) acc
+
+let start t = (t, [ Consensus_intf.Set_timer 0.05 ])
+
+let propose t c = try_propose { t with queue = t.queue @ [ c ] } []
+
+let recv t ~src { slot; vote } =
+  feed t slot (Twothird.Recv { src; msg = vote }) []
+
+(* Retransmit votes of all undecided instances, and re-arm the timer. *)
+let tick t =
+  let t, acts =
+    List.fold_left
+      (fun (t, acc) s -> feed t s Twothird.Tick acc)
+      (t, []) (undecided_slots t)
+  in
+  (t, acts @ [ Consensus_intf.Set_timer 0.05 ])

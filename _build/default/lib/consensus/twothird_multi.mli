@@ -1,0 +1,15 @@
+(** Multi-decree consensus core built from per-slot TwoThird instances.
+
+    Commands are assigned to consecutive slots; a member whose command
+    loses its slot to a competing proposal re-proposes it at the next free
+    slot. This is the second consensus module of the paper's broadcast
+    service (Sec. II-D: "the total order broadcast service can use both
+    the TwoThird Consensus and the Paxos multi-decree Synod consensus
+    modules"). *)
+
+type 'c slot_msg = { slot : int; vote : 'c Twothird.msg }
+
+include Consensus_intf.S with type 'c msg = 'c slot_msg
+
+val undecided_slots : 'c t -> int list
+(** Slots with a live (undecided) instance — retransmission targets. *)

@@ -1,0 +1,67 @@
+(* The TwoThird consensus service as a constructive specification
+   (event classes), corresponding to the paper's EventML TwoThird spec of
+   Table I. The handlers delegate to the pure protocol core, so the
+   compiled process and the reference state machine can be checked for
+   trace equivalence (test/test_specs.ml). *)
+
+module Message = Loe.Message
+module Cls = Loe.Cls
+module I = Consensus_intf
+
+type command = string
+
+type io = {
+  propose : command Message.hdr;  (* client → member *)
+  vote : (Message.loc * command Twothird_multi.slot_msg) Message.hdr;
+  tick : unit Message.hdr;  (* delayed self-send: retransmission timer *)
+  deliver : (int * command) Message.hdr;  (* member → learner *)
+}
+
+let declare_io () =
+  {
+    propose = Message.declare "propose";
+    vote = Message.declare "vote";
+    tick = Message.declare "tick";
+    deliver = Message.declare "deliver";
+  }
+
+type event =
+  | E_propose of command
+  | E_vote of Message.loc * command Twothird_multi.slot_msg
+  | E_tick
+
+(* Map the core's actions to directed messages: sends go to peers, decided
+   commands to the learner, timers become delayed self-sends (the [d]
+   component of the paper's ILF). *)
+let directed_of_action io slf learner = function
+  | I.Send (dst, m) -> Message.send io.vote dst (slf, m)
+  | I.Deliver { s; c } -> Message.send io.deliver learner (s, c)
+  | I.Set_timer d -> Message.send_after io.tick d slf ()
+
+let make ~locs ~learner =
+  let io = declare_io () in
+  let inputs =
+    Cls.( ||| )
+      (Cls.map (fun c -> E_propose c) (Cls.base io.propose))
+      (Cls.( ||| )
+         (Cls.map (fun (src, m) -> E_vote (src, m)) (Cls.base io.vote))
+         (Cls.map (fun () -> E_tick) (Cls.base io.tick)))
+  in
+  let step slf event (core, _) =
+    match event with
+    | E_propose c -> Twothird_multi.propose core c
+    | E_vote (src, m) -> Twothird_multi.recv core ~src m
+    | E_tick ->
+        ignore slf;
+        Twothird_multi.tick core
+  in
+  let core_state =
+    Cls.state "TwoThird"
+      ~init:(fun slf -> (Twothird_multi.create ~self:slf ~members:locs, []))
+      ~upd:step inputs
+  in
+  let emit slf _event (_, acts) =
+    List.map (directed_of_action io slf learner) acts
+  in
+  let handler = Cls.o2 emit inputs core_state in
+  (Loe.Spec.v ~name:"TwoThird" ~locs handler, io)

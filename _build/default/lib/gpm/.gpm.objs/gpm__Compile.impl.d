@@ -1,0 +1,1 @@
+lib/gpm/compile.ml: Loe Proc

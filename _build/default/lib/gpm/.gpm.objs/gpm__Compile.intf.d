@@ -1,0 +1,1 @@
+lib/gpm/compile.mli: Loe Proc

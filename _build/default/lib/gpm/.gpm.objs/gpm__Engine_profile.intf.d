@@ -1,0 +1,1 @@
+lib/gpm/engine_profile.mli:

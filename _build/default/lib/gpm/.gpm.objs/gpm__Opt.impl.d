@@ -1,0 +1,1 @@
+lib/gpm/opt.ml: Array List Loe Obj Proc

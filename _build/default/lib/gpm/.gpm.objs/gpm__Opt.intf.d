@@ -1,0 +1,1 @@
+lib/gpm/opt.mli: Loe Proc

@@ -1,0 +1,1 @@
+lib/gpm/proc.mli:

@@ -1,0 +1,1 @@
+lib/gpm/runtime.ml: Compile Engine_profile Hashtbl List Loe Opt Printf Proc Sim

@@ -1,0 +1,1 @@
+lib/gpm/runtime.mli: Engine_profile Loe Sim

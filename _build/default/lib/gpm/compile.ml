@@ -1,0 +1,26 @@
+module Cls = Loe.Cls
+module Inst = Loe.Inst
+
+let compile loc cls =
+  let rec wrap inst =
+    Proc.Run
+      (fun msg ->
+        let inst', outs = Inst.step loc inst msg in
+        (wrap inst', outs))
+  in
+  wrap (Inst.create loc cls)
+
+(* Weights count the runtime structure the tree backend builds per
+   combinator: the instance node itself, its per-step closure, and the
+   output-list cells it allocates. *)
+let rec gpm_size : type a. a Cls.t -> int = function
+  | Cls.Base _ -> 7
+  | Cls.Const _ -> 4
+  | Cls.Map (_, c) -> 6 + gpm_size c
+  | Cls.Filter (_, c) -> 6 + gpm_size c
+  | Cls.State { on; _ } -> 11 + gpm_size on
+  | Cls.Compose2 (_, a, b) -> 13 + gpm_size a + gpm_size b
+  | Cls.Compose3 (_, a, b, c) -> 17 + gpm_size a + gpm_size b + gpm_size c
+  | Cls.Par (a, b) -> 7 + gpm_size a + gpm_size b
+  | Cls.Once c -> 8 + gpm_size c
+  | Cls.Delegate { trigger; _ } -> 13 + gpm_size trigger

@@ -1,0 +1,15 @@
+(** Compilation of event classes to GPM processes (unoptimized backend).
+
+    The generated process interprets the combinator tree: each event walks
+    the class structure, rebuilding instance nodes — faithful to the
+    paper's description of generated GPM programs as "several nested
+    recursive functions" before optimization. *)
+
+val compile :
+  Loe.Message.loc -> 'a Loe.Cls.t -> (Loe.Message.t, 'a) Proc.t
+(** Compile a class for a location into a process over wire messages. *)
+
+val gpm_size : 'a Loe.Cls.t -> int
+(** "GPM prog" column of Table I: runtime cells and closures the
+    unoptimized backend allocates for the program, counted per
+    combinator. *)

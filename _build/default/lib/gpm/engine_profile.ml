@@ -1,0 +1,24 @@
+type t = Interpreted | Interpreted_opt | Compiled
+
+(* Calibrated to the one-client delivery latencies of Fig. 8:
+   122 / 8.8 ≈ 13.9 and 69.4 / 8.8 ≈ 7.9. *)
+let cpu_factor = function
+  | Interpreted -> 11.9
+  | Interpreted_opt -> 7.36
+  | Compiled -> 1.0
+
+(* Calibrated to the saturation throughputs of Fig. 8 (27, 65 and 900
+   delivered messages per second): the unoptimized interpreter is
+   relatively worse on per-message data handling than on fixed per-event
+   overhead, hence a separate factor. *)
+let data_factor = function
+  | Interpreted -> 41.0
+  | Interpreted_opt -> 16.4
+  | Compiled -> 1.0
+
+let name = function
+  | Interpreted -> "interpreted"
+  | Interpreted_opt -> "interpreted-opt"
+  | Compiled -> "compiled"
+
+let all = [ Interpreted; Interpreted_opt; Compiled ]

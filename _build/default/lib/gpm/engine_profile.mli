@@ -1,0 +1,24 @@
+(** Execution engines for GPM programs.
+
+    The paper runs the same Nuprl program in three environments — the SML
+    interpreter, the SML interpreter on optimizer output, and the Lisp
+    translation — differing (for performance purposes) in per-step CPU
+    cost. In the simulator an engine is a CPU-cost multiplier applied to
+    the protocol's base step costs, calibrated to the latency ratios the
+    paper reports in Fig. 8 (122 ms : 69.4 ms : 8.8 ms at one client). *)
+
+type t =
+  | Interpreted  (** Tree-walking interpreter over the unoptimized program. *)
+  | Interpreted_opt  (** Same interpreter over the optimizer's output. *)
+  | Compiled  (** Translated to a compiled language (the paper's Lisp). *)
+
+val cpu_factor : t -> float
+(** Multiplier on fixed per-event CPU time relative to {!Compiled}
+    (calibrated to the paper's one-client latencies). *)
+
+val data_factor : t -> float
+(** Multiplier on per-payload-entry CPU time relative to {!Compiled}
+    (calibrated to the paper's saturation throughputs). *)
+
+val name : t -> string
+val all : t list

@@ -1,0 +1,151 @@
+module Cls = Loe.Cls
+module Message = Loe.Message
+
+type stats = { slots : int; size : int }
+
+type 'a node = { out : 'a list ref }
+
+type plan = {
+  loc : Message.loc;
+  mutable actions : (Message.t -> unit) list;  (* reverse topological order *)
+  mutable memo : (Obj.t * Obj.t) list;  (* class node -> 'a node, by identity *)
+  mutable slots : int;
+  mutable size : int;
+}
+
+type 'a machine = {
+  step_actions : (Message.t -> unit) array;
+  root : 'a node;
+  machine_stats : stats;
+}
+
+(* Sharing: two occurrences of the physically same class node get one cell
+   and one action — the common-subexpression elimination of the paper's
+   optimizer. The [Obj.magic] is sound because physical equality of class
+   nodes implies equality of their output types. *)
+let rec build : type a. plan -> a Cls.t -> a node =
+ fun plan c ->
+  let key = Obj.repr c in
+  match List.assq_opt key plan.memo with
+  | Some n -> (Obj.obj n : a node)
+  | None ->
+      let node = build_fresh plan c in
+      plan.memo <- (key, Obj.repr node) :: plan.memo;
+      plan.slots <- plan.slots + 1;
+      node
+
+and build_fresh : type a. plan -> a Cls.t -> a node =
+ fun plan c ->
+  let emit weight action =
+    plan.actions <- action :: plan.actions;
+    plan.size <- plan.size + weight
+  in
+  match c with
+  | Cls.Base h ->
+      let out = ref [] in
+      emit 3 (fun m ->
+          out := match Message.recognize h m with Some v -> [ v ] | None -> []);
+      { out }
+  | Cls.Const (_, v) ->
+      let out = ref [ v ] in
+      plan.size <- plan.size + 2;
+      { out }
+  | Cls.Map (f, sub) ->
+      let child = build plan sub in
+      let out = ref [] in
+      emit 3 (fun _ -> out := List.map f !(child.out));
+      { out }
+  | Cls.Filter (p, sub) ->
+      let child = build plan sub in
+      let out = ref [] in
+      emit 3 (fun _ -> out := List.filter p !(child.out));
+      { out }
+  | Cls.State { init; upd; on; _ } ->
+      let child = build plan on in
+      let s = ref (init plan.loc) in
+      let out = ref [ !s ] in
+      emit 5 (fun _ ->
+          let vs = !(child.out) in
+          if vs <> [] then
+            s := List.fold_left (fun s v -> upd plan.loc v s) !s vs;
+          out := [ !s ]);
+      { out }
+  | Cls.Compose2 (f, a, b) ->
+      let na = build plan a and nb = build plan b in
+      let out = ref [] in
+      emit 5 (fun _ ->
+          out :=
+            List.concat_map
+              (fun x -> List.concat_map (fun y -> f plan.loc x y) !(nb.out))
+              !(na.out));
+      { out }
+  | Cls.Compose3 (f, a, b, c) ->
+      let na = build plan a and nb = build plan b and nc = build plan c in
+      let out = ref [] in
+      emit 6 (fun _ ->
+          out :=
+            List.concat_map
+              (fun x ->
+                List.concat_map
+                  (fun y ->
+                    List.concat_map (fun z -> f plan.loc x y z) !(nc.out))
+                  !(nb.out))
+              !(na.out));
+      { out }
+  | Cls.Par (a, b) ->
+      let na = build plan a and nb = build plan b in
+      let out = ref [] in
+      emit 2 (fun _ -> out := !(na.out) @ !(nb.out));
+      { out }
+  | Cls.Once sub ->
+      let child = build plan sub in
+      let fired = ref false in
+      let out = ref [] in
+      emit 3 (fun _ ->
+          if !fired then out := []
+          else begin
+            out := !(child.out);
+            if !out <> [] then fired := true
+          end);
+      { out }
+  | Cls.Delegate { trigger; spawn; _ } ->
+      let nt = build plan trigger in
+      let children : (Message.t -> a list) list ref = ref [] in
+      let out = ref [] in
+      emit 6 (fun m ->
+          (* Existing children observe this event; newborn children begin
+             at the next event. *)
+          out := List.concat_map (fun child -> child m) !children;
+          let newborn =
+            List.map
+              (fun v ->
+                let sub = compile plan.loc (spawn plan.loc v) in
+                fun m -> step sub m)
+              !(nt.out)
+          in
+          children := !children @ newborn);
+      { out }
+
+and compile : type a. Message.loc -> a Cls.t -> a machine =
+ fun loc c ->
+  let plan = { loc; actions = []; memo = []; slots = 0; size = 0 } in
+  let root = build plan c in
+  {
+    step_actions = Array.of_list (List.rev plan.actions);
+    root;
+    machine_stats = { slots = plan.slots; size = plan.size + plan.slots };
+  }
+
+and step : type a. a machine -> Message.t -> a list =
+ fun m msg ->
+  Array.iter (fun action -> action msg) m.step_actions;
+  !(m.root.out)
+
+let stats m = m.machine_stats
+
+let to_proc loc c =
+  let machine = compile loc c in
+  let rec proc = Proc.Run (fun msg -> (proc, step machine msg)) in
+  proc
+
+let opt_size c = (stats (compile 0 c)).size

@@ -1,0 +1,32 @@
+(** The program optimizer: fused compilation of event classes.
+
+    Mirrors the paper's Nuprl program transformer: the nested recursive
+    functions of the tree backend are merged into a single flat step
+    function over pre-allocated mutable cells, and common sub-classes
+    (physically shared nodes of the class DAG) are evaluated once per event
+    (common-subexpression elimination). Equivalence with the unoptimized
+    backend is established by the bisimulation property test in
+    [test/test_gpm.ml] — the paper's Fig. 7 proof. *)
+
+type stats = {
+  slots : int;  (** Distinct class nodes after sharing. *)
+  size : int;  (** "opt. GPM prog" column of Table I. *)
+}
+
+type 'a machine
+(** A fused, mutable machine producing outputs of type ['a]. *)
+
+val compile : Loe.Message.loc -> 'a Loe.Cls.t -> 'a machine
+
+val step : 'a machine -> Loe.Message.t -> 'a list
+(** Process one event (mutates the machine). *)
+
+val stats : 'a machine -> stats
+
+val to_proc : Loe.Message.loc -> 'a Loe.Cls.t -> (Loe.Message.t, 'a) Proc.t
+(** Package a fresh fused machine as a GPM process (the optimized program
+    of the paper's Fig. 7). *)
+
+val opt_size : 'a Loe.Cls.t -> int
+(** Size of the optimized program without building a machine at a real
+    location. *)

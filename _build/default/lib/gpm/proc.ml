@@ -1,0 +1,27 @@
+type ('i, 'o) t = Halt | Run of ('i -> ('i, 'o) t * 'o list)
+
+let halt = Halt
+
+let step t input =
+  match t with Halt -> (Halt, []) | Run f -> f input
+
+let run t inputs =
+  let _, outs =
+    List.fold_left
+      (fun (t, acc) input ->
+        let t', os = step t input in
+        (t', os :: acc))
+      (t, []) inputs
+  in
+  List.rev outs
+
+let of_fun f = Run f
+
+let stateful init f =
+  let rec go s =
+    Run
+      (fun input ->
+        let s', os = f s input in
+        (go s', os))
+  in
+  go init

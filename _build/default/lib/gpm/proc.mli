@@ -1,0 +1,26 @@
+(** The General Process Model.
+
+    A process is a (tail-recursive) function that consumes one input and
+    returns the outputs produced at that input together with the process
+    that replaces it — the paper's
+    [let rec R(s) = run (λm. ... <R(s'), out>)] shape (Fig. 7). [Halt] is
+    the halted process. *)
+
+type ('i, 'o) t =
+  | Halt
+  | Run of ('i -> ('i, 'o) t * 'o list)
+      (** One step: new process and outputs. *)
+
+val halt : ('i, 'o) t
+
+val step : ('i, 'o) t -> 'i -> ('i, 'o) t * 'o list
+(** Feed one input; [Halt] consumes inputs and produces nothing. *)
+
+val run : ('i, 'o) t -> 'i list -> 'o list list
+(** Outputs at each input of a trace. *)
+
+val of_fun : ('i -> ('i, 'o) t * 'o list) -> ('i, 'o) t
+
+val stateful : 's -> ('s -> 'i -> 's * 'o list) -> ('i, 'o) t
+(** Lift an explicit state machine into a process (the optimized shape the
+    paper's program transformer produces). *)

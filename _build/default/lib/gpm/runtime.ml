@@ -1,0 +1,85 @@
+module Message = Loe.Message
+module Engine = Sim.Engine
+
+type world = Message.t Engine.t
+
+type backend = Tree | Fused
+
+type stepper = { mutable step : Message.t -> Message.directed list }
+
+let make_stepper backend loc main =
+  match backend with
+  | Fused ->
+      let machine = Opt.compile loc main in
+      { step = (fun m -> Opt.step machine m) }
+  | Tree ->
+      let proc = ref (Compile.compile loc main) in
+      {
+        step =
+          (fun m ->
+            let proc', outs = Proc.step !proc m in
+            proc := proc';
+            outs);
+      }
+
+let deploy ?(backend = Fused) ?(profile = Engine_profile.Compiled)
+    ?(step_cost = 0.0) world ~n make =
+  let spec = ref None in
+  let cpu_factor = Engine_profile.cpu_factor profile in
+  let handler_for locref () =
+    let stepper = ref None in
+    let pending : (int, Message.directed) Hashtbl.t = Hashtbl.create 8 in
+    let get () =
+      match !stepper with
+      | Some s -> s
+      | None ->
+          let s =
+            match !spec with
+            | Some spec -> make_stepper backend !locref spec.Loe.Spec.main
+            | None -> invalid_arg "Runtime.deploy: spec not yet built"
+          in
+          stepper := Some s;
+          s
+    in
+    let rec feed ctx msg =
+      Engine.charge ctx step_cost;
+      let outs = (get ()).step msg in
+      List.iter
+        (fun (d : Message.directed) ->
+          if d.Message.delay <= 0.0 then Engine.send ctx d.Message.dst d.Message.msg
+          else begin
+            let tid = Engine.set_timer ctx d.Message.delay "dmsg" in
+            Hashtbl.replace pending tid d
+          end)
+        outs
+    and handle ctx = function
+      | Engine.Init -> ()
+      | Engine.Recv { msg; _ } -> feed ctx msg
+      | Engine.Timer { id; _ } -> (
+          match Hashtbl.find_opt pending id with
+          | None -> ()
+          | Some d ->
+              Hashtbl.remove pending id;
+              if d.Message.dst = Engine.self ctx then feed ctx d.Message.msg
+              else Engine.send ctx d.Message.dst d.Message.msg)
+    in
+    handle
+  in
+  let ids =
+    List.init n (fun i ->
+        let locref = ref (-1) in
+        let id =
+          Engine.spawn world
+            ~name:(Printf.sprintf "loc%d" i)
+            ~cpu_factor
+            (handler_for locref)
+        in
+        locref := id;
+        id)
+  in
+  (* Node ids are assigned densely in spawn order, so location [i] is node
+     [List.nth ids i]; the spec is built over the real identifiers. *)
+  spec := Some (make ids);
+  ids
+
+let inject world ~dst msg = Engine.send_external world ~src:dst dst msg

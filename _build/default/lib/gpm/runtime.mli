@@ -1,0 +1,31 @@
+(** Deploying constructive specifications on the simulator.
+
+    Turns [main Handler @ locs] into running nodes: each location hosts the
+    compiled process; directed outputs with zero delay become network sends
+    and delayed outputs become timers (delayed self-sends re-enter the
+    local process, implementing EventML timers). *)
+
+type world = Loe.Message.t Sim.Engine.t
+(** A simulation world whose wire messages are LoE messages. *)
+
+type backend =
+  | Tree  (** Unoptimized compilation ({!Compile.compile}). *)
+  | Fused  (** Optimized compilation ({!Opt.compile}). *)
+
+val deploy :
+  ?backend:backend ->
+  ?profile:Engine_profile.t ->
+  ?step_cost:float ->
+  world ->
+  n:int ->
+  (Loe.Message.loc list -> Loe.Spec.t) ->
+  Sim.Node_id.t list
+(** [deploy world ~n make] spawns [n] nodes, builds the specification with
+    their identifiers as locations ([make locs] must use exactly these
+    locations), and installs the compiled process on each. [step_cost] is
+    the base CPU seconds charged per event (default 0), scaled by the
+    engine [profile] (default [Compiled]). Returns the node ids in
+    location order. *)
+
+val inject : world -> dst:Sim.Node_id.t -> Loe.Message.t -> unit
+(** Send a message into the system from an external client location. *)

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Baselines Broadcast Consensus Hashtbl List Shadowdb Sim Stats Storage Workload

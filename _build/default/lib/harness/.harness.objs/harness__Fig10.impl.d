@@ -1,0 +1,1 @@
+lib/harness/fig10.ml: Array Consensus Hashtbl List Printf Shadowdb Sim Stats Storage Workload

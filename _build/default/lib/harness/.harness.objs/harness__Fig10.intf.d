@@ -1,0 +1,1 @@
+lib/harness/fig10.mli: Workload

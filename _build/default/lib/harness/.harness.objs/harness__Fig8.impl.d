@@ -1,0 +1,1 @@
+lib/harness/fig8.ml: Broadcast Consensus Gpm List Printf Sim Stats String

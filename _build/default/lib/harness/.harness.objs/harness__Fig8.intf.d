@@ -1,0 +1,1 @@
+lib/harness/fig8.mli: Broadcast Gpm

@@ -1,0 +1,1 @@
+lib/harness/fig9.ml: Baselines Consensus Hashtbl List Printf Shadowdb Sim Stats Storage Workload

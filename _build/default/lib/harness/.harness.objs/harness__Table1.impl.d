@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Broadcast Clocks Consensus Gpm List Loe Stats

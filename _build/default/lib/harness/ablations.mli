@@ -1,0 +1,30 @@
+(** Ablation experiments for the design choices called out in DESIGN.md,
+    run in virtual time like the paper figures:
+
+    - batching on/off in the broadcast service (the paper credits batching
+      for the compiled service's 900 msgs/s);
+    - the consensus module under the broadcast service (Paxos-Synod vs
+      TwoThird — the paper's modularity claim, Sec. II-D);
+    - lock granularity under contention (table vs row — the mechanism
+      behind the H2-repl and MySQL-repl curves of Fig. 9(a)). *)
+
+type point = { label : string; throughput : float; latency_ms : float }
+
+val batching : ?clients:int -> ?msgs_per_client:int -> unit -> point list
+(** Compiled broadcast service with the default batch cap vs forced
+    batches of one. *)
+
+val consensus_modules : ?clients:int -> ?msgs_per_client:int -> unit -> point list
+(** The same broadcast workload over the Paxos core (3 members, f = 1)
+    and over the TwoThird core (4 members, f < n/3). *)
+
+val lock_granularity : ?clients:int -> ?count:int -> unit -> point list
+(** Same-row update contention under table-level vs row-level locks. *)
+
+val replication_styles : ?clients:int -> ?count:int -> unit -> point list
+(** ShadowDB's three replication styles (primary-backup, chain, state
+    machine replication) on the bank workload. Chain replication is the
+    extension protocol the paper names as buildable on the broadcast
+    service. *)
+
+val print : title:string -> point list -> unit

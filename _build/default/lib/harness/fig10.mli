@@ -1,0 +1,48 @@
+(** Fig. 10: recovery behaviour of ShadowDB-PBR.
+
+    (a) An execution in which the primary crashes: instantaneous committed
+    throughput over time, with the recovery phases annotated (crash,
+    detection after the configured timeout, reconfiguration + state
+    transfer, client resumption).
+
+    (b) The cost of state transfer between two replicas as a function of
+    database size, for 16-byte (3-column) and 1-KB (4-column) rows, plus
+    the TPC-C database. *)
+
+type timeline = {
+  bins : (float * float) list;  (** (time s, committed txns/s) per second. *)
+  crash_at : float;
+  detected_at : float;  (** First reconfiguration proposal. *)
+  config_delivered_at : float;  (** New configuration delivery. *)
+  resumed_at : float;  (** First commit after the crash. *)
+}
+
+val run_timeline :
+  ?rows:int ->
+  ?crash_at:float ->
+  ?detect_timeout:float ->
+  ?duration:float ->
+  ?n_clients:int ->
+  unit ->
+  timeline
+
+val print_timeline : timeline -> unit
+
+type transfer = {
+  rows : int;
+  row_bytes : int;
+  columns : int;
+  seconds : float;  (** Virtual time to dump, ship and load the snapshot. *)
+}
+
+val run_transfer : rows:int -> wide:bool -> transfer
+(** Bank table: [wide] selects 1-KB 4-column rows, otherwise 16-byte
+    3-column rows. *)
+
+val run_transfer_tpcc : ?scale:Workload.Tpcc.scale -> unit -> transfer
+
+val run_transfers : ?quick:bool -> unit -> transfer list
+(** The paper's sweep: 500 … 500,000 rows at both widths (capped at
+    50,000 in [quick] mode), plus TPC-C. *)
+
+val print_transfers : transfer list -> unit

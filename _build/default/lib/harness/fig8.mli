@@ -1,0 +1,27 @@
+(** Fig. 8: performance of the broadcast service with Paxos (f = 1).
+
+    Closed-loop clients broadcast 140-byte messages; for each execution
+    engine (interpreted, interpreted over the optimizer's output, and
+    compiled) the harness sweeps the client count and reports delivered
+    messages per second against mean delivery latency. *)
+
+type point = {
+  clients : int;
+  throughput : float;  (** Delivered messages per second. *)
+  latency_ms : float;  (** Mean broadcast→delivery latency. *)
+}
+
+val run_engine :
+  ?costs:Broadcast.Shell.costs ->
+  ?msgs_per_client:int ->
+  ?clients:int list ->
+  Gpm.Engine_profile.t ->
+  point list
+(** [costs] overrides the calibrated broadcast-service cost model (used by
+    the calibration and ablation benches). *)
+
+val run : ?quick:bool -> unit -> (Gpm.Engine_profile.t * point list) list
+(** All three engines. [quick] (default true) uses fewer messages per
+    client than the paper's 500/10,000. *)
+
+val print : (Gpm.Engine_profile.t * point list) list -> unit

@@ -1,0 +1,32 @@
+(** Fig. 9: ShadowDB against conventional replicated databases.
+
+    (a) the bank micro-benchmark (update transactions on 50,000 16-byte
+    rows) and (b) TPC-C with one warehouse. For each system the harness
+    sweeps closed-loop client counts and reports committed transactions
+    per second against mean latency. *)
+
+type system =
+  | Shadow_pbr
+  | Shadow_smr
+  | H2_standalone
+  | H2_repl
+  | Mysql_repl
+
+val system_name : system -> string
+
+type point = {
+  clients : int;
+  throughput : float;  (** Committed transactions per second. *)
+  latency_ms : float;
+}
+
+type bench = Micro | Tpcc
+
+val run_system :
+  ?quick:bool -> bench -> system -> clients:int list -> point list
+
+val run : ?quick:bool -> bench -> (system * point list) list
+(** All five systems on the micro-benchmark; H2-repl is included for
+    TPC-C too (the paper omits its curve — it saturates at ≈62 tps). *)
+
+val print : bench -> (system * point list) list -> unit

@@ -1,0 +1,1 @@
+lib/loe/cls.ml: Message

@@ -1,0 +1,1 @@
+lib/loe/cls.mli: Message

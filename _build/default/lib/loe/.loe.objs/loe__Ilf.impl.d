@@ -1,0 +1,1 @@
+lib/loe/ilf.ml: Cls Format List Message Printf

@@ -1,0 +1,1 @@
+lib/loe/ilf.mli: Cls Format

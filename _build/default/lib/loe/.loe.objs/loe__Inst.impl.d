@@ -1,0 +1,1 @@
+lib/loe/inst.ml: Cls List Message

@@ -1,0 +1,1 @@
+lib/loe/inst.mli: Cls Message

@@ -1,0 +1,1 @@
+lib/loe/message.mli: Univ

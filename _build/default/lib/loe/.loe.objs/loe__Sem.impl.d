@@ -1,0 +1,1 @@
+lib/loe/sem.ml: Array Cls List Message

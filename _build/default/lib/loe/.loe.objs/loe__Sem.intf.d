@@ -1,0 +1,1 @@
+lib/loe/sem.mli: Cls Message

@@ -1,0 +1,1 @@
+lib/loe/spec.ml: Cls Ilf Message

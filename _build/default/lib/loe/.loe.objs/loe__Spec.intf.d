@@ -1,0 +1,1 @@
+lib/loe/spec.mli: Cls Ilf Message

@@ -1,0 +1,1 @@
+lib/loe/univ.ml:

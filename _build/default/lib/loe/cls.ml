@@ -1,0 +1,61 @@
+type 'a t =
+  | Base : 'a Message.hdr -> 'a t
+  | Const : string * 'a -> 'a t
+  | Map : ('a -> 'b) * 'a t -> 'b t
+  | Filter : ('a -> bool) * 'a t -> 'a t
+  | State : {
+      name : string;
+      init : Message.loc -> 's;
+      upd : Message.loc -> 'a -> 's -> 's;
+      on : 'a t;
+    }
+      -> 's t
+  | Compose2 : (Message.loc -> 'a -> 'b -> 'c list) * 'a t * 'b t -> 'c t
+  | Compose3 :
+      (Message.loc -> 'a -> 'b -> 'c -> 'd list) * 'a t * 'b t * 'c t
+      -> 'd t
+  | Par : 'a t * 'a t -> 'a t
+  | Once : 'a t -> 'a t
+  | Delegate : {
+      name : string;
+      trigger : 'a t;
+      spawn : Message.loc -> 'a -> 'b t;
+    }
+      -> 'b t
+
+let base h = Base h
+let const name v = Const (name, v)
+let map f c = Map (f, c)
+let filter p c = Filter (p, c)
+let state name ~init ~upd on = State { name; init; upd; on }
+let o2 f a b = Compose2 (f, a, b)
+let o3 f a b c = Compose3 (f, a, b, c)
+let ( ||| ) a b = Par (a, b)
+let once c = Once c
+let delegate name trigger spawn = Delegate { name; trigger; spawn }
+
+(* Each combinator node counts 1 for itself plus 1 per opaque function or
+   constant argument (handlers, initial states), plus its sub-classes. *)
+let rec size : type a. a t -> int = function
+  | Base _ -> 2
+  | Const _ -> 2
+  | Map (_, c) -> 2 + size c
+  | Filter (_, c) -> 2 + size c
+  | State { on; _ } -> 3 + size on
+  | Compose2 (_, a, b) -> 2 + size a + size b
+  | Compose3 (_, a, b, c) -> 2 + size a + size b + size c
+  | Par (a, b) -> 1 + size a + size b
+  | Once c -> 1 + size c
+  | Delegate { trigger; _ } -> 2 + size trigger
+
+let name_of : type a. a t -> string = function
+  | Base h -> "base:" ^ Message.hdr_name h
+  | Const (n, _) -> "const:" ^ n
+  | Map _ -> "map"
+  | Filter _ -> "filter"
+  | State { name; _ } -> "state:" ^ name
+  | Compose2 _ -> "o2"
+  | Compose3 _ -> "o3"
+  | Par _ -> "par"
+  | Once _ -> "once"
+  | Delegate { name; _ } -> "delegate:" ^ name

@@ -1,0 +1,77 @@
+(** Event classes — the combinators of EventML / the Logic of Events.
+
+    An event class is a function from events to (bags of) outputs; an event
+    is the arrival of one message at one location. Classes are built from
+    base recognizers and the paper's combinators: state machines ([State]),
+    composition ([o]), parallel composition ([||]), [Once], and delegation
+    (sub-process spawning). The representation is a first-order GADT so the
+    toolchain can measure specification sizes (Table I), generate an
+    inductive logical form ({!Ilf}), compile to processes ({!Gpm} in
+    [lib/gpm]) and optimize them. *)
+
+type 'a t =
+  | Base : 'a Message.hdr -> 'a t
+      (** [msg'base]: recognizes messages with the declared header and
+          outputs their typed body. *)
+  | Const : string * 'a -> 'a t
+      (** Produces the given value at every event (named for diagnostics). *)
+  | Map : ('a -> 'b) * 'a t -> 'b t
+      (** Transform each output. *)
+  | Filter : ('a -> bool) * 'a t -> 'a t
+      (** Keep only outputs satisfying the predicate. *)
+  | State : {
+      name : string;
+      init : Message.loc -> 's;
+      upd : Message.loc -> 'a -> 's -> 's;
+      on : 'a t;
+    }
+      -> 's t
+      (** The [State] keyword: a state machine folding [upd] over the
+          outputs of [on]; it is single-valued — at every event it produces
+          its current value (updated first if [on] produced at this
+          event), matching the paper's Fig. 5 characterization. *)
+  | Compose2 : (Message.loc -> 'a -> 'b -> 'c list) * 'a t * 'b t -> 'c t
+      (** The [o] combinator with two sources: produces [f loc a b] for
+          every pair of simultaneous outputs. *)
+  | Compose3 :
+      (Message.loc -> 'a -> 'b -> 'c -> 'd list) * 'a t * 'b t * 'c t
+      -> 'd t
+      (** The [o] combinator with three sources. *)
+  | Par : 'a t * 'a t -> 'a t
+      (** [X || Y]: union of the two classes' outputs. *)
+  | Once : 'a t -> 'a t
+      (** Produces only at the first event where the sub-class produces. *)
+  | Delegate : {
+      name : string;
+      trigger : 'a t;
+      spawn : Message.loc -> 'a -> 'b t;
+    }
+      -> 'b t
+      (** The delegation combinator: each trigger output spawns a child
+          class that observes all subsequent events; outputs are the union
+          of all live children's outputs (scouts and commanders in
+          Paxos). *)
+
+(** {1 EventML-flavoured constructors} *)
+
+val base : 'a Message.hdr -> 'a t
+val const : string -> 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+val state :
+  string -> init:(Message.loc -> 's) -> upd:(Message.loc -> 'a -> 's -> 's) -> 'a t -> 's t
+
+val o2 : (Message.loc -> 'a -> 'b -> 'c list) -> 'a t -> 'b t -> 'c t
+val o3 : (Message.loc -> 'a -> 'b -> 'c -> 'd list) -> 'a t -> 'b t -> 'c t -> 'd t
+val ( ||| ) : 'a t -> 'a t -> 'a t
+val once : 'a t -> 'a t
+val delegate : string -> 'a t -> (Message.loc -> 'a -> 'b t) -> 'b t
+
+val size : 'a t -> int
+(** Number of AST nodes in the specification (opaque OCaml handler
+    functions count as one node each); the "EventML spec" column of
+    Table I. *)
+
+val name_of : 'a t -> string
+(** Short constructor name, for diagnostics. *)

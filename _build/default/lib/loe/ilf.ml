@@ -1,0 +1,162 @@
+type formula =
+  | True_
+  | Atom of string
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+(* [characterize c out e] describes the condition under which value [out]
+   is among the outputs of class [c] at event [e]. Opaque handler functions
+   appear as uninterpreted function symbols, as the paper's ILFs do with
+   parameters such as [handle]. *)
+let rec characterize : type a. a Cls.t -> string -> string -> formula =
+ fun c out e ->
+  match c with
+  | Cls.Base h ->
+      And
+        [
+          Atom (Printf.sprintf "header(%s) = ``%s``" e (Message.hdr_name h));
+          Atom (Printf.sprintf "%s = msgval(%s)" out e);
+        ]
+  | Cls.Const (n, _) -> Atom (Printf.sprintf "%s = const(%s)" out n)
+  | Cls.Map (_, c) ->
+      Exists
+        ( "x",
+          And [ characterize c "x" e; Atom (Printf.sprintf "%s = f(x)" out) ] )
+  | Cls.Filter (_, c) ->
+      And [ characterize c out e; Atom (Printf.sprintf "p(%s)" out) ]
+  | Cls.State { name; on; _ } ->
+      (* Fig. 5: the state at [e] folds the update over the sub-class
+         output at [e], starting from the state at [pred(e)] (or the
+         initial state when [first(e)]). *)
+      Iff
+        ( Atom (Printf.sprintf "%s = %s@%s" out name e),
+          Or
+            [
+              Exists
+                ( "x",
+                  And
+                    [
+                      characterize on "x" e;
+                      Or
+                        [
+                          And
+                            [
+                              Atom (Printf.sprintf "first(%s)" e);
+                              Atom
+                                (Printf.sprintf "%s = upd(loc(%s), x, init)"
+                                   out e);
+                            ];
+                          Atom
+                            (Printf.sprintf "%s = upd(loc(%s), x, %s@pred(%s))"
+                               out e name e);
+                        ];
+                    ] );
+              And
+                [
+                  Not (Exists ("x", characterize on "x" e));
+                  Or
+                    [
+                      And
+                        [
+                          Atom (Printf.sprintf "first(%s)" e);
+                          Atom (Printf.sprintf "%s = init" out);
+                        ];
+                      Atom (Printf.sprintf "%s = %s@pred(%s)" out name e);
+                    ];
+                ];
+            ] )
+  | Cls.Compose2 (_, a, b) ->
+      Exists
+        ( "x",
+          Exists
+            ( "y",
+              And
+                [
+                  characterize a "x" e;
+                  characterize b "y" e;
+                  Atom (Printf.sprintf "%s ∈ f(loc(%s), x, y)" out e);
+                ] ) )
+  | Cls.Compose3 (_, a, b, c) ->
+      Exists
+        ( "x",
+          Exists
+            ( "y",
+              Exists
+                ( "z",
+                  And
+                    [
+                      characterize a "x" e;
+                      characterize b "y" e;
+                      characterize c "z" e;
+                      Atom (Printf.sprintf "%s ∈ f(loc(%s), x, y, z)" out e);
+                    ] ) ) )
+  | Cls.Par (a, b) -> Or [ characterize a out e; characterize b out e ]
+  | Cls.Once c ->
+      And
+        [
+          characterize c out e;
+          Not
+            (Exists
+               ( "e'",
+                 And
+                   [
+                     Atom (Printf.sprintf "e' < %s" e);
+                     Exists ("x", characterize c "x" "e'");
+                   ] ));
+        ]
+  | Cls.Delegate { name; trigger; _ } ->
+      Exists
+        ( "e'",
+          Exists
+            ( "x",
+              And
+                [
+                  Atom (Printf.sprintf "e' < %s" e);
+                  characterize trigger "x" "e'";
+                  Atom
+                    (Printf.sprintf "%s ∈ %s-child(x, e', %s)" out name e);
+                ] ) )
+
+let of_cls ~name c =
+  Forall
+    ( "e",
+      Forall
+        ( "out",
+          Iff (Atom (Printf.sprintf "out ∈ %s(e)" name), characterize c "out" "e")
+        ) )
+
+let rec size = function
+  | True_ -> 1
+  | Atom _ -> 1
+  | Not f -> 1 + size f
+  | And fs | Or fs -> 1 + List.fold_left (fun acc f -> acc + size f) 0 fs
+  | Implies (a, b) | Iff (a, b) -> 1 + size a + size b
+  | Exists (_, f) | Forall (_, f) -> 2 + size f
+
+let rec pp fmt = function
+  | True_ -> Format.fprintf fmt "true"
+  | Atom s -> Format.fprintf fmt "%s" s
+  | Not f -> Format.fprintf fmt "¬(%a)" pp f
+  | And fs ->
+      Format.fprintf fmt "@[<v 0>%a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,∧ ")
+           (fun fmt f -> Format.fprintf fmt "(%a)" pp f))
+        fs
+  | Or fs ->
+      Format.fprintf fmt "@[<v 0>%a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,∨ ")
+           (fun fmt f -> Format.fprintf fmt "(%a)" pp f))
+        fs
+  | Implies (a, b) -> Format.fprintf fmt "@[<v 2>(%a)@,⇒ (%a)@]" pp a pp b
+  | Iff (a, b) -> Format.fprintf fmt "@[<v 2>(%a)@,⇔ (%a)@]" pp a pp b
+  | Exists (x, f) -> Format.fprintf fmt "@[<v 2>∃%s.@,%a@]" x pp f
+  | Forall (x, f) -> Format.fprintf fmt "@[<v 2>∀%s.@,%a@]" x pp f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,32 @@
+(** Inductive Logical Form generation.
+
+    Translates an event class into a first-order characterization of its
+    outputs per event, in the style of the paper's Fig. 4: a formula of the
+    shape [out ∈ C(e) ⇔ ...] whose right-hand side is produced by
+    structural recursion, with [State] classes characterized inductively via
+    [pred(e)] (Fig. 5). The formula is an artifact: it can be pretty-printed
+    (the demo of Fig. 4) and its node count is the "LoE spec" column of
+    Table I. *)
+
+type formula =
+  | True_
+  | Atom of string
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+val of_cls : name:string -> 'a Cls.t -> formula
+(** Characterization of the outputs of the class: "[out ∈ name(e)] iff
+    ...". *)
+
+val size : formula -> int
+(** Number of formula nodes. *)
+
+val pp : Format.formatter -> formula -> unit
+(** Multi-line pretty-printer in the visual style of the paper's Fig. 4. *)
+
+val to_string : formula -> string

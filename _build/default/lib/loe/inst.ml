@@ -1,0 +1,96 @@
+type 'a t =
+  | I_base : 'a Message.hdr -> 'a t
+  | I_const : 'a -> 'a t
+  | I_map : ('a -> 'b) * 'a t -> 'b t
+  | I_filter : ('a -> bool) * 'a t -> 'a t
+  | I_state : 's * (Message.loc -> 'a -> 's -> 's) * 'a t -> 's t
+  | I_compose2 : (Message.loc -> 'a -> 'b -> 'c list) * 'a t * 'b t -> 'c t
+  | I_compose3 :
+      (Message.loc -> 'a -> 'b -> 'c -> 'd list) * 'a t * 'b t * 'c t
+      -> 'd t
+  | I_par : 'a t * 'a t -> 'a t
+  | I_once : bool * 'a t -> 'a t
+  | I_delegate : (Message.loc -> 'a -> 'b Cls.t) * 'a t * 'b t list -> 'b t
+
+let rec create : type a. Message.loc -> a Cls.t -> a t =
+ fun loc c ->
+  match c with
+  | Cls.Base h -> I_base h
+  | Cls.Const (_, v) -> I_const v
+  | Cls.Map (f, c) -> I_map (f, create loc c)
+  | Cls.Filter (p, c) -> I_filter (p, create loc c)
+  | Cls.State { init; upd; on; _ } -> I_state (init loc, upd, create loc on)
+  | Cls.Compose2 (f, a, b) -> I_compose2 (f, create loc a, create loc b)
+  | Cls.Compose3 (f, a, b, c) ->
+      I_compose3 (f, create loc a, create loc b, create loc c)
+  | Cls.Par (a, b) -> I_par (create loc a, create loc b)
+  | Cls.Once c -> I_once (false, create loc c)
+  | Cls.Delegate { trigger; spawn; _ } ->
+      I_delegate (spawn, create loc trigger, [])
+
+let rec step : type a. Message.loc -> a t -> Message.t -> a t * a list =
+ fun loc inst m ->
+  match inst with
+  | I_base h -> (
+      match Message.recognize h m with
+      | Some v -> (inst, [ v ])
+      | None -> (inst, []))
+  | I_const v -> (inst, [ v ])
+  | I_map (f, c) ->
+      let c', vs = step loc c m in
+      (I_map (f, c'), List.map f vs)
+  | I_filter (p, c) ->
+      let c', vs = step loc c m in
+      (I_filter (p, c'), List.filter p vs)
+  | I_state (s, upd, on) ->
+      let on', vs = step loc on m in
+      let s' = List.fold_left (fun s v -> upd loc v s) s vs in
+      (I_state (s', upd, on'), [ s' ])
+  | I_compose2 (f, a, b) ->
+      let a', xs = step loc a m in
+      let b', ys = step loc b m in
+      let out =
+        List.concat_map (fun x -> List.concat_map (fun y -> f loc x y) ys) xs
+      in
+      (I_compose2 (f, a', b'), out)
+  | I_compose3 (f, a, b, c) ->
+      let a', xs = step loc a m in
+      let b', ys = step loc b m in
+      let c', zs = step loc c m in
+      let out =
+        List.concat_map
+          (fun x ->
+            List.concat_map
+              (fun y -> List.concat_map (fun z -> f loc x y z) zs)
+              ys)
+          xs
+      in
+      (I_compose3 (f, a', b', c'), out)
+  | I_par (a, b) ->
+      let a', xs = step loc a m in
+      let b', ys = step loc b m in
+      (I_par (a', b'), xs @ ys)
+  | I_once (fired, c) ->
+      let c', vs = step loc c m in
+      if fired then (I_once (true, c'), [])
+      else (I_once (vs <> [], c'), vs)
+  | I_delegate (spawn, trigger, children) ->
+      let trigger', vs = step loc trigger m in
+      (* Existing children observe the current event; newborn children only
+         observe subsequent events. *)
+      let stepped = List.map (fun child -> step loc child m) children in
+      let children' = List.map fst stepped in
+      let outputs = List.concat_map snd stepped in
+      let newborn = List.map (fun v -> create loc (spawn loc v)) vs in
+      (I_delegate (spawn, trigger', children' @ newborn), outputs)
+
+let run loc c trace =
+  let inst = create loc c in
+  let _, outs =
+    List.fold_left
+      (fun (inst, acc) m ->
+        let inst', vs = step loc inst m in
+        (inst', vs :: acc))
+      (inst, []) trace
+  in
+  List.rev outs

@@ -1,0 +1,20 @@
+(** Incremental runtime instances of event classes.
+
+    An instance is a class plus its accumulated state; stepping it with a
+    message yields the next instance and the outputs at that event. This is
+    the operational reading of a class, and the basis of GPM compilation;
+    it is checked against the independent prefix-based denotation
+    ({!Sem.eval}) by property tests — the paper's automatic proof that the
+    generated program complies with its LoE specification. *)
+
+type 'a t
+(** An instance producing outputs of type ['a]. *)
+
+val create : Message.loc -> 'a Cls.t -> 'a t
+(** Initial instance of a class at a location. *)
+
+val step : Message.loc -> 'a t -> Message.t -> 'a t * 'a list
+(** Process one event: the arrival of a message at the location. *)
+
+val run : Message.loc -> 'a Cls.t -> Message.t list -> 'a list list
+(** Outputs at each event of a local trace, by iterated {!step}. *)

@@ -1,0 +1,19 @@
+type loc = int
+
+type t = { hdr : string; body : Univ.t }
+
+type 'a hdr = { name : string; key : 'a Univ.key }
+
+type directed = { delay : float; dst : loc; msg : t }
+
+let declare name = { name; key = Univ.key name }
+
+let hdr_name h = h.name
+
+let make h v = { hdr = h.name; body = Univ.inj h.key v }
+
+let recognize h m = if String.equal m.hdr h.name then Univ.prj h.key m.body else None
+
+let send h dst v = { delay = 0.0; dst; msg = make h v }
+
+let send_after h delay dst v = { delay; dst; msg = make h v }

@@ -1,0 +1,38 @@
+(** Messages of the Logic of Events.
+
+    A message is a string header plus a dynamically typed body. Declaring a
+    header (the paper's [internal msg : T] line) yields both the typed
+    recognizer used by base classes and the [msg'send] constructor for
+    directed output messages. *)
+
+type loc = int
+(** Locations are the simulator's node identifiers. *)
+
+type t = { hdr : string; body : Univ.t }
+(** A wire message. *)
+
+type 'a hdr
+(** A declared header carrying bodies of type ['a]. *)
+
+type directed = { delay : float; dst : loc; msg : t }
+(** An output instruction: send [msg] to [dst] after [delay] seconds (the
+    delay component [d] of the paper's Inductive Logical Form; delayed
+    self-sends implement timers). *)
+
+val declare : string -> 'a hdr
+(** Declare a header name with its body type. Distinct declarations are
+    distinct recognizers even under equal names. *)
+
+val hdr_name : 'a hdr -> string
+val make : 'a hdr -> 'a -> t
+(** Build a wire message. *)
+
+val recognize : 'a hdr -> t -> 'a option
+(** Typed projection: [Some body] iff the header matches this declaration. *)
+
+val send : 'a hdr -> loc -> 'a -> directed
+(** [send h dst v] is the paper's [msg'send dst v]: an immediate directed
+    message. *)
+
+val send_after : 'a hdr -> float -> loc -> 'a -> directed
+(** Directed message with a delivery delay (timer encoding). *)

@@ -1,0 +1,71 @@
+(* The value of a [State] class at event [i]: fold the update function over
+   the sub-class outputs at events [0..i], starting from the initial state.
+   This is the closed-form of the paper's Fig. 5 recursive characterization. *)
+let rec state_value :
+    type s a.
+    Message.loc ->
+    s ->
+    (Message.loc -> a -> s -> s) ->
+    a Cls.t ->
+    Message.t array ->
+    int ->
+    s =
+ fun loc init upd on trace i ->
+  let prev =
+    if i = 0 then init else state_value loc init upd on trace (i - 1)
+  in
+  List.fold_left (fun s v -> upd loc v s) prev (at loc on trace i)
+
+and at : type a. Message.loc -> a Cls.t -> Message.t array -> int -> a list =
+ fun loc c trace i ->
+  match c with
+  | Cls.Base h -> (
+      match Message.recognize h trace.(i) with
+      | Some v -> [ v ]
+      | None -> [])
+  | Cls.Const (_, v) -> [ v ]
+  | Cls.Map (f, c) -> List.map f (at loc c trace i)
+  | Cls.Filter (p, c) -> List.filter p (at loc c trace i)
+  | Cls.State { init; upd; on; _ } ->
+      [ state_value loc (init loc) upd on trace i ]
+  | Cls.Compose2 (f, a, b) ->
+      let xs = at loc a trace i and ys = at loc b trace i in
+      List.concat_map (fun x -> List.concat_map (fun y -> f loc x y) ys) xs
+  | Cls.Compose3 (f, a, b, c) ->
+      let xs = at loc a trace i
+      and ys = at loc b trace i
+      and zs = at loc c trace i in
+      List.concat_map
+        (fun x ->
+          List.concat_map
+            (fun y -> List.concat_map (fun z -> f loc x y z) zs)
+            ys)
+        xs
+  | Cls.Par (a, b) -> at loc a trace i @ at loc b trace i
+  | Cls.Once c ->
+      let fired_before =
+        let rec check j = j < i && (at loc c trace j <> [] || check (j + 1)) in
+        check 0
+      in
+      if fired_before then [] else at loc c trace i
+  | Cls.Delegate { trigger; spawn; _ } ->
+      (* A child spawned by a trigger output at event [j] observes the
+         suffix of the trace starting at [j + 1]; its outputs at global
+         event [i] are its outputs at local event [i - j - 1]. *)
+      let outputs_of_child j v =
+        let child = spawn loc v in
+        let suffix = Array.sub trace (j + 1) (Array.length trace - j - 1) in
+        at loc child suffix (i - j - 1)
+      in
+      let rec collect j acc =
+        if j >= i then List.concat (List.rev acc)
+        else
+          let spawned = at loc trigger trace j in
+          let outs = List.concat_map (outputs_of_child j) spawned in
+          collect (j + 1) (outs :: acc)
+      in
+      collect 0 []
+
+let eval loc c trace =
+  let arr = Array.of_list trace in
+  List.init (Array.length arr) (at loc c arr)

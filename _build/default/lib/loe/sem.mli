@@ -1,0 +1,18 @@
+(** Prefix-based denotational semantics of event classes — the Logic of
+    Events reading.
+
+    [eval] computes the outputs of a class at each event of a local trace by
+    structural recursion on the class and induction on the causal order
+    (event index), exactly in the style of the paper's Inductive Logical
+    Form: the value of a [State] class at event [e] is defined in terms of
+    the events preceding [e] (Fig. 5). It deliberately shares no code with
+    the incremental stepper {!Inst}, so that trace equivalence between the
+    two is a meaningful machine-checked property (the paper's proof that
+    generated programs comply with their LoE specification). *)
+
+val at : Message.loc -> 'a Cls.t -> Message.t array -> int -> 'a list
+(** [at loc c trace i] is the bag of outputs of class [c] at the [i]-th
+    event of the trace observed at [loc]. *)
+
+val eval : Message.loc -> 'a Cls.t -> Message.t list -> 'a list list
+(** Outputs at every event of the trace, via {!at}. *)

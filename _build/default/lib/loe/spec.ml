@@ -1,0 +1,13 @@
+type t = {
+  name : string;
+  locs : Message.loc list;
+  main : Message.directed Cls.t;
+}
+
+let v ~name ~locs main = { name; locs; main }
+
+let spec_size t = Cls.size t.main
+
+let ilf t = Ilf.of_cls ~name:t.name t.main
+
+let loe_size t = Ilf.size (ilf t)

@@ -1,0 +1,23 @@
+(** Constructive specifications: a main class deployed at locations.
+
+    The paper's [main Handler @ locs] declaration. A specification's main
+    class outputs {!Message.directed} send instructions; the runtimes in
+    [lib/gpm] turn one of these into a running distributed system. *)
+
+type t = {
+  name : string;
+  locs : Message.loc list;  (** Locations the main class runs at. *)
+  main : Message.directed Cls.t;  (** The deployed event class. *)
+}
+
+val v : name:string -> locs:Message.loc list -> Message.directed Cls.t -> t
+
+val spec_size : t -> int
+(** "EventML spec" column of Table I: AST nodes of the main class. *)
+
+val loe_size : t -> int
+(** "LoE spec" column of Table I: nodes of the generated inductive logical
+    form. *)
+
+val ilf : t -> Ilf.formula
+(** The specification's inductive logical form. *)

@@ -1,0 +1,17 @@
+type t = exn
+
+type 'a key = { name : string; inj : 'a -> t; prj : t -> 'a option }
+
+let key (type a) name : a key =
+  let module M = struct
+    exception E of a
+  end in
+  {
+    name;
+    inj = (fun x -> M.E x);
+    prj = (function M.E x -> Some x | _ -> None);
+  }
+
+let name k = k.name
+let inj k v = k.inj v
+let prj k u = k.prj u

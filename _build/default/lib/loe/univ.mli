@@ -1,0 +1,20 @@
+(** Universal type with typed injection/projection keys.
+
+    Message bodies in the Logic of Events are dynamically tagged values;
+    a ['a key] witnesses one body type, so base classes can recover the
+    typed content of a message whose header they recognize (the paper's
+    [msg'base] pattern matching). *)
+
+type t
+(** A value of some forgotten type. *)
+
+type 'a key
+(** Capability to inject and project values of type ['a]. *)
+
+val key : string -> 'a key
+(** [key name] mints a fresh key. Two calls return distinct keys even with
+    equal names; the name is used only for diagnostics. *)
+
+val name : 'a key -> string
+val inj : 'a key -> 'a -> t
+val prj : 'a key -> t -> 'a option

@@ -1,0 +1,1 @@
+lib/shadowdb/codec.ml: Buffer Config List Printf Result Storage String Txn

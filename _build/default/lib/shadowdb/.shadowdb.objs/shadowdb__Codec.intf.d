@@ -1,0 +1,1 @@
+lib/shadowdb/codec.mli: Config Storage Txn

@@ -1,0 +1,1 @@
+lib/shadowdb/config.ml: Format List String

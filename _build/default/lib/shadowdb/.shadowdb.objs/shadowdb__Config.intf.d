@@ -1,0 +1,1 @@
+lib/shadowdb/config.mli: Format

@@ -1,0 +1,1 @@
+lib/shadowdb/db_msg.ml: Array List Storage Txn

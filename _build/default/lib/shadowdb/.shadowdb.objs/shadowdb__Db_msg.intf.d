@@ -1,0 +1,1 @@
+lib/shadowdb/db_msg.mli: Storage Txn

@@ -1,0 +1,1 @@
+lib/shadowdb/system.ml: Broadcast Codec Config Consensus Db_msg Gpm Hashtbl List Printf Sim Storage String Txn

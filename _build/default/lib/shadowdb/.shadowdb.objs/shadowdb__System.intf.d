@@ -1,0 +1,1 @@
+lib/shadowdb/system.mli: Broadcast Consensus Db_msg Gpm Sim Storage Txn

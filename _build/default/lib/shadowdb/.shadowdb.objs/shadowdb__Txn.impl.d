@@ -1,0 +1,1 @@
+lib/shadowdb/txn.ml: Array Hashtbl List Printexc Storage String

@@ -1,0 +1,1 @@
+lib/shadowdb/txn.mli: Storage

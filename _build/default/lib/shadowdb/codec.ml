@@ -1,0 +1,125 @@
+module Value = Storage.Value
+
+let buf_add_str buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let encode_value v =
+  let buf = Buffer.create 16 in
+  (match v with
+  | Value.Null -> Buffer.add_char buf 'N'
+  | Value.Int i ->
+      Buffer.add_char buf 'I';
+      buf_add_str buf (string_of_int i)
+  | Value.Float f ->
+      Buffer.add_char buf 'F';
+      buf_add_str buf (Printf.sprintf "%h" f)
+  | Value.Text s ->
+      Buffer.add_char buf 'S';
+      buf_add_str buf s
+  | Value.Bool b -> Buffer.add_char buf (if b then 'T' else 'U'));
+  Buffer.contents buf
+
+(* Parse "<len>:<bytes>" at the head of [s]; return (bytes, rest). *)
+let take_str s =
+  match String.index_opt s ':' with
+  | None -> Error "missing length prefix"
+  | Some i -> (
+      match int_of_string_opt (String.sub s 0 i) with
+      | None -> Error "bad length prefix"
+      | Some len ->
+          if String.length s < i + 1 + len then Error "truncated input"
+          else
+            Ok
+              ( String.sub s (i + 1) len,
+                String.sub s (i + 1 + len) (String.length s - i - 1 - len) ))
+
+let decode_value s =
+  if s = "" then Error "empty value input"
+  else
+    let rest = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'N' -> Ok (Value.Null, rest)
+    | 'T' -> Ok (Value.Bool true, rest)
+    | 'U' -> Ok (Value.Bool false, rest)
+    | 'I' -> (
+        match take_str rest with
+        | Error e -> Error e
+        | Ok (body, rest) -> (
+            match int_of_string_opt body with
+            | Some i -> Ok (Value.Int i, rest)
+            | None -> Error "bad int"))
+    | 'F' -> (
+        match take_str rest with
+        | Error e -> Error e
+        | Ok (body, rest) -> (
+            match float_of_string_opt body with
+            | Some f -> Ok (Value.Float f, rest)
+            | None -> Error "bad float"))
+    | 'S' -> (
+        match take_str rest with
+        | Error e -> Error e
+        | Ok (body, rest) -> Ok (Value.Text body, rest))
+    | c -> Error (Printf.sprintf "bad value tag %C" c)
+
+let encode_txn (t : Txn.t) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "%d,%d," t.Txn.client t.Txn.seq);
+  buf_add_str buf t.Txn.kind;
+  Buffer.add_string buf (string_of_int (List.length t.Txn.params));
+  Buffer.add_char buf ';';
+  List.iter (fun v -> Buffer.add_string buf (encode_value v)) t.Txn.params;
+  Buffer.contents buf
+
+let decode_txn s =
+  let ( let* ) = Result.bind in
+  let int_until c s =
+    match String.index_opt s c with
+    | None -> Error "missing separator"
+    | Some i -> (
+        match int_of_string_opt (String.sub s 0 i) with
+        | Some n -> Ok (n, String.sub s (i + 1) (String.length s - i - 1))
+        | None -> Error "bad int field")
+  in
+  let* client, s = int_until ',' s in
+  let* seq, s = int_until ',' s in
+  let* kind, s = take_str s in
+  let* nparams, s = int_until ';' s in
+  let rec params n s acc =
+    if n = 0 then Ok (List.rev acc)
+    else
+      let* v, s = decode_value s in
+      params (n - 1) s (v :: acc)
+  in
+  let* params = params nparams s [] in
+  Ok { Txn.client; seq; kind; params }
+
+let encode_config (c : Config.t) =
+  Printf.sprintf "%d|%s" c.Config.seq
+    (String.concat "," (List.map string_of_int c.Config.members))
+
+let decode_config s =
+  match String.index_opt s '|' with
+  | None -> Error "bad config"
+  | Some i -> (
+      match int_of_string_opt (String.sub s 0 i) with
+      | None -> Error "bad config seq"
+      | Some seq ->
+          let rest = String.sub s (i + 1) (String.length s - i - 1) in
+          let members =
+            if rest = "" then []
+            else List.filter_map int_of_string_opt (String.split_on_char ',' rest)
+          in
+          Ok { Config.seq; members })
+
+let encode_reconfig c ~last_seq ~proposer =
+  Printf.sprintf "%d@%d@%s" last_seq proposer (encode_config c)
+
+let decode_reconfig s =
+  match String.split_on_char '@' s with
+  | [ ls; pr; cfg ] -> (
+      match (int_of_string_opt ls, int_of_string_opt pr, decode_config cfg) with
+      | Some last_seq, Some proposer, Ok c -> Ok (c, last_seq, proposer)
+      | _ -> Error "bad reconfig")
+  | _ -> Error "bad reconfig shape"

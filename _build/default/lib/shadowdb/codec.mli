@@ -1,0 +1,18 @@
+(** Wire codecs: values, transactions, and group configurations to and
+    from strings (the broadcast service carries opaque string payloads).
+    Length-prefixed, so arbitrary text in values round-trips. *)
+
+val encode_value : Storage.Value.t -> string
+val decode_value : string -> (Storage.Value.t * string, string) result
+(** Returns the value and the remaining input. *)
+
+val encode_txn : Txn.t -> string
+val decode_txn : string -> (Txn.t, string) result
+
+val encode_config : Config.t -> string
+val decode_config : string -> (Config.t, string) result
+
+val encode_reconfig : Config.t -> last_seq:int -> proposer:int -> string
+val decode_reconfig : string -> (Config.t * int * int, string) result
+(** SMR reconfiguration request: new config, proposer's last executed
+    sequence number, proposer location. *)

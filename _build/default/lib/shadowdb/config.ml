@@ -1,0 +1,19 @@
+type loc = int
+
+type t = { seq : int; members : loc list }
+
+let initial members = { seq = 0; members }
+
+let next t ~remove ~add =
+  {
+    seq = t.seq + 1;
+    members = List.filter (fun m -> not (List.mem m remove)) t.members @ add;
+  }
+
+let contains t l = List.mem l t.members
+
+let equal a b = a.seq = b.seq && a.members = b.members
+
+let pp fmt t =
+  Format.fprintf fmt "cfg%d{%s}" t.seq
+    (String.concat "," (List.map string_of_int t.members))

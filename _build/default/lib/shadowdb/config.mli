@@ -1,0 +1,21 @@
+(** Replica-group configurations.
+
+    Each configuration is identified by a sequence number (the initial one
+    is 0); transactions are tagged with it, and replicas only accept
+    transactions matching their current configuration (paper Sec. III-A). *)
+
+type loc = int
+
+type t = {
+  seq : int;
+  members : loc list;  (** Database replicas of this configuration. *)
+}
+
+val initial : loc list -> t
+
+val next : t -> remove:loc list -> add:loc list -> t
+(** Successor configuration: drop the suspects, append replacements. *)
+
+val contains : t -> loc -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

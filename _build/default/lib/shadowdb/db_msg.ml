@@ -1,0 +1,36 @@
+type loc = int
+
+type t =
+  | Client_txn of Txn.t
+  | Forward of { cfg : int; gseq : int; txn : Txn.t }
+  | Ack of { cfg : int; gseq : int }
+  | Reply of Txn.reply
+  | Heartbeat of { cfg : int }
+  | Elect of { cfg : int; last_seq : int }
+  | Catchup of { cfg : int; txns : (int * Txn.t) list; upto : int }
+  | Snapshot of {
+      cfg : int;
+      rows : (string * Storage.Value.t array) list;
+      upto : int;
+      last : bool;
+      clients : Txn.reply list;
+    }
+  | Recovered of { cfg : int }
+  | Snapshot_req of { cfg : int; from_seq : int }
+
+let row_bytes row =
+  Array.fold_left (fun a v -> a + Storage.Value.serialized_size v) 8 row
+
+let size = function
+  | Client_txn t -> Txn.size t
+  | Forward { txn; _ } -> 16 + Txn.size txn
+  | Ack _ -> 24
+  | Reply r -> Txn.reply_size r
+  | Heartbeat _ -> 16
+  | Elect _ -> 24
+  | Catchup { txns; _ } ->
+      24 + List.fold_left (fun a (_, t) -> a + 8 + Txn.size t) 0 txns
+  | Snapshot { rows; _ } ->
+      32 + List.fold_left (fun a (_, r) -> a + row_bytes r) 0 rows
+  | Recovered _ -> 16
+  | Snapshot_req _ -> 24

@@ -1,0 +1,36 @@
+(** Database-replication messages exchanged by ShadowDB replicas and
+    clients (both PBR and SMR variants). *)
+
+type loc = int
+
+type t =
+  | Client_txn of Txn.t  (** Client → primary (PBR) — forwarded if misrouted. *)
+  | Forward of { cfg : int; gseq : int; txn : Txn.t }
+      (** Primary → backups: execute this transaction as global number
+          [gseq] in configuration [cfg]. *)
+  | Ack of { cfg : int; gseq : int }  (** Backup → primary. *)
+  | Reply of Txn.reply  (** Replica → client. *)
+  | Heartbeat of { cfg : int }
+  | Elect of { cfg : int; last_seq : int }
+      (** New-configuration election: sender's last executed global
+          sequence number (paper step 3: the largest wins, ties to the
+          smallest identifier). *)
+  | Catchup of { cfg : int; txns : (int * Txn.t) list; upto : int }
+      (** Primary → backup: replay these cached transactions, bringing the
+          backup to [upto]. *)
+  | Snapshot of {
+      cfg : int;
+      rows : (string * Storage.Value.t array) list;
+      upto : int;
+      last : bool;
+      clients : Txn.reply list;
+          (** On the last chunk: each client's latest reply, so the new
+              replica answers retried duplicates without re-execution. *)
+    }
+      (** One ≈50 kB chunk of a full-database state transfer. *)
+  | Recovered of { cfg : int }  (** Backup → primary: caught up. *)
+  | Snapshot_req of { cfg : int; from_seq : int }
+      (** SMR: activated spare → reconfiguration proposer. *)
+
+val size : t -> int
+(** Wire-size estimate for the network model. *)

@@ -1,0 +1,1040 @@
+(* ShadowDB: replicated databases over a verified total-order broadcast.
+
+   [Make] is parameterized by the consensus core of the broadcast service
+   (Paxos in the paper's evaluation; TwoThird also works). It provides the
+   two replication protocols of Sec. III:
+
+   - PBR (primary-backup): a hand-coded normal case — the primary
+     executes, forwards to the backups, waits for all acknowledgements and
+     answers the client — with TOB-ordered reconfiguration, election by
+     largest executed sequence number, and transaction-cache or
+     full-snapshot state transfer.
+
+   - SMR (state-machine replication): clients broadcast transactions
+     through the TOB; every active replica executes in delivery order and
+     answers; the client keeps the first answer. Each replica co-hosts its
+     broadcast-service member (the paper co-locates databases with the
+     Paxos processes, and the shared CPU is what caps SMR throughput in
+     Fig. 9(a)). *)
+
+module Engine = Sim.Engine
+module Database = Storage.Database
+module Value = Storage.Value
+module Tob = Broadcast.Tob
+
+type loc = int
+
+let tob_payload_txn txn = "T" ^ Codec.encode_txn txn
+
+let tob_payload_reconfig cfg ~last_seq ~proposer =
+  "R" ^ Codec.encode_reconfig cfg ~last_seq ~proposer
+
+type decoded_payload =
+  | P_txn of Txn.t
+  | P_reconfig of Config.t * int * loc
+  | P_bytes of string
+
+let decode_payload s =
+  if s = "" then P_bytes s
+  else
+    let body = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'T' -> (
+        match Codec.decode_txn body with
+        | Ok t -> P_txn t
+        | Error _ -> P_bytes s)
+    | 'R' -> (
+        match Codec.decode_reconfig body with
+        | Ok (c, ls, pr) -> P_reconfig (c, ls, pr)
+        | Error _ -> P_bytes s)
+    | _ -> P_bytes s
+
+type tuning = {
+  hb_interval : float;
+  detect_timeout : float;
+  cache_cap : int;
+  chunk_rows : int;
+  exec_overhead : float;  (* fixed CPU per transaction besides DB work *)
+  fwd_overhead : float;  (* primary-side per-backup forward/ack handling *)
+}
+
+let default_tuning =
+  {
+    hb_interval = 1.0;
+    detect_timeout = 10.0;
+    cache_cap = 20_000;
+    chunk_rows = 700;
+    exec_overhead = 2.0e-5;
+    fwd_overhead = 4.5e-5;
+  }
+
+module Make (C : Consensus.Consensus_intf.S) = struct
+  module Shell = Broadcast.Shell.Make (C)
+  module TM = Shell.T
+
+  type wire = Svc of TM.msg | Note of Tob.deliver | Db of Db_msg.t
+
+  let send_db ctx dst m = Engine.send ctx ~size:(Db_msg.size m) dst (Db m)
+
+  (* Bounded cache of recently executed transactions (for catch-up). *)
+  module Cache = struct
+    type t = { cap : int; mutable items : (int * Txn.t) list (* newest first *) }
+
+    let create cap = { cap; items = [] }
+
+    let push t gseq txn =
+      t.items <- (gseq, txn) :: t.items;
+      if List.length t.items > t.cap then
+        t.items <- List.filteri (fun i _ -> i < t.cap) t.items
+
+    (* Transactions with global number in (from, upto], oldest first;
+       [None] if the cache no longer spans that range. *)
+    let range t ~from ~upto =
+      let hits =
+        List.filter (fun (g, _) -> g > from && g <= upto) t.items
+      in
+      if List.length hits = upto - from then
+        Some (List.sort (fun (a, _) (b, _) -> compare a b) hits)
+      else None
+  end
+
+  (* ------------------------------------------------------------------ *)
+  (* Primary-backup replication                                          *)
+  (* ------------------------------------------------------------------ *)
+
+  type pbr_cluster = {
+    pbr_replicas : loc list;  (* actives first, then spares *)
+    pbr_tob : loc list;
+    pbr_initial_primary : loc;
+    pbr_primary_of : loc -> loc;  (* current primary, per replica view *)
+    pbr_gseq_of : loc -> int;
+    pbr_hash_of : loc -> int;  (* database content hash (tests) *)
+  }
+
+  type replication_style = Primary_backup | Chain
+
+  type pbr_replica = {
+    style : replication_style;
+    read_kinds : string list;
+        (* Chain: transaction kinds served read-only at the tail *)
+    p_self : loc;
+    p_all : loc list;  (* every replica incl. spares, deployment order *)
+    p_tob : loc list;
+    db : Database.t;
+    reg : Txn.registry;
+    tun : tuning;
+    mutable cfg : Config.t;
+    mutable primary : loc;
+    mutable running : bool;
+    mutable gseq : int;
+    cache : Cache.t;
+    client_tbl : (loc, Txn.reply) Hashtbl.t;  (* latest reply per client *)
+    pending : (int, Txn.t * Sim.Node_id.Set.t ref) Hashtbl.t;
+    last_hb : (loc, float) Hashtbl.t;
+    mutable elect_votes : (loc * int) list;
+    mutable elected : bool;  (* election resolved for current cfg *)
+    mutable awaiting_recovered : Sim.Node_id.Set.t;
+    mutable recovered_set : Sim.Node_id.Set.t;
+        (* primary-side: members known up to date; transactions wait only
+           for acknowledgments from these (the paper's overlapped state
+           transfer: normal processing resumes once at least one backup
+           caught up, snapshots stream to the rest in parallel) *)
+    mutable snapshot_started : bool;  (* backup-side: receiving chunks *)
+    mutable fwd_buffer : (int * Txn.t) list;
+        (* backup-side: forwards arriving while a snapshot installs *)
+    mutable tob_seq : int;  (* ids for our TOB broadcasts *)
+    mutable proposed_at : float;  (* last reconfig proposal time *)
+  }
+
+  let backups r = List.filter (fun m -> m <> r.primary) r.cfg.Config.members
+
+  let chain_head r = match r.cfg.Config.members with m :: _ -> m | [] -> r.p_self
+
+  let chain_tail r =
+    match List.rev r.cfg.Config.members with m :: _ -> m | [] -> r.p_self
+
+  let chain_successor r =
+    let rec go = function
+      | a :: b :: _ when a = r.p_self -> Some b
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go r.cfg.Config.members
+
+  let in_cfg r = Config.contains r.cfg r.p_self
+
+  let charge_db ctx r = Engine.charge ctx (Database.take_cost r.db)
+
+  let exec_and_record ctx r txn =
+    let reply = Txn.execute r.reg r.db txn in
+    Engine.charge ctx r.tun.exec_overhead;
+    charge_db ctx r;
+    r.gseq <- r.gseq + 1;
+    Cache.push r.cache r.gseq txn;
+    Hashtbl.replace r.client_tbl txn.Txn.client reply;
+    reply
+
+  let reset_hb ctx r =
+    List.iter
+      (fun m -> Hashtbl.replace r.last_hb m (Engine.time ctx))
+      r.cfg.Config.members
+
+  (* Paper Sec. III-A, recovery steps 1–2: stop, propose a new
+     configuration through the broadcast service. *)
+  let propose_reconfig ctx r suspects =
+    r.running <- false;
+    r.proposed_at <- Engine.time ctx;
+    let spares =
+      List.filter (fun m -> not (Config.contains r.cfg m)) r.p_all
+    in
+    let add = List.filteri (fun i _ -> i < List.length suspects) spares in
+    let proposal = Config.next r.cfg ~remove:suspects ~add in
+    r.tob_seq <- r.tob_seq + 1;
+    let payload =
+      tob_payload_reconfig proposal ~last_seq:r.gseq ~proposer:r.p_self
+    in
+    let entry =
+      { Tob.origin = r.p_self; id = r.tob_seq; payload }
+    in
+    Engine.send ctx ~size:(String.length payload + 24) (List.hd r.p_tob)
+      (Svc (TM.Broadcast entry))
+
+  (* Step 3: adopt the first proposal for the successor configuration and
+     start the election. *)
+  let adopt_config ctx r proposal =
+    r.cfg <- proposal;
+    r.running <- false;
+    r.elected <- false;
+    r.elect_votes <- [];
+    r.awaiting_recovered <- Sim.Node_id.Set.empty;
+    r.recovered_set <- Sim.Node_id.Set.empty;
+    r.snapshot_started <- false;
+    r.fwd_buffer <- [];
+    Hashtbl.reset r.pending;
+    reset_hb ctx r;
+    if in_cfg r then begin
+      let msg = Db_msg.Elect { cfg = proposal.Config.seq; last_seq = r.gseq } in
+      List.iter
+        (fun m ->
+          if m = r.p_self then
+            r.elect_votes <- (r.p_self, r.gseq) :: r.elect_votes
+          else send_db ctx m msg)
+        proposal.Config.members
+    end
+
+  let snapshot_chunks r ~upto =
+    let rows = Database.dump r.db in
+    let clients = Hashtbl.fold (fun _ reply acc -> reply :: acc) r.client_tbl [] in
+    let rec chunk rows acc =
+      match rows with
+      | [] -> List.rev acc
+      | _ ->
+          let n = min r.tun.chunk_rows (List.length rows) in
+          let head = List.filteri (fun i _ -> i < n) rows in
+          let tail = List.filteri (fun i _ -> i >= n) rows in
+          chunk tail (head :: acc)
+    in
+    let chunks = chunk rows [] in
+    let total = List.length chunks in
+    List.mapi
+      (fun i rows ->
+        let last = i = total - 1 in
+        Db_msg.Snapshot
+          {
+            cfg = r.cfg.Config.seq;
+            rows;
+            upto;
+            last;
+            clients = (if last then clients else []);
+          })
+      chunks
+
+  (* Steps 4–5: the member with the largest sequence number becomes
+     primary (ties to the smallest identifier) and brings the others up
+     to date from its cache, or with a full snapshot. *)
+  let conclude_election ctx r =
+    let best =
+      List.fold_left
+        (fun (bl, bs) (l, s) ->
+          if s > bs || (s = bs && l < bl) then (l, s) else (bl, bs))
+        (max_int, min_int) r.elect_votes
+    in
+    let primary = fst best in
+    r.primary <- primary;
+    r.elected <- true;
+    if r.p_self = primary then begin
+      let others = backups r in
+      r.recovered_set <- Sim.Node_id.Set.singleton r.p_self;
+      let fast, slow =
+        List.partition
+          (fun b ->
+            let bseq = List.assoc b r.elect_votes in
+            Cache.range r.cache ~from:bseq ~upto:r.gseq <> None)
+          others
+      in
+      (* The paper's overlapped state transfer: wait only for the backups
+         that can catch up from the cache; backups needing a full snapshot
+         recover in parallel while normal processing resumes (they are
+         added to the acknowledgment set when their Recovered arrives). *)
+      r.awaiting_recovered <-
+        Sim.Node_id.Set.of_list (if fast = [] then others else fast);
+      if others = [] then r.running <- true
+      else begin
+        List.iter
+          (fun b ->
+            let bseq = List.assoc b r.elect_votes in
+            match Cache.range r.cache ~from:bseq ~upto:r.gseq with
+            | Some txns ->
+                send_db ctx b
+                  (Db_msg.Catchup
+                     { cfg = r.cfg.Config.seq; txns; upto = r.gseq })
+            | None ->
+                charge_db ctx r;
+                List.iter (send_db ctx b) (snapshot_chunks r ~upto:r.gseq))
+          others;
+        ignore slow
+      end
+    end
+
+  let handle_elect ctx r ~src ~cfg ~last_seq =
+    if cfg = r.cfg.Config.seq && in_cfg r && not r.elected then begin
+      if not (List.mem_assoc src r.elect_votes) then
+        r.elect_votes <- (src, last_seq) :: r.elect_votes;
+      if List.length r.elect_votes = List.length r.cfg.Config.members then
+        conclude_election ctx r
+    end
+
+  (* Step 6–7: backups acknowledge recovery; the primary resumes. *)
+  let handle_recovered r ~src ~cfg =
+    if cfg = r.cfg.Config.seq && r.p_self = r.primary then begin
+      r.awaiting_recovered <- Sim.Node_id.Set.remove src r.awaiting_recovered;
+      r.recovered_set <- Sim.Node_id.Set.add src r.recovered_set;
+      if Sim.Node_id.Set.is_empty r.awaiting_recovered then r.running <- true
+    end
+
+  let handle_catchup ctx r ~src ~cfg ~txns ~upto =
+    if cfg = r.cfg.Config.seq && in_cfg r then begin
+      (* The sender is the elected primary (we may have missed votes). *)
+      r.primary <- src;
+      r.elected <- true;
+      List.iter
+        (fun (g, txn) ->
+          if g > r.gseq then begin
+            let reply = Txn.execute r.reg r.db txn in
+            Engine.charge ctx r.tun.exec_overhead;
+            charge_db ctx r;
+            r.gseq <- g;
+            Cache.push r.cache g txn;
+            Hashtbl.replace r.client_tbl txn.Txn.client reply
+          end)
+        txns;
+      r.gseq <- max r.gseq upto;
+      r.running <- true;
+      send_db ctx r.primary (Db_msg.Recovered { cfg })
+    end
+
+  let handle_forward ctx r ~cfg ~gseq ~txn =
+    if r.style = Chain then begin
+      if cfg = r.cfg.Config.seq && in_cfg r then
+        if gseq = r.gseq + 1 then begin
+          let reply = exec_and_record ctx r txn in
+          match chain_successor r with
+          | Some next ->
+              Engine.charge ctx r.tun.fwd_overhead;
+              send_db ctx next (Db_msg.Forward { cfg; gseq = r.gseq; txn })
+          | None ->
+              (* Tail: this transaction has now executed at every replica;
+                 answer the client. *)
+              send_db ctx txn.Txn.client (Db_msg.Reply reply)
+        end
+        else if gseq > r.gseq + 1 then
+          r.fwd_buffer <- (gseq, txn) :: r.fwd_buffer
+    end
+    else if
+      (* Backups only accept transactions tagged with their configuration
+         (paper Sec. III-A). *)
+      cfg = r.cfg.Config.seq && in_cfg r && r.p_self <> r.primary
+    then
+      if gseq = r.gseq + 1 then begin
+        ignore (exec_and_record ctx r txn);
+        send_db ctx r.primary (Db_msg.Ack { cfg; gseq })
+      end
+      else if gseq <= r.gseq then
+        (* Duplicate (already executed): just re-acknowledge. *)
+        send_db ctx r.primary (Db_msg.Ack { cfg; gseq })
+      else
+        (* Ahead of us: normal processing resumed while our snapshot is
+           still installing — buffer and replay once it lands. *)
+        r.fwd_buffer <- (gseq, txn) :: r.fwd_buffer
+
+  let drain_fwd_buffer ctx r =
+    let buffered = List.sort compare (List.rev r.fwd_buffer) in
+    r.fwd_buffer <- [];
+    List.iter (fun (gseq, txn) -> handle_forward ctx r ~cfg:r.cfg.Config.seq ~gseq ~txn) buffered
+
+  let handle_snapshot ctx r ~src ~cfg ~rows ~upto ~last ~clients =
+    if cfg = r.cfg.Config.seq && in_cfg r then begin
+      r.primary <- src;
+      r.elected <- true;
+      if not r.snapshot_started then begin
+        r.snapshot_started <- true;
+        Database.clear_data r.db;
+        Hashtbl.reset r.client_tbl
+      end;
+      (match Database.load_rows r.db rows with Ok () | Error _ -> ());
+      charge_db ctx r;
+      if last then begin
+        List.iter
+          (fun (reply : Txn.reply) ->
+            Hashtbl.replace r.client_tbl reply.Txn.client reply)
+          clients;
+        r.gseq <- upto;
+        r.snapshot_started <- false;
+        r.running <- true;
+        send_db ctx r.primary (Db_msg.Recovered { cfg });
+        drain_fwd_buffer ctx r
+      end
+    end
+
+  (* Chain replication (van Renesse & Schneider), the other classic
+     protocol the paper's broadcast service supports: updates enter at the
+     head, flow down the chain, and the tail answers — its reply proves
+     every replica executed. Read-only transactions are served directly by
+     the tail. *)
+  let handle_chain_client_txn ctx r txn =
+    if not (r.running && in_cfg r) then ()
+    else if List.mem txn.Txn.kind r.read_kinds then
+      if r.p_self = chain_tail r then begin
+        match Hashtbl.find_opt r.client_tbl txn.Txn.client with
+        | Some old when old.Txn.seq = txn.Txn.seq ->
+            send_db ctx txn.Txn.client (Db_msg.Reply old)
+        | Some old when old.Txn.seq > txn.Txn.seq -> ()
+        | Some _ | None ->
+            (* Reads execute at the tail only; they do not advance the
+               chain's update sequence. *)
+            let reply = Txn.execute r.reg r.db txn in
+            Engine.charge ctx (r.tun.exec_overhead +. Database.take_cost r.db);
+            Hashtbl.replace r.client_tbl txn.Txn.client reply;
+            send_db ctx txn.Txn.client (Db_msg.Reply reply)
+      end
+      else send_db ctx (chain_tail r) (Db_msg.Client_txn txn)
+    else if r.p_self = chain_head r then begin
+      match Hashtbl.find_opt r.client_tbl txn.Txn.client with
+      | Some old when old.Txn.seq = txn.Txn.seq ->
+          send_db ctx txn.Txn.client (Db_msg.Reply old)
+      | Some old when old.Txn.seq > txn.Txn.seq -> ()
+      | Some _ | None -> (
+          let reply = exec_and_record ctx r txn in
+          match chain_successor r with
+          | Some next ->
+              Engine.charge ctx r.tun.fwd_overhead;
+              send_db ctx next
+                (Db_msg.Forward { cfg = r.cfg.Config.seq; gseq = r.gseq; txn })
+          | None -> send_db ctx txn.Txn.client (Db_msg.Reply reply))
+    end
+    else send_db ctx (chain_head r) (Db_msg.Client_txn txn)
+
+  let handle_client_txn ctx r txn =
+    if r.style = Chain then handle_chain_client_txn ctx r txn
+    else if not (r.running && in_cfg r) then ()
+    else if r.p_self <> r.primary then
+      (* Misrouted: pass it on (the reply goes straight to the client). *)
+      send_db ctx r.primary (Db_msg.Client_txn txn)
+    else begin
+      match Hashtbl.find_opt r.client_tbl txn.Txn.client with
+      | Some old when old.Txn.seq = txn.Txn.seq ->
+          send_db ctx txn.Txn.client (Db_msg.Reply old)
+      | Some old when old.Txn.seq > txn.Txn.seq -> ()
+      | Some _ | None ->
+          let reply = exec_and_record ctx r txn in
+          let bs = backups r in
+          (* Forward to every backup, but wait only for the recovered ones
+             (a snapshotting backup buffers and acknowledges later). *)
+          let awaited =
+            if Sim.Node_id.Set.is_empty r.recovered_set then bs
+            else List.filter (fun b -> Sim.Node_id.Set.mem b r.recovered_set) bs
+          in
+          if awaited = [] && bs = [] then
+            send_db ctx txn.Txn.client (Db_msg.Reply reply)
+          else begin
+            Hashtbl.replace r.pending r.gseq
+              ( txn,
+                ref (Sim.Node_id.Set.of_list (if awaited = [] then bs else awaited)) );
+            let fwd =
+              Db_msg.Forward { cfg = r.cfg.Config.seq; gseq = r.gseq; txn }
+            in
+            List.iter
+              (fun b ->
+                Engine.charge ctx r.tun.fwd_overhead;
+                send_db ctx b fwd)
+              bs
+          end
+    end
+
+  let handle_ack ctx r ~cfg ~gseq ~src =
+    if cfg = r.cfg.Config.seq && r.p_self = r.primary then
+      match Hashtbl.find_opt r.pending gseq with
+      | None -> ()
+      | Some (txn, missing) ->
+          missing := Sim.Node_id.Set.remove src !missing;
+          Engine.charge ctx (r.tun.fwd_overhead /. 2.0);
+          if Sim.Node_id.Set.is_empty !missing then begin
+            Hashtbl.remove r.pending gseq;
+            match Hashtbl.find_opt r.client_tbl txn.Txn.client with
+            | Some reply when reply.Txn.seq = txn.Txn.seq ->
+                send_db ctx txn.Txn.client (Db_msg.Reply reply)
+            | Some _ | None -> ()
+          end
+
+  let check_suspicion ctx r =
+    if in_cfg r then begin
+      let now = Engine.time ctx in
+      let suspects =
+        List.filter
+          (fun m ->
+            m <> r.p_self
+            &&
+            match Hashtbl.find_opt r.last_hb m with
+            | Some t -> now -. t > r.tun.detect_timeout
+            | None -> false)
+          r.cfg.Config.members
+      in
+      (* Re-propose at most once per detection interval while the
+         suspicion persists (the first delivered proposal wins). *)
+      if suspects <> [] && now -. r.proposed_at > r.tun.detect_timeout /. 2.0
+      then propose_reconfig ctx r suspects
+    end
+
+  let handle_note ctx r (d : Tob.deliver) =
+    match decode_payload d.Tob.entry.Tob.payload with
+    | P_reconfig (proposal, _, _) ->
+        if proposal.Config.seq = r.cfg.Config.seq + 1 then
+          adopt_config ctx r proposal
+    | P_txn _ | P_bytes _ -> ()
+
+  let pbr_replica_handler ~style ~read_kinds ~shared ~locref ~all_ref ~tob_ref
+      ~backend ~setup ~registry ~tun ~initial_members () =
+    let r_holder = ref None in
+    let get ctx =
+      match !r_holder with
+      | Some r -> r
+      | None ->
+          let db = Database.create backend in
+          setup db;
+          ignore (Database.take_cost db);
+          let members = initial_members () in
+          let r =
+            {
+              style;
+              read_kinds;
+              p_self = !locref;
+              p_all = !all_ref;
+              p_tob = !tob_ref;
+              db;
+              reg = registry ();
+              tun;
+              cfg = Config.initial members;
+              primary = List.fold_left min max_int members;
+              running = Config.contains (Config.initial members) !locref;
+              gseq = 0;
+              cache = Cache.create tun.cache_cap;
+              client_tbl = Hashtbl.create 64;
+              pending = Hashtbl.create 64;
+              last_hb = Hashtbl.create 8;
+              elect_votes = [];
+              elected = true;
+              awaiting_recovered = Sim.Node_id.Set.empty;
+              recovered_set = Sim.Node_id.Set.empty;
+              snapshot_started = false;
+              fwd_buffer = [];
+              tob_seq = 0;
+              proposed_at = -1.0e9;
+            }
+          in
+          reset_hb ctx r;
+          Hashtbl.replace shared !locref r;
+          r_holder := Some r;
+          r
+    in
+    fun ctx input ->
+      let r = get ctx in
+      match input with
+      | Engine.Init ->
+          ignore (Engine.set_timer ctx r.tun.hb_interval "hb");
+          ignore (Engine.set_timer ctx (r.tun.detect_timeout /. 4.0) "detect")
+      | Engine.Timer { tag = "hb"; _ } ->
+          if in_cfg r then begin
+            let hb = Db_msg.Heartbeat { cfg = r.cfg.Config.seq } in
+            List.iter
+              (fun m -> if m <> r.p_self then send_db ctx m hb)
+              r.cfg.Config.members
+          end;
+          ignore (Engine.set_timer ctx r.tun.hb_interval "hb")
+      | Engine.Timer { tag = "detect"; _ } ->
+          check_suspicion ctx r;
+          (* Re-send election votes until the election concludes: a vote
+             sent before a peer adopted the configuration is lost. *)
+          if in_cfg r && not r.elected then begin
+            let msg =
+              Db_msg.Elect { cfg = r.cfg.Config.seq; last_seq = r.gseq }
+            in
+            List.iter
+              (fun m -> if m <> r.p_self then send_db ctx m msg)
+              r.cfg.Config.members
+          end;
+          ignore (Engine.set_timer ctx (r.tun.detect_timeout /. 4.0) "detect")
+      | Engine.Timer _ -> ()
+      | Engine.Recv { src; msg } -> (
+          match msg with
+          | Note d -> handle_note ctx r d
+          | Svc _ -> ()
+          | Db m -> (
+              match m with
+              | Db_msg.Client_txn txn -> handle_client_txn ctx r txn
+              | Db_msg.Forward { cfg; gseq; txn } ->
+                  handle_forward ctx r ~cfg ~gseq ~txn
+              | Db_msg.Ack { cfg; gseq } -> handle_ack ctx r ~cfg ~gseq ~src
+              | Db_msg.Reply _ -> ()
+              | Db_msg.Heartbeat _ ->
+                  Hashtbl.replace r.last_hb src (Engine.time ctx)
+              | Db_msg.Elect { cfg; last_seq } ->
+                  handle_elect ctx r ~src ~cfg ~last_seq
+              | Db_msg.Catchup { cfg; txns; upto } ->
+                  handle_catchup ctx r ~src ~cfg ~txns ~upto
+              | Db_msg.Snapshot { cfg; rows; upto; last; clients } ->
+                  handle_snapshot ctx r ~src ~cfg ~rows ~upto ~last ~clients
+              | Db_msg.Recovered { cfg } -> handle_recovered r ~src ~cfg
+              | Db_msg.Snapshot_req _ -> ()))
+
+  let spawn_pbr ?(style = Primary_backup) ?(read_kinds = [])
+      ?(tun = default_tuning) ?(backends : Storage.Store.kind list option)
+      ?(tob_profile = Gpm.Engine_profile.Interpreted_opt) ~world ~registry
+      ~setup ~n_active ~n_spare () =
+    let n = n_active + n_spare in
+    let shared : (loc, pbr_replica) Hashtbl.t = Hashtbl.create 8 in
+    let all_ref = ref [] in
+    let tob_ref = ref [] in
+    let initial_members () = List.filteri (fun i _ -> i < n_active) !all_ref in
+    let backend_of i =
+      match backends with
+      | None -> Storage.Store.Hazel
+      | Some bs -> List.nth bs (i mod List.length bs)
+    in
+    let replicas =
+      List.init n (fun i ->
+          let locref = ref (-1) in
+          let id =
+            Engine.spawn world
+              ~name:(Printf.sprintf "pbr%d" i)
+              (pbr_replica_handler ~style ~read_kinds ~shared ~locref ~all_ref
+                 ~tob_ref ~backend:(backend_of i) ~setup ~registry ~tun
+                 ~initial_members)
+          in
+          locref := id;
+          id)
+    in
+    all_ref := replicas;
+    let tob =
+      Shell.spawn ~profile:tob_profile ~world
+        ~inj:(fun m -> Svc m)
+        ~prj:(function Svc m -> Some m | Note _ | Db _ -> None)
+        ~inj_notify:(fun d -> Note d)
+        ~n:3
+        ~subscribers:(fun () -> replicas)
+        ()
+    in
+    tob_ref := tob;
+    let view l f ~default =
+      match Hashtbl.find_opt shared l with Some r -> f r | None -> default
+    in
+    {
+      pbr_replicas = replicas;
+      pbr_tob = tob;
+      pbr_initial_primary = List.fold_left min max_int (initial_members ());
+      pbr_primary_of = (fun l -> view l (fun r -> r.primary) ~default:(-1));
+      pbr_gseq_of = (fun l -> view l (fun r -> r.gseq) ~default:0);
+      pbr_hash_of =
+        (fun l -> view l (fun r -> Database.content_hash r.db) ~default:0);
+    }
+
+  let spawn_chain ?read_kinds ?tun ?backends ?tob_profile ~world ~registry
+      ~setup ~n_active ~n_spare () =
+    spawn_pbr ~style:Chain ?read_kinds ?tun ?backends ?tob_profile ~world
+      ~registry ~setup ~n_active ~n_spare ()
+
+  (* ------------------------------------------------------------------ *)
+  (* State machine replication                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  type smr_role = Active | Sparing | Syncing
+
+  type smr_replica = {
+    s_self : loc;
+    s_nodes : loc list;  (* the three co-located TOB/DB machines *)
+    sdb : Database.t;
+    sreg : Txn.registry;
+    stun : tuning;
+    costs : Broadcast.Shell.costs;
+    mutable tob : TM.t;
+    mutable scfg : Config.t;
+    mutable role : smr_role;
+    mutable sgseq : int;  (* delivered entries counted by every node *)
+    mutable buffered : Txn.t list;  (* delivered while syncing, oldest first *)
+    mutable pending_snapshot :
+      ((string * Value.t array) list * int) option;
+        (* proposer-side snapshot taken at reconfig delivery *)
+    mutable snap_started : bool;
+    mutable sync_proposer : loc option;
+        (* who to (re-)request the snapshot from while Syncing *)
+    s_last_hb : (loc, float) Hashtbl.t;
+    mutable s_proposed_at : float;
+    mutable s_tob_seq : int;
+  }
+
+  type smr_cluster = {
+    smr_nodes : loc list;
+    smr_active_of : loc -> bool;
+    smr_gseq_of : loc -> int;
+    smr_hash_of : loc -> int;
+  }
+
+  let smr_exec ctx r txn =
+    let reply = Txn.execute r.sreg r.sdb txn in
+    Engine.charge ctx (r.stun.exec_overhead +. Database.take_cost r.sdb);
+    send_db ctx txn.Txn.client (Db_msg.Reply reply)
+
+  let smr_adopt ctx r proposal ~proposer =
+    r.scfg <- proposal;
+    List.iter
+      (fun m -> Hashtbl.replace r.s_last_hb m (Engine.time ctx))
+      proposal.Config.members;
+    let member = Config.contains proposal r.s_self in
+    match (r.role, member) with
+    | Active, true -> ()
+    | Active, false ->
+        r.role <- Sparing;
+        r.buffered <- []
+    | Sparing, true ->
+        (* Activated: buffer subsequent transactions and fetch the
+           snapshot corresponding to this point of the total order. *)
+        r.role <- Syncing;
+        r.buffered <- [];
+        r.snap_started <- false;
+        r.sync_proposer <- Some proposer;
+        send_db ctx proposer
+          (Db_msg.Snapshot_req { cfg = proposal.Config.seq; from_seq = r.sgseq })
+    | Sparing, false -> ()
+    | Syncing, true -> ()
+    | Syncing, false ->
+        r.role <- Sparing;
+        r.buffered <- []
+
+  let smr_deliver ctx r (d : Tob.deliver) =
+    Engine.charge ctx r.costs.Broadcast.Shell.per_entry;
+    r.sgseq <- r.sgseq + 1;
+    match decode_payload d.Tob.entry.Tob.payload with
+    | P_txn txn -> (
+        match r.role with
+        | Active -> smr_exec ctx r txn
+        | Syncing -> r.buffered <- r.buffered @ [ txn ]
+        | Sparing -> ())
+    | P_reconfig (proposal, _, proposer) ->
+        if proposal.Config.seq = r.scfg.Config.seq + 1 then begin
+          (* The proposer snapshots its database at this exact point of
+             the delivery order, so the spare can take over from here. *)
+          if r.s_self = proposer && r.role = Active then begin
+            r.pending_snapshot <- Some (Database.dump r.sdb, r.sgseq);
+            Engine.charge ctx (Database.take_cost r.sdb)
+          end;
+          smr_adopt ctx r proposal ~proposer
+        end
+    | P_bytes _ -> ()
+
+  let smr_feed_tob ctx r (t, acts) =
+    r.tob <- t;
+    List.iter
+      (function
+        | TM.Send (dst, m) ->
+            Engine.send ctx ~size:256 dst (Svc m)
+        | TM.Notify (dst, d) ->
+            if dst = r.s_self then smr_deliver ctx r d
+            else Engine.send ctx dst (Note d)
+        | TM.Set_timer delay -> ignore (Engine.set_timer ctx delay "tob"))
+      acts
+
+  let smr_broadcast ctx r payload =
+    r.s_tob_seq <- r.s_tob_seq + 1;
+    let entry = { Tob.origin = r.s_self; id = r.s_tob_seq; payload } in
+    smr_feed_tob ctx r
+      (TM.recv r.tob ~now:(Engine.time ctx) ~src:r.s_self (TM.Broadcast entry))
+
+  let smr_check_suspicion ctx r =
+    (* A syncing spare re-requests the snapshot until it arrives (the
+       proposer may deliver the reconfiguration after we did). *)
+    (match (r.role, r.sync_proposer) with
+    | Syncing, Some proposer when not r.snap_started ->
+        send_db ctx proposer
+          (Db_msg.Snapshot_req { cfg = r.scfg.Config.seq; from_seq = r.sgseq })
+    | _ -> ());
+    if r.role = Active then begin
+      let now = Engine.time ctx in
+      let suspects =
+        List.filter
+          (fun m ->
+            m <> r.s_self
+            &&
+            match Hashtbl.find_opt r.s_last_hb m with
+            | Some t -> now -. t > r.stun.detect_timeout
+            | None -> false)
+          r.scfg.Config.members
+      in
+      if suspects <> [] && now -. r.s_proposed_at > r.stun.detect_timeout /. 2.0
+      then begin
+        r.s_proposed_at <- now;
+        let spares =
+          List.filter (fun m -> not (Config.contains r.scfg m)) r.s_nodes
+        in
+        let add = List.filteri (fun i _ -> i < List.length suspects) spares in
+        let proposal = Config.next r.scfg ~remove:suspects ~add in
+        smr_broadcast ctx r
+          (tob_payload_reconfig proposal ~last_seq:r.sgseq ~proposer:r.s_self)
+      end
+    end
+
+  let smr_handler ~shared ~locref ~nodes_ref ~backend ~setup ~registry ~tun
+      ~costs ~n_active () =
+    let holder = ref None in
+    let get ctx =
+      match !holder with
+      | Some r -> r
+      | None ->
+          let db = Database.create backend in
+          setup db;
+          ignore (Database.take_cost db);
+          let nodes = !nodes_ref in
+          let members = List.filteri (fun i _ -> i < n_active) nodes in
+          let r =
+            {
+              s_self = !locref;
+              s_nodes = nodes;
+              sdb = db;
+              sreg = registry ();
+              stun = tun;
+              costs;
+              tob =
+                TM.create ~self:!locref ~members:nodes
+                  ~subscribers:[ !locref ] ();
+              scfg = Config.initial members;
+              role = (if List.mem !locref members then Active else Sparing);
+              sgseq = 0;
+              buffered = [];
+              pending_snapshot = None;
+              snap_started = false;
+              sync_proposer = None;
+              s_last_hb = Hashtbl.create 8;
+              s_proposed_at = -1.0e9;
+              s_tob_seq = 0;
+            }
+          in
+          List.iter
+            (fun m -> Hashtbl.replace r.s_last_hb m (Engine.time ctx))
+            members;
+          Hashtbl.replace shared !locref r;
+          holder := Some r;
+          r
+    in
+    fun ctx input ->
+      let r = get ctx in
+      match input with
+      | Engine.Init ->
+          smr_feed_tob ctx r (TM.start r.tob ~now:(Engine.time ctx));
+          ignore (Engine.set_timer ctx r.stun.hb_interval "hb");
+          ignore (Engine.set_timer ctx (r.stun.detect_timeout /. 4.0) "detect")
+      | Engine.Timer { tag = "tob"; _ } ->
+          smr_feed_tob ctx r (TM.tick r.tob ~now:(Engine.time ctx))
+      | Engine.Timer { tag = "hb"; _ } ->
+          if r.role = Active then begin
+            let hb = Db_msg.Heartbeat { cfg = r.scfg.Config.seq } in
+            List.iter
+              (fun m -> if m <> r.s_self then send_db ctx m hb)
+              r.scfg.Config.members
+          end;
+          ignore (Engine.set_timer ctx r.stun.hb_interval "hb")
+      | Engine.Timer { tag = "detect"; _ } ->
+          smr_check_suspicion ctx r;
+          ignore (Engine.set_timer ctx (r.stun.detect_timeout /. 4.0) "detect")
+      | Engine.Timer _ -> ()
+      | Engine.Recv { src; msg } -> (
+          match msg with
+          | Svc m ->
+              (match m with
+              | TM.Broadcast _ ->
+                  Engine.charge ctx r.costs.Broadcast.Shell.client_msg
+              | TM.Core _ -> Engine.charge ctx r.costs.Broadcast.Shell.core_msg);
+              smr_feed_tob ctx r (TM.recv r.tob ~now:(Engine.time ctx) ~src m)
+          | Note d -> smr_deliver ctx r d
+          | Db (Db_msg.Heartbeat _) ->
+              Hashtbl.replace r.s_last_hb src (Engine.time ctx)
+          | Db (Db_msg.Snapshot_req { cfg; _ }) -> (
+              if cfg = r.scfg.Config.seq then
+                match r.pending_snapshot with
+                | None -> ()
+                | Some (rows, upto) ->
+                    let clients = [] in
+                    let rec chunk rows =
+                      let n = min r.stun.chunk_rows (List.length rows) in
+                      let head = List.filteri (fun i _ -> i < n) rows in
+                      let tail = List.filteri (fun i _ -> i >= n) rows in
+                      let last = tail = [] in
+                      send_db ctx src
+                        (Db_msg.Snapshot
+                           { cfg; rows = head; upto; last; clients });
+                      if not last then chunk tail
+                    in
+                    if rows = [] then
+                      send_db ctx src
+                        (Db_msg.Snapshot { cfg; rows = []; upto; last = true; clients })
+                    else chunk rows)
+          | Db (Db_msg.Snapshot { cfg; rows; upto = _; last; clients = _ }) ->
+              if cfg = r.scfg.Config.seq && r.role = Syncing then begin
+                if not r.snap_started then begin
+                  r.snap_started <- true;
+                  Database.clear_data r.sdb
+                end;
+                (match Database.load_rows r.sdb rows with
+                | Ok () | Error _ -> ());
+                Engine.charge ctx (Database.take_cost r.sdb);
+                if last then begin
+                  r.role <- Active;
+                  r.snap_started <- false;
+                  r.sync_proposer <- None;
+                  let todo = r.buffered in
+                  r.buffered <- [];
+                  List.iter (smr_exec ctx r) todo
+                end
+              end
+          | Db _ -> ())
+
+  let spawn_smr ?(tun = default_tuning)
+      ?(backends : Storage.Store.kind list option)
+      ?(costs = Broadcast.Shell.default_costs) ~world ~registry ~setup
+      ~n_active () =
+    let shared : (loc, smr_replica) Hashtbl.t = Hashtbl.create 8 in
+    let nodes_ref = ref [] in
+    let backend_of i =
+      match backends with
+      | None -> Storage.Store.Hazel
+      | Some bs -> List.nth bs (i mod List.length bs)
+    in
+    let nodes =
+      List.init 3 (fun i ->
+          let locref = ref (-1) in
+          let id =
+            Engine.spawn world
+              ~name:(Printf.sprintf "smr%d" i)
+              (smr_handler ~shared ~locref ~nodes_ref ~backend:(backend_of i)
+                 ~setup ~registry ~tun ~costs ~n_active)
+          in
+          locref := id;
+          id)
+    in
+    nodes_ref := nodes;
+    let view l f ~default =
+      match Hashtbl.find_opt shared l with Some r -> f r | None -> default
+    in
+    {
+      smr_nodes = nodes;
+      smr_active_of = (fun l -> view l (fun r -> r.role = Active) ~default:false);
+      smr_gseq_of = (fun l -> view l (fun r -> r.sgseq) ~default:0);
+      smr_hash_of =
+        (fun l -> view l (fun r -> Database.content_hash r.sdb) ~default:0);
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* Clients                                                             *)
+  (* ------------------------------------------------------------------ *)
+
+  type client_target =
+    | To_pbr of pbr_cluster
+    | To_smr of smr_cluster
+
+  (* A closed-loop client: submits [count] transactions one at a time,
+     resending (same sequence number — duplicates are suppressed
+     downstream) with contact rotation on timeout. [on_commit time latency]
+     fires per committed transaction; [make_txn ~client ~seq] supplies the
+     procedure name and parameters. *)
+  let spawn_clients ~world ~target ~n ~count ~make_txn
+      ?(retry_timeout = 4.0) ?(on_commit = fun _ _ -> ()) () =
+    let completed = ref 0 in
+    let contacts, to_wire =
+      match target with
+      | To_pbr c ->
+          let all = c.pbr_replicas in
+          (* Start at the initial primary; rotate over replicas on retry. *)
+          let ordered =
+            c.pbr_initial_primary
+            :: List.filter (fun l -> l <> c.pbr_initial_primary) all
+          in
+          (ordered, fun txn -> Db (Db_msg.Client_txn txn))
+      | To_smr c ->
+          ( c.smr_nodes,
+            fun txn ->
+              let entry =
+                {
+                  Tob.origin = txn.Txn.client;
+                  id = txn.Txn.seq;
+                  payload = tob_payload_txn txn;
+                }
+              in
+              Svc (TM.Broadcast entry) )
+    in
+    let spawn_one _i =
+      let locref = ref (-1) in
+      let id =
+        Engine.spawn world ~name:"db-client" (fun () ->
+            let seq = ref 0 in
+            let attempt = ref 0 in
+            let sent_at = ref 0.0 in
+            let timer = ref (-1) in
+            let send ctx =
+              let contact =
+                List.nth contacts (!attempt mod List.length contacts)
+              in
+              incr attempt;
+              sent_at := Engine.time ctx;
+              let kind, params = make_txn ~client:!locref ~seq:!seq in
+              let txn =
+                { Txn.client = !locref; seq = !seq; kind; params }
+              in
+              Engine.send ctx ~size:(Txn.size txn) contact (to_wire txn);
+              timer := Engine.set_timer ctx retry_timeout "retry"
+            in
+            fun ctx -> function
+              | Engine.Init -> if count > 0 then send ctx
+              | Engine.Recv { msg = Db (Db_msg.Reply reply); _ } ->
+                  if reply.Txn.seq = !seq then begin
+                    Engine.cancel_timer ctx !timer;
+                    let now = Engine.time ctx in
+                    (* Deterministic aborts (e.g. TPC-C's 1% rollbacks) are
+                       answered but not counted as commits. *)
+                    (match reply.Txn.outcome with
+                    | Ok _ -> on_commit now (now -. !sent_at)
+                    | Error _ -> ());
+                    incr seq;
+                    (* Successful contact: stick with it next time. *)
+                    attempt := !attempt - 1;
+                    if !seq < count then send ctx else incr completed
+                  end
+              | Engine.Recv _ -> ()
+              | Engine.Timer { tag = "retry"; _ } ->
+                  (* Timeout: resend the same transaction; [send] advances
+                     the rotation, so a dead contact is skipped. *)
+                  if !seq < count then send ctx
+              | Engine.Timer _ -> ())
+      in
+      locref := id;
+      id
+    in
+    let ids = List.init n spawn_one in
+    (ids, fun () -> !completed)
+end

@@ -1,0 +1,153 @@
+(** ShadowDB: replicated databases over the verified total-order broadcast.
+
+    {!Make} is parameterized by the consensus core of the broadcast
+    service (the paper evaluates Paxos; TwoThird also works) and provides
+    three replication styles over the same substrate:
+
+    - {b primary-backup} (paper Sec. III-A): a hand-coded normal case —
+      the primary executes, forwards to the backups, waits for all
+      acknowledgements, answers the client — with TOB-ordered
+      reconfiguration, election by largest executed sequence number, and
+      transaction-cache or full-snapshot state transfer (including the
+      paper's overlapped variant);
+    - {b state machine replication} (paper Sec. III-B): clients broadcast
+      transactions through the TOB, every active replica executes in
+      delivery order and answers, the client keeps the first answer; each
+      replica co-hosts its broadcast-service member (the co-located CPU is
+      what caps SMR throughput in Fig. 9(a));
+    - {b chain replication} (extension; one of the protocols the paper
+      names as buildable on its broadcast service): updates enter at the
+      head and flow down the chain, the tail's reply is the commit point,
+      and read-only transactions are served by the tail. *)
+
+type loc = int
+
+type tuning = {
+  hb_interval : float;  (** Heartbeat period between replicas. *)
+  detect_timeout : float;
+      (** Silence after which a replica is suspected (the paper's
+          configurable 10 s in Fig. 10(a)). *)
+  cache_cap : int;
+      (** Executed-transaction cache size; a lagging replica within the
+          cache catches up by replay, otherwise by full snapshot. *)
+  chunk_rows : int;  (** Rows per state-transfer chunk (≈50 kB). *)
+  exec_overhead : float;  (** Fixed CPU per transaction besides DB work. *)
+  fwd_overhead : float;  (** Per-backup forward/ack handling CPU. *)
+}
+
+val default_tuning : tuning
+
+module Make (C : Consensus.Consensus_intf.S) : sig
+  module Shell : sig
+    include module type of Broadcast.Shell.Make (C)
+  end
+
+  module TM = Shell.T
+
+  type wire =
+    | Svc of TM.msg  (** Broadcast-service traffic. *)
+    | Note of Broadcast.Tob.deliver  (** TOB delivery notification. *)
+    | Db of Db_msg.t  (** Database replication traffic. *)
+  (** Wire type of a ShadowDB simulation world. *)
+
+  type replication_style = Primary_backup | Chain
+
+  (** {1 Primary-backup / chain clusters} *)
+
+  type pbr_cluster = {
+    pbr_replicas : loc list;  (** Actives first, then spares. *)
+    pbr_tob : loc list;  (** The three broadcast-service members. *)
+    pbr_initial_primary : loc;
+    pbr_primary_of : loc -> loc;
+        (** A replica's current view of the primary (introspection). *)
+    pbr_gseq_of : loc -> int;  (** Executed-transaction count. *)
+    pbr_hash_of : loc -> int;
+        (** Backend-independent content digest, for state-agreement
+            checks. *)
+  }
+
+  val spawn_pbr :
+    ?style:replication_style ->
+    ?read_kinds:string list ->
+    ?tun:tuning ->
+    ?backends:Storage.Store.kind list ->
+    ?tob_profile:Gpm.Engine_profile.t ->
+    world:wire Sim.Engine.t ->
+    registry:(unit -> Txn.registry) ->
+    setup:(Storage.Database.t -> unit) ->
+    n_active:int ->
+    n_spare:int ->
+    unit ->
+    pbr_cluster
+  (** Spawn [n_active] replicas (the initial configuration) plus
+      [n_spare] spares, and the 3-member broadcast service used for
+      reconfiguration. [backends] assigns diverse storage engines
+      round-robin (default all "hazel"); [setup] loads the initial data
+      identically at every replica; [tob_profile] selects the broadcast
+      service's execution engine (the paper runs PBR's service
+      interpreted). *)
+
+  val spawn_chain :
+    ?read_kinds:string list ->
+    ?tun:tuning ->
+    ?backends:Storage.Store.kind list ->
+    ?tob_profile:Gpm.Engine_profile.t ->
+    world:wire Sim.Engine.t ->
+    registry:(unit -> Txn.registry) ->
+    setup:(Storage.Database.t -> unit) ->
+    n_active:int ->
+    n_spare:int ->
+    unit ->
+    pbr_cluster
+  (** Chain-replication cluster: the configuration order is the chain
+      order (head first); [read_kinds] lists the transaction kinds served
+      read-only at the tail. *)
+
+  (** {1 State-machine-replication clusters} *)
+
+  type smr_cluster = {
+    smr_nodes : loc list;
+        (** The three machines, each co-hosting a broadcast member and a
+            database replica. *)
+    smr_active_of : loc -> bool;  (** Whether the replica executes. *)
+    smr_gseq_of : loc -> int;
+    smr_hash_of : loc -> int;
+  }
+
+  val spawn_smr :
+    ?tun:tuning ->
+    ?backends:Storage.Store.kind list ->
+    ?costs:Broadcast.Shell.costs ->
+    world:wire Sim.Engine.t ->
+    registry:(unit -> Txn.registry) ->
+    setup:(Storage.Database.t -> unit) ->
+    n_active:int ->
+    unit ->
+    smr_cluster
+  (** Three co-located nodes; the first [n_active] databases execute, the
+      rest are spares activated by TOB-ordered reconfiguration (with
+      snapshot sync from the proposer). *)
+
+  (** {1 Clients} *)
+
+  type client_target = To_pbr of pbr_cluster | To_smr of smr_cluster
+  (** Chain clusters are addressed with [To_pbr] (replicas forward
+      misrouted transactions to the head or tail themselves). *)
+
+  val spawn_clients :
+    world:wire Sim.Engine.t ->
+    target:client_target ->
+    n:int ->
+    count:int ->
+    make_txn:(client:loc -> seq:int -> string * Storage.Value.t list) ->
+    ?retry_timeout:float ->
+    ?on_commit:(float -> float -> unit) ->
+    unit ->
+    loc list * (unit -> int)
+  (** [n] closed-loop clients submitting [count] transactions each.
+      [make_txn ~client ~seq] must be deterministic (timeouts resend the
+      same transaction with the same sequence number; duplicates are
+      suppressed downstream). [on_commit time latency] fires once per
+      committed transaction (deterministic aborts are answered but not
+      counted). Returns the client node ids and a completion counter. *)
+end

@@ -1,0 +1,56 @@
+module Database = Storage.Database
+module Value = Storage.Value
+
+type loc = int
+
+type t = { client : loc; seq : int; kind : string; params : Value.t list }
+
+type outcome = (Value.t array list, string) result
+
+type reply = { client : loc; seq : int; outcome : outcome }
+
+type proc = Database.t -> Value.t list -> outcome
+
+type registry = (string, proc) Hashtbl.t
+
+let registry procs =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (name, p) -> Hashtbl.replace tbl name p) procs;
+  tbl
+
+let lookup reg name = Hashtbl.find_opt reg name
+
+let execute reg db (txn : t) =
+  let outcome =
+    match lookup reg txn.kind with
+    | None -> Error ("unknown transaction type " ^ txn.kind)
+    | Some proc -> (
+        Database.begin_txn db;
+        match proc db txn.params with
+        | Ok rows ->
+            Database.commit db;
+            Ok rows
+        | Error e ->
+            Database.rollback db;
+            Error e
+        | exception e ->
+            Database.rollback db;
+            Error (Printexc.to_string e))
+  in
+  { client = txn.client; seq = txn.seq; outcome }
+
+let value_size = Value.serialized_size
+
+let size t =
+  24 + String.length t.kind
+  + List.fold_left (fun acc v -> acc + value_size v) 0 t.params
+
+let reply_size r =
+  match r.outcome with
+  | Error e -> 24 + String.length e
+  | Ok rows ->
+      24
+      + List.fold_left
+          (fun acc row ->
+            acc + Array.fold_left (fun a v -> a + value_size v) 4 row)
+          0 rows

@@ -1,0 +1,41 @@
+(** Transactions as typed procedures.
+
+    Following the paper (Sec. III): "submitting a transaction T involves
+    sending T's type and its parameters to a server"; execution is
+    sequential and deterministic, so every replica computes the same state
+    and the same answer. Procedures are registered per deployment (the
+    bank micro-benchmark and TPC-C register theirs). *)
+
+type loc = int
+
+type t = {
+  client : loc;  (** Submitting client. *)
+  seq : int;  (** Client-local sequence number (exactly-once key). *)
+  kind : string;  (** Procedure name. *)
+  params : Storage.Value.t list;
+}
+
+type outcome = (Storage.Value.t array list, string) result
+(** Result set on commit, or abort reason. Deterministic procedures abort
+    deterministically at every replica (paper footnote 4). *)
+
+type reply = { client : loc; seq : int; outcome : outcome }
+
+type proc = Storage.Database.t -> Storage.Value.t list -> outcome
+(** A procedure runs inside a transaction the executor opens and
+    commits/rolls back around it: [Error] ⇒ rollback. *)
+
+type registry
+
+val registry : (string * proc) list -> registry
+val lookup : registry -> string -> proc option
+
+val execute : registry -> Storage.Database.t -> t -> reply
+(** Run the procedure inside BEGIN/COMMIT (ROLLBACK on abort); unknown
+    kinds abort. *)
+
+val reply_size : reply -> int
+(** Wire-size estimate of a reply, for the network model. *)
+
+val size : t -> int
+(** Wire-size estimate of a transaction. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Hashtbl Heap List Net Node_id Prng Queue

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Net Node_id Prng

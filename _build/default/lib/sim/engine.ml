@@ -1,0 +1,244 @@
+type 'm input =
+  | Init
+  | Recv of { src : Node_id.t; msg : 'm }
+  | Timer of { id : int; tag : string }
+
+type 'm effect_ =
+  | E_send of { dst : Node_id.t; msg : 'm; size : int }
+  | E_timer of { id : int; tag : string; delay : float }
+  | E_cancel of int
+
+type 'm node = {
+  id : Node_id.t;
+  name : string;
+  factory : unit -> 'm handler;
+  mutable handler : 'm handler;
+  mutable alive : bool;
+  mutable epoch : int;
+  mutable processing : bool;
+  mutable cpu_factor : float;
+  queue : 'm input Queue.t;
+}
+
+and 'm handler = 'm ctx -> 'm input -> unit
+
+and 'm ctx = {
+  world : 'm t;
+  node : 'm node;
+  mutable charged : float;
+  mutable effects : 'm effect_ list;
+}
+
+and 'm ev =
+  | Ev_arrive of { dst : Node_id.t; epoch : int; input : 'm input }
+  | Ev_done of { node : Node_id.t; epoch : int }
+  | Ev_external of (unit -> unit)
+
+and 'm t = {
+  mutable now : float;
+  mutable seq : int;
+  heap : 'm ev Heap.t;
+  rng : Prng.t;
+  net : Net.t;
+  mutable nodes : 'm node array;
+  mutable node_count : int;
+  link_last : (int * int, float) Hashtbl.t;
+  partitions : (int * int, unit) Hashtbl.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable timer_seq : int;
+  mutable processed : int;
+  mutable trace_buf : (float * Node_id.t * string) list;
+}
+
+let fifo_epsilon = 1.0e-9
+
+let create ?(seed = 1) ?(net = Net.lan) () =
+  {
+    now = 0.0;
+    seq = 0;
+    heap = Heap.create ();
+    rng = Prng.create seed;
+    net;
+    nodes = [||];
+    node_count = 0;
+    link_last = Hashtbl.create 64;
+    partitions = Hashtbl.create 16;
+    cancelled = Hashtbl.create 64;
+    timer_seq = 0;
+    processed = 0;
+    trace_buf = [];
+  }
+
+let now t = t.now
+let rng t = t.rng
+let events_processed t = t.processed
+
+let schedule t time ev =
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~time ~seq:t.seq ev
+
+let node t id =
+  assert (id >= 0 && id < t.node_count);
+  t.nodes.(id)
+
+let spawn t ~name ?(cpu_factor = 1.0) factory =
+  let id = t.node_count in
+  let n =
+    {
+      id;
+      name;
+      factory;
+      handler = factory ();
+      alive = true;
+      epoch = 0;
+      processing = false;
+      cpu_factor;
+      queue = Queue.create ();
+    }
+  in
+  if Array.length t.nodes = t.node_count then begin
+    let ncap = max 8 (2 * Array.length t.nodes) in
+    let narr = Array.make ncap n in
+    Array.blit t.nodes 0 narr 0 t.node_count;
+    t.nodes <- narr
+  end;
+  t.nodes.(t.node_count) <- n;
+  t.node_count <- t.node_count + 1;
+  schedule t t.now (Ev_arrive { dst = id; epoch = n.epoch; input = Init });
+  id
+
+let is_alive t id = (node t id).alive
+
+let link_key a b = if a < b then (a, b) else (b, a)
+
+let partition t a b = Hashtbl.replace t.partitions (link_key a b) ()
+let heal t a b = Hashtbl.remove t.partitions (link_key a b)
+let partitioned t a b = Hashtbl.mem t.partitions (link_key a b)
+
+(* Deliver a message leaving [src] at [depart] towards [dst], obeying the
+   latency model, per-link FIFO order, loss and partitions. *)
+let route t ~depart ~src ~dst ~size input =
+  if partitioned t src dst then ()
+  else if t.net.Net.loss > 0.0 && Prng.float t.rng < t.net.Net.loss then ()
+  else begin
+    let d = Net.delay t.net t.rng ~size in
+    let arrive = depart +. d in
+    let key = (src, dst) in
+    let arrive =
+      match Hashtbl.find_opt t.link_last key with
+      | Some last when arrive <= last -> last +. fifo_epsilon
+      | _ -> arrive
+    in
+    Hashtbl.replace t.link_last key arrive;
+    let n = node t dst in
+    schedule t arrive (Ev_arrive { dst; epoch = n.epoch; input })
+  end
+
+let apply_effect t n ~done_at = function
+  | E_send { dst; msg; size } ->
+      route t ~depart:done_at ~src:n.id ~dst ~size (Recv { src = n.id; msg })
+  | E_timer { id; tag; delay } ->
+      schedule t (done_at +. delay)
+        (Ev_arrive { dst = n.id; epoch = n.epoch; input = Timer { id; tag } })
+  | E_cancel id -> Hashtbl.replace t.cancelled id ()
+
+let exec t n input =
+  n.processing <- true;
+  let ctx = { world = t; node = n; charged = 0.0; effects = [] } in
+  n.handler ctx input;
+  let cost = ctx.charged *. n.cpu_factor in
+  let done_at = t.now +. cost in
+  List.iter (apply_effect t n ~done_at) (List.rev ctx.effects);
+  schedule t done_at (Ev_done { node = n.id; epoch = n.epoch })
+
+let handle_arrival t n input =
+  match input with
+  | Timer { id; _ } when Hashtbl.mem t.cancelled id ->
+      Hashtbl.remove t.cancelled id
+  | Init | Recv _ | Timer _ ->
+      if n.processing then Queue.push input n.queue else exec t n input
+
+let dispatch t = function
+  | Ev_external f -> f ()
+  | Ev_arrive { dst; epoch; input } ->
+      let n = node t dst in
+      if n.alive && n.epoch = epoch then handle_arrival t n input
+  | Ev_done { node = id; epoch } ->
+      let n = node t id in
+      if n.alive && n.epoch = epoch then begin
+        n.processing <- false;
+        match Queue.take_opt n.queue with
+        | Some input -> exec t n input
+        | None -> ()
+      end
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (time, _, ev) ->
+      t.now <- max t.now time;
+      t.processed <- t.processed + 1;
+      dispatch t ev;
+      true
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.heap with
+    | None -> continue := false
+    | Some (time, _, _) when time > until -> continue := false
+    | Some _ ->
+        ignore (step t);
+        decr budget
+  done
+
+let crash t id =
+  let n = node t id in
+  if n.alive then begin
+    n.alive <- false;
+    n.epoch <- n.epoch + 1;
+    n.processing <- false;
+    Queue.clear n.queue
+  end
+
+let restart t id =
+  let n = node t id in
+  if not n.alive then begin
+    n.alive <- true;
+    n.epoch <- n.epoch + 1;
+    n.handler <- n.factory ();
+    schedule t t.now (Ev_arrive { dst = id; epoch = n.epoch; input = Init })
+  end
+
+let send_external t ?(size = 64) ~src dst msg =
+  route t ~depart:t.now ~src ~dst ~size (Recv { src; msg })
+
+let at t time f = schedule t time (Ev_external f)
+
+(* Handler-side operations. *)
+
+let self ctx = ctx.node.id
+let time ctx = ctx.world.now
+
+let send ctx ?(size = 64) dst msg =
+  ctx.effects <- E_send { dst; msg; size } :: ctx.effects
+
+let set_timer ctx delay tag =
+  let t = ctx.world in
+  t.timer_seq <- t.timer_seq + 1;
+  let id = t.timer_seq in
+  ctx.effects <- E_timer { id; tag; delay } :: ctx.effects;
+  id
+
+let cancel_timer ctx id = ctx.effects <- E_cancel id :: ctx.effects
+
+let charge ctx seconds = ctx.charged <- ctx.charged +. seconds
+
+let random ctx = ctx.world.rng
+
+let trace ctx line =
+  let t = ctx.world in
+  t.trace_buf <- (t.now, ctx.node.id, line) :: t.trace_buf
+
+let get_trace t = List.rev t.trace_buf

@@ -1,0 +1,112 @@
+(** Deterministic discrete-event simulator.
+
+    The engine hosts a set of {e nodes}, each owning a single virtual CPU.
+    A node processes one input at a time: while its handler runs, charged
+    CPU time ({!charge}) extends the node's busy period, and further inputs
+    queue behind it. Outputs (sends, timers) take effect when the handler's
+    busy period ends. This produces the CPU-bound saturation behaviour that
+    the paper's evaluation measures on real hardware.
+
+    Links are FIFO per (source, destination) pair, modelling the TCP
+    channels the paper assumes; nodes may crash (losing all volatile state
+    and pending timers) and restart with a fresh handler from their factory.
+
+    All scheduling is totally ordered by [(virtual time, sequence number)]
+    and all randomness flows from one seeded {!Prng.t}: two runs with the
+    same seed produce identical traces. *)
+
+type 'm t
+(** A simulation world exchanging messages of type ['m]. *)
+
+type 'm ctx
+(** Handler-side capability: what a node may do while processing an input. *)
+
+type 'm input =
+  | Init  (** Delivered once when the node starts (and again on restart). *)
+  | Recv of { src : Node_id.t; msg : 'm }  (** A message arrival. *)
+  | Timer of { id : int; tag : string }  (** An armed timer fired. *)
+
+type 'm handler = 'm ctx -> 'm input -> unit
+(** Node behaviour. Handlers are closures over their own mutable state. *)
+
+val create : ?seed:int -> ?net:Net.t -> unit -> 'm t
+(** Fresh world. [seed] defaults to 1, [net] to {!Net.lan}. *)
+
+val now : 'm t -> float
+(** Current virtual time in seconds. *)
+
+val rng : 'm t -> Prng.t
+(** The world's random stream (use for workload generation so runs stay
+    reproducible). *)
+
+val spawn :
+  'm t -> name:string -> ?cpu_factor:float -> (unit -> 'm handler) -> Node_id.t
+(** [spawn t ~name factory] creates a node whose behaviour is
+    [factory ()]; the factory is re-invoked on restart, modelling loss of
+    volatile state. [cpu_factor] scales all charged CPU costs (default
+    1.0) — slower interpreters have a factor above 1. The node receives
+    {!Init} at the current time. *)
+
+val crash : 'm t -> Node_id.t -> unit
+(** Crash a node now: it stops processing, its queue and timers are
+    discarded, in-flight messages to it are lost. *)
+
+val restart : 'm t -> Node_id.t -> unit
+(** Restart a crashed node with a fresh handler from its factory; it
+    receives {!Init}. *)
+
+val is_alive : 'm t -> Node_id.t -> bool
+
+val partition : 'm t -> Node_id.t -> Node_id.t -> unit
+(** Drop all future messages in both directions between the two nodes
+    until {!heal} is called. *)
+
+val heal : 'm t -> Node_id.t -> Node_id.t -> unit
+(** Remove a partition installed by {!partition}. *)
+
+val send_external : 'm t -> ?size:int -> src:Node_id.t -> Node_id.t -> 'm -> unit
+(** Inject a message from outside any handler (e.g. test drivers); it
+    leaves [src] at the current time and obeys the normal network model. *)
+
+val at : 'm t -> float -> (unit -> unit) -> unit
+(** [at t time f] runs [f] at absolute virtual [time] (used to script
+    crashes, restarts, load changes). *)
+
+val run : ?until:float -> ?max_events:int -> 'm t -> unit
+(** Process events in order until the queue is empty, or virtual time
+    exceeds [until], or [max_events] have been processed. *)
+
+val step : 'm t -> bool
+(** Process a single event; [false] if the queue was empty. *)
+
+val events_processed : 'm t -> int
+(** Total number of events executed so far (for budget checks in tests). *)
+
+(** {1 Handler-side operations} *)
+
+val self : 'm ctx -> Node_id.t
+val time : 'm ctx -> float
+
+val send : 'm ctx -> ?size:int -> Node_id.t -> 'm -> unit
+(** Send a message; it departs when the current busy period ends. [size]
+    (bytes, default 64) feeds the bandwidth term of the network model. *)
+
+val set_timer : 'm ctx -> float -> string -> int
+(** [set_timer ctx delay tag] arms a timer [delay] seconds after the busy
+    period ends and returns its id. Crash disarms all timers. *)
+
+val cancel_timer : 'm ctx -> int -> unit
+(** Disarm a timer by id; firing a cancelled timer is a no-op. *)
+
+val charge : 'm ctx -> float -> unit
+(** Account [seconds] of CPU work to this node for the current input. *)
+
+val random : 'm ctx -> Prng.t
+(** The world's random stream, for randomized handlers. *)
+
+val trace : 'm ctx -> string -> unit
+(** Append a line to the world's trace buffer (cheap; for debugging and
+    assertions in tests). *)
+
+val get_trace : 'm t -> (float * Node_id.t * string) list
+(** Trace lines in chronological order. *)

@@ -1,0 +1,79 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.arr in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let narr = Array.make ncap entry in
+    Array.blit t.arr 0 narr 0 t.size;
+    t.arr <- narr
+  end
+
+let push t ~time ~seq value =
+  let entry = { time; seq; value } in
+  grow t entry;
+  t.arr.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    lt t.arr.(!i) t.arr.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.arr.(!i) in
+    t.arr.(!i) <- t.arr.(parent);
+    t.arr.(parent) <- tmp;
+    i := parent
+  done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if left < t.size && lt t.arr.(left) t.arr.(!smallest) then smallest := left;
+    if right < t.size && lt t.arr.(right) t.arr.(!smallest) then smallest := right;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.arr.(!i) in
+      t.arr.(!i) <- t.arr.(!smallest);
+      t.arr.(!smallest) <- tmp;
+      i := !smallest
+    end
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.arr.(0) <- t.arr.(t.size);
+      sift_down t
+    end;
+    Some (top.time, top.seq, top.value)
+  end
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let top = t.arr.(0) in
+    Some (top.time, top.seq, top.value)
+
+let clear t =
+  t.arr <- [||];
+  t.size <- 0

@@ -1,0 +1,28 @@
+(** Binary min-heap keyed by [(time, seq)] pairs.
+
+    The integer sequence number breaks ties between events scheduled for the
+    same instant, giving the simulator a deterministic total order of
+    execution. *)
+
+type 'a t
+(** Heap holding payloads of type ['a]. *)
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of stored elements. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+(** Insert an element with the given priority key. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> (float * int * 'a) option
+(** Return the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+(** Drop all elements. *)

@@ -1,0 +1,13 @@
+type t = { latency : float; jitter : float; bandwidth : float; loss : float }
+
+let lan = { latency = 1.0e-4; jitter = 2.0e-5; bandwidth = 125.0e6; loss = 0.0 }
+
+let local = { latency = 5.0e-6; jitter = 1.0e-6; bandwidth = infinity; loss = 0.0 }
+
+let lossy p = { lan with loss = p }
+
+let delay t rng ~size =
+  let serialization =
+    if t.bandwidth = infinity then 0.0 else float_of_int size /. t.bandwidth
+  in
+  t.latency +. Prng.uniform rng t.jitter +. serialization

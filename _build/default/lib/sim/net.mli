@@ -1,0 +1,28 @@
+(** Network latency and loss model.
+
+    Message delay is [latency + U(0, jitter) + size / bandwidth]; per-link
+    FIFO order is preserved by the engine (TCP-like channels, as assumed by
+    the paper). *)
+
+type t = {
+  latency : float;  (** One-way propagation delay in seconds. *)
+  jitter : float;  (** Uniform additional delay in [\[0, jitter)] seconds. *)
+  bandwidth : float;
+      (** Bytes per second for the serialization term; [infinity] disables
+          the size-dependent term. *)
+  loss : float;  (** Probability that a message is silently dropped. *)
+}
+
+val lan : t
+(** Gigabit-switch LAN profile matching the paper's testbed: 0.1 ms
+    propagation, small jitter, 125 MB/s, no loss. *)
+
+val local : t
+(** Same-machine channel (co-located processes): near-zero delay. *)
+
+val lossy : float -> t
+(** [lossy p] is {!lan} with drop probability [p] (for failure-injection
+    tests). *)
+
+val delay : t -> Prng.t -> size:int -> float
+(** Sample the one-way delay for a message of [size] bytes. *)

@@ -1,0 +1,8 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt t = Format.fprintf fmt "n%d" t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,15 @@
+(** Node identifiers.
+
+    A node identifier is a small integer assigned by the engine at spawn
+    time, paired (by the engine) with a human-readable name for traces. *)
+
+type t = int
+(** Identifiers are plain integers so protocol state machines can use them
+    in maps and messages without depending on the engine. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,76 @@
+type t = {
+  mutable arr : float array;
+  mutable n : int;
+  mutable sorted : bool;
+}
+
+let create () = { arr = [||]; n = 0; sorted = true }
+
+let add t x =
+  if t.n = Array.length t.arr then begin
+    let cap = Stdlib.max 16 (2 * Array.length t.arr) in
+    let narr = Array.make cap 0.0 in
+    Array.blit t.arr 0 narr 0 t.n;
+    t.arr <- narr
+  end;
+  t.arr.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sorted <- false
+
+let count t = t.n
+let is_empty t = t.n = 0
+
+let sum t =
+  let s = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    s := !s +. t.arr.(i)
+  done;
+  !s
+
+let mean t = if t.n = 0 then nan else sum t /. float_of_int t.n
+
+let stddev t =
+  if t.n = 0 then nan
+  else begin
+    let m = mean t in
+    let acc = ref 0.0 in
+    for i = 0 to t.n - 1 do
+      let d = t.arr.(i) -. m in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt (!acc /. float_of_int t.n)
+  end
+
+let fold_minmax t f init =
+  let acc = ref init in
+  for i = 0 to t.n - 1 do
+    acc := f !acc t.arr.(i)
+  done;
+  !acc
+
+let min t = if t.n = 0 then nan else fold_minmax t Stdlib.min infinity
+let max t = if t.n = 0 then nan else fold_minmax t Stdlib.max neg_infinity
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let a = Array.sub t.arr 0 t.n in
+    Array.sort compare a;
+    Array.blit a 0 t.arr 0 t.n;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    ensure_sorted t;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
+    t.arr.(idx)
+  end
+
+let median t = percentile t 50.0
+
+let clear t =
+  t.arr <- [||];
+  t.n <- 0;
+  t.sorted <- true

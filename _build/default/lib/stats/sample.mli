@@ -1,0 +1,27 @@
+(** Growable sample buffer with summary statistics.
+
+    Collects float observations (latencies, sizes, ...) and answers
+    mean / stddev / percentile queries. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val is_empty : t -> bool
+val mean : t -> float
+(** Arithmetic mean; [nan] when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; [nan] when empty. *)
+
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], by nearest-rank on the sorted
+    samples; [nan] when empty. *)
+
+val median : t -> float
+val sum : t -> float
+val clear : t -> unit

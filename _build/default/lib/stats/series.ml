@@ -1,0 +1,27 @@
+type t = {
+  bin : float;
+  counts : (int, int) Hashtbl.t;
+  mutable last_bin : int;
+  mutable total : int;
+}
+
+let create ~bin = { bin; counts = Hashtbl.create 64; last_bin = -1; total = 0 }
+
+let record t time =
+  let b = int_of_float (time /. t.bin) in
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.counts b) in
+  Hashtbl.replace t.counts b (cur + 1);
+  if b > t.last_bin then t.last_bin <- b;
+  t.total <- t.total + 1
+
+let bins t =
+  let rec build i acc =
+    if i < 0 then acc
+    else
+      let c = Option.value ~default:0 (Hashtbl.find_opt t.counts i) in
+      let rate = float_of_int c /. t.bin in
+      build (i - 1) ((float_of_int i *. t.bin, rate) :: acc)
+  in
+  build t.last_bin []
+
+let total t = t.total

@@ -1,0 +1,17 @@
+(** Time-binned event counting, for instantaneous-throughput plots
+    (Fig. 10(a) of the paper). *)
+
+type t
+
+val create : bin:float -> t
+(** [create ~bin] counts events into consecutive bins of [bin] seconds. *)
+
+val record : t -> float -> unit
+(** [record t time] counts one event at the given timestamp. *)
+
+val bins : t -> (float * float) list
+(** [(bin_start_time, events_per_second)] for every bin from time 0 to the
+    last recorded event, including empty bins. *)
+
+val total : t -> int
+(** Total number of recorded events. *)

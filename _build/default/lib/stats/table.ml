@@ -1,0 +1,32 @@
+let fmt_f x =
+  if Float.is_nan x then "-"
+  else if Float.abs x >= 1000.0 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 100.0 then Printf.sprintf "%.1f" x
+  else if Float.abs x >= 1.0 then Printf.sprintf "%.2f" x
+  else Printf.sprintf "%.4f" x
+
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line row =
+    String.concat "  " (List.mapi (fun i cell -> pad (List.nth widths i) cell) row)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (line header);
+  Printf.printf "%s\n" (String.make (String.length (line header)) '-');
+  List.iter (fun row -> Printf.printf "%s\n" (line row)) rows
+
+let print_series ~title ~xlabel ~ylabel points =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "# %s  %s\n" xlabel ylabel;
+  List.iter (fun (x, y) -> Printf.printf "%s  %s\n" (fmt_f x) (fmt_f y)) points

@@ -1,0 +1,1 @@
+lib/storage/database.ml: Array Btree Cost Hashtbl List Option Printf Schema Store String Value

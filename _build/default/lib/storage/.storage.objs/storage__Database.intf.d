@@ -1,0 +1,1 @@
+lib/storage/database.mli: Schema Store Value

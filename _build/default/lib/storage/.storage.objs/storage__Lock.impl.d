@@ -1,0 +1,1 @@
+lib/storage/lock.ml: Hashtbl List Option Queue Store

@@ -1,0 +1,1 @@
+lib/storage/lock.mli: Store

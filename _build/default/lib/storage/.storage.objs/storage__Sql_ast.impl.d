@@ -1,0 +1,1 @@
+lib/storage/sql_ast.ml: Buffer Format List Printf String Value

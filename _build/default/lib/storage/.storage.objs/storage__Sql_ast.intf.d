@@ -1,0 +1,1 @@
+lib/storage/sql_ast.mli: Format Value

@@ -1,0 +1,1 @@
+lib/storage/sql_exec.ml: Array Database List Printf Schema Sql_ast Sql_parser String Value

@@ -1,0 +1,1 @@
+lib/storage/sql_exec.mli: Database Schema Sql_ast Value

@@ -1,0 +1,1 @@
+lib/storage/sql_lexer.mli: Format

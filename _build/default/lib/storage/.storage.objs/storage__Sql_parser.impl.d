@@ -1,0 +1,1 @@
+lib/storage/sql_parser.ml: Format List Printf Sql_ast Sql_lexer Value

@@ -1,0 +1,1 @@
+lib/storage/sql_parser.mli: Sql_ast

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Avl Btree Cost Hashtbl List String Value

@@ -1,0 +1,147 @@
+type ('k, 'v) node =
+  | Empty
+  | Node of { l : ('k, 'v) node; k : 'k; v : 'v; r : ('k, 'v) node; h : int }
+
+type ('k, 'v) t = { cmp : 'k -> 'k -> int; root : ('k, 'v) node; size : int }
+
+let create ~cmp = { cmp; root = Empty; size = 0 }
+
+let cardinal t = t.size
+let is_empty t = t.size = 0
+
+let hgt = function Empty -> 0 | Node { h; _ } -> h
+
+let mk l k v r =
+  Node { l; k; v; r; h = 1 + max (hgt l) (hgt r) }
+
+(* Rebalance a node whose children differ in height by at most 2. *)
+let balance l k v r =
+  let hl = hgt l and hr = hgt r in
+  if hl > hr + 1 then
+    match l with
+    | Node { l = ll; k = lk; v = lv; r = lr; _ } when hgt ll >= hgt lr ->
+        mk ll lk lv (mk lr k v r)
+    | Node
+        { l = ll; k = lk; v = lv; r = Node { l = lrl; k = lrk; v = lrv; r = lrr; _ }; _ } ->
+        mk (mk ll lk lv lrl) lrk lrv (mk lrr k v r)
+    | _ -> assert false
+  else if hr > hl + 1 then
+    match r with
+    | Node { l = rl; k = rk; v = rv; r = rr; _ } when hgt rr >= hgt rl ->
+        mk (mk l k v rl) rk rv rr
+    | Node
+        { l = Node { l = rll; k = rlk; v = rlv; r = rlr; _ }; k = rk; v = rv; r = rr; _ } ->
+        mk (mk l k v rll) rlk rlv (mk rlr rk rv rr)
+    | _ -> assert false
+  else mk l k v r
+
+let find t key =
+  let cmp = t.cmp in
+  let rec go = function
+    | Empty -> None
+    | Node { l; k; v; r; _ } ->
+        let c = cmp key k in
+        if c = 0 then Some v else if c < 0 then go l else go r
+  in
+  go t.root
+
+let insert t key value =
+  let cmp = t.cmp in
+  let added = ref false in
+  let rec go = function
+    | Empty ->
+        added := true;
+        mk Empty key value Empty
+    | Node { l; k; v; r; _ } ->
+        let c = cmp key k in
+        if c = 0 then mk l key value r
+        else if c < 0 then balance (go l) k v r
+        else balance l k v (go r)
+  in
+  let root = go t.root in
+  { t with root; size = (if !added then t.size + 1 else t.size) }
+
+let rec min_node = function
+  | Empty -> None
+  | Node { l = Empty; k; v; _ } -> Some (k, v)
+  | Node { l; _ } -> min_node l
+
+let remove t key =
+  let cmp = t.cmp in
+  let removed = ref false in
+  let rec go = function
+    | Empty -> Empty
+    | Node { l; k; v; r; _ } ->
+        let c = cmp key k in
+        if c < 0 then balance (go l) k v r
+        else if c > 0 then balance l k v (go r)
+        else begin
+          removed := true;
+          match (l, r) with
+          | Empty, _ -> r
+          | _, Empty -> l
+          | _ -> (
+              match min_node r with
+              | Some (sk, sv) ->
+                  let rec drop_min = function
+                    | Empty -> assert false
+                    | Node { l = Empty; r; _ } -> r
+                    | Node { l; k; v; r; _ } -> balance (drop_min l) k v r
+                  in
+                  balance l sk sv (drop_min r)
+              | None -> assert false)
+        end
+  in
+  let root = go t.root in
+  if !removed then { t with root; size = t.size - 1 } else t
+
+let iter f t =
+  let rec go = function
+    | Empty -> ()
+    | Node { l; k; v; r; _ } ->
+        go l;
+        f k v;
+        go r
+  in
+  go t.root
+
+let fold f t acc =
+  let rec go node acc =
+    match node with
+    | Empty -> acc
+    | Node { l; k; v; r; _ } -> go r (f k v (go l acc))
+  in
+  go t.root acc
+
+let height t = hgt t.root
+
+let check t =
+  let cmp = t.cmp in
+  let rec go = function
+    | Empty -> Ok (0, 0)
+    | Node { l; k; v = _; r; h } -> (
+        match go l with
+        | Error e -> Error e
+        | Ok (hl, nl) -> (
+            match go r with
+            | Error e -> Error e
+            | Ok (hr, nr) ->
+                if h <> 1 + max hl hr then Error "stale height"
+                else if abs (hl - hr) > 1 then Error "unbalanced"
+                else if
+                  (match max_key l with Some mk -> cmp mk k >= 0 | None -> false)
+                  || match min_key r with Some mk -> cmp mk k <= 0 | None -> false
+                then Error "unordered"
+                else Ok (h, nl + nr + 1)))
+  and max_key = function
+    | Empty -> None
+    | Node { r = Empty; k; _ } -> Some k
+    | Node { r; _ } -> max_key r
+  and min_key = function
+    | Empty -> None
+    | Node { l = Empty; k; _ } -> Some k
+    | Node { l; _ } -> min_key l
+  in
+  match go t.root with
+  | Error e -> Error e
+  | Ok (_, n) -> if n = t.size then Ok () else Error "size mismatch"

@@ -1,0 +1,22 @@
+(** A from-scratch functional AVL tree — the ordered structure behind the
+    "dogwood" backend (the reproduction's Apache Derby stand-in), kept
+    deliberately different from the B+-tree for diversity. *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> ('k, 'v) t
+val cardinal : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
+val insert : ('k, 'v) t -> 'k -> 'v -> ('k, 'v) t
+(** Insert or replace. *)
+
+val remove : ('k, 'v) t -> 'k -> ('k, 'v) t
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Ascending key order. *)
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val height : ('k, 'v) t -> int
+
+val check : ('k, 'v) t -> (unit, string) result
+(** Verify ordering and the AVL balance invariant. *)

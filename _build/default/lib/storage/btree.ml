@@ -1,0 +1,385 @@
+(* Functional B+-tree. Leaves hold the bindings; internal nodes hold
+   separator keys with the weak invariant: every key in [children.(i)] is
+   [< seps.(i)] and [>= seps.(i-1)] (separators may be stale lower bounds
+   after deletions, as in textbook B+-trees). *)
+
+let min_leaf = 7
+let max_leaf = 15
+let min_children = 8
+let max_children = 16
+
+type ('k, 'v) node =
+  | Leaf of ('k * 'v) array
+  | Node of ('k, 'v) node array * 'k array
+
+type ('k, 'v) t = { cmp : 'k -> 'k -> int; root : ('k, 'v) node; size : int }
+
+let create ~cmp = { cmp; root = Leaf [||]; size = 0 }
+
+let is_empty t = t.size = 0
+let cardinal t = t.size
+
+(* Array edit helpers. *)
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+let array_remove arr i =
+  let n = Array.length arr in
+  let out = Array.sub arr 0 (n - 1) in
+  Array.blit arr (i + 1) out i (n - i - 1);
+  out
+
+let array_replace arr i x =
+  let out = Array.copy arr in
+  out.(i) <- x;
+  out
+
+(* Number of elements strictly below [k] in a sorted array (by [proj]). *)
+let lower_bound cmp proj arr k =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp (proj arr.(mid)) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child index for key [k]: the first child whose separator exceeds [k]. *)
+let child_index cmp seps k =
+  let lo = ref 0 and hi = ref (Array.length seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp seps.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec find_node cmp node k =
+  match node with
+  | Leaf arr ->
+      let i = lower_bound cmp fst arr k in
+      if i < Array.length arr && cmp (fst arr.(i)) k = 0 then
+        Some (snd arr.(i))
+      else None
+  | Node (children, seps) -> find_node cmp children.(child_index cmp seps k) k
+
+let find t k = find_node t.cmp t.root k
+
+(* Insertion. *)
+
+type ('k, 'v) ins =
+  | One of ('k, 'v) node
+  | Split of ('k, 'v) node * 'k * ('k, 'v) node
+
+let split_leaf arr =
+  let n = Array.length arr in
+  let mid = n / 2 in
+  let left = Array.sub arr 0 mid and right = Array.sub arr mid (n - mid) in
+  Split (Leaf left, fst right.(0), Leaf right)
+
+let split_node children seps =
+  let n = Array.length children in
+  let mid = n / 2 in
+  let lch = Array.sub children 0 mid in
+  let rch = Array.sub children mid (n - mid) in
+  let lsep = Array.sub seps 0 (mid - 1) in
+  let rsep = Array.sub seps mid (Array.length seps - mid) in
+  Split (Node (lch, lsep), seps.(mid - 1), Node (rch, rsep))
+
+let rec insert_node cmp node k v =
+  match node with
+  | Leaf arr ->
+      let i = lower_bound cmp fst arr k in
+      if i < Array.length arr && cmp (fst arr.(i)) k = 0 then
+        (One (Leaf (array_replace arr i (k, v))), false)
+      else begin
+        let arr = array_insert arr i (k, v) in
+        let res =
+          if Array.length arr > max_leaf then split_leaf arr else One (Leaf arr)
+        in
+        (res, true)
+      end
+  | Node (children, seps) -> (
+      let i = child_index cmp seps k in
+      let res, added = insert_node cmp children.(i) k v in
+      match res with
+      | One child -> (One (Node (array_replace children i child, seps)), added)
+      | Split (l, s, r) ->
+          let children = array_replace children i l in
+          let children = array_insert children (i + 1) r in
+          let seps = array_insert seps i s in
+          let res =
+            if Array.length children > max_children then
+              split_node children seps
+            else One (Node (children, seps))
+          in
+          (res, added))
+
+let insert t k v =
+  let res, added = insert_node t.cmp t.root k v in
+  let root =
+    match res with
+    | One n -> n
+    | Split (l, s, r) -> Node ([| l; r |], [| s |])
+  in
+  { t with root; size = (if added then t.size + 1 else t.size) }
+
+(* Deletion. *)
+
+let underflow = function
+  | Leaf arr -> Array.length arr < min_leaf
+  | Node (children, _) -> Array.length children < min_children
+
+(* Rebalance child [i] of (children, seps), known to be underfull.
+   Prefers borrowing; merges otherwise. Returns the fixed (children, seps). *)
+let fix_child children seps i =
+  let merge_leaves li ri =
+    (* Merge children.(ri) into children.(li); the separator between them
+       (index li) disappears. *)
+    let merged =
+      match (children.(li), children.(ri)) with
+      | Leaf a, Leaf b -> Leaf (Array.append a b)
+      | Node (ca, sa), Node (cb, sb) ->
+          Node (Array.append ca cb, Array.concat [ sa; [| seps.(li) |]; sb ])
+      | _ -> assert false
+    in
+    let children = array_replace children li merged in
+    let children = array_remove children ri in
+    let seps = array_remove seps li in
+    (children, seps)
+  in
+  let can_lend = function
+    | Leaf arr -> Array.length arr > min_leaf
+    | Node (ch, _) -> Array.length ch > min_children
+  in
+  if i > 0 && can_lend children.(i - 1) then begin
+    (* Borrow from the left sibling. *)
+    match (children.(i - 1), children.(i)) with
+    | Leaf l, Leaf c ->
+        let n = Array.length l in
+        let moved = l.(n - 1) in
+        let children = array_replace children (i - 1) (Leaf (Array.sub l 0 (n - 1))) in
+        let children = array_replace children i (Leaf (array_insert c 0 moved)) in
+        let seps = array_replace seps (i - 1) (fst moved) in
+        (children, seps)
+    | Node (chl, sepl), Node (chc, sepc) ->
+        let n = Array.length chl in
+        let moved_child = chl.(n - 1) in
+        let promoted = sepl.(Array.length sepl - 1) in
+        let l' = Node (Array.sub chl 0 (n - 1), Array.sub sepl 0 (Array.length sepl - 1)) in
+        let c' = Node (array_insert chc 0 moved_child, array_insert sepc 0 seps.(i - 1)) in
+        let children = array_replace children (i - 1) l' in
+        let children = array_replace children i c' in
+        let seps = array_replace seps (i - 1) promoted in
+        (children, seps)
+    | _ -> assert false
+  end
+  else if i < Array.length children - 1 && can_lend children.(i + 1) then begin
+    (* Borrow from the right sibling. *)
+    match (children.(i), children.(i + 1)) with
+    | Leaf c, Leaf r ->
+        let moved = r.(0) in
+        let r' = Leaf (array_remove r 0) in
+        let c' = Leaf (Array.append c [| moved |]) in
+        let children = array_replace children i c' in
+        let children = array_replace children (i + 1) r' in
+        let seps =
+          array_replace seps i
+            (match r' with Leaf arr -> fst arr.(0) | Node _ -> assert false)
+        in
+        (children, seps)
+    | Node (chc, sepc), Node (chr, sepr) ->
+        let moved_child = chr.(0) in
+        let promoted = sepr.(0) in
+        let c' = Node (Array.append chc [| moved_child |], Array.append sepc [| seps.(i) |]) in
+        let r' = Node (array_remove chr 0, array_remove sepr 0) in
+        let children = array_replace children i c' in
+        let children = array_replace children (i + 1) r' in
+        let seps = array_replace seps i promoted in
+        (children, seps)
+    | _ -> assert false
+  end
+  else if i > 0 then merge_leaves (i - 1) i
+  else merge_leaves i (i + 1)
+
+let rec remove_node cmp node k =
+  match node with
+  | Leaf arr ->
+      let i = lower_bound cmp fst arr k in
+      if i < Array.length arr && cmp (fst arr.(i)) k = 0 then
+        (Leaf (array_remove arr i), true)
+      else (node, false)
+  | Node (children, seps) ->
+      let i = child_index cmp seps k in
+      let child, removed = remove_node cmp children.(i) k in
+      if not removed then (node, false)
+      else begin
+        let children = array_replace children i child in
+        if underflow child then
+          let children, seps = fix_child children seps i in
+          (Node (children, seps), true)
+        else (Node (children, seps), true)
+      end
+
+let remove t k =
+  let root, removed = remove_node t.cmp t.root k in
+  if not removed then t
+  else
+    let root =
+      match root with
+      | Node ([| only |], [||]) -> only
+      | Leaf _ | Node _ -> root
+    in
+    { t with root; size = t.size - 1 }
+
+(* Traversal. *)
+
+let rec iter_node f = function
+  | Leaf arr -> Array.iter (fun (k, v) -> f k v) arr
+  | Node (children, _) -> Array.iter (iter_node f) children
+
+let iter f t = iter_node f t.root
+
+let rec fold_node f node acc =
+  match node with
+  | Leaf arr -> Array.fold_left (fun acc (k, v) -> f k v acc) acc arr
+  | Node (children, _) ->
+      Array.fold_left (fun acc c -> fold_node f c acc) acc children
+
+let fold f t acc = fold_node f t.root acc
+
+let iter_range ~lo ~hi f t =
+  let cmp = t.cmp in
+  let above_lo k = match lo with None -> true | Some l -> cmp k l >= 0 in
+  let below_hi k = match hi with None -> true | Some h -> cmp k h <= 0 in
+  let rec go = function
+    | Leaf arr ->
+        Array.iter (fun (k, v) -> if above_lo k && below_hi k then f k v) arr
+    | Node (children, seps) ->
+        (* Skip subtrees wholly outside the range using separators. *)
+        let n = Array.length children in
+        for i = 0 to n - 1 do
+          let could_have_lo =
+            match lo with
+            | None -> true
+            | Some l -> i = n - 1 || cmp seps.(i) l > 0
+          in
+          let could_have_hi =
+            match hi with
+            | None -> true
+            | Some h -> i = 0 || cmp seps.(i - 1) h <= 0
+          in
+          if could_have_lo && could_have_hi then go children.(i)
+        done
+  in
+  go t.root
+
+exception Stop
+
+let iter_while ~lo f t =
+  let cmp = t.cmp in
+  let above_lo k = match lo with None -> true | Some l -> cmp k l >= 0 in
+  let rec go = function
+    | Leaf arr ->
+        Array.iter
+          (fun (k, v) -> if above_lo k then if not (f k v) then raise Stop)
+          arr
+    | Node (children, seps) ->
+        let n = Array.length children in
+        for i = 0 to n - 1 do
+          let could_have_lo =
+            match lo with
+            | None -> true
+            | Some l -> i = n - 1 || cmp seps.(i) l > 0
+          in
+          if could_have_lo then go children.(i)
+        done
+  in
+  try go t.root with Stop -> ()
+
+let rec min_node = function
+  | Leaf [||] -> None
+  | Leaf arr -> Some arr.(0)
+  | Node (children, _) -> min_node children.(0)
+
+let min_binding t = min_node t.root
+
+let rec max_node = function
+  | Leaf [||] -> None
+  | Leaf arr -> Some arr.(Array.length arr - 1)
+  | Node (children, _) -> max_node children.(Array.length children - 1)
+
+let max_binding t = max_node t.root
+
+let rec height_node = function
+  | Leaf [||] -> 0
+  | Leaf _ -> 1
+  | Node (children, _) -> 1 + height_node children.(0)
+
+let height t = height_node t.root
+
+(* Invariant checking. *)
+
+let check t =
+  let cmp = t.cmp in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec sorted arr i =
+    i + 1 >= Array.length arr
+    || (cmp (fst arr.(i)) (fst arr.(i + 1)) < 0 && sorted arr (i + 1))
+  in
+  (* Returns (depth, count) on success; checks bounds [lo, hi). *)
+  let rec go node ~root ~lo ~hi =
+    match node with
+    | Leaf arr ->
+        if (not root) && Array.length arr < min_leaf then
+          fail "leaf underfull (%d)" (Array.length arr)
+        else if Array.length arr > max_leaf then fail "leaf overfull"
+        else if not (sorted arr 0) then fail "leaf unsorted"
+        else if
+          not
+            (Array.for_all
+               (fun (k, _) ->
+                 (match lo with None -> true | Some l -> cmp k l >= 0)
+                 && match hi with None -> true | Some h -> cmp k h < 0)
+               arr)
+        then fail "leaf key out of bounds"
+        else Ok (1, Array.length arr)
+    | Node (children, seps) ->
+        let nc = Array.length children in
+        if nc <> Array.length seps + 1 then fail "child/sep arity"
+        else if (not root) && nc < min_children then fail "node underfull"
+        else if nc > max_children then fail "node overfull"
+        else if root && nc < 2 then fail "root node with one child"
+        else begin
+          let result = ref (Ok (0, 0)) in
+          let depth0 = ref None in
+          let total = ref 0 in
+          for i = 0 to nc - 1 do
+            match !result with
+            | Error _ -> ()
+            | Ok _ -> (
+                let lo_i = if i = 0 then lo else Some seps.(i - 1) in
+                let hi_i = if i = nc - 1 then hi else Some seps.(i) in
+                match go children.(i) ~root:false ~lo:lo_i ~hi:hi_i with
+                | Error e -> result := Error e
+                | Ok (d, c) -> (
+                    total := !total + c;
+                    match !depth0 with
+                    | None -> depth0 := Some d
+                    | Some d0 ->
+                        if d0 <> d then result := fail "uneven leaf depth"))
+          done;
+          match !result with
+          | Error e -> Error e
+          | Ok _ -> Ok ((match !depth0 with Some d -> d + 1 | None -> 1), !total)
+        end
+  in
+  match go t.root ~root:true ~lo:None ~hi:None with
+  | Error e -> Error e
+  | Ok (_, count) ->
+      if count <> t.size then
+        Error (Printf.sprintf "size mismatch: %d vs %d" count t.size)
+      else Ok ()

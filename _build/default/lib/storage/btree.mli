@@ -1,0 +1,47 @@
+(** A from-scratch functional B+-tree.
+
+    Values live in the leaves; internal nodes hold separator keys. Insert
+    splits full nodes on the way up; delete rebalances by borrowing from or
+    merging with siblings. This is the ordered storage backend behind the
+    "hickory" database (the reproduction's HSQLDB stand-in) and the
+    secondary-index structure. Invariants are enforced by {!check} and
+    hammered by qcheck against a [Map] model in the test suite. *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> ('k, 'v) t
+val is_empty : ('k, 'v) t -> bool
+val cardinal : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+
+val insert : ('k, 'v) t -> 'k -> 'v -> ('k, 'v) t
+(** Insert or replace. *)
+
+val remove : ('k, 'v) t -> 'k -> ('k, 'v) t
+(** No-op if the key is absent. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** In ascending key order. *)
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+(** In ascending key order. *)
+
+val iter_range : lo:'k option -> hi:'k option -> ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Visit keys [k] with [lo ≤ k ≤ hi] (either bound may be open) in
+    ascending order. *)
+
+val iter_while : lo:'k option -> ('k -> 'v -> bool) -> ('k, 'v) t -> unit
+(** Visit keys [≥ lo] in ascending order while the callback returns
+    [true]; stops at the first [false] (early-exit range scans, as used by
+    secondary-index equality lookups). *)
+
+val min_binding : ('k, 'v) t -> ('k * 'v) option
+val max_binding : ('k, 'v) t -> ('k * 'v) option
+
+val height : ('k, 'v) t -> int
+(** Tree height (leaves are height 1; empty tree is 0). *)
+
+val check : ('k, 'v) t -> (unit, string) result
+(** Verify structural invariants: key ordering, separator correctness,
+    node occupancy bounds, and uniform leaf depth. *)

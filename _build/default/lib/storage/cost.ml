@@ -1,0 +1,49 @@
+type profile = {
+  point_read : float;
+  point_write : float;
+  scan_row : float;
+  txn_overhead : float;
+}
+
+(* Standalone H2 peaks at ≈6,400 update txns/s in Fig. 9(a); a deposit
+   transaction is one read plus one write plus commit bookkeeping:
+   0.05 + 0.065 + 0.04 ms ≈ 0.155 ms ⇒ ≈6,450 txns/s. *)
+let hazel =
+  {
+    point_read = 4.2e-5;
+    point_write = 5.5e-5;
+    scan_row = 4.0e-7;
+    txn_overhead = 2.5e-5;
+  }
+
+let hickory =
+  {
+    point_read = 6.0e-5;
+    point_write = 8.0e-5;
+    scan_row = 5.0e-7;
+    txn_overhead = 3.0e-5;
+  }
+
+let dogwood =
+  {
+    point_read = 1.1e-4;
+    point_write = 1.45e-4;
+    scan_row = 7.0e-7;
+    txn_overhead = 4.0e-5;
+  }
+
+(* Fit to Fig. 10(b): receiving-side row insertion is the bottleneck
+   (≈45 µs per 16 B/3-column row, ≈139 µs per 1 KB/4-column row); the
+   sending side serializes at a quarter of that and pipelines behind it. *)
+let per_column = 13.3e-6
+let per_byte = 8.0e-8
+
+let row_weight ~columns ~bytes =
+  3.7e-6 +. (per_column *. float_of_int columns)
+  +. (per_byte *. float_of_int bytes)
+
+let serialize_row ~columns ~bytes = 0.25 *. row_weight ~columns ~bytes
+
+let bulk_insert_row ~columns ~bytes = row_weight ~columns ~bytes
+
+let round_trips n rtt = float_of_int n *. rtt

@@ -1,0 +1,34 @@
+(** Virtual CPU-cost model of the storage engines.
+
+    Calibrated against the paper's measurements: a standalone H2 sustains
+    ≈6,400 micro-benchmark update transactions per second (Fig. 9(a)), and
+    bulk state-transfer insertion runs at ≈45 µs per 16-byte 3-column row
+    and ≈139 µs per 1 KB 4-column row (Fig. 10(b)), with serialization
+    overhead proportional to the column count. *)
+
+type profile = {
+  point_read : float;  (** Key lookup. *)
+  point_write : float;  (** Insert / update / delete by key. *)
+  scan_row : float;  (** Per row visited in a scan. *)
+  txn_overhead : float;  (** Begin/commit bookkeeping per transaction. *)
+}
+
+val hazel : profile
+(** Hash backend (H2 stand-in, fastest point ops). *)
+
+val hickory : profile
+(** B+-tree backend (HSQLDB stand-in). *)
+
+val dogwood : profile
+(** AVL backend (Derby stand-in, slowest). *)
+
+val serialize_row : columns:int -> bytes:int -> float
+(** CPU seconds to serialize one row for the wire (state transfer). *)
+
+val bulk_insert_row : columns:int -> bytes:int -> float
+(** CPU seconds to insert one row at the receiving replica — the paper's
+    state-transfer bottleneck. *)
+
+val round_trips : int -> float -> float
+(** [round_trips n rtt] — client-side latency spent on [n] protocol round
+    trips (TPC-C transactions issue several per transaction). *)

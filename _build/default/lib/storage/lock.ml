@@ -1,0 +1,73 @@
+type granularity = Table_level | Row_level
+
+type resource = string * Store.key option
+
+type entry = { mutable holder : int; waiters : int Queue.t }
+
+type t = {
+  granularity : granularity;
+  locks : (resource, entry) Hashtbl.t;
+  held : (int, resource list) Hashtbl.t;  (* txn -> resources held *)
+}
+
+let create granularity =
+  { granularity; locks = Hashtbl.create 64; held = Hashtbl.create 64 }
+
+let granularity t = t.granularity
+
+let resource t ~table ~key =
+  match t.granularity with
+  | Table_level -> (table, None)
+  | Row_level -> (table, key)
+
+let note_held t txn res =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.held txn) in
+  Hashtbl.replace t.held txn (res :: cur)
+
+let acquire t ~txn ~table ~key =
+  let res = resource t ~table ~key in
+  match Hashtbl.find_opt t.locks res with
+  | None ->
+      Hashtbl.replace t.locks res { holder = txn; waiters = Queue.create () };
+      note_held t txn res;
+      `Granted
+  | Some entry when entry.holder = txn -> `Granted
+  | Some entry ->
+      Queue.push txn entry.waiters;
+      `Queued
+
+let release_all t ~txn =
+  let resources = Option.value ~default:[] (Hashtbl.find_opt t.held txn) in
+  Hashtbl.remove t.held txn;
+  List.filter_map
+    (fun res ->
+      match Hashtbl.find_opt t.locks res with
+      | Some entry when entry.holder = txn -> (
+          match Queue.take_opt entry.waiters with
+          | Some next ->
+              entry.holder <- next;
+              note_held t next res;
+              Some next
+          | None ->
+              Hashtbl.remove t.locks res;
+              None)
+      | Some _ | None -> None)
+    (List.rev resources)
+
+let cancel t ~txn =
+  Hashtbl.iter
+    (fun _ entry ->
+      let keep = Queue.create () in
+      Queue.iter (fun w -> if w <> txn then Queue.push w keep) entry.waiters;
+      Queue.clear entry.waiters;
+      Queue.transfer keep entry.waiters)
+    t.locks
+
+let holds t ~txn =
+  List.length (Option.value ~default:[] (Hashtbl.find_opt t.held txn))
+
+let waiting t ~txn =
+  Hashtbl.fold
+    (fun _ entry acc ->
+      acc || Queue.fold (fun acc w -> acc || w = txn) false entry.waiters)
+    t.locks false

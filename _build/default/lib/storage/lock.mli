@@ -1,0 +1,34 @@
+(** Exclusive lock manager with configurable granularity.
+
+    Models the locking behaviour that shapes the paper's baseline curves:
+    H2 and the MySQL memory engine take table-level locks (throughput
+    collapses under contention as lock waits time out), while InnoDB takes
+    row-level locks. Waiters queue FIFO per resource; timeout-based aborts
+    are driven by the caller in virtual time. *)
+
+type granularity = Table_level | Row_level
+
+type t
+
+val create : granularity -> t
+
+val granularity : t -> granularity
+
+val acquire :
+  t -> txn:int -> table:string -> key:Store.key option -> [ `Granted | `Queued ]
+(** Request the lock covering the given row (or whole table when [key] is
+    [None]; under [Table_level] every request covers the whole table).
+    Re-acquiring a resource already held by [txn] is granted. *)
+
+val release_all : t -> txn:int -> int list
+(** Release every lock held by [txn] (commit or abort); returns the
+    transactions that acquired a lock as a result, in grant order. *)
+
+val cancel : t -> txn:int -> unit
+(** Remove [txn] from every wait queue (timeout abort) without touching
+    locks it already holds. *)
+
+val holds : t -> txn:int -> int
+(** Number of resources currently held. *)
+
+val waiting : t -> txn:int -> bool

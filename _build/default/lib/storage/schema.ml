@@ -1,0 +1,52 @@
+type column = { name : string; ty : Value.ty }
+
+type t = { table : string; columns : column list; pkey : int list }
+
+let v ~table ~columns ~pkey =
+  let names = List.map fst columns in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Schema.v: duplicate column";
+  let index name =
+    match List.find_index (String.equal name) names with
+    | Some i -> i
+    | None -> invalid_arg ("Schema.v: unknown pkey column " ^ name)
+  in
+  {
+    table;
+    columns = List.map (fun (name, ty) -> { name; ty }) columns;
+    pkey = List.map index pkey;
+  }
+
+let arity t = List.length t.columns
+
+let column_index t name =
+  List.find_index (fun c -> String.equal c.name name) t.columns
+
+let column_ty t i = (List.nth t.columns i).ty
+
+let check_row t row =
+  if Array.length row <> arity t then
+    Error
+      (Printf.sprintf "%s: arity mismatch (%d vs %d)" t.table
+         (Array.length row) (arity t))
+  else begin
+    let bad = ref None in
+    List.iteri
+      (fun i c ->
+        if !bad = None && not (Value.matches c.ty row.(i)) then
+          bad := Some (Printf.sprintf "%s.%s: type mismatch" t.table c.name))
+      t.columns;
+    List.iter
+      (fun i ->
+        if !bad = None && row.(i) = Value.Null then
+          bad := Some (Printf.sprintf "%s: NULL primary key" t.table))
+      t.pkey;
+    match !bad with None -> Ok () | Some e -> Error e
+  end
+
+let key_of_row t row = List.map (fun i -> row.(i)) t.pkey
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s)" t.table
+    (String.concat ", "
+       (List.map (fun c -> c.name ^ " " ^ Value.ty_to_string c.ty) t.columns))

@@ -1,0 +1,26 @@
+(** Table schemas: ordered columns with types and a primary key. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t = {
+  table : string;
+  columns : column list;
+  pkey : int list;  (** Indices of the primary-key columns, in key order. *)
+}
+
+val v : table:string -> columns:(string * Value.ty) list -> pkey:string list -> t
+(** Build a schema; raises [Invalid_argument] if a primary-key column is
+    unknown or columns are duplicated. *)
+
+val arity : t -> int
+val column_index : t -> string -> int option
+val column_ty : t -> int -> Value.ty
+
+val check_row : t -> Value.t array -> (unit, string) result
+(** Arity and per-column type check; primary-key columns must be
+    non-NULL. *)
+
+val key_of_row : t -> Value.t array -> Value.t list
+(** Extract the primary-key values of a row. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,149 @@
+type binop = Eq | Neq | Lt | Le | Gt | Ge | And | Or | Add | Sub | Mul
+
+type expr =
+  | Col of string
+  | Lit of Value.t
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Between of expr * expr * expr
+  | In_list of expr * Value.t list
+
+type order = Asc | Desc
+
+type aggregate =
+  | Count_star
+  | Count of string
+  | Sum of string
+  | Min_of of string
+  | Max_of of string
+  | Avg of string
+
+type projection = Star | Cols of string list | Aggregates of aggregate list
+
+type stmt =
+  | Create_table of {
+      name : string;
+      columns : (string * Value.ty) list;
+      pkey : string list;
+    }
+  | Insert of {
+      table : string;
+      columns : string list option;
+      values : expr list list;
+    }
+  | Select of {
+      table : string;
+      projection : projection;
+      where : expr option;
+      order_by : (string * order) option;
+      limit : int option;
+    }
+  | Update of {
+      table : string;
+      assignments : (string * expr) list;
+      where : expr option;
+    }
+  | Delete of { table : string; where : expr option }
+  | Create_index of { table : string; column : string }
+  | Begin
+  | Commit
+  | Rollback
+
+let binop_str = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+
+(* SQL-escaped literal printing: a quote inside TEXT doubles. *)
+let pp_lit fmt = function
+  | Value.Text s ->
+      let buf = Buffer.create (String.length s + 2) in
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+        s;
+      Format.fprintf fmt "'%s'" (Buffer.contents buf)
+  | v -> Value.pp fmt v
+
+let rec pp_expr fmt = function
+  | Col c -> Format.fprintf fmt "%s" c
+  | Lit v -> pp_lit fmt v
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Not e -> Format.fprintf fmt "(NOT %a)" pp_expr e
+  | Between (e, lo, hi) ->
+      Format.fprintf fmt "(%a BETWEEN %a AND %a)" pp_expr e pp_expr lo pp_expr hi
+  | In_list (e, vs) ->
+      Format.fprintf fmt "(%a IN (%s))" pp_expr e
+        (String.concat ", " (List.map (Format.asprintf "%a" pp_lit) vs))
+
+let aggregate_str = function
+  | Count_star -> "COUNT(*)"
+  | Count c -> Printf.sprintf "COUNT(%s)" c
+  | Sum c -> Printf.sprintf "SUM(%s)" c
+  | Min_of c -> Printf.sprintf "MIN(%s)" c
+  | Max_of c -> Printf.sprintf "MAX(%s)" c
+  | Avg c -> Printf.sprintf "AVG(%s)" c
+
+let pp_where fmt = function
+  | None -> ()
+  | Some e -> Format.fprintf fmt " WHERE %a" pp_expr e
+
+let pp fmt = function
+  | Create_table { name; columns; pkey } ->
+      Format.fprintf fmt "CREATE TABLE %s (%s, PRIMARY KEY (%s))" name
+        (String.concat ", "
+           (List.map
+              (fun (c, ty) -> c ^ " " ^ Value.ty_to_string ty)
+              columns))
+        (String.concat ", " pkey)
+  | Insert { table; columns; values } ->
+      let cols =
+        match columns with
+        | None -> ""
+        | Some cs -> " (" ^ String.concat ", " cs ^ ")"
+      in
+      let tuple vs =
+        "(" ^ String.concat ", " (List.map (Format.asprintf "%a" pp_expr) vs) ^ ")"
+      in
+      Format.fprintf fmt "INSERT INTO %s%s VALUES %s" table cols
+        (String.concat ", " (List.map tuple values))
+  | Select { table; projection; where; order_by; limit } ->
+      let proj =
+        match projection with
+        | Star -> "*"
+        | Cols cs -> String.concat ", " cs
+        | Aggregates aggs -> String.concat ", " (List.map aggregate_str aggs)
+      in
+      Format.fprintf fmt "SELECT %s FROM %s%a" proj table pp_where where;
+      (match order_by with
+      | Some (c, Asc) -> Format.fprintf fmt " ORDER BY %s ASC" c
+      | Some (c, Desc) -> Format.fprintf fmt " ORDER BY %s DESC" c
+      | None -> ());
+      (match limit with
+      | Some n -> Format.fprintf fmt " LIMIT %d" n
+      | None -> ())
+  | Update { table; assignments; where } ->
+      Format.fprintf fmt "UPDATE %s SET %s%a" table
+        (String.concat ", "
+           (List.map
+              (fun (c, e) -> Format.asprintf "%s = %a" c pp_expr e)
+              assignments))
+        pp_where where
+  | Delete { table; where } ->
+      Format.fprintf fmt "DELETE FROM %s%a" table pp_where where
+  | Create_index { table; column } ->
+      Format.fprintf fmt "CREATE INDEX ON %s (%s)" table column
+  | Begin -> Format.fprintf fmt "BEGIN"
+  | Commit -> Format.fprintf fmt "COMMIT"
+  | Rollback -> Format.fprintf fmt "ROLLBACK"
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,68 @@
+(** Abstract syntax of the SQL subset (the "JDBC" surface of the engine).
+
+    Supported: CREATE TABLE with PRIMARY KEY, INSERT, SELECT with WHERE /
+    ORDER BY / LIMIT, UPDATE, DELETE, BEGIN / COMMIT / ROLLBACK. *)
+
+type binop =
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | Add | Sub | Mul
+
+type expr =
+  | Col of string
+  | Lit of Value.t
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Between of expr * expr * expr  (** [e BETWEEN lo AND hi], inclusive. *)
+  | In_list of expr * Value.t list  (** [e IN (v1, v2, ...)]. *)
+
+type order = Asc | Desc
+
+type aggregate =
+  | Count_star
+  | Count of string  (** Non-NULL values of the column. *)
+  | Sum of string
+  | Min_of of string
+  | Max_of of string
+  | Avg of string
+
+type projection = Star | Cols of string list | Aggregates of aggregate list
+
+type stmt =
+  | Create_table of {
+      name : string;
+      columns : (string * Value.ty) list;
+      pkey : string list;
+    }
+  | Insert of {
+      table : string;
+      columns : string list option;  (** [None] = schema order. *)
+      values : expr list list;
+    }
+  | Select of {
+      table : string;
+      projection : projection;
+      where : expr option;
+      order_by : (string * order) option;
+      limit : int option;
+    }
+  | Update of {
+      table : string;
+      assignments : (string * expr) list;
+      where : expr option;
+    }
+  | Delete of { table : string; where : expr option }
+  | Create_index of { table : string; column : string }
+      (** [CREATE INDEX [name] ON table (column)] — the optional name is
+          parsed and discarded. *)
+  | Begin
+  | Commit
+  | Rollback
+
+val aggregate_str : aggregate -> string
+(** "COUNT(*)", "SUM(BALANCE)", ... — also used as result column names. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> stmt -> unit
+val to_string : stmt -> string
+(** Prints back parseable SQL (round-trip tested). *)

@@ -1,0 +1,306 @@
+module A = Sql_ast
+
+type outcome =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+  | Done
+
+exception Eval_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let column_index schema name =
+  let target = String.uppercase_ascii name in
+  let rec go i = function
+    | [] -> fail "unknown column %s" name
+    | c :: rest ->
+        if String.uppercase_ascii c.Schema.name = target then i
+        else go (i + 1) rest
+  in
+  go 0 schema.Schema.columns
+
+let to_bool = function
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> fail "expected boolean, got %s" (Value.to_string v)
+
+let rec eval_exn schema row (e : A.expr) =
+  match e with
+  | A.Col name -> row.(column_index schema name)
+  | A.Lit v -> v
+  | A.Not e -> Value.Bool (not (to_bool (eval_exn schema row e)))
+  | A.Between (e, lo, hi) ->
+      let v = eval_exn schema row e in
+      let vlo = eval_exn schema row lo in
+      let vhi = eval_exn schema row hi in
+      Value.Bool
+        (v <> Value.Null && Value.compare v vlo >= 0 && Value.compare v vhi <= 0)
+  | A.In_list (e, vs) ->
+      let v = eval_exn schema row e in
+      Value.Bool (List.exists (fun w -> Value.compare v w = 0) vs)
+  | A.Binop (op, a, b) -> (
+      let va = eval_exn schema row a in
+      let vb = eval_exn schema row b in
+      let cmp () = Value.compare va vb in
+      match op with
+      | A.Eq -> Value.Bool (cmp () = 0)
+      | A.Neq -> Value.Bool (cmp () <> 0)
+      | A.Lt -> Value.Bool (va <> Value.Null && vb <> Value.Null && cmp () < 0)
+      | A.Le -> Value.Bool (va <> Value.Null && vb <> Value.Null && cmp () <= 0)
+      | A.Gt -> Value.Bool (va <> Value.Null && vb <> Value.Null && cmp () > 0)
+      | A.Ge -> Value.Bool (va <> Value.Null && vb <> Value.Null && cmp () >= 0)
+      | A.And -> Value.Bool (to_bool va && to_bool vb)
+      | A.Or -> Value.Bool (to_bool va || to_bool vb)
+      | A.Add -> Value.add va vb
+      | A.Sub -> (
+          match (va, vb) with
+          | Value.Int x, Value.Int y -> Value.Int (x - y)
+          | Value.Float x, Value.Float y -> Value.Float (x -. y)
+          | Value.Int x, Value.Float y -> Value.Float (float_of_int x -. y)
+          | Value.Float x, Value.Int y -> Value.Float (x -. float_of_int y)
+          | _ -> fail "non-numeric subtraction")
+      | A.Mul -> (
+          match (va, vb) with
+          | Value.Int x, Value.Int y -> Value.Int (x * y)
+          | Value.Float x, Value.Float y -> Value.Float (x *. y)
+          | Value.Int x, Value.Float y -> Value.Float (float_of_int x *. y)
+          | Value.Float x, Value.Int y -> Value.Float (x *. float_of_int y)
+          | _ -> fail "non-numeric multiplication"))
+
+let eval ~schema row e =
+  try Ok (eval_exn schema row e) with Eval_error m -> Error m
+
+(* Literal evaluation (INSERT values): no row context. *)
+let eval_literal e =
+  let dummy_schema =
+    { Schema.table = ""; columns = []; pkey = [] }
+  in
+  eval_exn dummy_schema [||] e
+
+(* Detect [pk = literal] (possibly flipped) for single-column keys. *)
+let pk_lookup schema (where : A.expr option) =
+  match (schema.Schema.pkey, where) with
+  | [ pk_idx ], Some (A.Binop (A.Eq, A.Col c, A.Lit v))
+  | [ pk_idx ], Some (A.Binop (A.Eq, A.Lit v, A.Col c)) ->
+      let pk_name = (List.nth schema.Schema.columns pk_idx).Schema.name in
+      if String.uppercase_ascii c = String.uppercase_ascii pk_name then Some [ v ]
+      else None
+  | _ -> None
+
+let matches schema where row =
+  match where with
+  | None -> true
+  | Some e -> to_bool (eval_exn schema row e)
+
+let with_schema db table f =
+  match Database.schema db table with
+  | None -> Error ("unknown table " ^ table)
+  | Some schema -> (
+      try f schema with Eval_error m -> Error m)
+
+(* Detect [col = literal] over a secondary-indexed column. *)
+let index_lookup db table schema (where : A.expr option) =
+  match where with
+  | Some (A.Binop (A.Eq, A.Col c, A.Lit v))
+  | Some (A.Binop (A.Eq, A.Lit v, A.Col c)) ->
+      let c = String.uppercase_ascii c in
+      if List.mem c (Database.indexed_columns db table) then Some (c, v)
+      else None
+  | _ -> ignore schema; None
+
+let compute_aggregates schema rows aggs =
+  let col_values col =
+    let i = column_index schema col in
+    List.filter_map
+      (fun row -> if row.(i) = Value.Null then None else Some row.(i))
+      rows
+  in
+  let numeric col f init =
+    List.fold_left f init (col_values col)
+  in
+  List.map
+    (function
+      | A.Count_star -> Value.Int (List.length rows)
+      | A.Count col -> Value.Int (List.length (col_values col))
+      | A.Sum col -> numeric col Value.add (Value.Int 0)
+      | A.Min_of col -> (
+          match col_values col with
+          | [] -> Value.Null
+          | v :: rest ->
+              List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v rest)
+      | A.Max_of col -> (
+          match col_values col with
+          | [] -> Value.Null
+          | v :: rest ->
+              List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v rest)
+      | A.Avg col -> (
+          match col_values col with
+          | [] -> Value.Null
+          | vs ->
+              let sum = List.fold_left Value.add (Value.Int 0) vs in
+              let n = float_of_int (List.length vs) in
+              let total =
+                match sum with
+                | Value.Int i -> float_of_int i
+                | Value.Float f -> f
+                | _ -> fail "AVG over non-numeric column"
+              in
+              Value.Float (total /. n)))
+    aggs
+
+let select db ~table ~projection ~where ~order_by ~limit =
+  with_schema db table (fun schema ->
+      let rows =
+        match pk_lookup schema where with
+        | Some key -> (
+            match Database.get db table key with
+            | Some row -> Ok [ row ]
+            | None -> Ok [])
+        | None -> (
+            (* Planner: use a secondary index for equality on an indexed
+               column; fall back to a full scan. *)
+            match index_lookup db table schema where with
+            | Some (col, v) -> Database.lookup_eq db table ~column:col ~value:v
+            | None -> Database.scan db table ~pred:(matches schema where))
+      in
+      match rows with
+      | Error e -> Error e
+      | Ok rows ->
+          let rows =
+            match order_by with
+            | None -> rows
+            | Some (col, dir) ->
+                let i = column_index schema col in
+                let cmp a b = Value.compare a.(i) b.(i) in
+                let sorted = List.stable_sort cmp rows in
+                if dir = A.Desc then List.rev sorted else sorted
+          in
+          let rows =
+            match limit with
+            | None -> rows
+            | Some n -> List.filteri (fun i _ -> i < n) rows
+          in
+          match projection with
+          | A.Aggregates aggs ->
+              Ok
+                (Rows
+                   {
+                     columns = List.map A.aggregate_str aggs;
+                     rows = [ Array.of_list (compute_aggregates schema rows aggs) ];
+                   })
+          | A.Star | A.Cols _ ->
+          let columns, project =
+            match projection with
+            | A.Aggregates _ -> assert false
+            | A.Star ->
+                ( List.map (fun c -> c.Schema.name) schema.Schema.columns,
+                  fun row -> row )
+            | A.Cols cs ->
+                let idxs = List.map (column_index schema) cs in
+                (cs, fun row -> Array.of_list (List.map (fun i -> row.(i)) idxs))
+          in
+          Ok (Rows { columns; rows = List.map project rows }))
+
+let insert db ~table ~columns ~values =
+  with_schema db table (fun schema ->
+      let arity = Schema.arity schema in
+      let build tuple =
+        let vals = List.map eval_literal tuple in
+        match columns with
+        | None ->
+            if List.length vals <> arity then fail "arity mismatch in INSERT";
+            Array.of_list vals
+        | Some cols ->
+            if List.length cols <> List.length vals then
+              fail "column/value count mismatch in INSERT";
+            let row = Array.make arity Value.Null in
+            List.iter2
+              (fun c v -> row.(column_index schema c) <- v)
+              cols vals;
+            row
+      in
+      let result = ref (Ok 0) in
+      List.iter
+        (fun tuple ->
+          match !result with
+          | Error _ -> ()
+          | Ok n -> (
+              match Database.insert db table (build tuple) with
+              | Ok () -> result := Ok (n + 1)
+              | Error e -> result := Error e))
+        values;
+      match !result with Ok n -> Ok (Affected n) | Error e -> Error e)
+
+let update db ~table ~assignments ~where =
+  with_schema db table (fun schema ->
+      let apply row =
+        let row = Array.copy row in
+        (* Right-hand sides see the pre-update row: evaluate all, then
+           assign. *)
+        let updates =
+          List.map (fun (col, e) -> (column_index schema col, eval_exn schema row e)) assignments
+        in
+        List.iter (fun (i, v) -> row.(i) <- v) updates;
+        row
+      in
+      match pk_lookup schema where with
+      | Some key -> (
+          match Database.update db table key apply with
+          | Ok true -> Ok (Affected 1)
+          | Ok false -> Ok (Affected 0)
+          | Error e -> Error e)
+      | None -> (
+          match
+            Database.scan_update db table ~pred:(matches schema where) ~f:apply
+          with
+          | Ok n -> Ok (Affected n)
+          | Error e -> Error e))
+
+let delete db ~table ~where =
+  with_schema db table (fun schema ->
+      match pk_lookup schema where with
+      | Some key -> (
+          match Database.delete db table key with
+          | Ok true -> Ok (Affected 1)
+          | Ok false -> Ok (Affected 0)
+          | Error e -> Error e)
+      | None -> (
+          match Database.scan_delete db table ~pred:(matches schema where) with
+          | Ok n -> Ok (Affected n)
+          | Error e -> Error e))
+
+let exec db (stmt : A.stmt) =
+  match stmt with
+  | A.Create_table { name; columns; pkey } -> (
+      match
+        Database.create_table db (Schema.v ~table:name ~columns ~pkey)
+      with
+      | Ok () -> Ok Done
+      | Error e -> Error e
+      | exception Invalid_argument m -> Error m)
+  | A.Create_index { table; column } -> (
+      match Database.create_index db table column with
+      | Ok () -> Ok Done
+      | Error e -> Error e)
+  | A.Insert { table; columns; values } -> insert db ~table ~columns ~values
+  | A.Select { table; projection; where; order_by; limit } ->
+      select db ~table ~projection ~where ~order_by ~limit
+  | A.Update { table; assignments; where } -> update db ~table ~assignments ~where
+  | A.Delete { table; where } -> delete db ~table ~where
+  | A.Begin ->
+      if Database.in_txn db then Error "transaction already open"
+      else begin
+        Database.begin_txn db;
+        Ok Done
+      end
+  | A.Commit ->
+      Database.commit db;
+      Ok Done
+  | A.Rollback ->
+      Database.rollback db;
+      Ok Done
+
+let exec_sql db src =
+  match Sql_parser.parse src with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok stmt -> exec db stmt

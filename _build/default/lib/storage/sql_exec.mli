@@ -1,0 +1,19 @@
+(** Executor: runs parsed SQL statements against a {!Database.t}.
+
+    Point lookups on the primary key are planned as direct key accesses;
+    other predicates fall back to scans (charged per row). NULL compares
+    as false except [NULL = NULL]. *)
+
+type outcome =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+  | Done
+
+val exec : Database.t -> Sql_ast.stmt -> (outcome, string) result
+
+val exec_sql : Database.t -> string -> (outcome, string) result
+(** Parse then execute one statement. *)
+
+val eval :
+  schema:Schema.t -> Value.t array -> Sql_ast.expr -> (Value.t, string) result
+(** Evaluate an expression against a row (exposed for tests). *)

@@ -1,0 +1,117 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN | RPAREN | COMMA | SEMI | STAR | DOT
+  | EQ | NEQ | LT | LE | GT | GE | PLUS | MINUS
+  | EOF
+
+let pp_token fmt = function
+  | IDENT s -> Format.fprintf fmt "%s" s
+  | INT i -> Format.fprintf fmt "%d" i
+  | FLOAT f -> Format.fprintf fmt "%g" f
+  | STRING s -> Format.fprintf fmt "'%s'" s
+  | LPAREN -> Format.fprintf fmt "("
+  | RPAREN -> Format.fprintf fmt ")"
+  | COMMA -> Format.fprintf fmt ","
+  | SEMI -> Format.fprintf fmt ";"
+  | STAR -> Format.fprintf fmt "*"
+  | DOT -> Format.fprintf fmt "."
+  | EQ -> Format.fprintf fmt "="
+  | NEQ -> Format.fprintf fmt "<>"
+  | LT -> Format.fprintf fmt "<"
+  | LE -> Format.fprintf fmt "<="
+  | GT -> Format.fprintf fmt ">"
+  | GE -> Format.fprintf fmt ">="
+  | PLUS -> Format.fprintf fmt "+"
+  | MINUS -> Format.fprintf fmt "-"
+  | EOF -> Format.fprintf fmt "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let error = ref None in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n && !error = None do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      push (IDENT (String.uppercase_ascii (String.sub src start (!i - start))))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        push (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else push (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if !closed then push (STRING (Buffer.contents buf))
+      else error := Some "unterminated string literal"
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some "<>" -> push NEQ; i := !i + 2
+      | Some "!=" -> push NEQ; i := !i + 2
+      | Some "<=" -> push LE; i := !i + 2
+      | Some ">=" -> push GE; i := !i + 2
+      | _ -> (
+          (match c with
+          | '(' -> push LPAREN
+          | ')' -> push RPAREN
+          | ',' -> push COMMA
+          | ';' -> push SEMI
+          | '*' -> push STAR
+          | '.' -> push DOT
+          | '=' -> push EQ
+          | '<' -> push LT
+          | '>' -> push GT
+          | '+' -> push PLUS
+          | '-' -> push MINUS
+          | c ->
+              error :=
+                Some (Printf.sprintf "unexpected character %C at %d" c !i));
+          incr i)
+    end
+  done;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev (EOF :: !toks))

@@ -1,0 +1,15 @@
+(** Tokenizer for the SQL subset. *)
+
+type token =
+  | IDENT of string  (** Unquoted identifier or keyword, upper-cased. *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** Single-quoted, with [''] escaping a quote. *)
+  | LPAREN | RPAREN | COMMA | SEMI | STAR | DOT
+  | EQ | NEQ | LT | LE | GT | GE | PLUS | MINUS
+  | EOF
+
+val tokenize : string -> (token list, string) result
+(** Errors report position and the offending character. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,357 @@
+module L = Sql_lexer
+module A = Sql_ast
+
+exception Parse_error of string
+
+type cursor = { mutable toks : L.token list }
+
+let peek c = match c.toks with [] -> L.EOF | t :: _ -> t
+
+let advance c = match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let next c =
+  let t = peek c in
+  advance c;
+  t
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let expect c tok =
+  let t = next c in
+  if t <> tok then
+    fail "expected %s, found %s"
+      (Format.asprintf "%a" L.pp_token tok)
+      (Format.asprintf "%a" L.pp_token t)
+
+let kw c word =
+  match next c with
+  | L.IDENT w when w = word -> ()
+  | t -> fail "expected %s, found %s" word (Format.asprintf "%a" L.pp_token t)
+
+let ident c =
+  match next c with
+  | L.IDENT w -> w
+  | t -> fail "expected identifier, found %s" (Format.asprintf "%a" L.pp_token t)
+
+let is_kw c word = match peek c with L.IDENT w -> w = word | _ -> false
+
+let eat_kw c word =
+  if is_kw c word then begin
+    advance c;
+    true
+  end
+  else false
+
+(* Comma-separated list of [p]. *)
+let rec sep_list c p =
+  let x = p c in
+  if peek c = L.COMMA then begin
+    advance c;
+    x :: sep_list c p
+  end
+  else [ x ]
+
+(* Expressions *)
+
+let rec expr c = or_expr c
+
+and or_expr c =
+  let lhs = and_expr c in
+  if eat_kw c "OR" then A.Binop (A.Or, lhs, or_expr c) else lhs
+
+and and_expr c =
+  let lhs = not_expr c in
+  if eat_kw c "AND" then A.Binop (A.And, lhs, and_expr c) else lhs
+
+and not_expr c = if eat_kw c "NOT" then A.Not (not_expr c) else cmp_expr c
+
+and cmp_expr c =
+  let lhs = add_expr c in
+  if is_kw c "BETWEEN" then begin
+    advance c;
+    let lo = add_expr c in
+    kw c "AND";
+    let hi = add_expr c in
+    A.Between (lhs, lo, hi)
+  end
+  else if is_kw c "IN" then begin
+    advance c;
+    expect c L.LPAREN;
+    let literal c =
+      match atom c with
+      | A.Lit v -> v
+      | _ -> fail "IN list expects literals"
+    in
+    let vs = sep_list c literal in
+    expect c L.RPAREN;
+    A.In_list (lhs, vs)
+  end
+  else
+    let op =
+      match peek c with
+      | L.EQ -> Some A.Eq
+      | L.NEQ -> Some A.Neq
+      | L.LT -> Some A.Lt
+      | L.LE -> Some A.Le
+      | L.GT -> Some A.Gt
+      | L.GE -> Some A.Ge
+      | _ -> None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+        advance c;
+        A.Binop (op, lhs, add_expr c)
+
+and add_expr c =
+  let rec loop lhs =
+    match peek c with
+    | L.PLUS ->
+        advance c;
+        loop (A.Binop (A.Add, lhs, mul_expr c))
+    | L.MINUS ->
+        advance c;
+        loop (A.Binop (A.Sub, lhs, mul_expr c))
+    | _ -> lhs
+  in
+  loop (mul_expr c)
+
+and mul_expr c =
+  let rec loop lhs =
+    match peek c with
+    | L.STAR ->
+        advance c;
+        loop (A.Binop (A.Mul, lhs, atom c))
+    | _ -> lhs
+  in
+  loop (atom c)
+
+and atom c =
+  match next c with
+  | L.INT i -> A.Lit (Value.Int i)
+  | L.FLOAT f -> A.Lit (Value.Float f)
+  | L.STRING s -> A.Lit (Value.Text s)
+  | L.MINUS -> (
+      match next c with
+      | L.INT i -> A.Lit (Value.Int (-i))
+      | L.FLOAT f -> A.Lit (Value.Float (-.f))
+      | t -> fail "expected number after '-', found %s" (Format.asprintf "%a" L.pp_token t))
+  | L.IDENT "TRUE" -> A.Lit (Value.Bool true)
+  | L.IDENT "FALSE" -> A.Lit (Value.Bool false)
+  | L.IDENT "NULL" -> A.Lit Value.Null
+  | L.IDENT col -> A.Col col
+  | L.LPAREN ->
+      let e = expr c in
+      expect c L.RPAREN;
+      e
+  | t -> fail "unexpected token %s in expression" (Format.asprintf "%a" L.pp_token t)
+
+(* Statements *)
+
+let column_def c =
+  let name = ident c in
+  let ty_name = ident c in
+  match Value.ty_of_string ty_name with
+  | Some ty -> (name, ty)
+  | None -> fail "unknown type %s" ty_name
+
+let create_table c =
+  kw c "TABLE";
+  let name = ident c in
+  expect c L.LPAREN;
+  let columns = ref [] in
+  let pkey = ref [] in
+  let rec items () =
+    if is_kw c "PRIMARY" then begin
+      advance c;
+      kw c "KEY";
+      expect c L.LPAREN;
+      pkey := sep_list c ident;
+      expect c L.RPAREN
+    end
+    else columns := column_def c :: !columns;
+    if peek c = L.COMMA then begin
+      advance c;
+      items ()
+    end
+  in
+  items ();
+  expect c L.RPAREN;
+  let columns = List.rev !columns in
+  let pkey =
+    match !pkey with
+    | [] -> (
+        (* Default: the first column is the key. *)
+        match columns with
+        | (first, _) :: _ -> [ first ]
+        | [] -> fail "empty CREATE TABLE")
+    | pk -> pk
+  in
+  A.Create_table { name; columns; pkey }
+
+let insert c =
+  kw c "INTO";
+  let table = ident c in
+  let columns =
+    if peek c = L.LPAREN then begin
+      advance c;
+      let cs = sep_list c ident in
+      expect c L.RPAREN;
+      Some cs
+    end
+    else None
+  in
+  kw c "VALUES";
+  let tuple c =
+    expect c L.LPAREN;
+    let vs = sep_list c expr in
+    expect c L.RPAREN;
+    vs
+  in
+  let values = sep_list c tuple in
+  A.Insert { table; columns; values }
+
+let where_opt c = if eat_kw c "WHERE" then Some (expr c) else None
+
+let aggregate_opt c =
+  (* Lookahead: IDENT in {COUNT,SUM,MIN,MAX,AVG} followed by '('. *)
+  match c.toks with
+  | L.IDENT f :: L.LPAREN :: _
+    when List.mem f [ "COUNT"; "SUM"; "MIN"; "MAX"; "AVG" ] ->
+      advance c;
+      advance c;
+      let arg =
+        if peek c = L.STAR then begin
+          advance c;
+          None
+        end
+        else Some (ident c)
+      in
+      expect c L.RPAREN;
+      Some
+        (match (f, arg) with
+        | "COUNT", None -> A.Count_star
+        | "COUNT", Some col -> A.Count col
+        | "SUM", Some col -> A.Sum col
+        | "MIN", Some col -> A.Min_of col
+        | "MAX", Some col -> A.Max_of col
+        | "AVG", Some col -> A.Avg col
+        | _, None -> fail "%s(*) is only valid for COUNT" f
+        | _, _ -> assert false)
+  | _ -> None
+
+let select c =
+  let projection =
+    if peek c = L.STAR then begin
+      advance c;
+      A.Star
+    end
+    else
+      match aggregate_opt c with
+      | Some first ->
+          let rest =
+            let rec more acc =
+              if peek c = L.COMMA then begin
+                advance c;
+                match aggregate_opt c with
+                | Some a -> more (a :: acc)
+                | None -> fail "aggregates cannot mix with plain columns"
+              end
+              else List.rev acc
+            in
+            more []
+          in
+          A.Aggregates (first :: rest)
+      | None -> A.Cols (sep_list c ident)
+  in
+  kw c "FROM";
+  let table = ident c in
+  let where = where_opt c in
+  let order_by =
+    if eat_kw c "ORDER" then begin
+      kw c "BY";
+      let col = ident c in
+      let dir =
+        if eat_kw c "DESC" then A.Desc
+        else begin
+          ignore (eat_kw c "ASC");
+          A.Asc
+        end
+      in
+      Some (col, dir)
+    end
+    else None
+  in
+  let limit =
+    if eat_kw c "LIMIT" then
+      match next c with
+      | L.INT n -> Some n
+      | t -> fail "expected integer after LIMIT, found %s" (Format.asprintf "%a" L.pp_token t)
+    else None
+  in
+  A.Select { table; projection; where; order_by; limit }
+
+let update c =
+  let table = ident c in
+  kw c "SET";
+  let assignment c =
+    let col = ident c in
+    expect c L.EQ;
+    let e = expr c in
+    (col, e)
+  in
+  let assignments = sep_list c assignment in
+  let where = where_opt c in
+  A.Update { table; assignments; where }
+
+let delete c =
+  kw c "FROM";
+  let table = ident c in
+  let where = where_opt c in
+  A.Delete { table; where }
+
+let create_index c =
+  (* CREATE INDEX [name] ON table (column) *)
+  (match peek c with
+  | L.IDENT w when w <> "ON" -> advance c (* optional index name *)
+  | _ -> ());
+  kw c "ON";
+  let table = ident c in
+  expect c L.LPAREN;
+  let column = ident c in
+  expect c L.RPAREN;
+  A.Create_index { table; column }
+
+let statement c =
+  match next c with
+  | L.IDENT "CREATE" ->
+      if is_kw c "INDEX" then begin
+        advance c;
+        create_index c
+      end
+      else create_table c
+  | L.IDENT "INSERT" -> insert c
+  | L.IDENT "SELECT" -> select c
+  | L.IDENT "UPDATE" -> update c
+  | L.IDENT "DELETE" -> delete c
+  | L.IDENT "BEGIN" -> A.Begin
+  | L.IDENT "COMMIT" -> A.Commit
+  | L.IDENT "ROLLBACK" -> A.Rollback
+  | t -> fail "unexpected statement start: %s" (Format.asprintf "%a" L.pp_token t)
+
+let finish c stmt =
+  ignore (if peek c = L.SEMI then advance c);
+  match peek c with
+  | L.EOF -> stmt
+  | t -> fail "trailing input: %s" (Format.asprintf "%a" L.pp_token t)
+
+let run p src =
+  match L.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+      let c = { toks } in
+      try Ok (finish c (p c)) with Parse_error e -> Error e)
+
+let parse src = run statement src
+
+let parse_expr src = run expr src

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the SQL subset. Identifiers are
+    case-insensitive (normalized to upper case). *)
+
+val parse : string -> (Sql_ast.stmt, string) result
+(** Parse a single statement (an optional trailing [;] is accepted). *)
+
+val parse_expr : string -> (Sql_ast.expr, string) result
+(** Parse a stand-alone expression (for tests). *)

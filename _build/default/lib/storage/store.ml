@@ -1,0 +1,91 @@
+type key = Value.t list
+
+let key_compare = List.compare Value.compare
+
+type t = {
+  kind : kind;
+  insert : key -> Value.t array -> unit;
+  find : key -> Value.t array option;
+  delete : key -> bool;
+  iter_sorted : (key -> Value.t array -> unit) -> unit;
+  count : unit -> int;
+  clear : unit -> unit;
+}
+
+and kind = Hazel | Hickory | Dogwood
+
+let kind_name = function
+  | Hazel -> "hazel"
+  | Hickory -> "hickory"
+  | Dogwood -> "dogwood"
+
+let profile = function
+  | Hazel -> Cost.hazel
+  | Hickory -> Cost.hickory
+  | Dogwood -> Cost.dogwood
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "hazel" | "h2" -> Some Hazel
+  | "hickory" | "hsqldb" -> Some Hickory
+  | "dogwood" | "derby" -> Some Dogwood
+  | _ -> None
+
+(* Keys are compared structurally by [key_compare]; the generic Hashtbl
+   hash is consistent with it for our value type. *)
+let create_hazel () =
+  let tbl : (key, Value.t array) Hashtbl.t = Hashtbl.create 1024 in
+  {
+    kind = Hazel;
+    insert = (fun k row -> Hashtbl.replace tbl k row);
+    find = (fun k -> Hashtbl.find_opt tbl k);
+    delete =
+      (fun k ->
+        let present = Hashtbl.mem tbl k in
+        Hashtbl.remove tbl k;
+        present);
+    iter_sorted =
+      (fun f ->
+        let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+        let items = List.sort (fun (a, _) (b, _) -> key_compare a b) items in
+        List.iter (fun (k, v) -> f k v) items);
+    count = (fun () -> Hashtbl.length tbl);
+    clear = (fun () -> Hashtbl.reset tbl);
+  }
+
+let create_hickory () =
+  let tree = ref (Btree.create ~cmp:key_compare) in
+  {
+    kind = Hickory;
+    insert = (fun k row -> tree := Btree.insert !tree k row);
+    find = (fun k -> Btree.find !tree k);
+    delete =
+      (fun k ->
+        let before = Btree.cardinal !tree in
+        tree := Btree.remove !tree k;
+        Btree.cardinal !tree < before);
+    iter_sorted = (fun f -> Btree.iter f !tree);
+    count = (fun () -> Btree.cardinal !tree);
+    clear = (fun () -> tree := Btree.create ~cmp:key_compare);
+  }
+
+let create_dogwood () =
+  let tree = ref (Avl.create ~cmp:key_compare) in
+  {
+    kind = Dogwood;
+    insert = (fun k row -> tree := Avl.insert !tree k row);
+    find = (fun k -> Avl.find !tree k);
+    delete =
+      (fun k ->
+        let before = Avl.cardinal !tree in
+        tree := Avl.remove !tree k;
+        Avl.cardinal !tree < before);
+    iter_sorted = (fun f -> Avl.iter f !tree);
+    count = (fun () -> Avl.cardinal !tree);
+    clear = (fun () -> tree := Avl.create ~cmp:key_compare);
+  }
+
+let create = function
+  | Hazel -> create_hazel ()
+  | Hickory -> create_hickory ()
+  | Dogwood -> create_dogwood ()

@@ -1,0 +1,33 @@
+(** Runtime-pluggable row stores ("JDBC drivers").
+
+    A store maps primary keys (lists of values, for composite keys) to
+    rows. Three diverse implementations stand in for the paper's H2,
+    HSQLDB and Apache Derby: a hash table ("hazel"), the from-scratch
+    B+-tree ("hickory") and the from-scratch AVL tree ("dogwood"). Each
+    carries its own {!Cost.profile}, mirroring the relative speeds the
+    paper observes. *)
+
+type key = Value.t list
+
+val key_compare : key -> key -> int
+
+type t = {
+  kind : kind;
+  insert : key -> Value.t array -> unit;  (** Insert or replace. *)
+  find : key -> Value.t array option;
+  delete : key -> bool;  (** [true] iff the key was present. *)
+  iter_sorted : (key -> Value.t array -> unit) -> unit;
+      (** Ascending key order in every backend (determinism across
+          diverse replicas). *)
+  count : unit -> int;
+  clear : unit -> unit;
+}
+
+and kind = Hazel | Hickory | Dogwood
+
+val kind_name : kind -> string
+val profile : kind -> Cost.profile
+val create : kind -> t
+(** Fresh empty store of the given kind. *)
+
+val kind_of_string : string -> kind option

@@ -1,0 +1,81 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+
+type ty = T_int | T_float | T_text | T_bool
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some T_int
+  | Float _ -> Some T_float
+  | Text _ -> Some T_text
+  | Bool _ -> Some T_bool
+
+let matches ty v =
+  match type_of v with
+  | None -> true
+  | Some t -> (
+      t = ty
+      ||
+      (* Ints are admissible in float columns. *)
+      match (t, ty) with T_int, T_float -> true | _ -> false)
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Text _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Text x, Text y -> String.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Null, Null -> 0
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let add a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x + y)
+  | Float x, Float y -> Float (x +. y)
+  | Int x, Float y -> Float (float_of_int x +. y)
+  | Float x, Int y -> Float (x +. float_of_int y)
+  | _ -> invalid_arg "Value.add: non-numeric operands"
+
+let serialized_size = function
+  | Null -> 1
+  | Int _ -> 9
+  | Float _ -> 9
+  | Bool _ -> 2
+  | Text s -> 5 + String.length s
+
+let pp fmt = function
+  | Null -> Format.fprintf fmt "NULL"
+  | Int i -> Format.fprintf fmt "%d" i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Text s -> Format.fprintf fmt "'%s'" s
+  | Bool b -> Format.fprintf fmt "%b" b
+
+let to_string v = Format.asprintf "%a" pp v
+
+let ty_to_string = function
+  | T_int -> "INT"
+  | T_float -> "FLOAT"
+  | T_text -> "TEXT"
+  | T_bool -> "BOOL"
+
+let ty_of_string s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "BIGINT" -> Some T_int
+  | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" -> Some T_float
+  | "TEXT" | "VARCHAR" | "CHAR" | "STRING" -> Some T_text
+  | "BOOL" | "BOOLEAN" -> Some T_bool
+  | _ -> None

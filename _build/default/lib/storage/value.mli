@@ -1,0 +1,41 @@
+(** SQL values and their types.
+
+    The storage engine is dynamically typed at the row level (like the
+    embedded Java databases the paper replicates behind JDBC), with types
+    checked against the table schema on write. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+
+type ty = T_int | T_float | T_text | T_bool
+
+val type_of : t -> ty option
+(** [None] for [Null] (NULL inhabits every column type). *)
+
+val matches : ty -> t -> bool
+(** Schema check: value admissible in a column of the given type. *)
+
+val compare : t -> t -> int
+(** Total order: NULL first, then by type, numerics compared numerically
+    across [Int]/[Float]. *)
+
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+(** Numeric addition ([Int]+[Int] stays [Int]); raises [Invalid_argument]
+    on non-numeric operands. *)
+
+val serialized_size : t -> int
+(** Bytes this value occupies in the row wire format (used by the state
+    transfer cost model: serialization overhead is per column, as the
+    paper measures with TPC-C). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val ty_to_string : ty -> string
+val ty_of_string : string -> ty option

@@ -1,0 +1,1 @@
+lib/workload/bank.ml: Array List Shadowdb Sim Storage String

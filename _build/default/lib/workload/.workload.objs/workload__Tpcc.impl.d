@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Array List Option Printf Shadowdb Sim Storage

@@ -1,0 +1,108 @@
+module Database = Storage.Database
+module Schema = Storage.Schema
+module Value = Storage.Value
+
+
+let table = "ACCOUNTS"
+
+let schema ?(wide = false) () =
+  let base =
+    [ ("ID", Value.T_int); ("OWNER", Value.T_text); ("BALANCE", Value.T_int) ]
+  in
+  let columns = if wide then base @ [ ("NOTES", Value.T_text) ] else base in
+  Schema.v ~table ~columns ~pkey:[ "ID" ]
+
+let setup ?(rows = 50_000) ?(wide = false) db =
+  (match Database.create_table db (schema ~wide ()) with
+  | Ok () -> ()
+  | Error e -> invalid_arg e);
+  (* ≈1 KB rows in the wide variant (paper Fig. 10(b)), 16 B otherwise. *)
+  let pad = if wide then String.make 990 'x' else "" in
+  for i = 0 to rows - 1 do
+    let row =
+      if wide then
+        [| Value.Int i; Value.Text "o"; Value.Int 100; Value.Text pad |]
+      else [| Value.Int i; Value.Text "o"; Value.Int 100 |]
+    in
+    match Database.insert db table row with
+    | Ok () -> ()
+    | Error e -> invalid_arg e
+  done
+
+let balance_col db row =
+  match Database.schema db table with
+  | Some s -> (
+      match Schema.column_index s "BALANCE" with
+      | Some i -> row.(i)
+      | None -> Value.Null)
+  | None -> Value.Null
+
+let get_int = function Value.Int i -> i | _ -> invalid_arg "expected int"
+
+let proc_deposit db = function
+  | [ Value.Int id; Value.Int amount ] -> (
+      match
+        Database.update db table [ Value.Int id ] (fun row ->
+            row.(2) <- Value.add row.(2) (Value.Int amount);
+            row)
+      with
+      | Ok true -> Ok []
+      | Ok false -> Error "no such account"
+      | Error e -> Error e)
+  | _ -> Error "deposit: bad parameters"
+
+let proc_balance db = function
+  | [ Value.Int id ] -> (
+      match Database.get db table [ Value.Int id ] with
+      | Some row -> Ok [ [| row.(2) |] ]
+      | None -> Error "no such account")
+  | _ -> Error "balance: bad parameters"
+
+let proc_transfer db = function
+  | [ Value.Int src; Value.Int dst; Value.Int amount ] -> (
+      match Database.get db table [ Value.Int src ] with
+      | None -> Error "no such source account"
+      | Some row ->
+          let bal = get_int row.(2) in
+          if bal < amount then Error "insufficient funds"
+          else
+            let debit =
+              Database.update db table [ Value.Int src ] (fun r ->
+                  r.(2) <- Value.Int (get_int r.(2) - amount);
+                  r)
+            in
+            let credit =
+              Database.update db table [ Value.Int dst ] (fun r ->
+                  r.(2) <- Value.add r.(2) (Value.Int amount);
+                  r)
+            in
+            (match (debit, credit) with
+            | Ok true, Ok true -> Ok []
+            | Ok false, _ | _, Ok false -> Error "no such account"
+            | Error e, _ | _, Error e -> Error e))
+  | _ -> Error "transfer: bad parameters"
+
+let registry () =
+  Shadowdb.Txn.registry
+    [
+      ("deposit", proc_deposit);
+      ("balance", proc_balance);
+      ("transfer", proc_transfer);
+    ]
+
+let deposit ~account ~amount =
+  ("deposit", [ Value.Int account; Value.Int amount ])
+
+let balance ~account = ("balance", [ Value.Int account ])
+
+let transfer ~src ~dst ~amount =
+  ("transfer", [ Value.Int src; Value.Int dst; Value.Int amount ])
+
+let random_deposit rng ~rows =
+  deposit ~account:(Sim.Prng.int rng rows) ~amount:(1 + Sim.Prng.int rng 100)
+
+let total_balance db =
+  match Database.scan db table ~pred:(fun _ -> true) with
+  | Ok rows ->
+      List.fold_left (fun acc row -> acc + get_int (balance_col db row)) 0 rows
+  | Error _ -> 0

@@ -1,0 +1,31 @@
+(** The paper's micro-benchmark: a bank-accounts database.
+
+    50,000 rows of 16 bytes (id, owner, balance); update transactions
+    deposit money on a randomly selected account (Sec. IV-B). Rows can be
+    padded to 1 KB with a fourth column for the state-transfer experiment
+    of Fig. 10(b). *)
+
+val table : string
+(** "ACCOUNTS" *)
+
+val schema : ?wide:bool -> unit -> Storage.Schema.t
+(** 3 columns (id, owner, balance); [wide] adds a 4th padding column. *)
+
+val setup : ?rows:int -> ?wide:bool -> Storage.Database.t -> unit
+(** Create and populate the table (default 50,000 rows). *)
+
+val registry : unit -> Shadowdb.Txn.registry
+(** Procedures: ["deposit"] (id, amount), ["balance"] (id), ["transfer"]
+    (src, dst, amount — aborts on insufficient funds). *)
+
+val deposit : account:int -> amount:int -> string * Storage.Value.t list
+(** Transaction descriptor for {!Shadowdb.System.Make.spawn_clients}. *)
+
+val balance : account:int -> string * Storage.Value.t list
+val transfer : src:int -> dst:int -> amount:int -> string * Storage.Value.t list
+
+val random_deposit : Sim.Prng.t -> rows:int -> string * Storage.Value.t list
+(** A deposit on a uniformly random account (the paper's workload). *)
+
+val total_balance : Storage.Database.t -> int
+(** Sum of all balances (conservation checks in tests). *)

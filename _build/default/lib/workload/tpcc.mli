@@ -1,0 +1,58 @@
+(** TPC-C-lite: the structure of the TPC-C benchmark (paper Sec. IV-B,
+    Fig. 9(b)), scaled for simulation.
+
+    Full 9-table schema, loader, the five transaction types with the
+    standard mix (New-Order 45 %, Payment 43 %, Order-Status 4 %,
+    Delivery 4 %, Stock-Level 4 %), NURand parameter generation, and the
+    TPC-C consistency conditions as checkable predicates. One warehouse,
+    with districts/customers/items scaled by [scale] (1.0 = spec sizes:
+    10 districts × 3,000 customers, 100,000 items). *)
+
+type scale = {
+  districts : int;
+  customers_per_district : int;
+  items : int;
+  initial_orders_per_district : int;
+}
+
+val spec_scale : scale
+(** TPC-C specification sizes (large; slow to load in tests). *)
+
+val small_scale : scale
+(** 10 districts × 60 customers, 1,000 items, 30 initial orders — keeps
+    structure (and the paper's ≈100 MB ≈ row-count ratios) while loading
+    fast. *)
+
+val setup : ?scale:scale -> Storage.Database.t -> unit
+(** Create all nine tables and load them per the TPC-C population rules
+    (deterministic). *)
+
+val registry : ?scale:scale -> unit -> Shadowdb.Txn.registry
+(** Procedures: ["new_order"], ["payment"], ["order_status"],
+    ["delivery"], ["stock_level"]. *)
+
+val make_txn :
+  ?scale:scale -> Sim.Prng.t -> h_id:int -> string * Storage.Value.t list
+(** Draw one transaction from the standard mix with NURand-distributed
+    parameters. [h_id] must be globally unique (history primary key);
+    clients derive it from their id and sequence number. *)
+
+val row_counts : Storage.Database.t -> (string * int) list
+(** Table name → row count (sorted), for sizing reports. *)
+
+(** TPC-C consistency conditions (Sec. 3.3 of the spec), as predicates
+    over a quiescent database. Each returns [Ok ()] or a description of
+    the violation. *)
+
+val consistency_1 : Storage.Database.t -> (unit, string) result
+(** W_YTD = Σ D_YTD. *)
+
+val consistency_2 : Storage.Database.t -> (unit, string) result
+(** For each district: D_NEXT_O_ID − 1 = max(O_ID) = max(NO_O_ID) (when
+    orders exist). *)
+
+val consistency_3 : Storage.Database.t -> (unit, string) result
+(** For each district: max(NO_O_ID) − min(NO_O_ID) + 1 = #NEW_ORDER rows. *)
+
+val consistency_4 : Storage.Database.t -> (unit, string) result
+(** For each district: Σ O_OL_CNT = #ORDER_LINE rows. *)

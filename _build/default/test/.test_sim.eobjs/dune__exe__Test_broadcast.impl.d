@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Broadcast Consensus Hashtbl List Printf Sim Stats

@@ -1,0 +1,1 @@
+test/test_clocks.ml: Alcotest Array Clocks Fun Gen Gpm List Loe QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Consensus Fun List Printf QCheck QCheck_alcotest Queue Sim String

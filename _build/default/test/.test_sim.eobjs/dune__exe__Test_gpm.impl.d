@@ -1,0 +1,1 @@
+test/test_gpm.ml: Alcotest Gpm List Loe Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_gpm.mli:

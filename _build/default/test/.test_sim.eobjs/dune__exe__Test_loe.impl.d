@@ -1,0 +1,1 @@
+test/test_loe.ml: Alcotest List Loe Printf QCheck QCheck_alcotest String

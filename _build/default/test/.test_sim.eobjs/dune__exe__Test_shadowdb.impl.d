@@ -1,0 +1,1 @@
+test/test_shadowdb.ml: Alcotest Consensus Gen Hashtbl List Printf QCheck QCheck_alcotest Result Shadowdb Sim Storage Workload

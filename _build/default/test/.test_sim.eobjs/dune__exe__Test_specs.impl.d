@@ -1,0 +1,1 @@
+test/test_specs.ml: Alcotest Broadcast Consensus Harness Hashtbl List Loe Printf QCheck QCheck_alcotest Queue

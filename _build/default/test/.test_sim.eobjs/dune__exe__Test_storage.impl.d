@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Gen Int List Map Printf QCheck QCheck_alcotest Result Shadowdb Storage String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Gen Hashtbl List Option QCheck QCheck_alcotest Result Shadowdb Sim Storage Workload

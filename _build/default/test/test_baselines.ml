@@ -1,0 +1,138 @@
+(* Tests for the baseline replicated databases: standalone execution,
+   eager table-lock replication (H2-repl-like), semisync replication
+   (MySQL-like), lock-timeout aborts, and statement-round-trip modeling. *)
+
+module Engine = Sim.Engine
+module B = Baselines.Server
+module Value = Storage.Value
+
+let rows = 100
+
+let make_deposit ~client ~seq =
+  let account = abs (Hashtbl.hash (client, seq)) mod rows in
+  Workload.Bank.deposit ~account ~amount:1
+
+let run ?backend ?exec_factor ?lock_timeout ?stmt_delay ?(same_account = false)
+    mode ~n_clients ~count () =
+  let world : B.wire Engine.t = Engine.create ~seed:31 () in
+  let cluster =
+    B.spawn ?backend ?exec_factor ?lock_timeout ?stmt_delay ~world
+      ~registry:Workload.Bank.registry
+      ~setup:(fun db -> Workload.Bank.setup ~rows db)
+      mode
+  in
+  let latencies = Stats.Sample.create () in
+  let completed =
+    B.spawn_clients ~world ~cluster ~n:n_clients ~count
+      ~make_txn:(fun ~client ~seq ->
+        if same_account then Workload.Bank.deposit ~account:0 ~amount:1
+        else make_deposit ~client ~seq)
+      ~on_commit:(fun _ l -> Stats.Sample.add latencies l)
+      ()
+  in
+  Engine.run ~until:600.0 ~max_events:50_000_000 world;
+  (cluster, completed (), latencies)
+
+let test_standalone_completes () =
+  let cluster, completed, _ = run B.Standalone ~n_clients:3 ~count:50 () in
+  Alcotest.(check int) "clients done" 3 completed;
+  Alcotest.(check int) "commits" 150 (cluster.B.commits ());
+  Alcotest.(check int) "no aborts" 0 (cluster.B.aborts ())
+
+let test_lockstep_completes () =
+  let cluster, completed, _ = run B.Lockstep_repl ~n_clients:3 ~count:40 () in
+  Alcotest.(check int) "clients done" 3 completed;
+  Alcotest.(check int) "commits" 120 (cluster.B.commits ())
+
+let test_semisync_completes () =
+  let cluster, completed, _ =
+    run (B.Semisync_repl Storage.Lock.Row_level) ~n_clients:3 ~count:40 ()
+  in
+  Alcotest.(check int) "clients done" 3 completed;
+  Alcotest.(check int) "commits" 120 (cluster.B.commits ())
+
+let test_lockstep_serializes_table () =
+  (* Table-level locks held across the replication round trip: the lock
+     hold includes the backup's execution, so throughput is far below the
+     standalone CPU bound. *)
+  let _, _, lat_lockstep = run B.Lockstep_repl ~n_clients:4 ~count:40 () in
+  let _, _, lat_standalone = run B.Standalone ~n_clients:4 ~count:40 () in
+  Alcotest.(check bool) "lockstep latency ≫ standalone" true
+    (Stats.Sample.mean lat_lockstep > 2.0 *. Stats.Sample.mean lat_standalone)
+
+let test_lock_timeout_aborts () =
+  (* A very short lock budget under heavy same-row contention must produce
+     timeout aborts, and retries must still complete every transaction. *)
+  let cluster, completed, _ =
+    run ~lock_timeout:0.0002 ~same_account:true B.Lockstep_repl ~n_clients:8
+      ~count:20 ()
+  in
+  Alcotest.(check int) "all complete despite aborts" 8 completed;
+  Alcotest.(check int) "every txn committed exactly once" 160
+    (cluster.B.commits ());
+  Alcotest.(check bool) "aborts happened" true (cluster.B.aborts () > 0)
+
+let test_row_locks_allow_parallelism () =
+  (* Under row-level locks, different accounts don't contend: no aborts
+     even with a tiny lock budget. *)
+  let cluster, completed, _ =
+    run ~lock_timeout:0.0002
+      (B.Semisync_repl Storage.Lock.Row_level)
+      ~n_clients:4 ~count:30 ()
+  in
+  Alcotest.(check int) "done" 4 completed;
+  Alcotest.(check int) "no aborts on distinct rows" 0 (cluster.B.aborts ())
+
+let test_stmt_delay_extends_latency () =
+  let _, _, fast = run B.Standalone ~n_clients:1 ~count:30 () in
+  let _, _, slow =
+    run ~stmt_delay:(fun _ -> 0.005) B.Standalone ~n_clients:1 ~count:30 ()
+  in
+  Alcotest.(check bool) "≈5ms of round trips visible in latency" true
+    (Stats.Sample.mean slow -. Stats.Sample.mean fast > 0.004)
+
+let test_deterministic_abort_not_retried () =
+  (* A transfer with insufficient funds aborts deterministically; the
+     client must move on (not spin). *)
+  let world : B.wire Engine.t = Engine.create ~seed:33 () in
+  let cluster =
+    B.spawn ~world ~registry:Workload.Bank.registry
+      ~setup:(fun db -> Workload.Bank.setup ~rows db)
+      B.Standalone
+  in
+  let completed =
+    B.spawn_clients ~world ~cluster ~n:1 ~count:3
+      ~make_txn:(fun ~client:_ ~seq:_ ->
+        Workload.Bank.transfer ~src:0 ~dst:1 ~amount:1_000_000)
+      ()
+  in
+  Engine.run ~until:60.0 world;
+  Alcotest.(check int) "client finished" 1 (completed ());
+  Alcotest.(check int) "no commits" 0 (cluster.B.commits ());
+  Alcotest.(check int) "three aborts" 3 (cluster.B.aborts ())
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "modes",
+        [
+          Alcotest.test_case "standalone" `Quick test_standalone_completes;
+          Alcotest.test_case "lockstep" `Quick test_lockstep_completes;
+          Alcotest.test_case "semisync" `Quick test_semisync_completes;
+        ] );
+      ( "locking",
+        [
+          Alcotest.test_case "table serialization" `Quick
+            test_lockstep_serializes_table;
+          Alcotest.test_case "timeout aborts" `Quick test_lock_timeout_aborts;
+          Alcotest.test_case "row parallelism" `Quick
+            test_row_locks_allow_parallelism;
+        ] );
+      ( "modeling",
+        [
+          Alcotest.test_case "statement delays" `Quick
+            test_stmt_delay_extends_latency;
+          Alcotest.test_case "deterministic abort" `Quick
+            test_deterministic_abort_not_retried;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+(* Tests for the CLK specification (the paper's Fig. 3) and its
+   correctness: the progress property C1, the send/receive property C2,
+   and Lamport's Clock Condition (the paper's Fig. 6 theorem), checked on
+   randomly generated distributed executions. *)
+
+module Message = Loe.Message
+module Cls = Loe.Cls
+module Inst = Loe.Inst
+module Sem = Loe.Sem
+
+let mk_clk () = Clocks.Clk.make ~locs:[ 0; 1; 2 ] ~handle:(fun slf v -> (v + 1, (slf + 1) mod 3))
+
+(* Structure: the spec is the paper's Fig. 3, so its shape is fixed. *)
+
+let test_spec_shape () =
+  let clk = mk_clk () in
+  Alcotest.(check string) "name" "CLK" clk.Clocks.Clk.spec.Loe.Spec.name;
+  Alcotest.(check (list int)) "locs" [ 0; 1; 2 ] clk.Clocks.Clk.spec.Loe.Spec.locs;
+  Alcotest.(check bool) "small spec" true
+    (Loe.Spec.spec_size clk.Clocks.Clk.spec < 30)
+
+let test_upd_clock () =
+  (* max timestamp clock + 1 *)
+  Alcotest.(check int) "ts wins" 8 (Clocks.Clk.upd_clock 0 ((), 7) 3);
+  Alcotest.(check int) "clock wins" 10 (Clocks.Clk.upd_clock 0 ((), 2) 9);
+  Alcotest.(check int) "tie" 6 (Clocks.Clk.upd_clock 0 ((), 5) 5)
+
+(* C1 (progress): the clock strictly increases across recognized events. *)
+
+let prop_progress_c1 =
+  QCheck.Test.make ~name:"C1: clock strictly increases (progress)" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 20) (pair small_int small_nat))
+    (fun payload ->
+      let clk = mk_clk () in
+      let trace =
+        List.map (fun (v, ts) -> Message.make clk.Clocks.Clk.msg (v, ts)) payload
+      in
+      let outs = Inst.run 0 clk.Clocks.Clk.clock trace in
+      let clocks = List.concat outs in
+      let rec strictly_increasing = function
+        | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+        | _ -> true
+      in
+      strictly_increasing clocks)
+
+(* The clock ignores messages with foreign headers. *)
+
+let test_clock_ignores_foreign () =
+  let clk = mk_clk () in
+  let other : int Message.hdr = Message.declare "other" in
+  let trace =
+    [
+      Message.make clk.Clocks.Clk.msg (1, 5);
+      Message.make other 9;
+      Message.make clk.Clocks.Clk.msg (2, 0);
+    ]
+  in
+  let outs = Inst.run 0 clk.Clocks.Clk.clock trace in
+  Alcotest.(check (list (list int))) "unchanged on foreign" [ [ 6 ]; [ 6 ]; [ 7 ] ] outs
+
+(* Compliance of CLK specifically: stepper ≡ denotation on the real spec. *)
+
+let prop_clk_compliance =
+  QCheck.Test.make ~name:"CLK program complies with its LoE spec" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 15) (pair small_int small_nat))
+    (fun payload ->
+      let clk = mk_clk () in
+      let trace =
+        List.map (fun (v, ts) -> Message.make clk.Clocks.Clk.msg (v, ts)) payload
+      in
+      let main = clk.Clocks.Clk.spec.Loe.Spec.main in
+      Inst.run 1 main trace = Sem.eval 1 main trace)
+
+(* Whole-system executions: run CLK at n locations by delivering directed
+   messages in a random but causally consistent order, and check the Clock
+   Condition over the happens-before relation. *)
+
+type event = {
+  loc : int;
+  clock : int;  (* LC(e): timestamp attached to the event's output *)
+  seq_at_loc : int;  (* local order *)
+  sent_to : (int * int) option;  (* recipient and message id *)
+  received_id : int;  (* id of the message that triggered this event *)
+}
+
+let run_system ~n ~steps ~seed =
+  let clk =
+    Clocks.Clk.make
+      ~locs:(List.init n Fun.id)
+      ~handle:(fun slf v -> (v + 1, (slf + v) mod n))
+  in
+  let rng = Sim.Prng.create seed in
+  let insts = Array.init n (fun loc -> ref (Inst.create loc clk.Clocks.Clk.spec.Loe.Spec.main)) in
+  let local_seq = Array.make n 0 in
+  let next_msg_id = ref 0 in
+  (* Pending network: (msg id, dst, message, sender event index). *)
+  let pending = ref [ (0, 0, Message.make clk.Clocks.Clk.msg (0, 0), -1) ] in
+  incr next_msg_id;
+  let events = ref [] in
+  let deliver () =
+    match !pending with
+    | [] -> ()
+    | l ->
+        let i = Sim.Prng.int rng (List.length l) in
+        let msg_id, dst, msg, _ = List.nth l i in
+        pending := List.filteri (fun j _ -> j <> i) l;
+        let inst = insts.(dst) in
+        let inst', outs = Inst.step dst !inst msg in
+        inst := inst';
+        let clock_of_out =
+          match outs with
+          | { Message.msg = m; _ } :: _ -> (
+              match Message.recognize clk.Clocks.Clk.msg m with
+              | Some (_, ts) -> ts
+              | None -> -1)
+          | [] -> -1
+        in
+        let sent =
+          List.map
+            (fun (d : Message.directed) ->
+              let id = !next_msg_id in
+              incr next_msg_id;
+              pending := (id, d.Message.dst, d.Message.msg, id) :: !pending;
+              (d.Message.dst, id))
+            outs
+        in
+        events :=
+          {
+            loc = dst;
+            clock = clock_of_out;
+            seq_at_loc = local_seq.(dst);
+            sent_to = (match sent with s :: _ -> Some s | [] -> None);
+            received_id = msg_id;
+          }
+          :: !events;
+        local_seq.(dst) <- local_seq.(dst) + 1
+  in
+  for _ = 1 to steps do
+    deliver ()
+  done;
+  List.rev !events
+
+let prop_clock_condition =
+  QCheck.Test.make
+    ~name:"Clock Condition: e1 → e2 implies LC(e1) < LC(e2)" ~count:100
+    QCheck.(pair (2 -- 5) small_int)
+    (fun (n, seed) ->
+      let events = run_system ~n ~steps:30 ~seed in
+      let arr = Array.of_list events in
+      let m = Array.length arr in
+      (* Direct happens-before edges. *)
+      let edges = ref [] in
+      for i = 0 to m - 1 do
+        for j = 0 to m - 1 do
+          if i <> j then begin
+            let ei = arr.(i) and ej = arr.(j) in
+            (* Same location, local order. *)
+            if ei.loc = ej.loc && ei.seq_at_loc < ej.seq_at_loc then
+              edges := (i, j) :: !edges;
+            (* Message from ei received at ej. *)
+            match ei.sent_to with
+            | Some (_, mid) when mid = ej.received_id -> edges := (i, j) :: !edges
+            | Some _ | None -> ()
+          end
+        done
+      done;
+      (* Clocks must increase along every direct edge; transitivity follows. *)
+      List.for_all
+        (fun (i, j) ->
+          arr.(i).clock < arr.(j).clock || arr.(i).clock < 0 || arr.(j).clock < 0)
+        !edges)
+
+(* End-to-end on the simulator: a causal chain along a ring has strictly
+   increasing timestamps. *)
+
+let test_sim_ring_timestamps () =
+  let w = Sim.Engine.create () in
+  let seen = ref [] in
+  let spy = Message.declare "spy" in
+  let observer =
+    Sim.Engine.spawn w ~name:"obs" (fun () _ -> function
+      | Sim.Engine.Recv { msg; _ } -> (
+          match Message.recognize spy msg with
+          | Some ts -> seen := ts :: !seen
+          | None -> ())
+      | Sim.Engine.Init | Sim.Engine.Timer _ -> ())
+  in
+  let clk_hdr = ref None in
+  let ids =
+    Gpm.Runtime.deploy w ~n:3 (fun locs ->
+        let next slf =
+          match locs with
+          | [ a; b; c ] -> if slf = a then b else if slf = b then c else a
+          | _ -> assert false
+        in
+        let clk =
+          Clocks.Clk.make ~locs ~handle:(fun slf v -> (v + 1, next slf))
+        in
+        clk_hdr := Some clk.Clocks.Clk.msg;
+        (* Wrap: also report every send's timestamp to the observer. *)
+        let main = clk.Clocks.Clk.spec.Loe.Spec.main in
+        let report _slf (d : Message.directed) () =
+          let extra =
+            match Message.recognize clk.Clocks.Clk.msg d.Message.msg with
+            | Some (_, ts) -> [ Message.send spy observer ts ]
+            | None -> []
+          in
+          d :: extra
+        in
+        let spying = Cls.o2 report main (Cls.const "u" ()) in
+        Loe.Spec.v ~name:"CLK-spy" ~locs spying)
+  in
+  ignore ids;
+  (match !clk_hdr with
+  | Some h ->
+      Gpm.Runtime.inject w ~dst:(List.hd ids) (Message.make h (0, 0))
+  | None -> Alcotest.fail "spec not built");
+  Sim.Engine.run ~max_events:2000 ~until:10.0 w;
+  let ts = List.rev !seen in
+  Alcotest.(check bool) "some messages observed" true (List.length ts > 5);
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps strictly increase along the chain" true
+    (increasing ts)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "clocks"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "shape" `Quick test_spec_shape;
+          Alcotest.test_case "upd_clock" `Quick test_upd_clock;
+          Alcotest.test_case "ignores foreign" `Quick test_clock_ignores_foreign;
+        ] );
+      ( "properties",
+        [
+          qt prop_progress_c1;
+          qt prop_clk_compliance;
+          qt prop_clock_condition;
+        ] );
+      ( "simulation",
+        [ Alcotest.test_case "ring timestamps" `Quick test_sim_ring_timestamps ] );
+    ]

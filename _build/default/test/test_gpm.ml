@@ -1,0 +1,301 @@
+(* Tests for the General Process Model: process algebra, the two compilation
+   backends, the optimizer bisimulation (the paper's Fig. 7 proof as a
+   property), program sizes, and the simulator runtime. *)
+
+module Message = Loe.Message
+module Cls = Loe.Cls
+module Inst = Loe.Inst
+module Proc = Gpm.Proc
+module Compile = Gpm.Compile
+module Opt = Gpm.Opt
+
+let ha : int Message.hdr = Message.declare "a"
+let hb : int Message.hdr = Message.declare "b"
+
+(* Proc *)
+
+let test_proc_halt () =
+  let p, outs = Proc.step Proc.halt 42 in
+  Alcotest.(check (list int)) "no output" [] outs;
+  Alcotest.(check bool) "stays halted" true (p = Proc.Halt)
+
+let test_proc_stateful () =
+  let p = Proc.stateful 0 (fun s i -> (s + i, [ s + i ])) in
+  let outs = Proc.run p [ 1; 2; 3 ] in
+  Alcotest.(check (list (list int))) "prefix sums" [ [ 1 ]; [ 3 ]; [ 6 ] ] outs
+
+let test_proc_of_fun () =
+  let p = Proc.of_fun (fun i -> (Proc.halt, [ i * 2 ])) in
+  let outs = Proc.run p [ 5; 6 ] in
+  Alcotest.(check (list (list int))) "halts after one" [ [ 10 ]; [] ] outs
+
+(* Compilation backends *)
+
+let sum_cls =
+  Cls.state "Sum" ~init:(fun _ -> 0) ~upd:(fun _ v s -> s + v) (Cls.base ha)
+
+let trace = [ Message.make ha 1; Message.make hb 9; Message.make ha 2 ]
+
+let test_tree_backend_matches_inst () =
+  let p = Compile.compile 0 sum_cls in
+  Alcotest.(check (list (list int)))
+    "tree backend" (Inst.run 0 sum_cls trace) (Proc.run p trace)
+
+let test_fused_backend_matches_inst () =
+  let m = Opt.compile 0 sum_cls in
+  let outs = List.map (Opt.step m) trace in
+  Alcotest.(check (list (list int))) "fused backend" (Inst.run 0 sum_cls trace) outs
+
+let test_fused_cse_shares_state () =
+  (* The same physical sub-class used twice is evaluated once per event:
+     a stateful shared node must not be double-updated. *)
+  let shared =
+    Cls.state "N" ~init:(fun _ -> 0) ~upd:(fun _ _ n -> n + 1) (Cls.base ha)
+  in
+  let c = Cls.o2 (fun _ x y -> [ x + y ]) shared shared in
+  let m = Opt.compile 0 c in
+  let outs = List.map (Opt.step m) trace in
+  Alcotest.(check (list (list int)))
+    "counts each event once" [ [ 2 ]; [ 2 ]; [ 4 ] ] outs;
+  Alcotest.(check bool) "fewer slots than tree nodes" true
+    ((Opt.stats m).Opt.slots < Cls.size c)
+
+(* Random classes for the bisimulation property, mirroring test_loe. *)
+
+let rec gen_cls depth : int Cls.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [
+        (3, return (Cls.base ha));
+        (3, return (Cls.base hb));
+        (1, map (Cls.const "k") (int_bound 5));
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    let sub = gen_cls (depth - 1) in
+    frequency
+      [
+        (2, leaf);
+        (2, map (fun c -> Cls.map (fun v -> v + 1) c) sub);
+        (2, map (fun c -> Cls.filter (fun v -> v mod 2 = 0) c) sub);
+        ( 2,
+          map
+            (fun c -> Cls.state "s" ~init:(fun _ -> 0) ~upd:(fun _ v s -> s + v) c)
+            sub );
+        (2, map2 (fun a b -> Cls.( ||| ) a b) sub sub);
+        (2, map2 (fun a b -> Cls.o2 (fun _ x y -> [ x + y ]) a b) sub sub);
+        (1, map (fun c -> Cls.once c) sub);
+        ( 1,
+          map
+            (fun c ->
+              Cls.delegate "d" c (fun _ v -> Cls.map (fun w -> v + w) (Cls.base ha)))
+            sub );
+        (* Explicit sharing, to exercise CSE. *)
+        ( 1,
+          map
+            (fun c -> Cls.o2 (fun _ x y -> [ x * y ]) c c)
+            sub );
+      ]
+
+let gen_msg : Message.t QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map (Message.make ha) (int_bound 20);
+        map (Message.make hb) (int_bound 20);
+      ])
+
+let arb_cls =
+  QCheck.make ~print:(fun c -> Printf.sprintf "<cls size %d>" (Cls.size c))
+    (gen_cls 3)
+
+let arb_trace = QCheck.make QCheck.Gen.(list_size (0 -- 12) gen_msg)
+
+let prop_optimizer_bisimulation =
+  QCheck.Test.make
+    ~name:"optimized program bisimulates the original (proof e)" ~count:300
+    (QCheck.pair arb_cls arb_trace)
+    (fun (c, trace) ->
+      let tree = Proc.run (Compile.compile 3 c) trace in
+      let fused = Opt.compile 3 c in
+      let fused_outs = List.map (Opt.step fused) trace in
+      tree = fused_outs)
+
+let prop_to_proc_equals_step =
+  QCheck.Test.make ~name:"Opt.to_proc wraps the fused machine" ~count:100
+    (QCheck.pair arb_cls arb_trace)
+    (fun (c, trace) ->
+      Proc.run (Opt.to_proc 1 c) trace
+      = List.map (Opt.step (Opt.compile 1 c)) trace)
+
+(* Sizes: Table I orderings. *)
+
+let test_size_orderings () =
+  let c =
+    Cls.o2
+      (fun _ v s -> [ Message.send ha s v ])
+      (Cls.base ha) sum_cls
+  in
+  let spec = Cls.size c in
+  let gpm = Compile.gpm_size c in
+  let opt = Opt.opt_size c in
+  Alcotest.(check bool) "gpm > spec" true (gpm > spec);
+  Alcotest.(check bool) "opt < gpm" true (opt < gpm);
+  Alcotest.(check bool) "opt > 0" true (opt > 0)
+
+let test_engine_profiles () =
+  Alcotest.(check (float 1e-9)) "compiled baseline" 1.0
+    (Gpm.Engine_profile.cpu_factor Gpm.Engine_profile.Compiled);
+  Alcotest.(check bool) "interp slower than opt" true
+    (Gpm.Engine_profile.cpu_factor Gpm.Engine_profile.Interpreted
+    > Gpm.Engine_profile.cpu_factor Gpm.Engine_profile.Interpreted_opt);
+  Alcotest.(check int) "three engines" 3
+    (List.length Gpm.Engine_profile.all)
+
+(* Runtime on the simulator: a 3-node token ring that decrements a counter
+   and reports to an observer when it reaches zero. *)
+
+let tok : int Message.hdr = Message.declare "tok"
+let done_ : int Message.hdr = Message.declare "done"
+
+let ring_spec ~observer locs =
+  let next slf =
+    let rec find = function
+      | a :: b :: _ when a = slf -> b
+      | [ a ] when a = slf -> List.hd locs
+      | _ :: rest -> find rest
+      | [] -> List.hd locs
+    in
+    find locs
+  in
+  let handler =
+    Cls.o2
+      (fun slf v () ->
+        if v > 0 then [ Message.send tok (next slf) (v - 1) ]
+        else [ Message.send done_ observer slf ])
+      (Cls.base tok)
+      (Cls.const "unit" ())
+  in
+  Loe.Spec.v ~name:"ring" ~locs handler
+
+let run_ring backend =
+  let w = Sim.Engine.create () in
+  let got = ref [] in
+  let observer =
+    Sim.Engine.spawn w ~name:"observer" (fun () _ctx -> function
+      | Sim.Engine.Recv { msg; _ } -> (
+          match Message.recognize done_ msg with
+          | Some loc -> got := loc :: !got
+          | None -> ())
+      | Sim.Engine.Init | Sim.Engine.Timer _ -> ())
+  in
+  let ids = Gpm.Runtime.deploy ~backend w ~n:3 (ring_spec ~observer) in
+  Gpm.Runtime.inject w ~dst:(List.hd ids) (Message.make tok 7);
+  Sim.Engine.run w;
+  (ids, !got)
+
+let test_runtime_ring_fused () =
+  let ids, got = run_ring Gpm.Runtime.Fused in
+  (* 7 hops starting at node 0: 0→1→2→0→1→2→0→1; the holder of tok 0 is
+     the second ring node. *)
+  Alcotest.(check (list int)) "completion reported" [ List.nth ids 1 ] got
+
+let test_runtime_ring_tree () =
+  let _, got_tree = run_ring Gpm.Runtime.Tree in
+  let _, got_fused = run_ring Gpm.Runtime.Fused in
+  Alcotest.(check (list int)) "backends agree" got_fused got_tree
+
+let test_runtime_delayed_send () =
+  (* A delayed self-send acts as a timer: the output must re-enter the
+     process after the delay. *)
+  let ping : unit Message.hdr = Message.declare "ping" in
+  let report : float Message.hdr = Message.declare "report" in
+  let w = Sim.Engine.create () in
+  let got = ref [] in
+  let observer =
+    Sim.Engine.spawn w ~name:"obs" (fun () ctx -> function
+      | Sim.Engine.Recv { msg; _ } -> (
+          match Message.recognize report msg with
+          | Some _ -> got := Sim.Engine.time ctx :: !got
+          | None -> ())
+      | Sim.Engine.Init | Sim.Engine.Timer _ -> ())
+  in
+  let spec locs =
+    let count =
+      Cls.state "n" ~init:(fun _ -> 0) ~upd:(fun _ _ n -> n + 1) (Cls.base ping)
+    in
+    let handler =
+      Cls.o2
+        (fun slf () n ->
+          if n < 3 then [ Message.send_after ping 1.0 slf () ]
+          else [ Message.send report observer 0.0 ])
+        (Cls.base ping) count
+    in
+    Loe.Spec.v ~name:"timer" ~locs handler
+  in
+  let ids = Gpm.Runtime.deploy w ~n:1 spec in
+  Gpm.Runtime.inject w ~dst:(List.hd ids) (Message.make ping ());
+  Sim.Engine.run w;
+  match !got with
+  | [ t ] -> Alcotest.(check bool) "two 1 s self-delays elapsed" true (t >= 2.0)
+  | _ -> Alcotest.fail "expected one report"
+
+let test_runtime_step_cost_profiles () =
+  (* The same run under a slower engine must take proportionally longer. *)
+  let finish profile =
+    let w = Sim.Engine.create () in
+    let finished = ref 0.0 in
+    let observer =
+      Sim.Engine.spawn w ~name:"obs" (fun () ctx -> function
+        | Sim.Engine.Recv _ -> finished := Sim.Engine.time ctx
+        | Sim.Engine.Init | Sim.Engine.Timer _ -> ())
+    in
+    let ids =
+      Gpm.Runtime.deploy ~profile ~step_cost:0.01 w ~n:3 (ring_spec ~observer)
+    in
+    Gpm.Runtime.inject w ~dst:(List.hd ids) (Message.make tok 7);
+    Sim.Engine.run w;
+    !finished
+  in
+  let t_compiled = finish Gpm.Engine_profile.Compiled in
+  let t_interp = finish Gpm.Engine_profile.Interpreted in
+  Alcotest.(check bool) "interpreted ≈14x slower" true
+    (t_interp > 10.0 *. t_compiled)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "gpm"
+    [
+      ( "proc",
+        [
+          Alcotest.test_case "halt" `Quick test_proc_halt;
+          Alcotest.test_case "stateful" `Quick test_proc_stateful;
+          Alcotest.test_case "of_fun" `Quick test_proc_of_fun;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "tree matches inst" `Quick
+            test_tree_backend_matches_inst;
+          Alcotest.test_case "fused matches inst" `Quick
+            test_fused_backend_matches_inst;
+          Alcotest.test_case "cse shares state" `Quick
+            test_fused_cse_shares_state;
+          qt prop_optimizer_bisimulation;
+          qt prop_to_proc_equals_step;
+        ] );
+      ( "sizes",
+        [
+          Alcotest.test_case "orderings" `Quick test_size_orderings;
+          Alcotest.test_case "profiles" `Quick test_engine_profiles;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "ring fused" `Quick test_runtime_ring_fused;
+          Alcotest.test_case "ring tree ≡ fused" `Quick test_runtime_ring_tree;
+          Alcotest.test_case "delayed send" `Quick test_runtime_delayed_send;
+          Alcotest.test_case "engine cost" `Quick
+            test_runtime_step_cost_profiles;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+(* Smoke tests for the experiment harness: each figure driver produces
+   sane, calibrated values at miniature scale, so the benches cannot
+   silently bit-rot. *)
+
+let test_fig8_compiled_anchor () =
+  (* The calibration anchor of Fig. 8: one client on the compiled engine
+     delivers in ≈8.8 ms. *)
+  match
+    Harness.Fig8.run_engine ~msgs_per_client:30 ~clients:[ 1 ]
+      Gpm.Engine_profile.Compiled
+  with
+  | [ p ] ->
+      Alcotest.(check bool) "latency ≈ 8.8 ms" true
+        (p.Harness.Fig8.latency_ms > 7.0 && p.Harness.Fig8.latency_ms < 11.0);
+      Alcotest.(check bool) "throughput = 1/latency" true
+        (p.Harness.Fig8.throughput > 90.0 && p.Harness.Fig8.throughput < 140.0)
+  | _ -> Alcotest.fail "expected one point"
+
+let test_fig8_engine_ordering () =
+  let latency profile =
+    match
+      Harness.Fig8.run_engine ~msgs_per_client:10 ~clients:[ 1 ] profile
+    with
+    | [ p ] -> p.Harness.Fig8.latency_ms
+    | _ -> Alcotest.fail "expected one point"
+  in
+  let interp = latency Gpm.Engine_profile.Interpreted in
+  let opt = latency Gpm.Engine_profile.Interpreted_opt in
+  let compiled = latency Gpm.Engine_profile.Compiled in
+  Alcotest.(check bool) "interpreted > optimized > compiled" true
+    (interp > opt && opt > compiled)
+
+let test_fig9_standalone_point () =
+  match
+    Harness.Fig9.run_system ~quick:true Harness.Fig9.Micro
+      Harness.Fig9.H2_standalone ~clients:[ 4 ]
+  with
+  | [ p ] ->
+      Alcotest.(check bool) "standalone peak in calibrated range" true
+        (p.Harness.Fig9.throughput > 5000.0
+        && p.Harness.Fig9.throughput < 8000.0)
+  | _ -> Alcotest.fail "expected one point"
+
+let test_fig10_transfer_scaling () =
+  let t1 = Harness.Fig10.run_transfer ~rows:500 ~wide:false in
+  let t2 = Harness.Fig10.run_transfer ~rows:5000 ~wide:false in
+  let t3 = Harness.Fig10.run_transfer ~rows:5000 ~wide:true in
+  Alcotest.(check bool) "more rows take longer" true
+    (t2.Harness.Fig10.seconds > t1.Harness.Fig10.seconds);
+  Alcotest.(check bool) "wider rows take longer" true
+    (t3.Harness.Fig10.seconds > t2.Harness.Fig10.seconds);
+  Alcotest.(check bool) "fixed session overhead visible" true
+    (t1.Harness.Fig10.seconds > 0.3)
+
+let test_fig10_timeline_shape () =
+  let t =
+    Harness.Fig10.run_timeline ~rows:2000 ~crash_at:2.0 ~detect_timeout:1.0
+      ~duration:10.0 ~n_clients:4 ()
+  in
+  Alcotest.(check bool) "throughput positive before the crash" true
+    (List.exists (fun (x, y) -> x < 2.0 && y > 100.0) t.Harness.Fig10.bins);
+  Alcotest.(check bool) "outage bin present" true
+    (List.exists
+       (fun (x, y) -> x >= 2.0 && x < 3.0 && y < 10.0)
+       t.Harness.Fig10.bins);
+  Alcotest.(check bool) "clients resumed" true
+    (t.Harness.Fig10.resumed_at > 2.0);
+  Alcotest.(check bool) "configuration adopted after detection" true
+    (t.Harness.Fig10.config_delivered_at > 3.0)
+
+let test_ablation_batching () =
+  match Harness.Ablations.batching ~clients:8 ~msgs_per_client:20 () with
+  | [ on; off ] ->
+      Alcotest.(check bool) "batching wins" true
+        (on.Harness.Ablations.throughput > 2.0 *. off.Harness.Ablations.throughput)
+  | _ -> Alcotest.fail "expected two points"
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "fig8",
+        [
+          Alcotest.test_case "compiled anchor" `Quick test_fig8_compiled_anchor;
+          Alcotest.test_case "engine ordering" `Quick test_fig8_engine_ordering;
+        ] );
+      ( "fig9",
+        [ Alcotest.test_case "standalone point" `Quick test_fig9_standalone_point ] );
+      ( "fig10",
+        [
+          Alcotest.test_case "transfer scaling" `Quick test_fig10_transfer_scaling;
+          Alcotest.test_case "timeline shape" `Quick test_fig10_timeline_shape;
+        ] );
+      ( "ablations",
+        [ Alcotest.test_case "batching" `Quick test_ablation_batching ] );
+    ]

@@ -1,0 +1,283 @@
+(* Tests for the Logic of Events: message system, event classes, and the
+   equivalence between the incremental (GPM-side) and prefix-based (LoE
+   denotation) semantics — the paper's automatic proof that generated
+   programs comply with their specifications, rendered as properties. *)
+
+module Message = Loe.Message
+module Cls = Loe.Cls
+module Inst = Loe.Inst
+module Sem = Loe.Sem
+module Ilf = Loe.Ilf
+
+(* Shared message vocabulary: all tests use these headers. *)
+let ha : int Message.hdr = Message.declare "a"
+let hb : int Message.hdr = Message.declare "b"
+let noise : string Message.hdr = Message.declare "noise"
+
+(* Messages *)
+
+let test_message_roundtrip () =
+  let m = Message.make ha 42 in
+  Alcotest.(check (option int)) "recognized" (Some 42) (Message.recognize ha m);
+  Alcotest.(check (option int)) "other header" None (Message.recognize hb m)
+
+let test_message_same_name_distinct () =
+  (* Two declarations with the same name are distinct recognizers. *)
+  let h1 : int Message.hdr = Message.declare "x" in
+  let h2 : int Message.hdr = Message.declare "x" in
+  let m = Message.make h1 1 in
+  Alcotest.(check (option int)) "own key" (Some 1) (Message.recognize h1 m);
+  Alcotest.(check (option int)) "foreign key" None (Message.recognize h2 m)
+
+let test_directed_send () =
+  let d = Message.send ha 7 99 in
+  Alcotest.(check int) "dst" 7 d.Message.dst;
+  Alcotest.(check (float 0.0)) "no delay" 0.0 d.Message.delay;
+  let d' = Message.send_after ha 2.5 7 99 in
+  Alcotest.(check (float 0.0)) "delay" 2.5 d'.Message.delay
+
+(* Single-combinator semantics (unit level, via both evaluators). *)
+
+let both loc c trace =
+  let a = Inst.run loc c trace in
+  let b = Sem.eval loc c trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "inst ≡ sem (%s)" (Cls.name_of c))
+    true (a = b);
+  a
+
+let trace1 = [ Message.make ha 1; Message.make hb 2; Message.make ha 3 ]
+
+let test_base () =
+  let outs = both 0 (Cls.base ha) trace1 in
+  Alcotest.(check (list (list int))) "recognizes a" [ [ 1 ]; []; [ 3 ] ] outs
+
+let test_map_filter () =
+  let c = Cls.map (fun v -> v * 10) (Cls.filter (fun v -> v > 1) (Cls.base ha)) in
+  let outs = both 0 c trace1 in
+  Alcotest.(check (list (list int))) "filter+map" [ []; []; [ 30 ] ] outs
+
+let test_state_is_post_update () =
+  (* Fig. 5: at a recognized event the state output includes that event's
+     update; at other events it is the previous value. *)
+  let c =
+    Cls.state "Sum" ~init:(fun _ -> 0) ~upd:(fun _ v s -> s + v) (Cls.base ha)
+  in
+  let outs = both 0 c trace1 in
+  Alcotest.(check (list (list int))) "running sum" [ [ 1 ]; [ 1 ]; [ 4 ] ] outs
+
+let test_once () =
+  let c = Cls.once (Cls.base ha) in
+  let outs = both 0 c trace1 in
+  Alcotest.(check (list (list int))) "fires once" [ [ 1 ]; []; [] ] outs
+
+let test_par_order () =
+  let c = Cls.( ||| ) (Cls.base ha) (Cls.map (fun v -> v * 100) (Cls.base ha)) in
+  let outs = both 0 c trace1 in
+  Alcotest.(check (list (list int)))
+    "left outputs precede right" [ [ 1; 100 ]; []; [ 3; 300 ] ] outs
+
+let test_compose2 () =
+  let sum =
+    Cls.state "S" ~init:(fun _ -> 0) ~upd:(fun _ v s -> s + v) (Cls.base ha)
+  in
+  let c = Cls.o2 (fun _loc v s -> [ (v, s) ]) (Cls.base ha) sum in
+  let a = Inst.run 0 c trace1 and b = Sem.eval 0 c trace1 in
+  Alcotest.(check bool) "inst ≡ sem" true (a = b);
+  Alcotest.(check (list (list (pair int int))))
+    "pairs value with post-update state"
+    [ [ (1, 1) ]; []; [ (3, 4) ] ]
+    a
+
+let test_compose3 () =
+  let cnt =
+    Cls.state "N" ~init:(fun _ -> 0) ~upd:(fun _ _ n -> n + 1) (Cls.base ha)
+  in
+  let c =
+    Cls.o3 (fun loc v n u -> [ loc + v + n + u ]) (Cls.base ha) cnt
+      (Cls.const "one" 1)
+  in
+  let a = both 5 c trace1 in
+  Alcotest.(check (list (list int))) "ternary compose"
+    [ [ 5 + 1 + 1 + 1 ]; []; [ 5 + 3 + 2 + 1 ] ]
+    a
+
+let test_delegate_children_observe_suffix () =
+  (* A child spawned at event 0 sees events 1.. only. *)
+  let spawn _loc v = Cls.map (fun w -> (v, w)) (Cls.base ha) in
+  let c = Cls.delegate "D" (Cls.base ha) spawn in
+  let a = Inst.run 0 c trace1 and b = Sem.eval 0 c trace1 in
+  Alcotest.(check bool) "inst ≡ sem" true (a = b);
+  Alcotest.(check (list (list (pair int int))))
+    "children outputs" [ []; []; [ (1, 3) ] ] a
+
+let test_delegate_multiple_children () =
+  let spawn _loc v = Cls.map (fun w -> (v * 1000) + w) (Cls.base ha) in
+  let c = Cls.delegate "D" (Cls.base ha) spawn in
+  let trace =
+    [ Message.make ha 1; Message.make ha 2; Message.make ha 3 ]
+  in
+  let a = both 0 c trace in
+  Alcotest.(check (list (list int)))
+    "each live child reacts, in spawn order"
+    [ []; [ 1002 ]; [ 1003; 2003 ] ]
+    a
+
+(* Random classes: the compliance property over the whole combinator
+   algebra. *)
+
+let gen_msg : Message.t QCheck.Gen.t =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (Message.make ha) (int_bound 20));
+        (4, map (Message.make hb) (int_bound 20));
+        (1, return (Message.make noise "n"));
+      ])
+
+let rec gen_cls depth : int Cls.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [
+        (3, return (Cls.base ha));
+        (3, return (Cls.base hb));
+        (1, map (Cls.const "k") (int_bound 5));
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    let sub = gen_cls (depth - 1) in
+    frequency
+      [
+        (2, leaf);
+        (2, map (fun c -> Cls.map (fun v -> v + 1) c) sub);
+        (2, map (fun c -> Cls.filter (fun v -> v mod 2 = 0) c) sub);
+        ( 2,
+          map
+            (fun c ->
+              Cls.state "s" ~init:(fun loc -> loc) ~upd:(fun _ v s -> s + v) c)
+            sub );
+        (2, map2 (fun a b -> Cls.( ||| ) a b) sub sub);
+        ( 2,
+          map2 (fun a b -> Cls.o2 (fun loc x y -> [ loc + x + y ]) a b) sub sub
+        );
+        (1, map (fun c -> Cls.once c) sub);
+        ( 1,
+          map
+            (fun c ->
+              Cls.delegate "d" c (fun _ v -> Cls.map (fun w -> v + w) (Cls.base ha)))
+            sub );
+      ]
+
+let arb_cls =
+  QCheck.make
+    ~print:(fun c -> Printf.sprintf "<cls %s, size %d>" (Cls.name_of c) (Cls.size c))
+    (gen_cls 3)
+
+let arb_trace =
+  QCheck.make
+    ~print:(fun ms -> String.concat ";" (List.map (fun m -> m.Message.hdr) ms))
+    QCheck.Gen.(list_size (0 -- 12) gen_msg)
+
+let prop_inst_complies_with_sem =
+  QCheck.Test.make ~name:"GPM stepper complies with LoE denotation (proof c)"
+    ~count:300
+    (QCheck.pair arb_cls arb_trace)
+    (fun (c, trace) -> Inst.run 0 c trace = Sem.eval 0 c trace)
+
+let prop_once_at_most_once =
+  QCheck.Test.make ~name:"Once produces at ≤1 event" ~count:200
+    (QCheck.pair arb_cls arb_trace)
+    (fun (c, trace) ->
+      let outs = Inst.run 0 (Cls.once c) trace in
+      List.length (List.filter (fun os -> os <> []) outs) <= 1)
+
+let prop_par_is_union =
+  QCheck.Test.make ~name:"Par output = left @ right" ~count:200
+    (QCheck.triple arb_cls arb_cls arb_trace)
+    (fun (a, b, trace) ->
+      let l = Inst.run 0 a trace
+      and r = Inst.run 0 b trace
+      and p = Inst.run 0 (Cls.( ||| ) a b) trace in
+      p = List.map2 (fun x y -> x @ y) l r)
+
+let prop_state_singlevalued =
+  QCheck.Test.make ~name:"State classes are single-valued" ~count:200
+    (QCheck.pair arb_cls arb_trace)
+    (fun (c, trace) ->
+      let st =
+        Cls.state "sv" ~init:(fun _ -> 0) ~upd:(fun _ v s -> s + v) c
+      in
+      List.for_all (fun os -> List.length os = 1) (Inst.run 0 st trace))
+
+(* ILF and sizes *)
+
+let test_ilf_size_positive () =
+  let c = Cls.o2 (fun _ a b -> [ a + b ]) (Cls.base ha) (Cls.base hb) in
+  let f = Ilf.of_cls ~name:"C" c in
+  Alcotest.(check bool) "has nodes" true (Ilf.size f > Cls.size c);
+  Alcotest.(check bool) "prints" true (String.length (Ilf.to_string f) > 0)
+
+let test_ilf_mentions_headers () =
+  let f = Ilf.of_cls ~name:"C" (Cls.base ha) in
+  let s = Ilf.to_string f in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions header" true (contains s "``a``")
+
+let test_spec_sizes () =
+  let main =
+    Cls.o2
+      (fun _ v s -> [ Message.send ha s v ])
+      (Cls.base ha)
+      (Cls.state "S" ~init:(fun _ -> 0) ~upd:(fun _ v s -> s + v) (Cls.base ha))
+  in
+  let spec = Loe.Spec.v ~name:"T" ~locs:[ 0; 1 ] main in
+  Alcotest.(check bool) "spec size positive" true (Loe.Spec.spec_size spec > 0);
+  Alcotest.(check bool) "loe size > spec size" true
+    (Loe.Spec.loe_size spec > Loe.Spec.spec_size spec)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "loe"
+    [
+      ( "message",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_message_roundtrip;
+          Alcotest.test_case "distinct declarations" `Quick
+            test_message_same_name_distinct;
+          Alcotest.test_case "directed" `Quick test_directed_send;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "base" `Quick test_base;
+          Alcotest.test_case "map/filter" `Quick test_map_filter;
+          Alcotest.test_case "state post-update" `Quick
+            test_state_is_post_update;
+          Alcotest.test_case "once" `Quick test_once;
+          Alcotest.test_case "par order" `Quick test_par_order;
+          Alcotest.test_case "compose2" `Quick test_compose2;
+          Alcotest.test_case "compose3" `Quick test_compose3;
+          Alcotest.test_case "delegate suffix" `Quick
+            test_delegate_children_observe_suffix;
+          Alcotest.test_case "delegate multi" `Quick
+            test_delegate_multiple_children;
+        ] );
+      ( "compliance",
+        [
+          qt prop_inst_complies_with_sem;
+          qt prop_once_at_most_once;
+          qt prop_par_is_union;
+          qt prop_state_singlevalued;
+        ] );
+      ( "ilf",
+        [
+          Alcotest.test_case "size" `Quick test_ilf_size_positive;
+          Alcotest.test_case "headers" `Quick test_ilf_mentions_headers;
+          Alcotest.test_case "spec sizes" `Quick test_spec_sizes;
+        ] );
+    ]

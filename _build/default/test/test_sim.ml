@@ -1,0 +1,398 @@
+(* Tests for the discrete-event simulator substrate. *)
+
+module Engine = Sim.Engine
+module Prng = Sim.Prng
+module Heap = Sim.Heap
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different streams" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_float_range () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_prng_int_range () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+let test_prng_mean () =
+  let rng = Prng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let prop_prng_split_independent =
+  QCheck.Test.make ~name:"prng split diverges from parent" ~count:50
+    QCheck.small_int (fun seed ->
+      let parent = Prng.create seed in
+      let child = Prng.split parent in
+      Prng.bits64 parent <> Prng.bits64 child)
+
+(* Heap *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  Heap.push h ~time:3.0 ~seq:1 "c";
+  Heap.push h ~time:1.0 ~seq:2 "a";
+  Heap.push h ~time:2.0 ~seq:3 "b";
+  let pop () =
+    match Heap.pop h with Some (_, _, v) -> v | None -> "empty"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_heap_tie_break () =
+  let h = Heap.create () in
+  Heap.push h ~time:1.0 ~seq:2 "second";
+  Heap.push h ~time:1.0 ~seq:1 "first";
+  (match Heap.pop h with
+  | Some (_, _, v) -> Alcotest.(check string) "seq order" "first" v
+  | None -> Alcotest.fail "empty");
+  match Heap.pop h with
+  | Some (_, _, v) -> Alcotest.(check string) "seq order" "second" v
+  | None -> Alcotest.fail "empty"
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.pop h = None);
+  Alcotest.(check int) "length" 0 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in key order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
+    (fun items ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, _) -> Heap.push h ~time:t ~seq:i ()) items;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (t, s, ()) -> drain ((t, s) :: acc)
+      in
+      let popped = drain [] in
+      let rec sorted = function
+        | (t1, s1) :: ((t2, s2) :: _ as rest) ->
+            (t1 < t2 || (t1 = t2 && s1 < s2)) && sorted rest
+        | _ -> true
+      in
+      sorted popped && List.length popped = List.length items)
+
+(* Engine basics.  Message type: string. *)
+
+let test_engine_ping_pong () =
+  let w = Engine.create () in
+  let log = ref [] in
+  let pong =
+    Engine.spawn w ~name:"pong" (fun () ctx -> function
+      | Engine.Recv { src; msg = "ping" } -> Engine.send ctx src "pong"
+      | Engine.Recv _ | Engine.Init | Engine.Timer _ -> ())
+  in
+  let _ping =
+    Engine.spawn w ~name:"ping" (fun () ctx -> function
+      | Engine.Init -> Engine.send ctx pong "ping"
+      | Engine.Recv { msg; _ } -> log := (Engine.time ctx, msg) :: !log
+      | Engine.Timer _ -> ())
+  in
+  Engine.run w;
+  match !log with
+  | [ (t, "pong") ] ->
+      Alcotest.(check bool) "latency ≈ 2 one-way delays" true
+        (t > 1.5e-4 && t < 5.0e-4)
+  | _ -> Alcotest.fail "expected exactly one pong"
+
+let test_engine_fifo () =
+  let w = Engine.create () in
+  let received = ref [] in
+  let dst =
+    Engine.spawn w ~name:"dst" (fun () _ctx -> function
+      | Engine.Recv { msg; _ } -> received := msg :: !received
+      | Engine.Init | Engine.Timer _ -> ())
+  in
+  let _src =
+    Engine.spawn w ~name:"src" (fun () ctx -> function
+      | Engine.Init ->
+          for i = 1 to 50 do
+            Engine.send ctx ~size:(64 * i) dst (string_of_int i)
+          done
+      | Engine.Recv _ | Engine.Timer _ -> ())
+  in
+  Engine.run w;
+  let expect = List.init 50 (fun i -> string_of_int (50 - i)) in
+  Alcotest.(check (list string)) "FIFO per link" expect !received
+
+let test_engine_determinism () =
+  let run_once () =
+    let w = Engine.create ~seed:9 () in
+    let log = ref [] in
+    let echo =
+      Engine.spawn w ~name:"echo" (fun () ctx -> function
+        | Engine.Recv { src; msg } -> Engine.send ctx src ("re:" ^ msg)
+        | Engine.Init | Engine.Timer _ -> ())
+    in
+    let _client =
+      Engine.spawn w ~name:"client" (fun () ctx -> function
+        | Engine.Init ->
+            Engine.send ctx echo "a";
+            Engine.send ctx echo "b"
+        | Engine.Recv { msg; _ } -> log := (Engine.time ctx, msg) :: !log
+        | Engine.Timer _ -> ())
+    in
+    Engine.run w;
+    !log
+  in
+  Alcotest.(check bool) "identical runs" true (run_once () = run_once ())
+
+let test_engine_cpu_serialization () =
+  (* Two messages arriving (almost) together at a node charging 1 s each
+     must finish roughly 1 s apart: the node is a serial CPU. *)
+  let w = Engine.create () in
+  let finish_times = ref [] in
+  let worker =
+    Engine.spawn w ~name:"worker" (fun () ctx -> function
+      | Engine.Recv { src; _ } ->
+          Engine.charge ctx 1.0;
+          Engine.send ctx src "done"
+      | Engine.Init | Engine.Timer _ -> ())
+  in
+  let _client =
+    Engine.spawn w ~name:"client" (fun () ctx -> function
+      | Engine.Init ->
+          Engine.send ctx worker "job1";
+          Engine.send ctx worker "job2"
+      | Engine.Recv _ -> finish_times := Engine.time ctx :: !finish_times
+      | Engine.Timer _ -> ())
+  in
+  Engine.run w;
+  match List.sort compare !finish_times with
+  | [ t1; t2 ] ->
+      check_float "first done after ≈1 s"
+        1.0
+        (Float.round (t1 *. 10.) /. 10.);
+      check_float "second done after ≈2 s" 2.0 (Float.round (t2 *. 10.) /. 10.)
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_engine_timer () =
+  let w = Engine.create () in
+  let fired = ref [] in
+  let _node =
+    Engine.spawn w ~name:"t" (fun () ctx -> function
+      | Engine.Init ->
+          ignore (Engine.set_timer ctx 5.0 "later");
+          ignore (Engine.set_timer ctx 1.0 "soon")
+      | Engine.Timer { tag; _ } -> fired := (Engine.time ctx, tag) :: !fired
+      | Engine.Recv _ -> ())
+  in
+  Engine.run w;
+  match List.rev !fired with
+  | [ (t1, "soon"); (t2, "later") ] ->
+      check_float "soon at 1" 1.0 t1;
+      check_float "later at 5" 5.0 t2
+  | _ -> Alcotest.fail "expected two timer firings in order"
+
+let test_engine_cancel_timer () =
+  let w = Engine.create () in
+  let fired = ref 0 in
+  let _node =
+    Engine.spawn w ~name:"t" (fun () ctx -> function
+      | Engine.Init ->
+          let id = Engine.set_timer ctx 1.0 "x" in
+          Engine.cancel_timer ctx id
+      | Engine.Timer _ -> incr fired
+      | Engine.Recv _ -> ())
+  in
+  Engine.run w;
+  Alcotest.(check int) "cancelled timer never fires" 0 !fired
+
+let test_engine_crash_drops_messages () =
+  let w = Engine.create () in
+  let received = ref 0 in
+  let dst =
+    Engine.spawn w ~name:"dst" (fun () _ -> function
+      | Engine.Recv _ -> incr received
+      | Engine.Init | Engine.Timer _ -> ())
+  in
+  let _src =
+    Engine.spawn w ~name:"src" (fun () ctx -> function
+      | Engine.Init -> Engine.send ctx dst "m"
+      | Engine.Recv _ | Engine.Timer _ -> ())
+  in
+  Engine.crash w dst;
+  Engine.run w;
+  Alcotest.(check int) "no delivery to crashed node" 0 !received;
+  Alcotest.(check bool) "not alive" false (Engine.is_alive w dst)
+
+let test_engine_restart_fresh_state () =
+  let w = Engine.create () in
+  let inits = ref 0 in
+  let node =
+    Engine.spawn w ~name:"n" (fun () ->
+        incr inits;
+        fun _ctx -> function Engine.Init | Engine.Recv _ | Engine.Timer _ -> ())
+  in
+  Engine.run w;
+  Engine.crash w node;
+  Engine.restart w node;
+  Engine.run w;
+  Alcotest.(check int) "factory invoked twice" 2 !inits;
+  Alcotest.(check bool) "alive after restart" true (Engine.is_alive w node)
+
+let test_engine_crash_invalidates_timers () =
+  let w = Engine.create () in
+  let fired = ref 0 in
+  let node =
+    Engine.spawn w ~name:"n" (fun () ctx -> function
+      | Engine.Init -> ignore (Engine.set_timer ctx 10.0 "old-life")
+      | Engine.Timer _ -> incr fired
+      | Engine.Recv _ -> ())
+  in
+  Engine.at w 1.0 (fun () ->
+      Engine.crash w node;
+      Engine.restart w node);
+  Engine.run w;
+  (* The pre-crash timer must not fire; the restart re-arms one which does. *)
+  Alcotest.(check int) "one firing (from the restarted incarnation)" 1 !fired
+
+let test_engine_partition () =
+  let w = Engine.create () in
+  let received = ref 0 in
+  let dst =
+    Engine.spawn w ~name:"dst" (fun () _ -> function
+      | Engine.Recv _ -> incr received
+      | Engine.Init | Engine.Timer _ -> ())
+  in
+  let src =
+    Engine.spawn w ~name:"src" (fun () ctx -> function
+      | Engine.Init -> Engine.send ctx dst "before-heal"
+      | Engine.Timer _ -> Engine.send ctx dst "after-heal"
+      | Engine.Recv _ -> ())
+  in
+  Engine.partition w src dst;
+  Engine.at w 1.0 (fun () ->
+      Engine.heal w src dst;
+      Engine.send_external w ~src dst "after-heal");
+  Engine.run w;
+  Alcotest.(check int) "only post-heal message arrives" 1 !received
+
+let test_engine_at_ordering () =
+  let w = Engine.create () in
+  let order = ref [] in
+  Engine.at w 2.0 (fun () -> order := 2 :: !order);
+  Engine.at w 1.0 (fun () -> order := 1 :: !order);
+  Engine.at w 3.0 (fun () -> order := 3 :: !order);
+  Engine.run w;
+  Alcotest.(check (list int)) "scripted order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_engine_run_until () =
+  let w = Engine.create () in
+  let fired = ref 0 in
+  Engine.at w 1.0 (fun () -> incr fired);
+  Engine.at w 10.0 (fun () -> incr fired);
+  Engine.run ~until:5.0 w;
+  Alcotest.(check int) "only events before the horizon" 1 !fired
+
+(* Determinism over random topologies: the full trace of a randomly wired
+   echo network is a function of the seed alone. *)
+let prop_engine_deterministic_topologies =
+  QCheck.Test.make ~name:"engine runs are reproducible from the seed"
+    ~count:30
+    QCheck.(pair (int_range 2 6) small_int)
+    (fun (n, seed) ->
+      let run () =
+        let w = Engine.create ~seed () in
+        let log = ref [] in
+        let ids = ref [] in
+        let mk i =
+          Engine.spawn w ~name:(string_of_int i) (fun () ctx -> function
+            | Engine.Init ->
+                if i = 0 then
+                  List.iteri
+                    (fun j dst ->
+                      if j <> 0 then Engine.send ctx dst (string_of_int j))
+                    !ids
+            | Engine.Recv { src; msg } ->
+                log := (Engine.time ctx, src, msg) :: !log;
+                if String.length msg < 4 then Engine.send ctx src (msg ^ "x")
+            | Engine.Timer _ -> ())
+        in
+        ids := List.init n mk;
+        Engine.run ~until:10.0 w;
+        !log
+      in
+      run () = run ())
+
+let prop_network_delay_positive =
+  QCheck.Test.make ~name:"net delay is positive and size-monotone" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (seed, size) ->
+      let size = abs size in
+      let rng = Prng.create seed in
+      let d1 = Sim.Net.delay Sim.Net.lan rng ~size in
+      let rng = Prng.create seed in
+      let d2 = Sim.Net.delay Sim.Net.lan rng ~size:(size + 10_000_000) in
+      d1 > 0.0 && d2 > d1)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "mean" `Quick test_prng_mean;
+          qt prop_prng_split_independent;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "tie break" `Quick test_heap_tie_break;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          qt prop_heap_sorts;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ping pong" `Quick test_engine_ping_pong;
+          Alcotest.test_case "fifo links" `Quick test_engine_fifo;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "cpu serialization" `Quick
+            test_engine_cpu_serialization;
+          Alcotest.test_case "timers" `Quick test_engine_timer;
+          Alcotest.test_case "cancel timer" `Quick test_engine_cancel_timer;
+          Alcotest.test_case "crash drops messages" `Quick
+            test_engine_crash_drops_messages;
+          Alcotest.test_case "restart fresh state" `Quick
+            test_engine_restart_fresh_state;
+          Alcotest.test_case "crash invalidates timers" `Quick
+            test_engine_crash_invalidates_timers;
+          Alcotest.test_case "partition" `Quick test_engine_partition;
+          Alcotest.test_case "at ordering" `Quick test_engine_at_ordering;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          qt prop_network_delay_positive;
+          qt prop_engine_deterministic_topologies;
+        ] );
+    ]

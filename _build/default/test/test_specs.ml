@@ -1,0 +1,254 @@
+(* Tests for the constructive protocol specifications (the Table I
+   artifacts): trace equivalence between the DSL-compiled processes and
+   the pure protocol cores, whole-system runs through the LoE instance
+   semantics, and the Table I size orderings. *)
+
+module Message = Loe.Message
+module Cls = Loe.Cls
+module Inst = Loe.Inst
+module I = Consensus.Consensus_intf
+module TTS = Consensus.Twothird_spec
+module PXS = Consensus.Paxos_spec
+
+let locs = [ 0; 1; 2; 3 ]
+let learner = 99
+
+(* ---------- TwoThird spec ≡ pure core ---------- *)
+
+(* Drive the same input sequence through (a) the specification's instance
+   semantics at location 0 and (b) the pure core, and compare outputs. *)
+let tt_events_gen =
+  QCheck.Gen.(
+    list_size (0 -- 25)
+      (frequency
+         [
+           (2, map (fun c -> `Propose (Printf.sprintf "v%d" c)) (int_bound 3));
+           ( 5,
+             map2
+               (fun src (slot, round, c) ->
+                 `Vote
+                   ( (src mod 4),
+                     {
+                       Consensus.Twothird_multi.slot;
+                       vote =
+                         Consensus.Twothird.Vote
+                           { round; value = Printf.sprintf "v%d" c };
+                     } ))
+               (int_bound 3)
+               (triple (int_bound 3) (int_bound 2) (int_bound 3)) );
+           (1, return `Tick);
+         ]))
+
+let prop_twothird_spec_complies =
+  QCheck.Test.make ~name:"TwoThird spec ≡ pure core (trace equivalence)"
+    ~count:150 (QCheck.make tt_events_gen) (fun events ->
+      let spec, io = TTS.make ~locs ~learner in
+      (* (a) through the DSL instance semantics *)
+      let msgs =
+        List.map
+          (function
+            | `Propose c -> Message.make io.TTS.propose c
+            | `Vote (src, m) -> Message.make io.TTS.vote (src, m)
+            | `Tick -> Message.make io.TTS.tick ())
+          events
+      in
+      let spec_outs = List.concat (Inst.run 0 spec.Loe.Spec.main msgs) in
+      (* (b) directly against the pure core *)
+      let core = ref (Consensus.Twothird_multi.create ~self:0 ~members:locs) in
+      let core_acts =
+        List.concat_map
+          (fun ev ->
+            let c, acts =
+              match ev with
+              | `Propose v -> Consensus.Twothird_multi.propose !core v
+              | `Vote (src, m) -> Consensus.Twothird_multi.recv !core ~src m
+              | `Tick -> Consensus.Twothird_multi.tick !core
+            in
+            core := c;
+            acts)
+          events
+      in
+      (* Compare output streams structurally. *)
+      let summarize_spec (d : Message.directed) =
+        match Message.recognize io.TTS.vote d.Message.msg with
+        | Some (src, m) -> `V (d.Message.dst, src, m)
+        | None -> (
+            match Message.recognize io.TTS.deliver d.Message.msg with
+            | Some (s, c) -> `D (d.Message.dst, s, c)
+            | None -> `T)
+      in
+      let summarize_core = function
+        | I.Send (dst, m) -> `V (dst, 0, m)
+        | I.Deliver { s; c } -> `D (learner, s, c)
+        | I.Set_timer _ -> `T
+      in
+      List.map summarize_spec spec_outs = List.map summarize_core core_acts)
+
+(* ---------- whole-system runs through the instance semantics ---------- *)
+
+(* A miniature event loop: one Inst per location, a FIFO network of
+   directed messages (delays ignored), until quiescence. *)
+let run_system main_of locs injections ~max_steps =
+  let insts = List.map (fun l -> (l, ref (Inst.create l (main_of l)))) locs in
+  let outputs = ref [] in
+  let q = Queue.create () in
+  List.iter (fun (dst, msg) -> Queue.push (dst, msg) q) injections;
+  let steps = ref 0 in
+  while (not (Queue.is_empty q)) && !steps < max_steps do
+    incr steps;
+    let dst, msg = Queue.pop q in
+    match List.assoc_opt dst insts with
+    | None -> outputs := (dst, msg) :: !outputs
+    | Some inst ->
+        let inst', outs = Inst.step dst !inst msg in
+        inst := inst';
+        (* Delayed self-sends encode timers (retransmission); the loop
+           delivers reliably in FIFO order, so they are unnecessary and
+           would keep the system from quiescing. *)
+        List.iter
+          (fun (d : Message.directed) ->
+            if d.Message.delay <= 0.0 then
+              Queue.push (d.Message.dst, d.Message.msg) q)
+          outs
+  done;
+  (List.rev !outputs, !steps)
+
+let test_twothird_spec_system_decides () =
+  let spec, io = TTS.make ~locs ~learner in
+  let main_of _ = spec.Loe.Spec.main in
+  let injections =
+    List.mapi
+      (fun i l -> (l, Message.make io.TTS.propose (Printf.sprintf "p%d" i)))
+      locs
+  in
+  let outputs, steps = run_system main_of locs injections ~max_steps:20_000 in
+  Alcotest.(check bool) "terminates" true (steps < 20_000);
+  let deliveries =
+    List.filter_map
+      (fun (dst, msg) ->
+        if dst = learner then Message.recognize io.TTS.deliver msg else None)
+      outputs
+  in
+  (* Each member delivers every decided slot to the learner: 4 members × 4
+     slots; all agree per slot. *)
+  Alcotest.(check bool) "deliveries happened" true (List.length deliveries > 0);
+  let by_slot = Hashtbl.create 8 in
+  List.iter
+    (fun (s, c) ->
+      match Hashtbl.find_opt by_slot s with
+      | None -> Hashtbl.add by_slot s c
+      | Some c' ->
+          Alcotest.(check string) (Printf.sprintf "slot %d agreement" s) c' c)
+    deliveries;
+  Alcotest.(check int) "all four proposals decided" 4 (Hashtbl.length by_slot)
+
+let test_paxos_spec_system_decides () =
+  let locs = [ 0; 1; 2 ] in
+  let spec, io = PXS.make ~locs ~learner in
+  let main_of _ = spec.Loe.Spec.main in
+  let injections =
+    (0, Message.make io.PXS.start ())
+    :: List.map (fun l -> (l, Message.make io.PXS.request (Printf.sprintf "c%d" l))) locs
+  in
+  let outputs, steps = run_system main_of locs injections ~max_steps:50_000 in
+  Alcotest.(check bool) "terminates" true (steps < 50_000);
+  let performs =
+    List.filter_map
+      (fun (dst, msg) ->
+        if dst = learner then Message.recognize io.PXS.perform msg else None)
+      outputs
+  in
+  (* Three commands, three members each performing them: 9 notifications,
+     agreeing per slot. *)
+  let by_slot : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s, c) ->
+      match Hashtbl.find_opt by_slot s with
+      | None -> Hashtbl.add by_slot s c
+      | Some c' ->
+          Alcotest.(check string) (Printf.sprintf "slot %d agreement" s) c' c)
+    performs;
+  Alcotest.(check int) "three slots decided" 3 (Hashtbl.length by_slot);
+  Alcotest.(check int) "every member performed every slot" 9
+    (List.length performs)
+
+let test_tob_spec_system_delivers () =
+  let locs = [ 0; 1; 2 ] in
+  let spec, io = Broadcast.Tob_spec.make ~locs ~subscribers:[ learner ] in
+  let main_of _ = spec.Loe.Spec.main in
+  let entry i = { Broadcast.Tob.origin = 50; id = i; payload = Printf.sprintf "m%d" i } in
+  let injections =
+    List.map (fun l -> (l, Message.make io.Broadcast.Tob_spec.start ())) locs
+    @ List.init 3 (fun i ->
+          (0, Message.make io.Broadcast.Tob_spec.bcast (entry i)))
+  in
+  let outputs, steps = run_system main_of locs injections ~max_steps:100_000 in
+  Alcotest.(check bool) "terminates" true (steps < 100_000);
+  let deliveries =
+    List.filter_map
+      (fun (dst, msg) ->
+        if dst = learner then
+          Message.recognize io.Broadcast.Tob_spec.deliver msg
+        else None)
+      outputs
+  in
+  (* Every member fans every delivery out to the learner; sequence numbers
+     must be consistent per entry. *)
+  Alcotest.(check bool) "messages delivered" true (List.length deliveries >= 3);
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Broadcast.Tob.deliver) ->
+      match Hashtbl.find_opt tbl d.Broadcast.Tob.seqno with
+      | None -> Hashtbl.add tbl d.Broadcast.Tob.seqno d.Broadcast.Tob.entry
+      | Some e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seqno %d consistent" d.Broadcast.Tob.seqno)
+            true
+            (e = d.Broadcast.Tob.entry))
+    deliveries;
+  Alcotest.(check int) "three distinct messages" 3 (Hashtbl.length tbl)
+
+(* ---------- Table I orderings ---------- *)
+
+let test_table1_orderings () =
+  let rows = Harness.Table1.rows () in
+  let find name =
+    List.find (fun r -> r.Harness.Table1.name = name) rows
+  in
+  let clk = find "CLK"
+  and tt = find "TwoThird Consensus"
+  and px = find "Paxos-Synod"
+  and tob = find "Broadcast Service" in
+  let spec r = r.Harness.Table1.spec_nodes in
+  Alcotest.(check bool) "CLK smallest" true (spec clk < spec tt);
+  Alcotest.(check bool) "TwoThird < Broadcast" true (spec tt < spec tob);
+  Alcotest.(check bool) "Broadcast < Paxos" true (spec tob < spec px);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Harness.Table1.name ^ ": LoE > EventML")
+        true
+        (r.Harness.Table1.loe_nodes > r.Harness.Table1.spec_nodes);
+      Alcotest.(check bool)
+        (r.Harness.Table1.name ^ ": opt < GPM")
+        true
+        (r.Harness.Table1.opt_nodes < r.Harness.Table1.gpm_nodes))
+    rows
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "specs"
+    [
+      ( "twothird-spec",
+        [
+          qt prop_twothird_spec_complies;
+          Alcotest.test_case "system decides" `Quick
+            test_twothird_spec_system_decides;
+        ] );
+      ( "paxos-spec",
+        [ Alcotest.test_case "system decides" `Quick test_paxos_spec_system_decides ] );
+      ( "tob-spec",
+        [ Alcotest.test_case "system delivers" `Quick test_tob_spec_system_delivers ] );
+      ( "table1",
+        [ Alcotest.test_case "size orderings" `Quick test_table1_orderings ] );
+    ]

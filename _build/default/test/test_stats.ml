@@ -1,0 +1,106 @@
+(* Tests for the measurement kit. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_sample_basic () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Sample.count s);
+  check_float "mean" 2.5 (Stats.Sample.mean s);
+  check_float "min" 1.0 (Stats.Sample.min s);
+  check_float "max" 4.0 (Stats.Sample.max s);
+  check_float "sum" 10.0 (Stats.Sample.sum s)
+
+let test_sample_empty () =
+  let s = Stats.Sample.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Sample.mean s));
+  Alcotest.(check bool) "p50 nan" true (Float.is_nan (Stats.Sample.median s))
+
+let test_sample_percentile () =
+  let s = Stats.Sample.create () in
+  for i = 1 to 100 do
+    Stats.Sample.add s (float_of_int i)
+  done;
+  check_float "p50" 50.0 (Stats.Sample.percentile s 50.0);
+  check_float "p99" 99.0 (Stats.Sample.percentile s 99.0);
+  check_float "p100" 100.0 (Stats.Sample.percentile s 100.0)
+
+let test_sample_stddev () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 2.0; 2.0; 2.0 ];
+  check_float "constant data" 0.0 (Stats.Sample.stddev s)
+
+let test_sample_interleaved_queries () =
+  (* Percentile queries sort internally; later adds must still be seen. *)
+  let s = Stats.Sample.create () in
+  Stats.Sample.add s 5.0;
+  ignore (Stats.Sample.median s);
+  Stats.Sample.add s 1.0;
+  check_float "min after re-add" 1.0 (Stats.Sample.percentile s 0.0)
+
+let prop_sample_mean_bounds =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let s = Stats.Sample.create () in
+      List.iter (Stats.Sample.add s) xs;
+      let m = Stats.Sample.mean s in
+      m >= Stats.Sample.min s -. 1e-9 && m <= Stats.Sample.max s +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let s = Stats.Sample.create () in
+      List.iter (Stats.Sample.add s) xs;
+      Stats.Sample.percentile s 25.0 <= Stats.Sample.percentile s 75.0)
+
+let test_series_bins () =
+  let s = Stats.Series.create ~bin:1.0 in
+  List.iter (Stats.Series.record s) [ 0.1; 0.2; 2.5 ];
+  Alcotest.(check int) "total" 3 (Stats.Series.total s);
+  match Stats.Series.bins s with
+  | [ (_, r0); (_, r1); (_, r2) ] ->
+      check_float "bin0 rate" 2.0 r0;
+      check_float "bin1 empty" 0.0 r1;
+      check_float "bin2 rate" 1.0 r2
+  | _ -> Alcotest.fail "expected three bins"
+
+let test_series_rate_units () =
+  let s = Stats.Series.create ~bin:0.5 in
+  List.iter (Stats.Series.record s) [ 0.1; 0.2; 0.3 ];
+  match Stats.Series.bins s with
+  | (_, r) :: _ -> check_float "3 events in 0.5 s = 6/s" 6.0 r
+  | [] -> Alcotest.fail "expected bins"
+
+let test_table_smoke () =
+  (* Printers must not raise. *)
+  Stats.Table.print_table ~title:"t" ~header:[ "a"; "b" ]
+    [ [ "1"; "2" ]; [ "3"; "4" ] ];
+  Stats.Table.print_series ~title:"s" ~xlabel:"x" ~ylabel:"y"
+    [ (1.0, 2.0); (3.0, 4.0) ];
+  Alcotest.(check string) "fmt small" "0.0690" (Stats.Table.fmt_f 0.069);
+  Alcotest.(check string) "fmt big" "4600" (Stats.Table.fmt_f 4600.0)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "stats"
+    [
+      ( "sample",
+        [
+          Alcotest.test_case "basic" `Quick test_sample_basic;
+          Alcotest.test_case "empty" `Quick test_sample_empty;
+          Alcotest.test_case "percentile" `Quick test_sample_percentile;
+          Alcotest.test_case "stddev" `Quick test_sample_stddev;
+          Alcotest.test_case "interleaved" `Quick
+            test_sample_interleaved_queries;
+          qt prop_sample_mean_bounds;
+          qt prop_percentile_monotone;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "bins" `Quick test_series_bins;
+          Alcotest.test_case "rate units" `Quick test_series_rate_units;
+        ] );
+      ("table", [ Alcotest.test_case "smoke" `Quick test_table_smoke ]);
+    ]
