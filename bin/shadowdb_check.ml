@@ -1,0 +1,170 @@
+(* Schedule-exploring model checker for the replicated protocols.
+
+   `shadowdb_check explore` runs thousands of alternative event schedules
+   of a protocol scenario under the simulator's scheduler hook, checking
+   runtime invariant monitors on every run and reporting distinct-state
+   coverage; on a violation it saves a shrunk, replayable counterexample
+   trace. `shadowdb_check replay` re-executes a saved trace exactly. *)
+
+open Cmdliner
+
+let protocol_conv =
+  Arg.enum (List.map (fun s -> (s.Check.Scenario.name, s)) Check.Scenarios.all)
+
+type mode = Random | Dfs
+
+let mode_conv = Arg.enum [ ("random", Random); ("dfs", Dfs) ]
+
+let explore scenario mode budget seed slack width max_depth faults
+    random_faults out =
+  let faults =
+    match Check.Fault.parse faults with
+    | Ok plan -> plan
+    | Error msg ->
+        prerr_endline msg;
+        exit 64
+  in
+  let report =
+    match mode with
+    | Random ->
+        Check.Explore.random_walk ~slack ~width ~faults ~random_faults
+          ~max_depth scenario ~seed ~budget ()
+    | Dfs ->
+        Check.Explore.dfs ~slack ~width ~faults ~max_depth scenario ~seed
+          ~budget ()
+  in
+  Fmt.pr "%a@." Check.Explore.pp_report report;
+  match report.Check.Explore.violation with
+  | None -> 0
+  | Some trace ->
+      (match out with
+      | Some file ->
+          Check.Trace.save file trace;
+          Fmt.pr "counterexample written to %s@." file
+      | None -> ());
+      2
+
+let replay file =
+  match (try Check.Trace.load file with Sys_error msg -> Error msg) with
+  | Error msg ->
+      prerr_endline msg;
+      64
+  | Ok trace -> (
+      match Check.Scenarios.find trace.Check.Trace.protocol with
+      | None ->
+          Fmt.epr "unknown protocol %S in trace@." trace.Check.Trace.protocol;
+          64
+      | Some scenario -> (
+          let out = Check.Explore.replay scenario trace in
+          match out.Check.Scenario.violation with
+          | Some v ->
+              Fmt.pr "violation reproduced: %s: %s@." v.Check.Scenario.monitor
+                v.Check.Scenario.detail;
+              2
+          | None ->
+              Fmt.pr "no violation on replay (%d events, depth %d)@."
+                out.Check.Scenario.events out.Check.Scenario.depth;
+              0))
+
+let explore_term =
+  let protocol =
+    Arg.(
+      required
+      & opt (some protocol_conv) None
+      & info [ "protocol" ] ~docv:"NAME"
+          ~doc:"Scenario to check: paxos, tob, pbr, smr, or buggy.")
+  in
+  let mode =
+    Arg.(
+      value & opt mode_conv Random
+      & info [ "mode" ] ~doc:"Exploration strategy: random or dfs.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 2000
+      & info [ "budget" ] ~doc:"Maximum number of schedules to run.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ]
+          ~doc:"Exploration seed; runs are deterministic per seed.")
+  in
+  let slack =
+    Arg.(
+      value
+      & opt float Check.Sched.default_slack
+      & info [ "slack" ]
+          ~doc:
+            "Events within this window (seconds) of the earliest pending \
+             one are considered concurrent.")
+  in
+  let width =
+    Arg.(
+      value
+      & opt int Check.Sched.default_width
+      & info [ "width" ] ~doc:"Maximum candidates offered per choice point.")
+  in
+  let max_depth =
+    Arg.(
+      value & opt int 12
+      & info [ "max-depth" ]
+          ~doc:
+            "DFS: deepest choice point to branch at. Random with \
+             $(b,--random-faults): latest fault injection depth.")
+  in
+  let faults =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan, e.g. 'crash:0\\@3,part:0:1\\@2,heal:0:1\\@6' \
+             (node indices are scenario-relative; depths count scheduling \
+             decisions).")
+  in
+  let random_faults =
+    Arg.(
+      value & flag
+      & info [ "random-faults" ]
+          ~doc:
+            "Random mode: draw a fresh crash-stop fault plan per schedule \
+             (crashes and transient partitions, never amnesia restarts).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the (shrunk) counterexample trace to this file.")
+  in
+  Term.(
+    const explore $ protocol $ mode $ budget $ seed $ slack $ width
+    $ max_depth $ faults $ random_faults $ out)
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Explore alternative schedules and check invariant monitors.")
+    explore_term
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file saved by explore --out.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Re-execute a saved counterexample trace exactly.")
+    Term.(const replay $ file)
+
+let () =
+  let info =
+    Cmd.info "shadowdb_check"
+      ~doc:"Model checking and runtime monitoring for ShadowDB protocols."
+  in
+  (* [explore] is also the default command, so
+     [shadowdb_check --protocol paxos --budget 2000] works bare. *)
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default:explore_term info [ explore_cmd; replay_cmd ]))

@@ -1,0 +1,281 @@
+(* Schedule exploration: stateless model checking over scenarios.
+
+   Every schedule is a fresh run of the scenario from scratch; schedules
+   differ only in the scheduler's decisions (and optionally the fault
+   plan). Exploration is deterministic per seed: the same (scenario,
+   seed, budget, mode) always visits the same schedules, so CI failures
+   reproduce locally. *)
+
+type report = {
+  protocol : string;
+  mode : string;
+  schedules : int;  (* complete runs executed *)
+  distinct_states : int;  (* distinct fingerprints at choice points *)
+  max_depth : int;  (* deepest decision sequence seen *)
+  total_events : int;  (* simulator events across all runs *)
+  violation : Trace.t option;  (* first (shrunk) counterexample, if any *)
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>protocol        %s@,mode            %s@,schedules       %d@,distinct states %d@,max depth       %d@,total events    %d@,result          %a@]"
+    r.protocol r.mode r.schedules r.distinct_states r.max_depth r.total_events
+    (fun ppf -> function
+      | None -> Fmt.string ppf "no violation found"
+      | Some t -> Fmt.pf ppf "VIOLATION@,%a" Trace.pp t)
+    r.violation
+
+(* Deterministic seed mixing (splitmix-style) for per-schedule streams. *)
+let mix a b =
+  let h = ref (a * 0x9e3779b1) in
+  h := (!h lxor b) * 0x85ebca6b;
+  h := (!h lxor (!h lsr 13)) * 0xc2b2ae35;
+  abs (!h lxor (!h lsr 16))
+
+(* Trailing default choices are redundant: a Fixed prefix behaves as
+   choice 0 beyond its end. Stripping them is free (no re-run needed). *)
+let strip_trailing_zeros a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  Array.sub a 0 !n
+
+(* Track distinct fingerprints at choice points via the per-step hook. *)
+let coverage_hook seen =
+  let last = ref (-1) in
+  let reset () = last := -1 in
+  let hook (r : Scenario.running) =
+    let d = r.depth () in
+    if d > !last then begin
+      last := d;
+      Hashtbl.replace seen (r.fingerprint ()) ()
+    end
+  in
+  (reset, hook)
+
+let trace_of scenario ~world_seed ~slack ~width ~faults ~decisions
+    (v : Scenario.violation) =
+  {
+    Trace.protocol = scenario.Scenario.name;
+    world_seed;
+    slack;
+    width;
+    decisions = strip_trailing_zeros decisions;
+    faults;
+    monitor = v.Scenario.monitor;
+    detail = v.Scenario.detail;
+  }
+
+(* Exact replay of a captured trace. *)
+let replay scenario (t : Trace.t) =
+  let sched = Sched.fixed ~slack:t.Trace.slack ~width:t.Trace.width t.decisions in
+  Scenario.run ~faults:t.faults scenario ~seed:t.world_seed ~sched
+
+(* Greedy counterexample shrinking: first drop fault steps one at a time,
+   then trim the decision suffix (halving, then single steps), keeping
+   every candidate that still triggers the same monitor. Each candidate
+   costs one full replay; attempts are bounded, so shrinking terminates
+   quickly even for long traces. *)
+let shrink scenario (t : Trace.t) =
+  let still_fails (c : Trace.t) =
+    match (replay scenario c).Scenario.violation with
+    | Some v -> v.Scenario.monitor = c.Trace.monitor
+    | None -> false
+  in
+  let cur = ref { t with Trace.decisions = strip_trailing_zeros t.decisions } in
+  (* Faults: try removing each step. *)
+  let rec drop_faults () =
+    let dropped =
+      List.exists
+        (fun step ->
+          let cand =
+            {
+              !cur with
+              Trace.faults =
+                List.filter (fun s -> s <> step) !cur.Trace.faults;
+            }
+          in
+          if still_fails cand then begin
+            cur := cand;
+            true
+          end
+          else false)
+        !cur.Trace.faults
+    in
+    if dropped then drop_faults ()
+  in
+  drop_faults ();
+  (* Decisions: shrink the prefix length. *)
+  let try_len n =
+    let n = max 0 n in
+    if n >= Array.length !cur.Trace.decisions then false
+    else
+      let cand =
+        {
+          !cur with
+          Trace.decisions =
+            strip_trailing_zeros (Array.sub !cur.Trace.decisions 0 n);
+        }
+      in
+      if still_fails cand then begin
+        cur := cand;
+        true
+      end
+      else false
+  in
+  let rec halve () =
+    if try_len (Array.length !cur.Trace.decisions / 2) then halve ()
+  in
+  halve ();
+  let budget = ref 64 in
+  let rec trim () =
+    if !budget > 0 && Array.length !cur.Trace.decisions > 0 then begin
+      decr budget;
+      if try_len (Array.length !cur.Trace.decisions - 1) then trim ()
+    end
+  in
+  trim ();
+  !cur
+
+let finish_violation scenario ~world_seed ~slack ~width ~faults ~decisions v =
+  shrink scenario
+    (trace_of scenario ~world_seed ~slack ~width ~faults ~decisions v)
+
+(* Random walk: [budget] schedules, each driven by an independently seeded
+   random strategy over the same world seed. [random_faults] draws a fresh
+   crash-stop fault plan per schedule. *)
+let random_walk ?(slack = Sched.default_slack) ?(width = Sched.default_width)
+    ?(faults = []) ?(random_faults = false) ?(max_depth = 40) scenario ~seed
+    ~budget () =
+  let seen = Hashtbl.create 1024 in
+  let reset_cov, hook = coverage_hook seen in
+  let schedules = ref 0 in
+  let max_d = ref 0 in
+  let events = ref 0 in
+  let violation = ref None in
+  let i = ref 0 in
+  while !i < budget && !violation = None do
+    let sched = Sched.random ~slack ~width (mix seed !i) in
+    let plan =
+      if random_faults then
+        Fault.random
+          (Sim.Prng.create (mix (seed + 1) !i))
+          ~nodes:scenario.Scenario.nodes ~max_depth
+      else faults
+    in
+    reset_cov ();
+    let out = Scenario.run ~faults:plan ~on_step:hook scenario ~seed ~sched in
+    incr schedules;
+    max_d := max !max_d out.Scenario.depth;
+    events := !events + out.Scenario.events;
+    (match out.Scenario.violation with
+    | Some v ->
+        violation :=
+          Some
+            (finish_violation scenario ~world_seed:seed ~slack ~width
+               ~faults:plan ~decisions:out.Scenario.decisions v)
+    | None -> ());
+    incr i
+  done;
+  {
+    protocol = scenario.Scenario.name;
+    mode = "random";
+    schedules = !schedules;
+    distinct_states = Hashtbl.length seen;
+    max_depth = !max_d;
+    total_events = !events;
+    violation = !violation;
+  }
+
+(* Bounded DFS over decision prefixes with fingerprint pruning.
+
+   A schedule is identified by the decision prefix forced on a Fixed
+   strategy (beyond the prefix, default order). After running a prefix we
+   know the branch width at every choice point; unexplored siblings of
+   each point beyond the forced prefix become new work items
+   (depth-first, nearest point last so it is explored first). A choice
+   point whose state fingerprint was already expanded is not re-expanded
+   — that is the classic stateless-model-checking sleep-set-free pruning:
+   it only skips redundant exploration, it cannot hide a reachable
+   violation that a fresh state would expose. *)
+let dfs ?(slack = Sched.default_slack) ?(width = Sched.default_width)
+    ?(faults = []) ?(max_depth = 12) scenario ~seed ~budget () =
+  let seen = Hashtbl.create 1024 in
+  let reset_cov, cov_hook = coverage_hook seen in
+  let expanded = Hashtbl.create 1024 in
+  let schedules = ref 0 in
+  let max_d = ref 0 in
+  let events = ref 0 in
+  let violation = ref None in
+  let stack = ref [ [||] ] in
+  while !stack <> [] && !schedules < budget && !violation = None do
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+        stack := rest;
+        let sched = Sched.fixed ~slack ~width prefix in
+        (* Record the fingerprint at each choice point of this run so the
+           expansion step below can prune revisited states. *)
+        let fp_at = ref [] in
+        let hook (r : Scenario.running) =
+          cov_hook r;
+          let d = r.depth () in
+          if
+            match !fp_at with [] -> true | (d0, _) :: _ -> d > d0
+          then fp_at := (d, r.fingerprint ()) :: !fp_at
+        in
+        reset_cov ();
+        let out = Scenario.run ~faults ~on_step:hook scenario ~seed ~sched in
+        incr schedules;
+        max_d := max !max_d out.Scenario.depth;
+        events := !events + out.Scenario.events;
+        (match out.Scenario.violation with
+        | Some v ->
+            violation :=
+              Some
+                (finish_violation scenario ~world_seed:seed ~slack ~width
+                   ~faults ~decisions:out.Scenario.decisions v)
+        | None ->
+            let widths = out.Scenario.widths in
+            (* The first time the run reaches depth [d], decision [d] has
+               not happened yet — that fingerprint is the state at choice
+               point [d]. *)
+            let fp_tbl = Hashtbl.create 64 in
+            List.iter (fun (d, fp) -> Hashtbl.replace fp_tbl d fp) !fp_at;
+            let lo = Array.length prefix in
+            let hi = min (Array.length widths) max_depth - 1 in
+            (* Push deeper points first so the nearest sibling (popped
+               last-in-first-out) is explored depth-first. *)
+            for j = hi downto lo do
+              let w = widths.(j) in
+              if w > 1 then begin
+                let fresh =
+                  match Hashtbl.find_opt fp_tbl j with
+                  | None -> true
+                  | Some fp ->
+                      if Hashtbl.mem expanded fp then false
+                      else begin
+                        Hashtbl.replace expanded fp ();
+                        true
+                      end
+                in
+                if fresh then
+                  for c = w - 1 downto 1 do
+                    let ext = Array.make (j + 1) 0 in
+                    Array.blit out.Scenario.decisions 0 ext 0 j;
+                    ext.(j) <- c;
+                    stack := ext :: !stack
+                  done
+              end
+            done)
+  done;
+  {
+    protocol = scenario.Scenario.name;
+    mode = "dfs";
+    schedules = !schedules;
+    distinct_states = Hashtbl.length seen;
+    max_depth = !max_d;
+    total_events = !events;
+    violation = !violation;
+  }

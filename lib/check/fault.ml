@@ -1,0 +1,101 @@
+(* Fault-schedule DSL: inject crashes, restarts, and partitions at chosen
+   scheduling depths rather than at wall-clock instants, so a fault plan
+   composes with schedule exploration (the same plan lands at the same
+   logical point of every schedule prefix).
+
+   Concrete syntax, comma-separated:
+     crash:N@D      crash node index N after D scheduling decisions
+     restart:N@D    restart node index N
+     part:A:B@D     partition node indices A and B (symmetric)
+     heal:A:B@D     heal that partition
+
+   Node indices are scenario-relative (0-based over the scenario's
+   protocol nodes), not raw engine ids, so plans are portable across
+   scenarios with the same cluster size. *)
+
+type op =
+  | Crash of int
+  | Restart of int
+  | Partition of int * int
+  | Heal of int * int
+
+type step = { at_depth : int; op : op }
+type plan = step list
+
+let op_to_string = function
+  | Crash n -> Printf.sprintf "crash:%d" n
+  | Restart n -> Printf.sprintf "restart:%d" n
+  | Partition (a, b) -> Printf.sprintf "part:%d:%d" a b
+  | Heal (a, b) -> Printf.sprintf "heal:%d:%d" a b
+
+let to_string plan =
+  String.concat ","
+    (List.map (fun s -> Printf.sprintf "%s@%d" (op_to_string s.op) s.at_depth) plan)
+
+let parse_step s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "fault step %S: missing @depth" s)
+  | Some i -> (
+      let body = String.sub s 0 i in
+      let depth = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt depth with
+      | None -> Error (Printf.sprintf "fault step %S: bad depth" s)
+      | Some at_depth -> (
+          match String.split_on_char ':' body with
+          | [ "crash"; n ] -> (
+              match int_of_string_opt n with
+              | Some n -> Ok { at_depth; op = Crash n }
+              | None -> Error (Printf.sprintf "fault step %S: bad node" s))
+          | [ "restart"; n ] -> (
+              match int_of_string_opt n with
+              | Some n -> Ok { at_depth; op = Restart n }
+              | None -> Error (Printf.sprintf "fault step %S: bad node" s))
+          | [ "part"; a; b ] -> (
+              match (int_of_string_opt a, int_of_string_opt b) with
+              | Some a, Some b -> Ok { at_depth; op = Partition (a, b) }
+              | _ -> Error (Printf.sprintf "fault step %S: bad nodes" s))
+          | [ "heal"; a; b ] -> (
+              match (int_of_string_opt a, int_of_string_opt b) with
+              | Some a, Some b -> Ok { at_depth; op = Heal (a, b) }
+              | _ -> Error (Printf.sprintf "fault step %S: bad nodes" s))
+          | _ -> Error (Printf.sprintf "fault step %S: unknown op" s)))
+
+let parse s =
+  if String.trim s = "" then Ok []
+  else
+    let rec go acc = function
+      | [] ->
+          Ok
+            (List.sort
+               (fun a b -> compare a.at_depth b.at_depth)
+               (List.rev acc))
+      | x :: rest -> (
+          match parse_step (String.trim x) with
+          | Ok step -> go (step :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' s)
+
+(* Random plans for exploration. Deliberately crash-stop: no [Restart] is
+   ever generated, because restarting an acceptor from its factory loses
+   its promises — an amnesia failure outside Paxos's fault model that
+   would yield spurious "counterexamples". Restart remains available for
+   explicit plans against protocols that tolerate it (PBR/SMR
+   reconfiguration). At most one crash (keeping a majority of a 3-node
+   cluster up) and one partition/heal pair per plan. *)
+let random rng ~nodes ~max_depth =
+  let plan = ref [] in
+  let depth () = 1 + Sim.Prng.int rng (max 1 max_depth) in
+  if nodes >= 2 && Sim.Prng.bool rng then begin
+    let a = Sim.Prng.int rng nodes in
+    let b = (a + 1 + Sim.Prng.int rng (nodes - 1)) mod nodes in
+    let d = depth () in
+    let d_heal = d + 1 + Sim.Prng.int rng (max 1 max_depth) in
+    plan :=
+      { at_depth = d_heal; op = Heal (a, b) }
+      :: { at_depth = d; op = Partition (a, b) }
+      :: !plan
+  end;
+  if nodes >= 3 && Sim.Prng.bool rng then
+    plan := { at_depth = depth (); op = Crash (Sim.Prng.int rng nodes) } :: !plan;
+  List.sort (fun a b -> compare a.at_depth b.at_depth) !plan

@@ -1,0 +1,27 @@
+(** Fault-schedule DSL.
+
+    Faults are injected at scheduling {e depths} (decision counts), not
+    virtual times, so a plan lands at the same logical point of every
+    schedule that shares its prefix. Node numbers are scenario-relative
+    indices over the protocol cluster.
+
+    Syntax: comma-separated [crash:N@D], [restart:N@D], [part:A:B@D],
+    [heal:A:B@D]. *)
+
+type op =
+  | Crash of int
+  | Restart of int
+  | Partition of int * int
+  | Heal of int * int
+
+type step = { at_depth : int; op : op }
+type plan = step list
+
+val to_string : plan -> string
+val parse : string -> (plan, string) result
+
+val random : Sim.Prng.t -> nodes:int -> max_depth:int -> plan
+(** Random crash-stop plan: at most one crash (only for clusters of ≥ 3)
+    and one partition/heal pair. Never generates [Restart] — an
+    acceptor restarting from a fresh factory is an amnesia failure
+    outside the Paxos fault model. *)

@@ -1,0 +1,28 @@
+(* Deterministic state digests for the model checker.
+
+   Fingerprints identify logical states reached via different schedules, so
+   they must not depend on virtual time, heap sequence numbers, or any
+   other schedule-sensitive bookkeeping. They are hashes, not identities:
+   a collision makes DFS prune a genuinely new state (losing coverage,
+   never soundness — pruning only skips exploration, it cannot create a
+   spurious counterexample). *)
+
+type t = int
+
+let empty = 0x811c9dc5
+
+(* Boost-style order-sensitive mixing. *)
+let mix h v = (h lxor (v + 0x9e3779b9 + (h lsl 6) + (h lsr 2))) land max_int
+
+let int h v = mix h v
+let string h s = mix h (Hashtbl.hash s)
+
+(* Structural hash with generous traversal bounds: protocol states are
+   small trees, and the default 10-meaningful-node budget of
+   [Hashtbl.hash] would make most of them collide. *)
+let value h v = mix h (Hashtbl.hash_param 120 300 v)
+
+let list h f l = List.fold_left f (int h (List.length l)) l
+
+(* Order-insensitive combination (for multisets of observations). *)
+let unordered hs = List.fold_left ( + ) 0 hs land max_int

@@ -1,0 +1,130 @@
+(* Runtime invariant monitors.
+
+   A monitor is a first-class observer: the scenario harness feeds it
+   every relevant event (a consensus delivery, a TOB notification, ...)
+   as the simulation executes, and the monitor latches the first
+   violation it sees. [finish] runs end-of-execution checks (state
+   agreement, durability) that only make sense once the schedule has
+   drained.
+
+   Each monitor documents the paper proof obligation it checks; see
+   DESIGN.md ("Model checking & runtime monitors") for the mapping. *)
+
+type 'o t = {
+  name : string;
+  observe : 'o -> unit;
+  finish : unit -> unit;
+  violation : unit -> string option;
+}
+
+let make ~name ?(finish = fun _ -> None) observe =
+  let fail = ref None in
+  let violate msg = if !fail = None then fail := Some msg in
+  {
+    name;
+    observe = (fun o -> if !fail = None then observe violate o);
+    finish = (fun () -> if !fail = None then Option.iter violate (finish ()));
+    violation = (fun () -> !fail);
+  }
+
+let name t = t.name
+let observe t o = t.observe o
+let finish t = t.finish ()
+let violation t = t.violation ()
+
+let first_violation ms =
+  List.find_map (fun m -> Option.map (fun d -> (m.name, d)) (violation m)) ms
+
+(* ---- Consensus (Paxos) monitors ----------------------------------------
+
+   Observations are [(member, slot, command)] triples: member [member]
+   decided [command] for log position [slot]. *)
+
+type decision = { member : int; slot : int; cmd : string }
+
+(* Agreement: no two members decide different commands for the same slot
+   (the paper's core Synod safety property). *)
+let paxos_agreement () =
+  let decided : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  make ~name:"paxos-agreement" (fun violate d ->
+      match Hashtbl.find_opt decided d.slot with
+      | None -> Hashtbl.replace decided d.slot d.cmd
+      | Some prior ->
+          if prior <> d.cmd then
+            violate
+              (Printf.sprintf
+                 "slot %d decided as %S and as %S (member %d)" d.slot prior
+                 d.cmd d.member))
+
+(* Validity: only commands some client actually proposed are decided. *)
+let paxos_validity ~proposed =
+  make ~name:"paxos-validity" (fun violate d ->
+      if not (Hashtbl.mem proposed d.cmd) then
+        violate
+          (Printf.sprintf "member %d decided unproposed command %S at slot %d"
+             d.member d.cmd d.slot))
+
+(* Integrity: each member decides each slot at most once. *)
+let paxos_unique () =
+  let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  make ~name:"paxos-unique" (fun violate d ->
+      let key = (d.member, d.slot) in
+      if Hashtbl.mem seen key then
+        violate
+          (Printf.sprintf "member %d decided slot %d twice" d.member d.slot)
+      else Hashtbl.replace seen key ())
+
+(* ---- Total-order broadcast monitors ------------------------------------
+
+   Observations are [(member, deliver)] pairs from TOB Notify/delivery
+   callbacks. *)
+
+type tob_obs = int * Broadcast.Tob.deliver
+
+let entry_id (e : Broadcast.Tob.entry) = (e.origin, e.id)
+
+let pp_entry (e : Broadcast.Tob.entry) =
+  Printf.sprintf "(origin=%d,id=%d)" e.origin e.id
+
+(* Total order: all members that deliver sequence number [s] deliver the
+   same message at [s] (uniform total order across the group). *)
+let tob_total_order () =
+  let at_seqno : (int, Broadcast.Tob.entry) Hashtbl.t = Hashtbl.create 64 in
+  make ~name:"tob-total-order" (fun violate ((m, d) : tob_obs) ->
+      match Hashtbl.find_opt at_seqno d.seqno with
+      | None -> Hashtbl.replace at_seqno d.seqno d.entry
+      | Some prior ->
+          if entry_id prior <> entry_id d.entry then
+            violate
+              (Printf.sprintf "seqno %d delivered as %s and as %s (member %d)"
+                 d.seqno (pp_entry prior) (pp_entry d.entry) m))
+
+(* Gap-freedom: each member's delivery sequence is 0, 1, 2, ... with no
+   holes or reordering. *)
+let tob_gap_free () =
+  let next : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  make ~name:"tob-gap-free" (fun violate ((m, d) : tob_obs) ->
+      let expect = Option.value (Hashtbl.find_opt next m) ~default:0 in
+      if d.seqno <> expect then
+        violate
+          (Printf.sprintf "member %d delivered seqno %d, expected %d" m
+             d.seqno expect)
+      else Hashtbl.replace next m (expect + 1))
+
+(* No duplication: no member delivers the same (origin, id) twice. *)
+let tob_no_dup () =
+  let seen : (int * (int * int), unit) Hashtbl.t = Hashtbl.create 64 in
+  make ~name:"tob-no-dup" (fun violate ((m, d) : tob_obs) ->
+      let key = (m, entry_id d.entry) in
+      if Hashtbl.mem seen key then
+        violate
+          (Printf.sprintf "member %d delivered %s twice" m (pp_entry d.entry))
+      else Hashtbl.replace seen key ())
+
+(* ---- End-of-run checks --------------------------------------------------
+
+   For ShadowDB state agreement and durability the interesting predicate
+   is over final replica state, not individual deliveries; [finish_check]
+   wraps such a predicate as a monitor that ignores observations. *)
+
+let finish_check ~name f = make ~name ~finish:f (fun _ _ -> ())

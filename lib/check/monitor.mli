@@ -1,0 +1,59 @@
+(** Runtime invariant monitors.
+
+    A monitor observes protocol events as the simulation executes and
+    latches the first violation. {!finish} runs end-of-execution checks
+    (state agreement, durability) once the schedule has drained.
+
+    Each constructor names the paper proof obligation it checks; the
+    mapping is tabulated in DESIGN.md. *)
+
+type 'o t
+
+val make :
+  name:string ->
+  ?finish:(unit -> string option) ->
+  ((string -> unit) -> 'o -> unit) ->
+  'o t
+(** [make ~name obs] builds a monitor whose observer calls its first
+    argument with a message to report a violation. After the first
+    violation the monitor stops observing. *)
+
+val name : _ t -> string
+val observe : 'o t -> 'o -> unit
+val finish : _ t -> unit
+val violation : _ t -> string option
+val first_violation : 'o t list -> (string * string) option
+
+(** {1 Consensus (Paxos) monitors} — observations are decided log slots. *)
+
+type decision = { member : int; slot : int; cmd : string }
+
+val paxos_agreement : unit -> decision t
+(** No two members decide different commands for the same slot. *)
+
+val paxos_validity : proposed:(string, unit) Hashtbl.t -> decision t
+(** Only commands present in [proposed] are ever decided. *)
+
+val paxos_unique : unit -> decision t
+(** Each member decides each slot at most once. *)
+
+(** {1 Total-order broadcast monitors} — observations are
+    [(member, deliver)] pairs. *)
+
+type tob_obs = int * Broadcast.Tob.deliver
+
+val tob_total_order : unit -> tob_obs t
+(** Members that deliver a sequence number deliver the same message
+    there. *)
+
+val tob_gap_free : unit -> tob_obs t
+(** Each member's delivery sequence is contiguous from 0. *)
+
+val tob_no_dup : unit -> tob_obs t
+(** No member delivers the same (origin, id) twice. *)
+
+(** {1 End-of-run checks} *)
+
+val finish_check : name:string -> (unit -> string option) -> 'o t
+(** A monitor that ignores observations and evaluates [f] at the end of
+    the run (ShadowDB state agreement / durability). *)

@@ -1,0 +1,78 @@
+(* Scenario harness: a protocol instance packaged for the explorer.
+
+   A scenario knows how to build a fresh world (protocol nodes, clients,
+   monitors) from a seed and a scheduling strategy, and exposes the
+   uniform control surface the explorer needs: single-stepping, the
+   current decision depth, a state fingerprint, scenario-relative fault
+   injection, and violation checks. Every schedule is a fresh run from
+   scratch (stateless model checking), so [make] must be cheap. *)
+
+type violation = { monitor : string; detail : string }
+
+type running = {
+  step : unit -> bool;  (* advance one event; false when drained/past horizon *)
+  depth : unit -> int;  (* scheduling decisions taken so far *)
+  decisions : unit -> int array;
+  widths : unit -> int array;  (* branch width at each decision *)
+  fingerprint : unit -> int;  (* digest of protocol + in-flight state *)
+  events : unit -> int;
+  apply_fault : Fault.op -> unit;  (* op with scenario-relative node indices *)
+  check : unit -> violation option;  (* online monitors *)
+  finalize : unit -> violation option;  (* end-of-run monitors *)
+}
+
+type t = {
+  name : string;
+  nodes : int;  (* protocol cluster size (fault indices range over it) *)
+  make : seed:int -> sched:Sched.t -> running;
+}
+
+type outcome = {
+  violation : violation option;
+  depth : int;
+  decisions : int array;
+  widths : int array;
+  fingerprint : int;
+  events : int;
+}
+
+let run ?(faults = []) ?on_step t ~seed ~sched =
+  let r = t.make ~seed ~sched in
+  let pending =
+    ref
+      (List.sort (fun a b -> compare a.Fault.at_depth b.Fault.at_depth) faults)
+  in
+  let early = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    let d = r.depth () in
+    let rec inject () =
+      match !pending with
+      | { Fault.at_depth; op } :: rest when at_depth <= d ->
+          pending := rest;
+          r.apply_fault op;
+          inject ()
+      | _ -> ()
+    in
+    inject ();
+    if not (r.step ()) then continue_ := false
+    else begin
+      (match on_step with Some f -> f r | None -> ());
+      match r.check () with
+      | Some v ->
+          early := Some v;
+          continue_ := false
+      | None -> ()
+    end
+  done;
+  let violation =
+    match !early with Some v -> Some v | None -> r.finalize ()
+  in
+  {
+    violation;
+    depth = r.depth ();
+    decisions = r.decisions ();
+    widths = r.widths ();
+    fingerprint = r.fingerprint ();
+    events = r.events ();
+  }

@@ -1,0 +1,532 @@
+(* Checkable scenarios over the repo's protocol stack.
+
+   Each scenario builds a small fixed workload (a handful of commands /
+   transactions) so that a single schedule runs in well under a second and
+   thousands of schedules fit in a test budget. Network profiles are
+   chosen so that protocol message cascades land within the scheduler's
+   slack window, giving the explorer real choice points. *)
+
+module Engine = Sim.Engine
+
+(* Shared scaffolding -------------------------------------------------- *)
+
+let running ~world ~sched ~step ~fingerprint ~apply_fault ~check ~finish =
+  {
+    Scenario.step;
+    depth = (fun () -> Sched.depth sched);
+    decisions = (fun () -> Sched.decisions sched);
+    widths = (fun () -> Sched.widths sched);
+    fingerprint;
+    events = (fun () -> Engine.events_processed world);
+    apply_fault;
+    check;
+    finalize =
+      (fun () ->
+        finish ();
+        check ());
+  }
+
+let check_of monitors () =
+  match Monitor.first_violation monitors with
+  | Some (monitor, detail) -> Some { Scenario.monitor; detail }
+  | None -> None
+
+(* Map scenario-relative fault indices onto engine node ids, guarding
+   against out-of-range indices and double crash/restart. *)
+let fault_applier world ids op =
+  let node i = if i >= 0 && i < Array.length ids then Some ids.(i) else None in
+  match op with
+  | Fault.Crash i ->
+      Option.iter
+        (fun n -> if Engine.is_alive world n then Engine.crash world n)
+        (node i)
+  | Fault.Restart i ->
+      Option.iter
+        (fun n -> if not (Engine.is_alive world n) then Engine.restart world n)
+        (node i)
+  | Fault.Partition (a, b) -> (
+      match (node a, node b) with
+      | Some a, Some b when a <> b -> Engine.partition world a b
+      | _ -> ())
+  | Fault.Heal (a, b) -> (
+      match (node a, node b) with
+      | Some a, Some b when a <> b -> Engine.heal world a b
+      | _ -> ())
+
+let bounded_step world ~horizon ~max_events ~done_ () =
+  if
+    Engine.now world > horizon
+    || Engine.events_processed world >= max_events
+    || done_ ()
+  then false
+  else Engine.step world
+
+(* ---------------------------------------------------------------------- *)
+(* Paxos: three co-located Synod members ordering four client commands.   *)
+(* ---------------------------------------------------------------------- *)
+
+type pax_wire = P_client of string | P_core of string Consensus.Paxos_msg.t
+
+let paxos : Scenario.t =
+  let nodes = 3 in
+  let make ~seed ~sched =
+    let world : pax_wire Engine.t = Engine.create ~seed () in
+    Sched.install sched world;
+    let cmds = [ "alpha"; "bravo"; "charlie"; "delta" ] in
+    let proposed = Hashtbl.create 8 in
+    List.iter (fun c -> Hashtbl.replace proposed c ()) cmds;
+    let monitors =
+      [
+        Monitor.paxos_agreement ();
+        Monitor.paxos_validity ~proposed;
+        Monitor.paxos_unique ();
+      ]
+    in
+    let states : string Consensus.Paxos.t option array = Array.make nodes None in
+    let n_decided = ref 0 in
+    let observe d =
+      incr n_decided;
+      List.iter (fun m -> Monitor.observe m d) monitors
+    in
+    let members = List.init nodes Fun.id in
+    let member_ids =
+      List.map
+        (fun i ->
+          Engine.spawn world ~name:(Printf.sprintf "pax%d" i) (fun () ->
+              let st = ref None in
+              fun ctx input ->
+                let self = Engine.self ctx in
+                let apply (t, acts) =
+                  st := Some t;
+                  states.(self) <- Some t;
+                  List.iter
+                    (function
+                      | Consensus.Consensus_intf.Send (dst, m) ->
+                          Engine.send ctx dst (P_core m)
+                      | Consensus.Consensus_intf.Deliver { s; c } ->
+                          observe { Monitor.member = self; slot = s; cmd = c }
+                      | Consensus.Consensus_intf.Set_timer d ->
+                          ignore (Engine.set_timer ctx d "core"))
+                    acts
+                in
+                match input with
+                | Engine.Init ->
+                    apply
+                      (Consensus.Paxos.start
+                         (Consensus.Paxos.create ~self ~members));
+                    (* Staggered liveness kicks: recover leadership after a
+                       crash or partition without perturbing fault-free runs
+                       (Paxos.tick only re-scouts when leaderless). *)
+                    ignore
+                      (Engine.set_timer ctx
+                         (0.6 +. (0.2 *. float_of_int self))
+                         "kick")
+                | Engine.Recv { msg = P_core m; src } ->
+                    Option.iter
+                      (fun t -> apply (Consensus.Paxos.recv t ~src m))
+                      !st
+                | Engine.Recv { msg = P_client c; _ } ->
+                    Option.iter
+                      (fun t -> apply (Consensus.Paxos.propose t c))
+                      !st
+                | Engine.Timer { tag; _ } ->
+                    Option.iter (fun t -> apply (Consensus.Paxos.tick t)) !st;
+                    if tag = "kick" then
+                      ignore (Engine.set_timer ctx 1.0 "kick")))
+        members
+    in
+    let member_arr = Array.of_list member_ids in
+    let _client =
+      Engine.spawn world ~name:"client" (fun () ->
+          fun ctx -> function
+            | Engine.Init ->
+                List.iteri
+                  (fun i _ ->
+                    ignore
+                      (Engine.set_timer ctx
+                         (0.05 *. float_of_int (i + 1))
+                         (string_of_int i)))
+                  cmds
+            | Engine.Timer { tag; _ } ->
+                let i = int_of_string tag in
+                Engine.send ctx
+                  member_arr.(i mod nodes)
+                  (P_client (List.nth cmds i))
+            | Engine.Recv _ -> ())
+    in
+    let fingerprint () =
+      let h =
+        Array.fold_left
+          (fun h st -> Fingerprint.value h st)
+          Fingerprint.empty states
+      in
+      Fingerprint.int h (Engine.in_flight_fingerprint world)
+    in
+    let done_ () = !n_decided >= nodes * List.length cmds in
+    running ~world ~sched
+      ~step:(bounded_step world ~horizon:3.0 ~max_events:5_000 ~done_)
+      ~fingerprint
+      ~apply_fault:(fault_applier world member_arr)
+      ~check:(check_of monitors)
+      ~finish:(fun () -> List.iter Monitor.finish monitors)
+  in
+  { Scenario.name = "paxos"; nodes; make }
+
+(* ---------------------------------------------------------------------- *)
+(* TOB: the verified broadcast service (over Paxos) with two closed-loop  *)
+(* clients; an observer taps every member's delivery notifications.       *)
+(* ---------------------------------------------------------------------- *)
+
+module Sh = Broadcast.Shell.Make (Consensus.Paxos)
+
+type tob_wire = T_svc of Sh.T.msg | T_note of Broadcast.Tob.deliver
+
+let tob : Scenario.t =
+  let nodes = 3 in
+  let n_clients = 2 and per_client = 3 in
+  let total = n_clients * per_client in
+  let make ~seed ~sched =
+    let world : tob_wire Engine.t = Engine.create ~seed () in
+    Sched.install sched world;
+    let monitors =
+      [
+        Monitor.tob_total_order ();
+        Monitor.tob_gap_free ();
+        Monitor.tob_no_dup ();
+      ]
+    in
+    let obs = ref [] in
+    let delivered_by : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    let subs = ref [] in
+    let members =
+      Sh.spawn ~world
+        ~inj:(fun m -> T_svc m)
+        ~prj:(function T_svc m -> Some m | T_note _ -> None)
+        ~inj_notify:(fun d -> T_note d)
+        ~n:nodes
+        ~subscribers:(fun () -> !subs)
+        ()
+    in
+    let member_arr = Array.of_list members in
+    let observer =
+      Engine.spawn world ~name:"observer" (fun () ->
+          fun _ctx -> function
+            | Engine.Recv { src; msg = T_note d } ->
+                let e = d.Broadcast.Tob.entry in
+                obs :=
+                  (src, d.Broadcast.Tob.seqno, e.Broadcast.Tob.origin, e.id)
+                  :: !obs;
+                Hashtbl.replace delivered_by src
+                  (1 + Option.value (Hashtbl.find_opt delivered_by src) ~default:0);
+                List.iter (fun m -> Monitor.observe m (src, d)) monitors
+            | _ -> ())
+    in
+    let clients =
+      List.init n_clients (fun c ->
+          Engine.spawn world ~name:(Printf.sprintf "cli%d" c) (fun () ->
+              let seq = ref 0 in
+              let contact = ref c in
+              let timer = ref (-1) in
+              let submit ctx =
+                if !seq < per_client then begin
+                  let e =
+                    {
+                      Broadcast.Tob.origin = Engine.self ctx;
+                      id = !seq;
+                      payload = Printf.sprintf "c%d-%d" c !seq;
+                    }
+                  in
+                  Engine.send ctx
+                    member_arr.(!contact mod nodes)
+                    (T_svc (Sh.T.Broadcast e));
+                  timer := Engine.set_timer ctx 1.0 "retry"
+                end
+              in
+              fun ctx -> function
+                | Engine.Init -> submit ctx
+                | Engine.Recv { msg = T_note d; _ } ->
+                    let e = d.Broadcast.Tob.entry in
+                    if e.Broadcast.Tob.origin = Engine.self ctx && e.id = !seq
+                    then begin
+                      Engine.cancel_timer ctx !timer;
+                      incr seq;
+                      submit ctx
+                    end
+                | Engine.Recv _ -> ()
+                | Engine.Timer _ ->
+                    (* Resend the same entry to the next member; dedup by
+                       (origin, id) keeps delivery exactly-once. *)
+                    incr contact;
+                    submit ctx))
+    in
+    subs := observer :: clients;
+    let fingerprint () =
+      let h =
+        Fingerprint.list Fingerprint.empty
+          (fun h o -> Fingerprint.value h o)
+          (List.sort compare !obs)
+      in
+      Fingerprint.int h (Engine.in_flight_fingerprint world)
+    in
+    let done_ () =
+      List.exists (Engine.is_alive world) members
+      && List.for_all
+           (fun m ->
+             (not (Engine.is_alive world m))
+             || Option.value (Hashtbl.find_opt delivered_by m) ~default:0
+                >= total)
+           members
+    in
+    running ~world ~sched
+      ~step:(bounded_step world ~horizon:30.0 ~max_events:50_000 ~done_)
+      ~fingerprint
+      ~apply_fault:(fault_applier world member_arr)
+      ~check:(check_of monitors)
+      ~finish:(fun () -> List.iter Monitor.finish monitors)
+  in
+  { Scenario.name = "tob"; nodes; make }
+
+(* ---------------------------------------------------------------------- *)
+(* ShadowDB primary-backup and SMR clusters running the bank workload.    *)
+(* Monitors here are end-of-run checks over replica state: agreement      *)
+(* (within the latest configuration, equal execution counts imply equal   *)
+(* content hashes across diverse backends) and durability (every          *)
+(* transaction acknowledged to a client survives in the latest            *)
+(* configuration).                                                        *)
+(* ---------------------------------------------------------------------- *)
+
+module Sdb = Shadowdb.System.Make (Consensus.Paxos)
+
+let bank_rows = 32
+
+let fast_tun =
+  {
+    Shadowdb.System.default_tuning with
+    hb_interval = 0.05;
+    detect_timeout = 0.4;
+  }
+
+(* Deterministic per (client, seq): retries resend the same transaction. *)
+let make_deposit ~client ~seq =
+  let account = abs (Hashtbl.hash (client, seq)) mod bank_rows in
+  Workload.Bank.deposit ~account ~amount:1
+
+let db_scenario ~name ~spawn ~replicas_of ~cfg_of ~gseq_of ~hash_of
+    ~executes nodes : Scenario.t =
+  let n_clients = 2 and per_client = 3 in
+  let total = n_clients * per_client in
+  let make ~seed ~sched =
+    let world : Sdb.wire Engine.t = Engine.create ~seed () in
+    Sched.install sched world;
+    let cluster = spawn world in
+    let replicas = replicas_of cluster in
+    let replica_arr = Array.of_list replicas in
+    let commits = ref 0 in
+    let _, completed =
+      Sdb.spawn_clients ~world ~target:(cluster : Sdb.client_target) ~n:n_clients
+        ~count:per_client ~make_txn:make_deposit ~retry_timeout:1.0
+        ~on_commit:(fun _ _ -> incr commits)
+        ()
+    in
+    (* Replicas eligible for end-state checks: alive and at the highest
+       configuration seqno any live replica reached (a deposed primary or
+       an unsynced spare legitimately lags). *)
+    let current () =
+      let alive = List.filter (Engine.is_alive world) replicas in
+      let maxcfg =
+        List.fold_left (fun acc l -> max acc (cfg_of cluster l)) (-1) alive
+      in
+      List.filter (fun l -> cfg_of cluster l = maxcfg) alive
+    in
+    let agreement : unit Monitor.t =
+      Monitor.finish_check ~name:(name ^ "-state-agreement") (fun () ->
+          let tbl : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+          List.fold_left
+            (fun viol l ->
+              match viol with
+              | Some _ -> viol
+              | None -> (
+                  if not (executes cluster l) then None
+                  else
+                    let g = gseq_of cluster l and h = hash_of cluster l in
+                    match Hashtbl.find_opt tbl g with
+                    | Some (l0, h0) when h0 <> h ->
+                        Some
+                          (Printf.sprintf
+                             "replicas %d and %d executed %d transactions \
+                              but their databases differ"
+                             l0 l g)
+                    | Some _ -> None
+                    | None ->
+                        Hashtbl.replace tbl g (l, h);
+                        None))
+            None (current ()))
+    in
+    let durability : unit Monitor.t =
+      Monitor.finish_check ~name:(name ^ "-durability") (fun () ->
+          match current () with
+          | [] -> None (* whole latest configuration down: nothing to say *)
+          | cur ->
+              let maxg =
+                List.fold_left (fun acc l -> max acc (gseq_of cluster l)) 0 cur
+              in
+              if maxg < !commits then
+                Some
+                  (Printf.sprintf
+                     "%d transactions acknowledged to clients but the \
+                      latest configuration only executed %d"
+                     !commits maxg)
+              else None)
+    in
+    let monitors = [ agreement; durability ] in
+    let done_at = ref nan in
+    let done_ () =
+      if completed () >= n_clients && Float.is_nan !done_at then
+        done_at := Engine.now world;
+      (not (Float.is_nan !done_at)) && Engine.now world > !done_at +. 2.0
+    in
+    ignore total;
+    let fingerprint () =
+      let h =
+        List.fold_left
+          (fun h l ->
+            Fingerprint.int
+              (Fingerprint.int h (gseq_of cluster l))
+              (hash_of cluster l))
+          (Fingerprint.int Fingerprint.empty !commits)
+          replicas
+      in
+      Fingerprint.int h (Engine.in_flight_fingerprint world)
+    in
+    running ~world ~sched
+      ~step:(bounded_step world ~horizon:20.0 ~max_events:300_000 ~done_)
+      ~fingerprint
+      ~apply_fault:(fault_applier world replica_arr)
+      ~check:(check_of monitors)
+      ~finish:(fun () -> List.iter Monitor.finish monitors)
+  in
+  { Scenario.name; nodes; make }
+
+let pbr : Scenario.t =
+  db_scenario ~name:"pbr"
+    ~spawn:(fun world ->
+      Sdb.To_pbr
+        (Sdb.spawn_pbr ~tun:fast_tun ~world ~registry:Workload.Bank.registry
+           ~setup:(Workload.Bank.setup ~rows:bank_rows)
+           ~n_active:2 ~n_spare:1 ()))
+    ~replicas_of:(function
+      | Sdb.To_pbr c -> c.Sdb.pbr_replicas
+      | Sdb.To_smr _ -> [])
+    ~cfg_of:(function
+      | Sdb.To_pbr c -> c.Sdb.pbr_cfg_of
+      | Sdb.To_smr _ -> fun _ -> -1)
+    ~gseq_of:(function
+      | Sdb.To_pbr c -> c.Sdb.pbr_gseq_of
+      | Sdb.To_smr _ -> fun _ -> 0)
+    ~hash_of:(function
+      | Sdb.To_pbr c -> c.Sdb.pbr_hash_of
+      | Sdb.To_smr _ -> fun _ -> 0)
+    ~executes:(fun _ _ -> true)
+    3
+
+let smr : Scenario.t =
+  db_scenario ~name:"smr"
+    ~spawn:(fun world ->
+      Sdb.To_smr
+        (Sdb.spawn_smr ~tun:fast_tun ~world ~registry:Workload.Bank.registry
+           ~setup:(Workload.Bank.setup ~rows:bank_rows)
+           ~n_active:2 ()))
+    ~replicas_of:(function
+      | Sdb.To_smr c -> c.Sdb.smr_nodes
+      | Sdb.To_pbr _ -> [])
+    ~cfg_of:(function
+      | Sdb.To_smr c -> c.Sdb.smr_cfg_of
+      | Sdb.To_pbr _ -> fun _ -> -1)
+    ~gseq_of:(function
+      | Sdb.To_smr c -> c.Sdb.smr_gseq_of
+      | Sdb.To_pbr _ -> fun _ -> 0)
+    ~hash_of:(function
+      | Sdb.To_smr c -> c.Sdb.smr_hash_of
+      | Sdb.To_pbr _ -> fun _ -> 0)
+    ~executes:(fun cluster l ->
+      match cluster with
+      | Sdb.To_smr c -> c.Sdb.smr_active_of l
+      | Sdb.To_pbr _ -> false)
+    3
+
+(* ---------------------------------------------------------------------- *)
+(* Buggy: a deliberately broken "broadcast" (clients send to each member  *)
+(* individually; members deliver in arrival order, so there is no total   *)
+(* order). Correct under the default FIFO schedule of this workload, it   *)
+(* violates total order only when the scheduler reorders concurrent       *)
+(* arrivals — the counterexample pipeline's test double.                  *)
+(* ---------------------------------------------------------------------- *)
+
+type buggy_wire = B_submit of Broadcast.Tob.entry
+
+let buggy : Scenario.t =
+  let nodes = 2 in
+  let n_clients = 2 in
+  let make ~seed ~sched =
+    let net = { Sim.Net.local with jitter = 0.0 } in
+    let world : buggy_wire Engine.t = Engine.create ~seed ~net () in
+    Sched.install sched world;
+    let monitors = [ Monitor.tob_total_order () ] in
+    let obs = ref [] in
+    let member_ids =
+      List.init nodes (fun i ->
+          Engine.spawn world ~name:(Printf.sprintf "mem%d" i) (fun () ->
+              let counter = ref 0 in
+              fun ctx -> function
+                | Engine.Recv { msg = B_submit e; _ } ->
+                    let d =
+                      { Broadcast.Tob.seqno = !counter; entry = e }
+                    in
+                    incr counter;
+                    obs := (Engine.self ctx, d.Broadcast.Tob.seqno) :: !obs;
+                    List.iter
+                      (fun m -> Monitor.observe m (Engine.self ctx, d))
+                      monitors
+                | _ -> ()))
+    in
+    let member_arr = Array.of_list member_ids in
+    let _clients =
+      List.init n_clients (fun c ->
+          Engine.spawn world ~name:(Printf.sprintf "bcli%d" c) (fun () ->
+              fun ctx -> function
+                | Engine.Init ->
+                    let e =
+                      {
+                        Broadcast.Tob.origin = Engine.self ctx;
+                        id = 0;
+                        payload = Printf.sprintf "b%d" c;
+                      }
+                    in
+                    List.iter
+                      (fun m -> Engine.send ctx m (B_submit e))
+                      member_ids
+                | _ -> ()))
+    in
+    let fingerprint () =
+      let h =
+        Fingerprint.list Fingerprint.empty
+          (fun h o -> Fingerprint.value h o)
+          (List.sort compare !obs)
+      in
+      Fingerprint.int h (Engine.in_flight_fingerprint world)
+    in
+    let done_ () = List.length !obs >= nodes * n_clients in
+    running ~world ~sched
+      ~step:(bounded_step world ~horizon:1.0 ~max_events:200 ~done_)
+      ~fingerprint
+      ~apply_fault:(fault_applier world member_arr)
+      ~check:(check_of monitors)
+      ~finish:(fun () -> List.iter Monitor.finish monitors)
+  in
+  { Scenario.name = "buggy"; nodes; make }
+
+(* ---------------------------------------------------------------------- *)
+
+let all = [ paxos; tob; pbr; smr; buggy ]
+let find name = List.find_opt (fun s -> s.Scenario.name = name) all
+let names = List.map (fun s -> s.Scenario.name) all

@@ -1,0 +1,48 @@
+(* Scheduling strategies for Sim.Engine's scheduler hook.
+
+   A strategy is replayable: every choice it makes is recorded together
+   with the number of candidates it chose among (the branch width), so an
+   execution can be reproduced exactly by replaying the decision list, and
+   DFS can enumerate sibling schedules from the recorded widths. *)
+
+type kind =
+  | Random of Sim.Prng.t  (* seeded random walk *)
+  | Fixed of int array  (* forced prefix; past the end, default order *)
+
+type t = {
+  kind : kind;
+  slack : float;
+  width : int;
+  mutable depth : int;  (* number of choice points hit so far *)
+  mutable decisions_rev : int list;
+  mutable widths_rev : int list;
+}
+
+let default_slack = 2e-4
+let default_width = 6
+
+let make ?(slack = default_slack) ?(width = default_width) kind =
+  { kind; slack; width; depth = 0; decisions_rev = []; widths_rev = [] }
+
+let random ?slack ?width seed = make ?slack ?width (Random (Sim.Prng.create seed))
+let fixed ?slack ?width prefix = make ?slack ?width (Fixed prefix)
+
+let choose t n =
+  let c =
+    match t.kind with
+    | Random rng -> Sim.Prng.int rng n
+    | Fixed prefix -> if t.depth < Array.length prefix then prefix.(t.depth) else 0
+  in
+  let c = if c < 0 || c >= n then 0 else c in
+  t.decisions_rev <- c :: t.decisions_rev;
+  t.widths_rev <- n :: t.widths_rev;
+  t.depth <- t.depth + 1;
+  c
+
+let depth t = t.depth
+let decisions t = Array.of_list (List.rev t.decisions_rev)
+let widths t = Array.of_list (List.rev t.widths_rev)
+
+let install t world =
+  Sim.Engine.set_scheduler world ~slack:t.slack ~width:t.width (fun cands ->
+      choose t (Array.length cands))

@@ -1,0 +1,32 @@
+(** Replayable scheduling strategies for the engine's scheduler hook.
+
+    A strategy records every choice it makes along with the branch width
+    at that point, so schedules can be replayed exactly ({!fixed}) and DFS
+    can enumerate siblings from the recorded widths. *)
+
+type kind =
+  | Random of Sim.Prng.t  (** Seeded random walk over enabled events. *)
+  | Fixed of int array
+      (** Forced decision prefix; beyond the prefix (or when a recorded
+          choice exceeds the branch width) the default order is taken. *)
+
+type t
+
+val default_slack : float
+val default_width : int
+
+val make : ?slack:float -> ?width:int -> kind -> t
+val random : ?slack:float -> ?width:int -> int -> t
+val fixed : ?slack:float -> ?width:int -> int array -> t
+
+val choose : t -> int -> int
+(** [choose t n] picks a branch in [0, n)], recording decision and width. *)
+
+val depth : t -> int
+(** Choice points hit so far. *)
+
+val decisions : t -> int array
+val widths : t -> int array
+
+val install : t -> 'm Sim.Engine.t -> unit
+(** Install this strategy as [world]'s scheduler hook. *)

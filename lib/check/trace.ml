@@ -1,0 +1,87 @@
+(* Counterexample traces: everything needed to reproduce a violating
+   execution exactly — the scenario, the world seed, the scheduler window
+   parameters, the decision list, and the fault plan. Saved as a small
+   key=value text file so traces can be archived and replayed by the CLI. *)
+
+type t = {
+  protocol : string;
+  world_seed : int;
+  slack : float;
+  width : int;
+  decisions : int array;
+  faults : Fault.plan;
+  monitor : string;  (* which monitor fired *)
+  detail : string;  (* its violation message *)
+}
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>protocol   %s@,seed       %d@,slack      %g@,width      %d@,decisions  [%s] (%d)@,faults     %s@,monitor    %s@,detail     %s@]"
+    t.protocol t.world_seed t.slack t.width
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.decisions)))
+    (Array.length t.decisions)
+    (match t.faults with [] -> "(none)" | f -> Fault.to_string f)
+    t.monitor t.detail
+
+let save file t =
+  let oc = open_out file in
+  Printf.fprintf oc "protocol=%s\n" t.protocol;
+  Printf.fprintf oc "seed=%d\n" t.world_seed;
+  Printf.fprintf oc "slack=%h\n" t.slack;
+  Printf.fprintf oc "width=%d\n" t.width;
+  Printf.fprintf oc "decisions=%s\n"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.decisions)));
+  Printf.fprintf oc "faults=%s\n" (Fault.to_string t.faults);
+  Printf.fprintf oc "monitor=%s\n" t.monitor;
+  Printf.fprintf oc "detail=%s\n" (String.map (function '\n' -> ' ' | c -> c) t.detail);
+  close_out oc
+
+let load file =
+  let ic = open_in file in
+  let tbl = Hashtbl.create 8 in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line '=' with
+       | Some i ->
+           Hashtbl.replace tbl
+             (String.sub line 0 i)
+             (String.sub line (i + 1) (String.length line - i - 1))
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let get k =
+    match Hashtbl.find_opt tbl k with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "trace file %s: missing key %s" file k)
+  in
+  let ( let* ) = Result.bind in
+  let* protocol = get "protocol" in
+  let* seed = get "seed" in
+  let* slack = get "slack" in
+  let* width = get "width" in
+  let* decisions = get "decisions" in
+  let* faults_s = get "faults" in
+  let* faults = Fault.parse faults_s in
+  let monitor = Result.value (get "monitor") ~default:"" in
+  let detail = Result.value (get "detail") ~default:"" in
+  let int_field k v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "trace file %s: bad int for %s" file k)
+  in
+  let* world_seed = int_field "seed" seed in
+  let* width = int_field "width" width in
+  let* slack =
+    match float_of_string_opt slack with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "trace file %s: bad float for slack" file)
+  in
+  let decisions =
+    if String.trim decisions = "" then [||]
+    else
+      String.split_on_char ';' decisions
+      |> List.filter_map int_of_string_opt
+      |> Array.of_list
+  in
+  Ok { protocol; world_seed; slack; width; decisions; faults; monitor; detail }

@@ -1,0 +1,17 @@
+(** Counterexample traces: enough to reproduce a violating execution
+    exactly, persisted as a key=value text file. *)
+
+type t = {
+  protocol : string;
+  world_seed : int;
+  slack : float;
+  width : int;
+  decisions : int array;
+  faults : Fault.plan;
+  monitor : string;
+  detail : string;
+}
+
+val pp : Format.formatter -> t -> unit
+val save : string -> t -> unit
+val load : string -> (t, string) result

@@ -107,6 +107,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     pbr_tob : loc list;
     pbr_initial_primary : loc;
     pbr_primary_of : loc -> loc;  (* current primary, per replica view *)
+    pbr_cfg_of : loc -> int;  (* configuration seqno, per replica view *)
     pbr_gseq_of : loc -> int;
     pbr_hash_of : loc -> int;  (* database content hash (tests) *)
   }
@@ -652,6 +653,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       pbr_tob = tob;
       pbr_initial_primary = List.fold_left min max_int (initial_members ());
       pbr_primary_of = (fun l -> view l (fun r -> r.primary) ~default:(-1));
+      pbr_cfg_of = (fun l -> view l (fun r -> r.cfg.Config.seq) ~default:(-1));
       pbr_gseq_of = (fun l -> view l (fun r -> r.gseq) ~default:0);
       pbr_hash_of =
         (fun l -> view l (fun r -> Database.content_hash r.db) ~default:0);
@@ -694,6 +696,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
   type smr_cluster = {
     smr_nodes : loc list;
     smr_active_of : loc -> bool;
+    smr_cfg_of : loc -> int;
     smr_gseq_of : loc -> int;
     smr_hash_of : loc -> int;
   }
@@ -945,6 +948,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     {
       smr_nodes = nodes;
       smr_active_of = (fun l -> view l (fun r -> r.role = Active) ~default:false);
+      smr_cfg_of = (fun l -> view l (fun r -> r.scfg.Config.seq) ~default:(-1));
       smr_gseq_of = (fun l -> view l (fun r -> r.sgseq) ~default:0);
       smr_hash_of =
         (fun l -> view l (fun r -> Database.content_hash r.sdb) ~default:0);

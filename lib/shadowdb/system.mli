@@ -60,6 +60,10 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     pbr_initial_primary : loc;
     pbr_primary_of : loc -> loc;
         (** A replica's current view of the primary (introspection). *)
+    pbr_cfg_of : loc -> int;
+        (** A replica's current configuration sequence number (state
+            agreement only holds within a configuration: a deposed
+            primary legitimately diverges until it rejoins). *)
     pbr_gseq_of : loc -> int;  (** Executed-transaction count. *)
     pbr_hash_of : loc -> int;
         (** Backend-independent content digest, for state-agreement
@@ -110,6 +114,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
         (** The three machines, each co-hosting a broadcast member and a
             database replica. *)
     smr_active_of : loc -> bool;  (** Whether the replica executes. *)
+    smr_cfg_of : loc -> int;  (** Configuration sequence number. *)
     smr_gseq_of : loc -> int;
     smr_hash_of : loc -> int;
   }

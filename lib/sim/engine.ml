@@ -47,7 +47,20 @@ and 'm t = {
   cancelled : (int, unit) Hashtbl.t;
   mutable timer_seq : int;
   mutable processed : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable scheduler : (sched_candidate array -> int) option;
+  mutable sched_slack : float;
+  mutable sched_width : int;
   mutable trace_buf : (float * Node_id.t * string) list;
+}
+
+and sched_candidate = {
+  sc_time : float;
+  sc_seq : int;
+  sc_node : Node_id.t;  (* the node the event acts on; -1 for externals *)
+  sc_src : Node_id.t;  (* message source for "recv" events; -1 otherwise *)
+  sc_kind : string;  (* "init" | "recv" | "timer" | "done" | "ext" *)
 }
 
 let fifo_epsilon = 1.0e-9
@@ -66,12 +79,26 @@ let create ?(seed = 1) ?(net = Net.lan) () =
     cancelled = Hashtbl.create 64;
     timer_seq = 0;
     processed = 0;
+    delivered = 0;
+    dropped = 0;
+    scheduler = None;
+    sched_slack = 0.0;
+    sched_width = 8;
     trace_buf = [];
   }
 
 let now t = t.now
 let rng t = t.rng
 let events_processed t = t.processed
+let deliveries t = t.delivered
+let drops t = t.dropped
+
+let set_scheduler t ?(slack = 0.0) ?(width = 8) f =
+  t.scheduler <- Some f;
+  t.sched_slack <- slack;
+  t.sched_width <- max 2 width
+
+let clear_scheduler t = t.scheduler <- None
 
 let schedule t time ev =
   t.seq <- t.seq + 1;
@@ -118,8 +145,9 @@ let partitioned t a b = Hashtbl.mem t.partitions (link_key a b)
 (* Deliver a message leaving [src] at [depart] towards [dst], obeying the
    latency model, per-link FIFO order, loss and partitions. *)
 let route t ~depart ~src ~dst ~size input =
-  if partitioned t src dst then ()
-  else if t.net.Net.loss > 0.0 && Prng.float t.rng < t.net.Net.loss then ()
+  if partitioned t src dst then t.dropped <- t.dropped + 1
+  else if t.net.Net.loss > 0.0 && Prng.float t.rng < t.net.Net.loss then
+    t.dropped <- t.dropped + 1
   else begin
     let d = Net.delay t.net t.rng ~size in
     let arrive = depart +. d in
@@ -162,7 +190,17 @@ let dispatch t = function
   | Ev_external f -> f ()
   | Ev_arrive { dst; epoch; input } ->
       let n = node t dst in
-      if n.alive && n.epoch = epoch then handle_arrival t n input
+      if n.alive && n.epoch = epoch then begin
+        (match input with
+        | Recv _ -> t.delivered <- t.delivered + 1
+        | Init | Timer _ -> ());
+        handle_arrival t n input
+      end
+      else begin
+        match input with
+        | Recv _ -> t.dropped <- t.dropped + 1
+        | Init | Timer _ -> ()
+      end
   | Ev_done { node = id; epoch } ->
       let n = node t id in
       if n.alive && n.epoch = epoch then begin
@@ -172,13 +210,86 @@ let dispatch t = function
         | None -> ()
       end
 
+let dispatch_at t time ev =
+  t.now <- max t.now time;
+  t.processed <- t.processed + 1;
+  dispatch t ev
+
+let candidate_of time seq = function
+  | Ev_arrive { dst; input = Init; _ } ->
+      { sc_time = time; sc_seq = seq; sc_node = dst; sc_src = -1; sc_kind = "init" }
+  | Ev_arrive { dst; input = Recv { src; _ }; _ } ->
+      { sc_time = time; sc_seq = seq; sc_node = dst; sc_src = src; sc_kind = "recv" }
+  | Ev_arrive { dst; input = Timer _; _ } ->
+      { sc_time = time; sc_seq = seq; sc_node = dst; sc_src = -1; sc_kind = "timer" }
+  | Ev_done { node; _ } ->
+      { sc_time = time; sc_seq = seq; sc_node = node; sc_src = -1; sc_kind = "done" }
+  | Ev_external _ ->
+      { sc_time = time; sc_seq = seq; sc_node = -1; sc_src = -1; sc_kind = "ext" }
+
+(* Pop further events enabled within [slack] of the earliest one. Externals
+   act as barriers: they script faults and load changes, so nothing may be
+   reordered across them. *)
+let gather t ~tmin first =
+  let rec go acc n =
+    if n >= t.sched_width then List.rev acc
+    else
+      match Heap.peek t.heap with
+      | Some (t2, _, Ev_external _) when t2 <= tmin +. t.sched_slack ->
+          List.rev acc
+      | Some (t2, _, _) when t2 <= tmin +. t.sched_slack -> (
+          match Heap.pop t.heap with
+          | Some e -> go (e :: acc) (n + 1)
+          | None -> List.rev acc)
+      | _ -> List.rev acc
+  in
+  go [ first ] 1
+
+(* Per-link FIFO (the TCP channels the protocols assume) must survive
+   reordering: of several pending arrivals on one (src, dst) link, only the
+   earliest is offered as a candidate. *)
+let fifo_filter entries =
+  let seen = Hashtbl.create 8 in
+  List.partition
+    (fun (_, _, ev) ->
+      match ev with
+      | Ev_arrive { dst; input = Recv { src; _ }; _ } ->
+          let key = (src, dst) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.replace seen key ();
+            true
+          end
+      | Ev_arrive _ | Ev_done _ | Ev_external _ -> true)
+    entries
+
 let step t =
   match Heap.pop t.heap with
   | None -> false
-  | Some (time, _, ev) ->
-      t.now <- max t.now time;
-      t.processed <- t.processed + 1;
-      dispatch t ev;
+  | Some (time, seq, ev) ->
+      (match (t.scheduler, ev) with
+      | Some choose, (Ev_arrive _ | Ev_done _) -> (
+          let gathered = gather t ~tmin:time (time, seq, ev) in
+          let cands, deferred = fifo_filter gathered in
+          List.iter
+            (fun (tm, sq, e) -> Heap.push t.heap ~time:tm ~seq:sq e)
+            deferred;
+          match cands with
+          | [ (tm, _, e) ] -> dispatch_at t tm e
+          | _ ->
+              let arr = Array.of_list cands in
+              let descr =
+                Array.map (fun (tm, sq, e) -> candidate_of tm sq e) arr
+              in
+              let i = choose descr in
+              let i = if i < 0 || i >= Array.length arr then 0 else i in
+              Array.iteri
+                (fun j (tm, sq, e) ->
+                  if j <> i then Heap.push t.heap ~time:tm ~seq:sq e)
+                arr;
+              let tm, _, e = arr.(i) in
+              dispatch_at t tm e)
+      | _ -> dispatch_at t time ev);
       true
 
 let run ?(until = infinity) ?(max_events = max_int) t =
@@ -242,3 +353,32 @@ let trace ctx line =
   t.trace_buf <- (t.now, ctx.node.id, line) :: t.trace_buf
 
 let get_trace t = List.rev t.trace_buf
+
+let in_flight t = Heap.length t.heap
+
+(* A schedule-insensitive digest of the transport state: the multiset of
+   pending events (by kind and endpoints, not by time — times differ across
+   schedules that reach the same logical state) plus each node's liveness
+   and queue backlog. Model-checker state hashing composes this with
+   protocol-level state digests. *)
+let in_flight_fingerprint t =
+  let acc = ref 0 in
+  Heap.iter t.heap (fun _time _seq ev ->
+      let k =
+        match ev with
+        | Ev_arrive { dst; input = Init; _ } -> (0, dst, -1)
+        | Ev_arrive { dst; input = Recv { src; _ }; _ } -> (1, dst, src)
+        | Ev_arrive { dst; input = Timer { tag; _ }; _ } ->
+            (2, dst, Hashtbl.hash tag)
+        | Ev_done { node; _ } -> (3, node, -1)
+        | Ev_external _ -> (4, -1, -1)
+      in
+      (* Sum keeps the digest independent of heap-internal order. *)
+      acc := !acc + Hashtbl.hash k);
+  let h = ref !acc in
+  for i = 0 to t.node_count - 1 do
+    let n = t.nodes.(i) in
+    let v = Hashtbl.hash (i, n.alive, Queue.length n.queue, n.processing) in
+    h := !h lxor (v + 0x9e3779b9 + (!h lsl 6) + (!h lsr 2))
+  done;
+  !h land max_int

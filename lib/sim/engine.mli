@@ -82,6 +82,52 @@ val step : 'm t -> bool
 val events_processed : 'm t -> int
 (** Total number of events executed so far (for budget checks in tests). *)
 
+val deliveries : 'm t -> int
+(** Messages delivered to a live node so far. *)
+
+val drops : 'm t -> int
+(** Messages lost so far: partitioned or lossy links, and arrivals at
+    crashed (or since-restarted) nodes. *)
+
+val in_flight : 'm t -> int
+(** Number of pending events (arrivals, busy-period completions, scripted
+    externals). *)
+
+val in_flight_fingerprint : 'm t -> int
+(** Order-insensitive digest of the pending-event multiset (by kind and
+    endpoints) and per-node liveness/backlog. Used by the model checker to
+    recognize revisited states across different schedules. *)
+
+(** {1 Schedule exploration}
+
+    By default events execute in [(time, seq)] order — one fixed schedule
+    per seed. A scheduler hook exposes the nondeterminism a real
+    distributed system has: whenever several events are enabled within
+    [slack] seconds of the earliest pending one, the hook picks which
+    fires next. Per-link FIFO is preserved (only the earliest pending
+    arrival of each (src, dst) link is offered), and scripted
+    {!at}-externals are barriers that nothing is reordered across, so
+    every choice the hook can make is a schedule a real execution could
+    exhibit. *)
+
+type sched_candidate = {
+  sc_time : float;
+  sc_seq : int;
+  sc_node : Node_id.t;  (** Node the event acts on; [-1] for externals. *)
+  sc_src : Node_id.t;  (** Message source for ["recv"]; [-1] otherwise. *)
+  sc_kind : string;  (** ["init" | "recv" | "timer" | "done" | "ext"]. *)
+}
+
+val set_scheduler :
+  'm t -> ?slack:float -> ?width:int -> (sched_candidate array -> int) -> unit
+(** Install a scheduling strategy. The callback receives ≥ 2 candidates in
+    [(time, seq)] order and returns the index to fire (out-of-range falls
+    back to 0, the default order). [slack] (default 0: exact ties only)
+    widens the enabled window; [width] (default 8) caps the candidate set. *)
+
+val clear_scheduler : 'm t -> unit
+(** Revert to the default deterministic [(time, seq)] order. *)
+
 (** {1 Handler-side operations} *)
 
 val self : 'm ctx -> Node_id.t

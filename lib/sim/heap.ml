@@ -74,6 +74,12 @@ let peek t =
     let top = t.arr.(0) in
     Some (top.time, top.seq, top.value)
 
+let iter t f =
+  for i = 0 to t.size - 1 do
+    let e = t.arr.(i) in
+    f e.time e.seq e.value
+  done
+
 let clear t =
   t.arr <- [||];
   t.size <- 0

@@ -24,5 +24,8 @@ val pop : 'a t -> (float * int * 'a) option
 val peek : 'a t -> (float * int * 'a) option
 (** Return the minimum element without removing it. *)
 
+val iter : 'a t -> (float -> int -> 'a -> unit) -> unit
+(** Visit every stored element in unspecified (heap-internal) order. *)
+
 val clear : 'a t -> unit
 (** Drop all elements. *)

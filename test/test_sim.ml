@@ -313,6 +313,141 @@ let test_engine_run_until () =
   Engine.run ~until:5.0 w;
   Alcotest.(check int) "only events before the horizon" 1 !fired
 
+let test_engine_restart_while_partitioned () =
+  (* A node that crashes and restarts behind a partition stays unreachable
+     until the partition heals; the partition survives the restart. *)
+  let w = Engine.create () in
+  let received = ref [] in
+  let dst =
+    Engine.spawn w ~name:"dst" (fun () _ -> function
+      | Engine.Recv { msg; _ } -> received := msg :: !received
+      | Engine.Init | Engine.Timer _ -> ())
+  in
+  let src =
+    Engine.spawn w ~name:"src" (fun () _ -> function _ -> ())
+  in
+  Engine.at w 0.5 (fun () -> Engine.partition w src dst);
+  Engine.at w 1.0 (fun () -> Engine.crash w dst);
+  Engine.at w 1.5 (fun () ->
+      Engine.restart w dst;
+      Engine.send_external w ~src dst "while-partitioned");
+  Engine.at w 2.0 (fun () ->
+      Engine.heal w src dst;
+      Engine.send_external w ~src dst "after-heal");
+  Engine.run w;
+  Alcotest.(check (list string))
+    "partition outlives crash/restart" [ "after-heal" ] !received;
+  Alcotest.(check int) "one drop counted" 1 (Engine.drops w)
+
+let test_engine_crash_in_flight_counters () =
+  (* Messages in flight towards a node when it crashes are lost and show
+     up in the drop counter; pre-crash deliveries are counted. *)
+  let w = Engine.create () in
+  let got = ref 0 in
+  let dst =
+    Engine.spawn w ~name:"dst" (fun () _ -> function
+      | Engine.Recv _ -> incr got
+      | Engine.Init | Engine.Timer _ -> ())
+  in
+  let src =
+    Engine.spawn w ~name:"src" (fun () ctx -> function
+      | Engine.Timer _ ->
+          for i = 1 to 5 do
+            Engine.send ctx dst (string_of_int i)
+          done
+      | Engine.Init ->
+          ignore (Engine.set_timer ctx 1.0 "burst");
+          Engine.send ctx dst "early"
+      | Engine.Recv _ -> ())
+  in
+  (* The burst leaves src at t=1.0; dst crashes while it is in flight. *)
+  Engine.at w 1.00001 (fun () -> Engine.crash w dst);
+  ignore src;
+  Engine.run w;
+  Alcotest.(check int) "pre-crash delivery" 1 !got;
+  Alcotest.(check int) "deliveries counter" 1 (Engine.deliveries w);
+  Alcotest.(check int) "in-flight burst dropped" 5 (Engine.drops w)
+
+let test_engine_trace_determinism () =
+  (* Two same-seed runs produce byte-identical event traces (the formatted
+     trace buffer, not just final state). *)
+  let run_once () =
+    let w = Engine.create ~seed:11 () in
+    let echo =
+      Engine.spawn w ~name:"echo" (fun () ctx -> function
+        | Engine.Recv { src; msg } ->
+            Engine.trace ctx ("echo " ^ msg);
+            Engine.send ctx src ("re:" ^ msg)
+        | Engine.Init | Engine.Timer _ -> ())
+    in
+    let _client =
+      Engine.spawn w ~name:"client" (fun () ctx -> function
+        | Engine.Init ->
+            List.iter (Engine.send ctx echo) [ "a"; "b"; "c" ];
+            ignore (Engine.set_timer ctx 0.5 "more")
+        | Engine.Timer _ -> Engine.send ctx echo "d"
+        | Engine.Recv { msg; _ } -> Engine.trace ctx ("got " ^ msg))
+    in
+    Engine.run w;
+    String.concat "\n"
+      (List.map
+         (fun (t, n, line) -> Printf.sprintf "%.9f %d %s" t n line)
+         (Engine.get_trace w))
+  in
+  Alcotest.(check string) "byte-identical traces" (run_once ()) (run_once ())
+
+let test_engine_scheduler_reorders () =
+  (* Two messages from different sources arriving in the same slack window
+     can be swapped by a scheduler hook, and candidate metadata identifies
+     them; per-link FIFO pairs are never offered together. *)
+  let w = Engine.create ~net:{ Sim.Net.local with jitter = 0.0 } () in
+  let received = ref [] in
+  let dst =
+    Engine.spawn w ~name:"dst" (fun () _ -> function
+      | Engine.Recv { msg; _ } -> received := msg :: !received
+      | Engine.Init | Engine.Timer _ -> ())
+  in
+  let mk_src name msg =
+    Engine.spawn w ~name (fun () ctx -> function
+      | Engine.Init -> Engine.send ctx dst msg
+      | Engine.Recv _ | Engine.Timer _ -> ())
+  in
+  let _a = mk_src "a" "from-a" and _b = mk_src "b" "from-b" in
+  let widths = ref [] in
+  Engine.set_scheduler w ~slack:1e-4 ~width:8 (fun cands ->
+      widths := Array.length cands :: !widths;
+      Array.length cands - 1 (* always pick the latest candidate *));
+  Engine.run w;
+  Alcotest.(check (list string))
+    "arrivals swapped by the hook" [ "from-a"; "from-b" ] !received;
+  Alcotest.(check bool) "a real choice point was offered" true
+    (List.exists (fun n -> n = 2) !widths)
+
+let test_engine_scheduler_preserves_link_fifo () =
+  (* Same source, same destination: the hook must never be able to reorder
+     the link, whatever it answers. *)
+  let w = Engine.create ~net:{ Sim.Net.local with jitter = 0.0 } () in
+  let received = ref [] in
+  let dst =
+    Engine.spawn w ~name:"dst" (fun () _ -> function
+      | Engine.Recv { msg; _ } -> received := msg :: !received
+      | Engine.Init | Engine.Timer _ -> ())
+  in
+  let _src =
+    Engine.spawn w ~name:"src" (fun () ctx -> function
+      | Engine.Init ->
+          for i = 1 to 6 do
+            Engine.send ctx dst (string_of_int i)
+          done
+      | Engine.Recv _ | Engine.Timer _ -> ())
+  in
+  Engine.set_scheduler w (fun cands -> Array.length cands - 1);
+  Engine.run w;
+  Alcotest.(check (list string))
+    "FIFO kept under adversarial scheduling"
+    (List.init 6 (fun i -> string_of_int (6 - i)))
+    !received
+
 (* Determinism over random topologies: the full trace of a randomly wired
    echo network is a function of the seed alone. *)
 let prop_engine_deterministic_topologies =
@@ -392,6 +527,16 @@ let () =
           Alcotest.test_case "partition" `Quick test_engine_partition;
           Alcotest.test_case "at ordering" `Quick test_engine_at_ordering;
           Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "restart while partitioned" `Quick
+            test_engine_restart_while_partitioned;
+          Alcotest.test_case "crash in-flight counters" `Quick
+            test_engine_crash_in_flight_counters;
+          Alcotest.test_case "byte-identical traces" `Quick
+            test_engine_trace_determinism;
+          Alcotest.test_case "scheduler reorders concurrent arrivals" `Quick
+            test_engine_scheduler_reorders;
+          Alcotest.test_case "scheduler preserves link fifo" `Quick
+            test_engine_scheduler_preserves_link_fifo;
           qt prop_network_delay_positive;
           qt prop_engine_deterministic_topologies;
         ] );
