@@ -1,7 +1,9 @@
 (* The ShadowDB command-line tool.
 
-   `shadowdb run` deploys a replicated database on the simulator and
-   drives a workload against it, optionally crashing a replica mid-run;
+   `shadowdb run` deploys a replicated database and drives a workload
+   against it — on the deterministic simulator (`--runtime sim`, the
+   default, optionally crashing a replica mid-run) or as a real cluster
+   of socket-connected nodes on the local machine (`--runtime live`);
    `shadowdb sql` is a small SQL shell over the embedded storage engine
    (reads statements from stdin, one per line). *)
 
@@ -18,63 +20,94 @@ type wl = Bank | Tpcc
 
 let wl_conv = Arg.enum [ ("bank", Bank); ("tpcc", Tpcc) ]
 
-let run_cluster mode wl clients count crash_at seed diverse =
+type rt = Rt_sim | Rt_live
+
+let rt_conv = Arg.enum [ ("sim", Rt_sim); ("live", Rt_live) ]
+
+let workload_parts = function
+  | Bank ->
+      let rows = 10_000 in
+      ( Workload.Bank.registry,
+        (fun db -> Workload.Bank.setup ~rows db),
+        (fun ~client ~seq ->
+          if seq mod 4 = 3 then
+            Workload.Bank.balance
+              ~account:(abs (Hashtbl.hash (client, seq)) mod rows)
+          else
+            Workload.Bank.deposit
+              ~account:(abs (Hashtbl.hash (client, seq)) mod rows)
+              ~amount:(1 + (seq mod 9))),
+        [ "balance" ] )
+  | Tpcc ->
+      let scale = Workload.Tpcc.small_scale in
+      ( (fun () -> Workload.Tpcc.registry ~scale ()),
+        (fun db -> Workload.Tpcc.setup ~scale db),
+        (fun ~client ~seq ->
+          let rng = Sim.Prng.create (Hashtbl.hash (client, seq)) in
+          Workload.Tpcc.make_txn ~scale rng
+            ~h_id:((client * 1_000_000) + seq)),
+        [ "order_status"; "stock_level" ] )
+
+let spawn_cluster mode ~read_kinds ~backends ~world ~registry ~setup =
+  match mode with
+  | Pbr ->
+      let c =
+        S.spawn_pbr ~backends ~world ~registry ~setup ~n_active:2 ~n_spare:1 ()
+      in
+      ("primary-backup (2 active + 1 spare)", S.To_pbr c, c.S.pbr_replicas,
+       c.S.pbr_gseq_of, c.S.pbr_hash_of)
+  | Chain ->
+      let c =
+        S.spawn_chain ~read_kinds ~backends ~world ~registry ~setup
+          ~n_active:3 ~n_spare:1 ()
+      in
+      ("chain (3 links + 1 spare)", S.To_pbr c, c.S.pbr_replicas,
+       c.S.pbr_gseq_of, c.S.pbr_hash_of)
+  | Smr ->
+      let c = S.spawn_smr ~backends ~world ~registry ~setup ~n_active:2 () in
+      ("state machine replication (2 of 3)", S.To_smr c, c.S.smr_nodes,
+       c.S.smr_gseq_of, c.S.smr_hash_of)
+
+let backends_of diverse =
+  if diverse then
+    [ Storage.Store.Hazel; Storage.Store.Hickory; Storage.Store.Dogwood ]
+  else [ Storage.Store.Hazel ]
+
+let report ~clients ~completed ~commits ~elapsed ~latencies ~alive ~gseq_of
+    ~hash_of ~unit_label =
+  Printf.printf "completed  : %d/%d clients\n" completed clients;
+  Printf.printf "committed  : %d txns in %.3f s %s\n" commits elapsed
+    unit_label;
+  if elapsed > 0.0 then
+    Printf.printf "throughput : %.0f txns/s\n" (float_of_int commits /. elapsed);
+  Printf.printf "latency    : mean %.2f ms, p50 %.2f ms, p99 %.2f ms\n"
+    (Stats.Sample.mean latencies *. 1e3)
+    (Stats.Sample.percentile latencies 50.0 *. 1e3)
+    (Stats.Sample.percentile latencies 99.0 *. 1e3);
+  let hashes =
+    List.filter_map
+      (fun l -> if gseq_of l > 0 then Some (hash_of l) else None)
+      alive
+  in
+  Printf.printf "replicas   : %s executed %s txns\n"
+    (String.concat "," (List.map string_of_int alive))
+    (String.concat "/" (List.map (fun l -> string_of_int (gseq_of l)) alive));
+  Printf.printf "agreement  : %b\n"
+    (match hashes with h :: t -> List.for_all (( = ) h) t | [] -> true)
+
+let run_sim mode wl clients count crash_at seed diverse =
   let world : S.wire Engine.t = Engine.create ~seed () in
-  let registry, setup, make_txn, read_kinds =
-    match wl with
-    | Bank ->
-        let rows = 10_000 in
-        ( Workload.Bank.registry,
-          (fun db -> Workload.Bank.setup ~rows db),
-          (fun ~client ~seq ->
-            if seq mod 4 = 3 then
-              Workload.Bank.balance
-                ~account:(abs (Hashtbl.hash (client, seq)) mod rows)
-            else
-              Workload.Bank.deposit
-                ~account:(abs (Hashtbl.hash (client, seq)) mod rows)
-                ~amount:(1 + (seq mod 9))),
-          [ "balance" ] )
-    | Tpcc ->
-        let scale = Workload.Tpcc.small_scale in
-        ( (fun () -> Workload.Tpcc.registry ~scale ()),
-          (fun db -> Workload.Tpcc.setup ~scale db),
-          (fun ~client ~seq ->
-            let rng = Sim.Prng.create (Hashtbl.hash (client, seq)) in
-            Workload.Tpcc.make_txn ~scale rng
-              ~h_id:((client * 1_000_000) + seq)),
-          [ "order_status"; "stock_level" ] )
-  in
-  let backends =
-    if diverse then
-      [ Storage.Store.Hazel; Storage.Store.Hickory; Storage.Store.Dogwood ]
-    else [ Storage.Store.Hazel ]
-  in
+  let rworld = Runtime.Of_sim.of_engine world in
+  let registry, setup, make_txn, read_kinds = workload_parts wl in
+  let backends = backends_of diverse in
   let describe, target, replicas, gseq_of, hash_of =
-    match mode with
-    | Pbr ->
-        let c =
-          S.spawn_pbr ~backends ~world ~registry ~setup ~n_active:2 ~n_spare:1 ()
-        in
-        ("primary-backup (2 active + 1 spare)", S.To_pbr c, c.S.pbr_replicas,
-         c.S.pbr_gseq_of, c.S.pbr_hash_of)
-    | Chain ->
-        let c =
-          S.spawn_chain ~read_kinds ~backends ~world ~registry ~setup
-            ~n_active:3 ~n_spare:1 ()
-        in
-        ("chain (3 links + 1 spare)", S.To_pbr c, c.S.pbr_replicas,
-         c.S.pbr_gseq_of, c.S.pbr_hash_of)
-    | Smr ->
-        let c = S.spawn_smr ~backends ~world ~registry ~setup ~n_active:2 () in
-        ("state machine replication (2 of 3)", S.To_smr c, c.S.smr_nodes,
-         c.S.smr_gseq_of, c.S.smr_hash_of)
+    spawn_cluster mode ~read_kinds ~backends ~world:rworld ~registry ~setup
   in
   let latencies = Stats.Sample.create () in
   let commits = ref 0 in
   let last = ref 0.0 in
   let _, completed =
-    S.spawn_clients ~world ~target ~n:clients ~count ~make_txn
+    S.spawn_clients ~world:rworld ~target ~n:clients ~count ~make_txn
       ~retry_timeout:2.0
       ~on_commit:(fun now l ->
         incr commits;
@@ -111,6 +144,66 @@ let run_cluster mode wl clients count crash_at seed diverse =
     (match hashes with h :: t -> List.for_all (( = ) h) t | [] -> true);
   if completed () <> clients then exit 1
 
+(* A real cluster on the local machine: every node is a thread with its
+   own TCP listener, messages are framed Codec bytes over loopback
+   sockets, timers run on the wall clock. Same protocol code as the
+   simulation — only the runtime underneath changes. *)
+let run_live mode wl clients count crash_at diverse =
+  (match crash_at with
+  | Some _ ->
+      Printf.eprintf "shadowdb: --crash-at is simulator-only; ignoring\n%!"
+  | None -> ());
+  let codec =
+    S.wire_codec ~enc_core:Shadowdb.Codec.encode_core_paxos
+      ~dec_core:Shadowdb.Codec.decode_core_paxos
+  in
+  let live = Runtime.Live.create ~codec () in
+  let world = Runtime.Live.runtime live in
+  let registry, setup, make_txn, read_kinds = workload_parts wl in
+  let backends = backends_of diverse in
+  let describe, target, replicas, gseq_of, hash_of =
+    spawn_cluster mode ~read_kinds ~backends ~world ~registry ~setup
+  in
+  let latencies = Stats.Sample.create () in
+  let mu = Mutex.create () in
+  let commits = ref 0 in
+  let _, completed =
+    S.spawn_clients ~world ~target ~n:clients ~count ~make_txn
+      ~retry_timeout:2.0
+      ~on_commit:(fun _now l ->
+        Mutex.lock mu;
+        incr commits;
+        Stats.Sample.add latencies l;
+        Mutex.unlock mu)
+      ()
+  in
+  Printf.printf "deployment : %s%s, live over loopback TCP\n" describe
+    (if diverse then ", diverse backends (hazel/hickory/dogwood)" else "");
+  List.iter
+    (fun l ->
+      Printf.printf "node       : replica %d on 127.0.0.1:%d\n" l
+        (Option.value ~default:0 (Runtime.Live.port_of live l)))
+    replicas;
+  Printf.printf "workload   : %d clients x %d txns\n%!" clients count;
+  let t0 = Unix.gettimeofday () in
+  Runtime.Live.start live;
+  let finished =
+    Runtime.Live.await ~timeout:300.0 live (fun () -> completed () >= clients)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Runtime.Live.stop live;
+  List.iter
+    (fun e -> Printf.eprintf "live runtime error: %s\n%!" e)
+    (Runtime.Live.errors live);
+  report ~clients ~completed:(completed ()) ~commits:!commits ~elapsed
+    ~latencies ~alive:replicas ~gseq_of ~hash_of ~unit_label:"wall-clock";
+  if not finished then exit 1
+
+let run_cluster runtime mode wl clients count crash_at seed diverse =
+  match runtime with
+  | Rt_sim -> run_sim mode wl clients count crash_at seed diverse
+  | Rt_live -> run_live mode wl clients count crash_at diverse
+
 let sql_shell backend =
   let kind =
     Option.value ~default:Storage.Store.Hazel
@@ -140,6 +233,14 @@ let sql_shell backend =
    with End_of_file -> ())
 
 let run_cmd =
+  let runtime =
+    Arg.(
+      value & opt rt_conv Rt_sim
+      & info [ "runtime" ]
+          ~doc:
+            "sim (deterministic simulator) or live (real processes over \
+             loopback sockets).")
+  in
   let mode =
     Arg.(value & opt mode_conv Pbr & info [ "mode" ] ~doc:"pbr, smr or chain.")
   in
@@ -165,7 +266,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Deploy a replicated database and drive a workload.")
     Term.(
-      const run_cluster $ mode $ wl $ clients $ count $ crash $ seed $ diverse)
+      const run_cluster $ runtime $ mode $ wl $ clients $ count $ crash $ seed
+      $ diverse)
 
 let sql_cmd =
   let backend =
@@ -179,6 +281,7 @@ let sql_cmd =
 
 let () =
   let info =
-    Cmd.info "shadowdb" ~doc:"Replicated databases on a simulated cluster."
+    Cmd.info "shadowdb"
+      ~doc:"Replicated databases on a simulated or live local cluster."
   in
   exit (Cmd.eval (Cmd.group info [ run_cmd; sql_cmd ]))

@@ -20,6 +20,7 @@ let rows = 5_000
 let () =
   print_endline "== ShadowDB-PBR failover with diverse backends ==\n";
   let world : S.wire Engine.t = Engine.create ~seed:7 () in
+  let rworld = Runtime.Of_sim.of_engine world in
   let tun =
     {
       Shadowdb.System.default_tuning with
@@ -31,14 +32,14 @@ let () =
   let cluster =
     S.spawn_pbr ~tun
       ~backends:[ Store.Hazel; Store.Hickory; Store.Dogwood ]
-      ~world ~registry:Workload.Bank.registry
+      ~world:rworld ~registry:Workload.Bank.registry
       ~setup:(fun db -> Workload.Bank.setup ~rows db)
       ~n_active:2 ~n_spare:1 ()
   in
   let commits = ref 0 in
   let last_commit = ref 0.0 in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_pbr cluster) ~n:4 ~count:3000
+    S.spawn_clients ~world:rworld ~target:(S.To_pbr cluster) ~n:4 ~count:3000
       ~make_txn:(fun ~client ~seq ->
         Workload.Bank.deposit
           ~account:(abs (Hashtbl.hash (client, seq)) mod rows)

@@ -38,14 +38,15 @@ let () =
 
   (* 2. A replicated deployment of the same engine. *)
   let world : S.wire Engine.t = Engine.create ~seed:1 () in
+  let rworld = Runtime.Of_sim.of_engine world in
   let cluster =
-    S.spawn_smr ~world ~registry:Workload.Bank.registry
+    S.spawn_smr ~world:rworld ~registry:Workload.Bank.registry
       ~setup:(fun db -> Workload.Bank.setup ~rows:1000 db)
       ~n_active:2 ()
   in
   let commits = ref 0 in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_smr cluster) ~n:2 ~count:10
+    S.spawn_clients ~world:rworld ~target:(S.To_smr cluster) ~n:2 ~count:10
       ~make_txn:(fun ~client ~seq ->
         Workload.Bank.deposit
           ~account:((client + seq) mod 1000)

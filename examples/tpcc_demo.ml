@@ -18,8 +18,9 @@ let scale = Tpcc.small_scale
 let () =
   print_endline "== TPC-C (1 warehouse) on ShadowDB-SMR ==\n";
   let world : S.wire Engine.t = Engine.create ~seed:13 () in
+  let rworld = Runtime.Of_sim.of_engine world in
   let cluster =
-    S.spawn_smr ~world
+    S.spawn_smr ~world:rworld
       ~registry:(fun () -> Tpcc.registry ~scale ())
       ~setup:(fun db -> Tpcc.setup ~scale db)
       ~n_active:2 ()
@@ -35,7 +36,7 @@ let () =
     (kind, params)
   in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_smr cluster) ~n:4 ~count:150 ~make_txn
+    S.spawn_clients ~world:rworld ~target:(S.To_smr cluster) ~n:4 ~count:150 ~make_txn
       ~on_commit:(fun _ _ -> incr commits)
       ()
   in

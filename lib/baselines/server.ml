@@ -1,4 +1,4 @@
-module Engine = Sim.Engine
+module R = Runtime
 module Database = Storage.Database
 module Lock = Storage.Lock
 module Txn = Shadowdb.Txn
@@ -37,8 +37,8 @@ type pending = { txn : Txn.t; reply : Txn.reply }
 let spawn ?(backend = Storage.Store.Hazel) ?(exec_factor = 1.0)
     ?(lock_timeout = 0.05) ?(lock_of = default_lock_of)
     ?(stmt_delay = fun (_ : Txn.t) -> 0.0) ~world ~registry ~setup mode =
-  let commits = ref 0 in
-  let aborts = ref 0 in
+  let commits = Atomic.make 0 in
+  let aborts = Atomic.make 0 in
   let backup_ref = ref None in
   let primary_handler () =
     let db = Database.create backend in
@@ -54,18 +54,18 @@ let spawn ?(backend = Storage.Store.Hazel) ?(exec_factor = 1.0)
     let pending_repl : (int, pending) Hashtbl.t = Hashtbl.create 64 in
     let stmt_wait : (int, int * Txn.reply) Hashtbl.t = Hashtbl.create 64 in
     let reply ctx (r : Txn.reply) =
-      Engine.send ctx ~size:(Txn.reply_size r) r.Txn.client (Reply r)
+      R.send ctx ~size:(Txn.reply_size r) r.Txn.client (Reply r)
     in
     let rec run ctx id txn =
       let r = Txn.execute reg db txn in
-      Engine.charge ctx ((Database.take_cost db *. exec_factor) +. 2.0e-5);
+      R.charge ctx ((Database.take_cost db *. exec_factor) +. 2.0e-5);
       (* Client↔server statement round trips: the server CPU is free, but
          locks stay held and the transaction completes only afterwards
          (the paper: "TPC-C transactions involve several round-trips
          between the client and the database"). *)
       let delay = stmt_delay txn in
       if delay > 0.0 then begin
-        let timer = Engine.set_timer ctx delay "stmts-done" in
+        let timer = R.set_timer ctx delay "stmts-done" in
         Hashtbl.replace stmt_wait timer (id, r)
       end
       else complete ctx id txn r
@@ -77,15 +77,15 @@ let spawn ?(backend = Storage.Store.Hazel) ?(exec_factor = 1.0)
       | Lockstep_repl, Some b ->
           (* Locks stay held until the backup confirms the apply. *)
           Hashtbl.replace pending_repl id { txn; reply = r };
-          Engine.send ctx ~size:(Txn.size txn) b (Repl { id; txn })
+          R.send ctx ~size:(Txn.size txn) b (Repl { id; txn })
       | Semisync_repl _, Some b ->
           release ctx id;
           Hashtbl.replace pending_repl id { txn; reply = r };
-          Engine.send ctx ~size:(Txn.size txn) b (Repl { id; txn })
+          R.send ctx ~size:(Txn.size txn) b (Repl { id; txn })
     and finish ctx (r : Txn.reply) =
       (match r.Txn.outcome with
-      | Ok _ -> incr commits
-      | Error _ -> incr aborts);
+      | Ok _ -> Atomic.incr commits
+      | Error _ -> Atomic.incr aborts);
       reply ctx r
     and release ctx id =
       let granted = Lock.release_all locks ~txn:id in
@@ -94,7 +94,7 @@ let spawn ?(backend = Storage.Store.Hazel) ?(exec_factor = 1.0)
           match Hashtbl.find_opt waiting gid with
           | Some timer ->
               Hashtbl.remove waiting gid;
-              Engine.cancel_timer ctx timer;
+              R.cancel_timer ctx timer;
               (match Hashtbl.find_opt info gid with
               | Some txn -> run ctx gid txn
               | None -> ())
@@ -117,17 +117,17 @@ let spawn ?(backend = Storage.Store.Hazel) ?(exec_factor = 1.0)
       match Lock.acquire locks ~txn:id ~table ~key with
       | `Granted -> run ctx id txn
       | `Queued ->
-          let timer = Engine.set_timer ctx lock_timeout "lock-timeout" in
+          let timer = R.set_timer ctx lock_timeout "lock-timeout" in
           Hashtbl.replace waiting id timer;
           Hashtbl.replace timer_txn timer id
     in
     fun ctx -> function
-      | Engine.Init -> ()
-      | Engine.Recv { msg = Client txn; _ } ->
+      | R.Init -> ()
+      | R.Recv { msg = Client txn; _ } ->
           incr next_id;
-          Engine.charge ctx 1.0e-5;
+          R.charge ctx 1.0e-5;
           start ctx !next_id txn
-      | Engine.Recv { msg = Repl_ack { id }; _ } -> (
+      | R.Recv { msg = Repl_ack { id }; _ } -> (
           match Hashtbl.find_opt pending_repl id with
           | None -> ()
           | Some p ->
@@ -136,10 +136,10 @@ let spawn ?(backend = Storage.Store.Hazel) ?(exec_factor = 1.0)
               | Lockstep_repl -> release ctx id
               | Standalone | Semisync_repl _ -> ());
               finish ctx p.reply)
-      | Engine.Recv _ -> ()
-      | Engine.Timer { id = timer; _ } when Hashtbl.mem stmt_wait timer ->
+      | R.Recv _ -> ()
+      | R.Timer { id = timer; _ } when Hashtbl.mem stmt_wait timer ->
           ignore (finish_stmts ctx timer)
-      | Engine.Timer { id = timer; _ } -> (
+      | R.Timer { id = timer; _ } -> (
           match Hashtbl.find_opt timer_txn timer with
           | None -> ()
           | Some txn_id ->
@@ -149,7 +149,7 @@ let spawn ?(backend = Storage.Store.Hazel) ?(exec_factor = 1.0)
                 Lock.cancel locks ~txn:txn_id;
                 match Hashtbl.find_opt info txn_id with
                 | Some txn ->
-                    incr aborts;
+                    Atomic.incr aborts;
                     reply ctx
                       {
                         Txn.client = txn.Txn.client;
@@ -165,62 +165,58 @@ let spawn ?(backend = Storage.Store.Hazel) ?(exec_factor = 1.0)
     ignore (Database.take_cost db);
     let reg = registry () in
     fun ctx -> function
-      | Engine.Recv { src; msg = Repl { id; txn } } ->
+      | R.Recv { src; msg = Repl { id; txn } } ->
           ignore (Txn.execute reg db txn);
-          Engine.charge ctx (Database.take_cost db *. exec_factor);
-          Engine.send ctx ~size:16 src (Repl_ack { id })
-      | Engine.Recv _ | Engine.Init | Engine.Timer _ -> ()
+          R.charge ctx (Database.take_cost db *. exec_factor);
+          R.send ctx ~size:16 src (Repl_ack { id })
+      | R.Recv _ | R.Init | R.Timer _ -> ()
   in
-  let primary = Engine.spawn world ~name:"base-primary" primary_handler in
+  let primary = R.spawn world ~name:"base-primary" primary_handler in
   let backup =
     match mode with
     | Standalone -> None
     | Lockstep_repl | Semisync_repl _ ->
-        Some (Engine.spawn world ~name:"base-backup" backup_handler)
+        Some (R.spawn world ~name:"base-backup" backup_handler)
   in
   backup_ref := backup;
   {
     primary;
     backup;
-    commits = (fun () -> !commits);
-    aborts = (fun () -> !aborts);
+    commits = (fun () -> Atomic.get commits);
+    aborts = (fun () -> Atomic.get aborts);
   }
 
 let spawn_clients ~world ~cluster ~n ~count ~make_txn
     ?(on_commit = fun _ _ -> ()) () =
-  let completed = ref 0 in
+  let completed = Atomic.make 0 in
   let spawn_one _ =
-    let locref = ref (-1) in
-    let id =
-      Engine.spawn world ~name:"base-client" (fun () ->
-          let seq = ref 0 in
-          let sent_at = ref 0.0 in
-          let send ctx =
-            sent_at := Engine.time ctx;
-            let kind, params = make_txn ~client:!locref ~seq:!seq in
-            let txn = { Txn.client = !locref; seq = !seq; kind; params } in
-            Engine.send ctx ~size:(Txn.size txn) cluster.primary (Client txn)
-          in
-          fun ctx -> function
-            | Engine.Init -> if count > 0 then send ctx
-            | Engine.Recv { msg = Reply r; _ } when r.Txn.seq = !seq -> (
-                match r.Txn.outcome with
-                | Ok _ ->
-                    let now = Engine.time ctx in
-                    on_commit now (now -. !sent_at);
-                    incr seq;
-                    if !seq < count then send ctx else incr completed
-                | Error "lock timeout" ->
-                    (* Lock-timeout abort: retry the same transaction. *)
-                    send ctx
-                | Error _ ->
-                    (* Deterministic abort: move on without counting. *)
-                    incr seq;
-                    if !seq < count then send ctx else incr completed)
-            | Engine.Recv _ | Engine.Timer _ -> ())
-    in
-    locref := id;
-    id
+    R.spawn world ~name:"base-client" (fun () ->
+        let seq = ref 0 in
+        let sent_at = ref 0.0 in
+        let send ctx =
+          sent_at := R.time ctx;
+          let client = R.self ctx in
+          let kind, params = make_txn ~client ~seq:!seq in
+          let txn = { Txn.client; seq = !seq; kind; params } in
+          R.send ctx ~size:(Txn.size txn) cluster.primary (Client txn)
+        in
+        fun ctx -> function
+          | R.Init -> if count > 0 then send ctx
+          | R.Recv { msg = Reply r; _ } when r.Txn.seq = !seq -> (
+              match r.Txn.outcome with
+              | Ok _ ->
+                  let now = R.time ctx in
+                  on_commit now (now -. !sent_at);
+                  incr seq;
+                  if !seq < count then send ctx else Atomic.incr completed
+              | Error "lock timeout" ->
+                  (* Lock-timeout abort: retry the same transaction. *)
+                  send ctx
+              | Error _ ->
+                  (* Deterministic abort: move on without counting. *)
+                  incr seq;
+                  if !seq < count then send ctx else Atomic.incr completed)
+          | R.Recv _ | R.Timer _ -> ())
   in
   let _ids = List.init n spawn_one in
-  fun () -> !completed
+  fun () -> Atomic.get completed

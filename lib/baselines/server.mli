@@ -40,7 +40,7 @@ val spawn :
   ?lock_timeout:float ->
   ?lock_of:(Shadowdb.Txn.t -> string * Storage.Store.key option) ->
   ?stmt_delay:(Shadowdb.Txn.t -> float) ->
-  world:wire Sim.Engine.t ->
+  world:wire Runtime.t ->
   registry:(unit -> Shadowdb.Txn.registry) ->
   setup:(Storage.Database.t -> unit) ->
   mode ->
@@ -54,7 +54,7 @@ val spawn :
     execution avoids. *)
 
 val spawn_clients :
-  world:wire Sim.Engine.t ->
+  world:wire Runtime.t ->
   cluster:cluster ->
   n:int ->
   count:int ->

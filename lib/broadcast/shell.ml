@@ -1,4 +1,4 @@
-module Engine = Sim.Engine
+module R = Runtime
 
 type costs = { client_msg : float; core_msg : float; per_entry : float }
 
@@ -23,61 +23,37 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     let lat_f = Gpm.Engine_profile.cpu_factor profile in
     let data_f = Gpm.Engine_profile.data_factor profile in
     let members = ref [] in
-    let handler locref () =
-      let state = ref None in
-      let get () =
-        match !state with
-        | Some s -> s
-        | None ->
-            let s =
-              T.create ?batch_cap ?suspect_timeout ~self:!locref
-                ~members:!members ~subscribers:(subscribers ()) ()
-            in
-            state := Some s;
-            s
-      in
-      let apply ctx before (t, acts) =
-        let after = T.delivered t in
-        Engine.charge ctx
-          (float_of_int (after - before) *. costs.per_entry *. data_f);
-        state := Some t;
-        List.iter
-          (function
-            | T.Send (dst, m) -> Engine.send ctx ~size:(msg_size m) dst (inj m)
-            | T.Notify (dst, d) ->
-                Engine.send ctx ~size:(entry_size d.Tob.entry + 8) dst
-                  (inj_notify d)
-            | T.Set_timer delay -> ignore (Engine.set_timer ctx delay "tob"))
-          acts
-      in
-      fun ctx -> function
-        | Engine.Init ->
-            let t = get () in
-            apply ctx (T.delivered t) (T.start t ~now:(Engine.time ctx))
-        | Engine.Recv { src; msg } -> (
-            match prj msg with
-            | None -> ()
-            | Some m ->
-                let t = get () in
-                (match m with
-                | T.Broadcast _ -> Engine.charge ctx costs.client_msg
-                | T.Core _ -> Engine.charge ctx (costs.core_msg *. lat_f));
-                apply ctx (T.delivered t)
-                  (T.recv t ~now:(Engine.time ctx) ~src m))
-        | Engine.Timer _ ->
-            let t = get () in
-            apply ctx (T.delivered t) (T.tick t ~now:(Engine.time ctx))
+    let machine =
+      {
+        R.Proc.init =
+          (fun ~self ~now:_ ->
+            T.create ?batch_cap ?suspect_timeout ~self ~members:!members
+              ~subscribers:(subscribers ()) ());
+        start = T.start;
+        recv = T.recv;
+        tick = (fun t ~now ~tag:_ -> T.tick t ~now);
+      }
+    in
+    let charge_recv ctx = function
+      | T.Broadcast _ -> R.charge ctx costs.client_msg
+      | T.Core _ -> R.charge ctx (costs.core_msg *. lat_f)
+    in
+    let on_step ctx ~before ~after =
+      R.charge ctx
+        (float_of_int (T.delivered after - T.delivered before)
+        *. costs.per_entry *. data_f)
+    in
+    let interp ctx = function
+      | T.Send (dst, m) -> R.send ctx ~size:(msg_size m) dst (inj m)
+      | T.Notify (dst, d) ->
+          R.send ctx ~size:(entry_size d.Tob.entry + 8) dst (inj_notify d)
+      | T.Set_timer delay -> ignore (R.set_timer ctx delay "tob")
     in
     let ids =
-      List.init n (fun i ->
-          let locref = ref (-1) in
-          let id =
-            Engine.spawn world
-              ~name:(Printf.sprintf "tob%d" i)
-              (handler locref)
-          in
-          locref := id;
-          id)
+      R.Proc.spawn_group ~world ~n
+        ~name:(Printf.sprintf "tob%d")
+        (fun _i ->
+          R.Proc.node_handler ~machine ~prj ~charge_recv ~on_step ~interp)
     in
     members := ids;
     ids

@@ -1,9 +1,10 @@
-(** Simulator shell for the total-order broadcast service.
+(** Runtime shell for the total-order broadcast service.
 
-    Hosts {!Tob.Make} members as simulator nodes. The shell is polymorphic
-    in the world's wire type via injection/projection functions, so the
-    service can be embedded in larger systems (ShadowDB worlds carry both
-    database traffic and broadcast traffic). *)
+    Hosts {!Tob.Make} members as nodes of any {!Runtime.t} — the
+    deterministic simulator or the live socket runtime. The shell is
+    polymorphic in the world's wire type via injection/projection
+    functions, so the service can be embedded in larger systems (ShadowDB
+    worlds carry both database traffic and broadcast traffic). *)
 
 type costs = {
   client_msg : float;
@@ -28,7 +29,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     ?profile:Gpm.Engine_profile.t ->
     ?batch_cap:int ->
     ?suspect_timeout:float ->
-    world:'w Sim.Engine.t ->
+    world:'w Runtime.t ->
     inj:(T.msg -> 'w) ->
     prj:('w -> T.msg option) ->
     inj_notify:(Tob.deliver -> 'w) ->

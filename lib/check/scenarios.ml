@@ -199,7 +199,7 @@ let tob : Scenario.t =
     let delivered_by : (int, int) Hashtbl.t = Hashtbl.create 8 in
     let subs = ref [] in
     let members =
-      Sh.spawn ~world
+      Sh.spawn ~world:(Runtime.Of_sim.of_engine world)
         ~inj:(fun m -> T_svc m)
         ~prj:(function T_svc m -> Some m | T_note _ -> None)
         ~inj_notify:(fun d -> T_note d)
@@ -318,12 +318,13 @@ let db_scenario ~name ~spawn ~replicas_of ~cfg_of ~gseq_of ~hash_of
   let make ~seed ~sched =
     let world : Sdb.wire Engine.t = Engine.create ~seed () in
     Sched.install sched world;
-    let cluster = spawn world in
+    let rworld = Runtime.Of_sim.of_engine world in
+    let cluster = spawn rworld in
     let replicas = replicas_of cluster in
     let replica_arr = Array.of_list replicas in
     let commits = ref 0 in
     let _, completed =
-      Sdb.spawn_clients ~world ~target:(cluster : Sdb.client_target) ~n:n_clients
+      Sdb.spawn_clients ~world:rworld ~target:(cluster : Sdb.client_target) ~n:n_clients
         ~count:per_client ~make_txn:make_deposit ~retry_timeout:1.0
         ~on_commit:(fun _ _ -> incr commits)
         ()

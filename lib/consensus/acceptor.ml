@@ -18,6 +18,24 @@ let accepted t = List.map snd (Slot_map.bindings t.accepted)
 
 let ballot_lt a b = M.ballot_compare a b < 0
 
+exception Invariant_violation of string
+(* The acceptor's promise is monotonically non-decreasing and, once a
+   prepare has been processed, always present. If that ever fails, name
+   the acceptor and its ballot state instead of dying anonymously — a
+   model-checking schedule or a live-cluster log must be able to say
+   which role broke. *)
+
+let promised_after_p1a t (b : M.ballot) =
+  match t.ballot with
+  | Some cur -> cur
+  | None ->
+      raise
+        (Invariant_violation
+           (Format.asprintf
+              "acceptor %d lost its promise handling p1a%a: ballot = None \
+               after promise update (promises may only grow, never vanish)"
+              t.self M.pp_ballot b))
+
 let step t (msg : 'c M.t) =
   match msg with
   | M.P1a { src; b } ->
@@ -26,9 +44,7 @@ let step t (msg : 'c M.t) =
         | Some cur when not (ballot_lt cur b) -> t
         | Some _ | None -> { t with ballot = Some b }
       in
-      let reply_ballot =
-        match t.ballot with Some b -> b | None -> assert false
-      in
+      let reply_ballot = promised_after_p1a t b in
       ( t,
         [
           (src, M.P1b { src = t.self; b = reply_ballot; accepted = accepted t });

@@ -47,7 +47,7 @@ module Tob_load (C : Consensus.Consensus_intf.S) = struct
       id
     in
     let svc =
-      Shell.spawn ?batch_cap ~world
+      Shell.spawn ?batch_cap ~world:(Runtime.Of_sim.of_engine world)
         ~inj:(fun m -> Svc m)
         ~prj:(function Svc m -> Some m | Note _ -> None)
         ~inj_notify:(fun d -> Note d)
@@ -94,18 +94,19 @@ let lock_granularity ?(clients = 16) ?(count = 150) () =
   let module B = Baselines.Server in
   let run granularity =
     let world : B.wire Engine.t = Engine.create ~seed:53 () in
+    let rworld = Runtime.Of_sim.of_engine world in
     let latencies = Stats.Sample.create () in
     let last = ref 0.0 in
     let cluster =
       (* Locks are held across a 1 ms multi-statement transaction body, so
          hold time exceeds CPU time and granularity becomes visible. *)
-      B.spawn ~world ~stmt_delay:(fun _ -> 1.0e-3)
+      B.spawn ~world:rworld ~stmt_delay:(fun _ -> 1.0e-3)
         ~registry:Workload.Bank.registry
         ~setup:(fun db -> Workload.Bank.setup ~rows:1000 db)
         (B.Semisync_repl granularity)
     in
     let (_ : unit -> int) =
-      B.spawn_clients ~world ~cluster ~n:clients ~count
+      B.spawn_clients ~world:rworld ~cluster ~n:clients ~count
         ~make_txn:(fun ~client ~seq ->
           (* Half the clients hammer one hot row. *)
           let account =
@@ -138,12 +139,13 @@ let replication_styles ?(clients = 24) ?(count = 400) () =
   let rows = 10_000 in
   let run label target_of =
     let world : S.wire Sim.Engine.t = Engine.create ~seed:59 () in
+    let rworld = Runtime.Of_sim.of_engine world in
     let latencies = Stats.Sample.create () in
     let last = ref 0.0 in
     let commits = ref 0 in
-    let target = target_of world in
+    let target = target_of rworld in
     let _, _ =
-      S.spawn_clients ~world ~target ~n:clients ~count
+      S.spawn_clients ~world:rworld ~target ~n:clients ~count
         ~make_txn:(fun ~client ~seq ->
           Workload.Bank.deposit
             ~account:(abs (Hashtbl.hash (client, seq)) mod rows)

@@ -17,6 +17,7 @@ type timeline = {
 let run_timeline ?(rows = 50_000) ?(crash_at = 15.0) ?(detect_timeout = 10.0)
     ?(duration = 60.0) ?(n_clients = 10) () =
   let world : S.wire Engine.t = Engine.create ~seed:23 () in
+  let rworld = Runtime.Of_sim.of_engine world in
   let tun =
     {
       Shadowdb.System.default_tuning with
@@ -32,14 +33,14 @@ let run_timeline ?(rows = 50_000) ?(crash_at = 15.0) ?(detect_timeout = 10.0)
   let cluster =
     S.spawn_pbr ~tun
       ~backends:[ Store.Hazel; Store.Hickory; Store.Dogwood ]
-      ~world ~registry:Workload.Bank.registry
+      ~world:rworld ~registry:Workload.Bank.registry
       ~setup:(fun db -> Workload.Bank.setup ~rows db)
       ~n_active:2 ~n_spare:1 ()
   in
   let series = Stats.Series.create ~bin:1.0 in
   let resumed_at = ref 0.0 in
   let _, _ =
-    S.spawn_clients ~world ~target:(S.To_pbr cluster) ~n:n_clients
+    S.spawn_clients ~world:rworld ~target:(S.To_pbr cluster) ~n:n_clients
       ~count:max_int
       ~make_txn:(fun ~client ~seq ->
         let account = abs (Hashtbl.hash (client, seq)) mod rows in

@@ -54,7 +54,7 @@ let run_point ?costs ~profile ~n_clients ~msgs_per_client () =
     id
   in
   let svc =
-    Shell.spawn ?costs ~profile ~world
+    Shell.spawn ?costs ~profile ~world:(Runtime.Of_sim.of_engine world)
       ~inj:(fun m -> Svc m)
       ~prj:(function Svc m -> Some m | Note _ -> None)
       ~inj_notify:(fun d -> Note d)

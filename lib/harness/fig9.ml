@@ -124,19 +124,21 @@ let point_of m ~clients =
 
 let run_shadow mode w ~n_clients =
   let world : S.wire Engine.t = Engine.create ~seed:17 () in
+  let rworld = Runtime.Of_sim.of_engine world in
   let m = meter () in
   let target =
     match mode with
     | `Pbr ->
         S.To_pbr
-          (S.spawn_pbr ~world ~registry:w.registry ~setup:w.setup ~n_active:2
-             ~n_spare:1 ())
+          (S.spawn_pbr ~world:rworld ~registry:w.registry ~setup:w.setup
+             ~n_active:2 ~n_spare:1 ())
     | `Smr ->
         S.To_smr
-          (S.spawn_smr ~world ~registry:w.registry ~setup:w.setup ~n_active:2 ())
+          (S.spawn_smr ~world:rworld ~registry:w.registry ~setup:w.setup
+             ~n_active:2 ())
   in
   let _, completed =
-    S.spawn_clients ~world ~target ~n:n_clients ~count:w.count
+    S.spawn_clients ~world:rworld ~target ~n:n_clients ~count:w.count
       ~make_txn:w.make_txn ~retry_timeout:30.0 ~on_commit:(on_commit m) ()
   in
   Engine.run ~until:36_000.0 ~max_events:200_000_000 world;
@@ -147,17 +149,18 @@ let run_shadow mode w ~n_clients =
 
 let run_baseline ?(embedded = false) mode w ~exec_factor ~n_clients =
   let world : B.wire Engine.t = Engine.create ~seed:19 () in
+  let rworld = Runtime.Of_sim.of_engine world in
   let m = meter () in
   (* The paper's standalone H2 is embedded (in-process): no client↔server
      statement round trips; the replicated baselines are driven over
      JDBC. *)
   let stmt_delay = if embedded then fun _ -> 0.0 else w.stmt_delay in
   let cluster =
-    B.spawn ~exec_factor ~lock_of:w.lock_of ~stmt_delay ~world
+    B.spawn ~exec_factor ~lock_of:w.lock_of ~stmt_delay ~world:rworld
       ~registry:w.registry ~setup:w.setup mode
   in
   let _completed =
-    B.spawn_clients ~world ~cluster ~n:n_clients ~count:w.count
+    B.spawn_clients ~world:rworld ~cluster ~n:n_clients ~count:w.count
       ~make_txn:w.make_txn ~on_commit:(on_commit m) ()
   in
   Engine.run ~until:36_000.0 ~max_events:200_000_000 world;

@@ -1,0 +1,66 @@
+(* The protocol-agnostic runtime layer.
+
+   A protocol node is a [handler]: a function from a capability record
+   ([ctx]) and an input to unit. The capability record is the whole
+   interface a node has to the world hosting it — send a message, arm or
+   cancel a timer, account CPU work, read the clock — so the same handler
+   runs unchanged on the deterministic simulator ({!Of_sim}) and on a
+   real socket deployment ({!Live}). This mirrors the paper's deployment
+   story: one spec-faithful state machine, model-checked in a controlled
+   environment and executed on a physical cluster. *)
+
+type 'm input =
+  | Init  (** Delivered once when the node starts (and again on restart). *)
+  | Recv of { src : Sim.Node_id.t; msg : 'm }  (** A message arrival. *)
+  | Timer of { id : int; tag : string }  (** An armed timer fired. *)
+
+type 'm ctx = {
+  ctx_self : Sim.Node_id.t;
+  ctx_now : unit -> float;
+  ctx_send : size:int -> Sim.Node_id.t -> 'm -> unit;
+  ctx_set_timer : float -> string -> int;
+  ctx_cancel_timer : int -> unit;
+  ctx_charge : float -> unit;
+  ctx_trace : string -> unit;
+}
+(** What a node may do while processing an input. On the simulator these
+    capabilities map to {!Sim.Engine}'s handler operations (virtual time,
+    charged CPU extending the busy period); on the live runtime they map
+    to sockets and the monotonic wall clock, and [charge] is recorded but
+    costs nothing — real CPU time is already real. *)
+
+type 'm handler = 'm ctx -> 'm input -> unit
+
+type kind = Sim | Live
+
+type 'm t = {
+  rt_kind : kind;
+  rt_spawn :
+    name:string -> cpu_factor:float -> (unit -> 'm handler) -> Sim.Node_id.t;
+  rt_now : unit -> float;
+}
+(** A runtime instance exchanging messages of type ['m]. Inputs are only
+    delivered once the instance is driven ([Sim.Engine.run] /
+    {!Live.start}), so spawners may wire mutual references between nodes
+    after spawning and before anything executes. *)
+
+type 'm codec = { enc : 'm -> string; dec : string -> ('m, string) result }
+(** Wire format for ['m], required by runtimes that move bytes between
+    address spaces. [dec] must reject truncated or corrupt buffers. *)
+
+let kind t = t.rt_kind
+let now t = t.rt_now ()
+
+let spawn t ~name ?(cpu_factor = 1.0) factory =
+  t.rt_spawn ~name ~cpu_factor factory
+
+(* Handler-side operations, mirroring Sim.Engine's names so protocol code
+   ports by module renaming alone. *)
+
+let self c = c.ctx_self
+let time c = c.ctx_now ()
+let send c ?(size = 64) dst m = c.ctx_send ~size dst m
+let set_timer c delay tag = c.ctx_set_timer delay tag
+let cancel_timer c id = c.ctx_cancel_timer id
+let charge c seconds = c.ctx_charge seconds
+let trace c line = c.ctx_trace line

@@ -1,0 +1,366 @@
+(* The live runtime: real processes over loopback/TCP sockets.
+
+   Each spawned node runs a private event loop on its own thread, owns a
+   listening TCP socket on 127.0.0.1, and exchanges length-prefixed
+   frames ([4-byte payload length | 4-byte source id | payload]) encoded
+   by the world's {!Core.codec}. Per-link FIFO — the channel assumption
+   every protocol here makes — comes from TCP itself: a node keeps one
+   outbound connection per destination and only its own thread writes to
+   it.
+
+   Timers use a monotonic view of the wall clock (never stepping
+   backwards even if the system clock does), [charge] is recorded but
+   free — real CPU time is already real — and latency measured through
+   [ctx_now] is wall-clock latency.
+
+   Lifecycle: spawn all nodes (listeners exist immediately, so no message
+   can be lost to startup order), then {!start}, {!await} a completion
+   predicate, and {!stop}. Spawning after {!start} launches the node
+   immediately. *)
+
+let frame_header = 8
+let max_frame = 64 * 1024 * 1024
+
+type conn = { c_fd : Unix.file_descr; mutable c_buf : Bytes.t; mutable c_len : int }
+
+type 'm node = {
+  n_id : Sim.Node_id.t;
+  n_name : string;
+  n_factory : unit -> 'm Core.handler;
+  n_listen : Unix.file_descr;
+  n_port : int;
+  mutable n_conns : conn list;  (* inbound connections *)
+  n_out : (Sim.Node_id.t, Unix.file_descr) Hashtbl.t;
+  mutable n_timers : (float * int * string) list;  (* deadline-ascending *)
+  n_cancelled : (int, unit) Hashtbl.t;
+  mutable n_last_now : float;  (* per-thread monotonic guard *)
+  mutable n_charged : float;
+  mutable n_sent_msgs : int;
+  mutable n_sent_bytes : int;
+  mutable n_thread : Thread.t option;
+}
+
+type 'm t = {
+  codec : 'm Core.codec;
+  lock : Mutex.t;
+  mutable nodes : 'm node list;  (* newest first *)
+  ports : (Sim.Node_id.t, int) Hashtbl.t;
+  mutable next_id : int;
+  mutable timer_seq : int;
+  phase : int Atomic.t;  (* 0 idle, 1 running, 2 stopped *)
+  t0 : float;
+  mutable mono_last : float;
+  mutable traces : (float * Sim.Node_id.t * string) list;
+  mutable errors : string list;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Seconds since [create], guarded against the wall clock stepping back. *)
+let now t =
+  let raw = Unix.gettimeofday () -. t.t0 in
+  locked t (fun () ->
+      if raw > t.mono_last then t.mono_last <- raw;
+      t.mono_last)
+
+let create ~codec () =
+  {
+    codec;
+    lock = Mutex.create ();
+    nodes = [];
+    ports = Hashtbl.create 16;
+    next_id = 0;
+    timer_seq = 0;
+    phase = Atomic.make 0;
+    t0 = Unix.gettimeofday ();
+    mono_last = 0.0;
+    traces = [];
+    errors = [];
+  }
+
+let record_error t msg = locked t (fun () -> t.errors <- msg :: t.errors)
+let errors t = locked t (fun () -> List.rev t.errors)
+let get_trace t = locked t (fun () -> List.rev t.traces)
+
+let stats t =
+  locked t (fun () ->
+      List.fold_left
+        (fun (m, b) n -> (m + n.n_sent_msgs, b + n.n_sent_bytes))
+        (0, 0) t.nodes)
+
+(* ---------------------------------------------------------------- *)
+(* Wire I/O                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let really_write fd buf pos len =
+  let rec go pos len =
+    if len > 0 then begin
+      let n = Unix.write fd buf pos len in
+      go (pos + n) (len - n)
+    end
+  in
+  go pos len
+
+let send_frame t node dst msg =
+  let fd =
+    match Hashtbl.find_opt node.n_out dst with
+    | Some fd -> Some fd
+    | None -> (
+        match locked t (fun () -> Hashtbl.find_opt t.ports dst) with
+        | None -> None
+        | Some port -> (
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            try
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              Unix.setsockopt fd Unix.TCP_NODELAY true;
+              Hashtbl.replace node.n_out dst fd;
+              Some fd
+            with Unix.Unix_error _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              None))
+  in
+  match fd with
+  | None -> ()  (* unknown or unreachable peer: behaves like a lost message *)
+  | Some fd -> (
+      let payload = t.codec.Core.enc msg in
+      let len = String.length payload in
+      let buf = Bytes.create (frame_header + len) in
+      Bytes.set_int32_be buf 0 (Int32.of_int len);
+      Bytes.set_int32_be buf 4 (Int32.of_int node.n_id);
+      Bytes.blit_string payload 0 buf frame_header len;
+      try
+        really_write fd buf 0 (frame_header + len);
+        node.n_sent_msgs <- node.n_sent_msgs + 1;
+        node.n_sent_bytes <- node.n_sent_bytes + frame_header + len
+      with Unix.Unix_error _ ->
+        (* Peer gone: drop the connection; a later send reconnects. *)
+        Hashtbl.remove node.n_out dst;
+        (try Unix.close fd with Unix.Unix_error _ -> ()))
+
+(* ---------------------------------------------------------------- *)
+(* Node event loop                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let node_now t node =
+  let v = now t in
+  if v > node.n_last_now then node.n_last_now <- v;
+  node.n_last_now
+
+let ctx_of t node : 'm Core.ctx =
+  {
+    Core.ctx_self = node.n_id;
+    ctx_now = (fun () -> node_now t node);
+    ctx_send = (fun ~size:_ dst m -> send_frame t node dst m);
+    ctx_set_timer =
+      (fun delay tag ->
+        let id = locked t (fun () -> t.timer_seq <- t.timer_seq + 1; t.timer_seq) in
+        let deadline = node_now t node +. Float.max 0.0 delay in
+        let rec insert = function
+          | [] -> [ (deadline, id, tag) ]
+          | ((d, _, _) as hd) :: rest when d <= deadline -> hd :: insert rest
+          | rest -> (deadline, id, tag) :: rest
+        in
+        node.n_timers <- insert node.n_timers;
+        id);
+    ctx_cancel_timer = (fun id -> Hashtbl.replace node.n_cancelled id ());
+    ctx_charge = (fun s -> node.n_charged <- node.n_charged +. s);
+    ctx_trace =
+      (fun line ->
+        let at = node_now t node in
+        locked t (fun () -> t.traces <- (at, node.n_id, line) :: t.traces));
+  }
+
+let dispatch t node handler input =
+  try handler (ctx_of t node) input
+  with e ->
+    record_error t
+      (Printf.sprintf "node %d (%s): handler raised %s" node.n_id node.n_name
+         (Printexc.to_string e))
+
+(* Drain every complete frame accumulated on [conn]. *)
+let drain_frames t node handler conn =
+  let continue = ref true in
+  while !continue do
+    if conn.c_len < frame_header then continue := false
+    else begin
+      let len = Int32.to_int (Bytes.get_int32_be conn.c_buf 0) in
+      let src = Int32.to_int (Bytes.get_int32_be conn.c_buf 4) in
+      if len < 0 || len > max_frame then begin
+        record_error t
+          (Printf.sprintf "node %d: bad frame length %d" node.n_id len);
+        conn.c_len <- 0;
+        continue := false
+      end
+      else if conn.c_len < frame_header + len then continue := false
+      else begin
+        let payload = Bytes.sub_string conn.c_buf frame_header len in
+        let rest = conn.c_len - frame_header - len in
+        Bytes.blit conn.c_buf (frame_header + len) conn.c_buf 0 rest;
+        conn.c_len <- rest;
+        match t.codec.Core.dec payload with
+        | Ok msg -> dispatch t node handler (Core.Recv { src; msg })
+        | Error e ->
+            record_error t
+              (Printf.sprintf "node %d: undecodable frame from %d: %s"
+                 node.n_id src e)
+      end
+    end
+  done
+
+let read_conn t node handler conn =
+  let cap = Bytes.length conn.c_buf in
+  if cap - conn.c_len < 65536 then begin
+    let nbuf = Bytes.create (Stdlib.max (2 * cap) (conn.c_len + 65536)) in
+    Bytes.blit conn.c_buf 0 nbuf 0 conn.c_len;
+    conn.c_buf <- nbuf
+  end;
+  match Unix.read conn.c_fd conn.c_buf conn.c_len (Bytes.length conn.c_buf - conn.c_len) with
+  | 0 -> false  (* peer closed *)
+  | n ->
+      conn.c_len <- conn.c_len + n;
+      drain_frames t node handler conn;
+      true
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> false
+
+let fire_due_timers t node handler =
+  let rec go () =
+    match node.n_timers with
+    | (deadline, id, tag) :: rest when deadline <= node_now t node ->
+        node.n_timers <- rest;
+        if Hashtbl.mem node.n_cancelled id then Hashtbl.remove node.n_cancelled id
+        else dispatch t node handler (Core.Timer { id; tag });
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let node_loop t node =
+  let handler = node.n_factory () in
+  dispatch t node handler Core.Init;
+  while Atomic.get t.phase < 2 do
+    let timeout =
+      match node.n_timers with
+      | [] -> 0.05
+      | (deadline, _, _) :: _ ->
+          Float.min 0.05 (Float.max 0.0 (deadline -. node_now t node))
+    in
+    let fds = node.n_listen :: List.map (fun c -> c.c_fd) node.n_conns in
+    let ready =
+      match Unix.select fds [] [] timeout with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    List.iter
+      (fun fd ->
+        if fd == node.n_listen then begin
+          let cfd, _ = Unix.accept node.n_listen in
+          Unix.setsockopt cfd Unix.TCP_NODELAY true;
+          node.n_conns <-
+            { c_fd = cfd; c_buf = Bytes.create 65536; c_len = 0 } :: node.n_conns
+        end
+        else
+          match List.find_opt (fun c -> c.c_fd == fd) node.n_conns with
+          | None -> ()
+          | Some conn ->
+              if not (read_conn t node handler conn) then begin
+                (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+                node.n_conns <- List.filter (fun c -> c != conn) node.n_conns
+              end)
+      ready;
+    fire_due_timers t node handler
+  done;
+  (* Shutdown: close everything this node owns. *)
+  List.iter
+    (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+    node.n_conns;
+  Hashtbl.iter
+    (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    node.n_out;
+  try Unix.close node.n_listen with Unix.Unix_error _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Lifecycle                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let launch t node = node.n_thread <- Some (Thread.create (node_loop t) node)
+
+let spawn t ~name ~cpu_factor:_ factory =
+  let listen = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen Unix.SO_REUSEADDR true;
+  Unix.bind listen (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen 64;
+  let port =
+    match Unix.getsockname listen with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> invalid_arg "Live.spawn: unexpected socket address"
+  in
+  let node =
+    locked t (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let node =
+          {
+            n_id = id;
+            n_name = name;
+            n_factory = factory;
+            n_listen = listen;
+            n_port = port;
+            n_conns = [];
+            n_out = Hashtbl.create 8;
+            n_timers = [];
+            n_cancelled = Hashtbl.create 8;
+            n_last_now = 0.0;
+            n_charged = 0.0;
+            n_sent_msgs = 0;
+            n_sent_bytes = 0;
+            n_thread = None;
+          }
+        in
+        Hashtbl.replace t.ports id port;
+        t.nodes <- node :: t.nodes;
+        node)
+  in
+  if Atomic.get t.phase = 1 then launch t node;
+  node.n_id
+
+let runtime t : 'm Core.t =
+  {
+    Core.rt_kind = Core.Live;
+    rt_now = (fun () -> now t);
+    rt_spawn = (fun ~name ~cpu_factor factory -> spawn t ~name ~cpu_factor factory);
+  }
+
+let start t =
+  if Atomic.compare_and_set t.phase 0 1 then
+    List.iter (launch t) (List.rev (locked t (fun () -> t.nodes)))
+
+let stop t =
+  if Atomic.get t.phase <> 2 then begin
+    Atomic.set t.phase 2;
+    List.iter
+      (fun n -> match n.n_thread with Some th -> Thread.join th | None -> ())
+      (locked t (fun () -> t.nodes));
+    (* Nodes whose thread never ran still hold a listener. *)
+    List.iter
+      (fun n ->
+        if n.n_thread = None then
+          try Unix.close n.n_listen with Unix.Unix_error _ -> ())
+      (locked t (fun () -> t.nodes))
+  end
+
+(* Poll [pred] until it holds or [timeout] elapses; true iff it held. *)
+let await ?(timeout = 60.0) ?(poll = 0.002) t pred =
+  let deadline = now t +. timeout in
+  let rec go () =
+    if pred () then true
+    else if now t > deadline then false
+    else begin
+      Thread.delay poll;
+      go ()
+    end
+  in
+  go ()
+
+let port_of t id = locked t (fun () -> Hashtbl.find_opt t.ports id)

@@ -1,0 +1,84 @@
+(* The generic process shell.
+
+   Every service in this repo is, at heart, a machine stepped by inputs:
+   either a pure [state × input → state × actions] value (the verified
+   TOB service, the consensus cores) or an imperative record mutated in
+   place (the database replicas). Before this layer existed, each of
+   broadcast/shell.ml, shadowdb/system.ml and baselines/server.ml carried
+   its own copy of the same adaptation: create the state lazily once the
+   node knows its own id, project world messages into protocol messages,
+   charge a cost model, and interpret emitted actions as sends/timers.
+   This module is that adaptation, written once against the runtime
+   capability layer, so a machine hosts unchanged on any {!Core.t}. *)
+
+type ('s, 'm, 'a) machine = {
+  init : self:Sim.Node_id.t -> now:float -> 's;
+  start : 's -> now:float -> 's * 'a list;
+  recv : 's -> now:float -> src:Sim.Node_id.t -> 'm -> 's * 'a list;
+  tick : 's -> now:float -> tag:string -> 's * 'a list;
+}
+(** A pure protocol machine: [init] builds the initial state (invoked
+    lazily at the first input, when the hosting node's id is known);
+    [start]/[recv]/[tick] map one input to a successor state and a list
+    of actions for the shell to interpret. *)
+
+(* Adapt a pure machine to a node handler for a world carrying ['w]
+   messages. [prj] projects world messages into machine messages (a
+   foreign message is ignored and does not force the state). [charge_recv]
+   prices message ingestion, [on_step] prices the state transition (e.g.
+   per delivered entry), [interp] turns each action into runtime effects,
+   in emission order. *)
+let node_handler ~machine ~prj ?(charge_recv = fun _ _ -> ())
+    ?(on_step = fun _ ~before:_ ~after:_ -> ()) ~interp () =
+  let state = ref None in
+  let get ctx =
+    match !state with
+    | Some s -> s
+    | None ->
+        let s = machine.init ~self:(Core.self ctx) ~now:(Core.time ctx) in
+        state := Some s;
+        s
+  in
+  let apply ctx ~before (s, acts) =
+    state := Some s;
+    on_step ctx ~before ~after:s;
+    List.iter (interp ctx) acts
+  in
+  fun ctx -> function
+    | Core.Init ->
+        let s = get ctx in
+        apply ctx ~before:s (machine.start s ~now:(Core.time ctx))
+    | Core.Recv { src; msg } -> (
+        match prj msg with
+        | None -> ()
+        | Some m ->
+            let s = get ctx in
+            charge_recv ctx m;
+            apply ctx ~before:s (machine.recv s ~now:(Core.time ctx) ~src m))
+    | Core.Timer { tag; _ } ->
+        let s = get ctx in
+        apply ctx ~before:s (machine.tick s ~now:(Core.time ctx) ~tag)
+
+(* Adapt an imperative process: [init] builds the mutable state lazily at
+   the first input (when the node id is known — replacing the
+   set-a-ref-after-spawn dance), [handle] processes every input against
+   it. Restart after a crash re-invokes [init]: volatile state is lost. *)
+let stateful_handler ~init ~handle () =
+  let state = ref None in
+  fun ctx input ->
+    let s =
+      match !state with
+      | Some s -> s
+      | None ->
+          let s = init ~self:(Core.self ctx) ~now:(Core.time ctx) in
+          state := Some s;
+          s
+    in
+    handle ctx s input
+
+(* Spawn [n] nodes whose factories may reference the returned id list
+   lazily (through a ref filled here before the runtime delivers any
+   input). *)
+let spawn_group ~world ~n ~name ?(cpu_factor = fun _ -> 1.0) factory =
+  List.init n (fun i ->
+      Core.spawn world ~name:(name i) ~cpu_factor:(cpu_factor i) (factory i))

@@ -1,0 +1,15 @@
+(** Runtime-polymorphic process layer.
+
+    One protocol implementation, several execution substrates: handlers
+    written against this module's capability records run unchanged on the
+    deterministic simulator ({!Of_sim}, preserving byte-identical
+    same-seed traces and the model checker's scheduler hook) and on a
+    real socket deployment ({!Live}, one thread + TCP listener per node,
+    wall-clock timers). {!Proc} is the generic process shell that adapts
+    pure [state × input → state × actions] machines — and imperative
+    processes — to any runtime instance. *)
+
+include Core
+module Proc = Proc
+module Of_sim = Of_sim
+module Live = Live

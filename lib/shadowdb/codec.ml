@@ -123,3 +123,356 @@ let decode_reconfig s =
       | Some last_seq, Some proposer, Ok c -> Ok (c, last_seq, proposer)
       | _ -> Error "bad reconfig")
   | _ -> Error "bad reconfig shape"
+
+(* ------------------------------------------------------------------ *)
+(* Live-runtime wire codecs                                            *)
+(*                                                                     *)
+(* Once a ShadowDB node runs behind a real socket, every message the   *)
+(* simulator used to pass by reference has to cross the wire: TOB      *)
+(* entries and delivery notifications, the Paxos core's protocol       *)
+(* messages (carrying entry batches), and the database replication     *)
+(* traffic of Db_msg. Same length-prefixed streaming discipline as the *)
+(* payload codecs above; every decoder rejects truncated buffers.      *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let enc_int buf n =
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf ','
+
+(* Parse "<int>," at the head of [s]; return (n, rest). *)
+let dec_int s =
+  match String.index_opt s ',' with
+  | None -> Error "missing int separator"
+  | Some i -> (
+      match int_of_string_opt (String.sub s 0 i) with
+      | Some n -> Ok (n, String.sub s (i + 1) (String.length s - i - 1))
+      | None -> Error "bad int field")
+
+let enc_list enc buf l =
+  enc_int buf (List.length l);
+  List.iter (enc buf) l
+
+let dec_list dec s =
+  let* n, s = dec_int s in
+  if n < 0 then Error "negative list length"
+  else
+    let rec go n s acc =
+      if n = 0 then Ok (List.rev acc, s)
+      else
+        let* v, s = dec s in
+        go (n - 1) s (v :: acc)
+    in
+    go n s []
+
+let enc_entry buf (e : Broadcast.Tob.entry) =
+  enc_int buf e.Broadcast.Tob.origin;
+  enc_int buf e.Broadcast.Tob.id;
+  buf_add_str buf e.Broadcast.Tob.payload
+
+let dec_entry s =
+  let* origin, s = dec_int s in
+  let* id, s = dec_int s in
+  let* payload, s = take_str s in
+  Ok ({ Broadcast.Tob.origin; id; payload }, s)
+
+let encode_entry e =
+  let buf = Buffer.create 32 in
+  enc_entry buf e;
+  Buffer.contents buf
+
+let decode_entry = dec_entry
+
+let encode_batch (b : Broadcast.Tob.batch) =
+  let buf = Buffer.create 64 in
+  enc_list enc_entry buf b;
+  Buffer.contents buf
+
+let decode_batch s = dec_list dec_entry s
+
+let decode_batch_all s =
+  match decode_batch s with
+  | Ok (b, "") -> Ok b
+  | Ok _ -> Error "trailing bytes after batch"
+  | Error e -> Error e
+
+let encode_deliver (d : Broadcast.Tob.deliver) =
+  let buf = Buffer.create 32 in
+  enc_int buf d.Broadcast.Tob.seqno;
+  enc_entry buf d.Broadcast.Tob.entry;
+  Buffer.contents buf
+
+let decode_deliver s =
+  let* seqno, s = dec_int s in
+  let* entry, s = dec_entry s in
+  if s <> "" then Error "trailing bytes after deliver"
+  else Ok { Broadcast.Tob.seqno; entry }
+
+module PM = Consensus.Paxos_msg
+
+let enc_ballot buf (b : PM.ballot) =
+  enc_int buf b.PM.round;
+  enc_int buf b.PM.leader
+
+let dec_ballot s =
+  let* round, s = dec_int s in
+  let* leader, s = dec_int s in
+  Ok ({ PM.round; leader }, s)
+
+(* Commands travel length-prefixed so the command codec sees exactly its
+   own bytes and need not be streaming. *)
+let enc_pvalue enc_c buf (pv : 'c PM.pvalue) =
+  enc_ballot buf pv.PM.b;
+  enc_int buf pv.PM.s;
+  buf_add_str buf (enc_c pv.PM.c)
+
+let dec_pvalue dec_c s =
+  let* b, s = dec_ballot s in
+  let* slot, s = dec_int s in
+  let* cbytes, s = take_str s in
+  let* c = dec_c cbytes in
+  Ok ({ PM.b; s = slot; c }, s)
+
+let encode_paxos enc_c (m : 'c PM.t) =
+  let buf = Buffer.create 64 in
+  (match m with
+  | PM.P1a { src; b } ->
+      Buffer.add_char buf 'A';
+      enc_int buf src;
+      enc_ballot buf b
+  | PM.P1b { src; b; accepted } ->
+      Buffer.add_char buf 'B';
+      enc_int buf src;
+      enc_ballot buf b;
+      enc_list (enc_pvalue enc_c) buf accepted
+  | PM.P2a { src; pv } ->
+      Buffer.add_char buf 'C';
+      enc_int buf src;
+      enc_pvalue enc_c buf pv
+  | PM.P2b { src; b; s } ->
+      Buffer.add_char buf 'D';
+      enc_int buf src;
+      enc_ballot buf b;
+      enc_int buf s
+  | PM.Propose { s; c } ->
+      Buffer.add_char buf 'P';
+      enc_int buf s;
+      buf_add_str buf (enc_c c)
+  | PM.Decision { s; c } ->
+      Buffer.add_char buf 'E';
+      enc_int buf s;
+      buf_add_str buf (enc_c c));
+  Buffer.contents buf
+
+let decode_paxos dec_c s =
+  if s = "" then Error "empty paxos message"
+  else
+    let body = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'A' ->
+        let* src, body = dec_int body in
+        let* b, rest = dec_ballot body in
+        if rest <> "" then Error "trailing bytes in p1a"
+        else Ok (PM.P1a { src; b })
+    | 'B' ->
+        let* src, body = dec_int body in
+        let* b, body = dec_ballot body in
+        let* accepted, rest = dec_list (dec_pvalue dec_c) body in
+        if rest <> "" then Error "trailing bytes in p1b"
+        else Ok (PM.P1b { src; b; accepted })
+    | 'C' ->
+        let* src, body = dec_int body in
+        let* pv, rest = dec_pvalue dec_c body in
+        if rest <> "" then Error "trailing bytes in p2a"
+        else Ok (PM.P2a { src; pv })
+    | 'D' ->
+        let* src, body = dec_int body in
+        let* b, body = dec_ballot body in
+        let* slot, rest = dec_int body in
+        if rest <> "" then Error "trailing bytes in p2b"
+        else Ok (PM.P2b { src; b; s = slot })
+    | 'P' ->
+        let* slot, body = dec_int body in
+        let* cbytes, rest = take_str body in
+        let* c = dec_c cbytes in
+        if rest <> "" then Error "trailing bytes in propose"
+        else Ok (PM.Propose { s = slot; c })
+    | 'E' ->
+        let* slot, body = dec_int body in
+        let* cbytes, rest = take_str body in
+        let* c = dec_c cbytes in
+        if rest <> "" then Error "trailing bytes in decision"
+        else Ok (PM.Decision { s = slot; c })
+    | c -> Error (Printf.sprintf "bad paxos tag %C" c)
+
+let encode_core_paxos (m : Broadcast.Tob.batch PM.t) =
+  encode_paxos encode_batch m
+
+let decode_core_paxos s = decode_paxos decode_batch_all s
+
+(* Database replication messages. *)
+
+let enc_value buf v = Buffer.add_string buf (encode_value v)
+
+let enc_varray buf (a : Value.t array) =
+  enc_int buf (Array.length a);
+  Array.iter (enc_value buf) a
+
+let dec_varray s =
+  let* n, s = dec_int s in
+  if n < 0 then Error "negative array length"
+  else
+    let rec go n s acc =
+      if n = 0 then Ok (Array.of_list (List.rev acc), s)
+      else
+        let* v, s = decode_value s in
+        go (n - 1) s (v :: acc)
+    in
+    go n s []
+
+let enc_row buf ((key, a) : string * Value.t array) =
+  buf_add_str buf key;
+  enc_varray buf a
+
+let dec_row s =
+  let* key, s = take_str s in
+  let* a, s = dec_varray s in
+  Ok ((key, a), s)
+
+let enc_txn_field buf t = buf_add_str buf (encode_txn t)
+
+let dec_txn_field s =
+  let* bytes, s = take_str s in
+  let* t = decode_txn bytes in
+  Ok (t, s)
+
+let enc_reply buf (r : Txn.reply) =
+  enc_int buf r.Txn.client;
+  enc_int buf r.Txn.seq;
+  match r.Txn.outcome with
+  | Ok rows ->
+      Buffer.add_char buf 'O';
+      enc_list enc_varray buf rows
+  | Error e ->
+      Buffer.add_char buf 'X';
+      buf_add_str buf e
+
+let dec_reply s =
+  let* client, s = dec_int s in
+  let* seq, s = dec_int s in
+  if s = "" then Error "truncated reply"
+  else
+    let body = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'O' ->
+        let* rows, s = dec_list dec_varray body in
+        Ok ({ Txn.client; seq; outcome = Ok rows }, s)
+    | 'X' ->
+        let* e, s = take_str body in
+        Ok ({ Txn.client; seq; outcome = Error e }, s)
+    | c -> Error (Printf.sprintf "bad reply tag %C" c)
+
+let enc_catchup_item buf ((g, t) : int * Txn.t) =
+  enc_int buf g;
+  enc_txn_field buf t
+
+let dec_catchup_item s =
+  let* g, s = dec_int s in
+  let* t, s = dec_txn_field s in
+  Ok ((g, t), s)
+
+let encode_db_msg (m : Db_msg.t) =
+  let buf = Buffer.create 64 in
+  (match m with
+  | Db_msg.Client_txn t ->
+      Buffer.add_char buf 'C';
+      enc_txn_field buf t
+  | Db_msg.Forward { cfg; gseq; txn } ->
+      Buffer.add_char buf 'F';
+      enc_int buf cfg;
+      enc_int buf gseq;
+      enc_txn_field buf txn
+  | Db_msg.Ack { cfg; gseq } ->
+      Buffer.add_char buf 'A';
+      enc_int buf cfg;
+      enc_int buf gseq
+  | Db_msg.Reply r ->
+      Buffer.add_char buf 'R';
+      enc_reply buf r
+  | Db_msg.Heartbeat { cfg } ->
+      Buffer.add_char buf 'H';
+      enc_int buf cfg
+  | Db_msg.Elect { cfg; last_seq } ->
+      Buffer.add_char buf 'E';
+      enc_int buf cfg;
+      enc_int buf last_seq
+  | Db_msg.Catchup { cfg; txns; upto } ->
+      Buffer.add_char buf 'U';
+      enc_int buf cfg;
+      enc_int buf upto;
+      enc_list enc_catchup_item buf txns
+  | Db_msg.Snapshot { cfg; rows; upto; last; clients } ->
+      Buffer.add_char buf 'S';
+      enc_int buf cfg;
+      enc_int buf upto;
+      enc_int buf (if last then 1 else 0);
+      enc_list enc_row buf rows;
+      enc_list enc_reply buf clients
+  | Db_msg.Recovered { cfg } ->
+      Buffer.add_char buf 'V';
+      enc_int buf cfg
+  | Db_msg.Snapshot_req { cfg; from_seq } ->
+      Buffer.add_char buf 'Q';
+      enc_int buf cfg;
+      enc_int buf from_seq);
+  Buffer.contents buf
+
+let decode_db_msg s =
+  if s = "" then Error "empty db message"
+  else
+    let done_ rest v = if rest <> "" then Error "trailing bytes in db message" else Ok v in
+    let body = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'C' ->
+        let* t, rest = dec_txn_field body in
+        done_ rest (Db_msg.Client_txn t)
+    | 'F' ->
+        let* cfg, body = dec_int body in
+        let* gseq, body = dec_int body in
+        let* txn, rest = dec_txn_field body in
+        done_ rest (Db_msg.Forward { cfg; gseq; txn })
+    | 'A' ->
+        let* cfg, body = dec_int body in
+        let* gseq, rest = dec_int body in
+        done_ rest (Db_msg.Ack { cfg; gseq })
+    | 'R' ->
+        let* r, rest = dec_reply body in
+        done_ rest (Db_msg.Reply r)
+    | 'H' ->
+        let* cfg, rest = dec_int body in
+        done_ rest (Db_msg.Heartbeat { cfg })
+    | 'E' ->
+        let* cfg, body = dec_int body in
+        let* last_seq, rest = dec_int body in
+        done_ rest (Db_msg.Elect { cfg; last_seq })
+    | 'U' ->
+        let* cfg, body = dec_int body in
+        let* upto, body = dec_int body in
+        let* txns, rest = dec_list dec_catchup_item body in
+        done_ rest (Db_msg.Catchup { cfg; txns; upto })
+    | 'S' ->
+        let* cfg, body = dec_int body in
+        let* upto, body = dec_int body in
+        let* last, body = dec_int body in
+        let* rows, body = dec_list dec_row body in
+        let* clients, rest = dec_list dec_reply body in
+        done_ rest (Db_msg.Snapshot { cfg; rows; upto; last = last <> 0; clients })
+    | 'V' ->
+        let* cfg, rest = dec_int body in
+        done_ rest (Db_msg.Recovered { cfg })
+    | 'Q' ->
+        let* cfg, body = dec_int body in
+        let* from_seq, rest = dec_int body in
+        done_ rest (Db_msg.Snapshot_req { cfg; from_seq })
+    | c -> Error (Printf.sprintf "bad db message tag %C" c)

@@ -16,3 +16,46 @@ val encode_reconfig : Config.t -> last_seq:int -> proposer:int -> string
 val decode_reconfig : string -> (Config.t * int * int, string) result
 (** SMR reconfiguration request: new config, proposer's last executed
     sequence number, proposer location. *)
+
+(** {1 Live-runtime wire codecs}
+
+    Full message codecs for running ShadowDB nodes over real sockets:
+    broadcast entries and delivery notifications, Paxos protocol messages
+    (parameterized by a command codec), and database replication
+    messages. All decoders reject truncated or trailing bytes. *)
+
+val encode_entry : Broadcast.Tob.entry -> string
+
+val decode_entry :
+  string -> (Broadcast.Tob.entry * string, string) result
+(** Streaming: returns the entry and the remaining input. *)
+
+val encode_batch : Broadcast.Tob.batch -> string
+
+val decode_batch :
+  string -> (Broadcast.Tob.batch * string, string) result
+(** Streaming: returns the batch and the remaining input. *)
+
+val decode_batch_all : string -> (Broadcast.Tob.batch, string) result
+(** Whole-buffer variant: fails on trailing bytes. *)
+
+val encode_deliver : Broadcast.Tob.deliver -> string
+val decode_deliver : string -> (Broadcast.Tob.deliver, string) result
+
+val encode_paxos :
+  ('c -> string) -> 'c Consensus.Paxos_msg.t -> string
+
+val decode_paxos :
+  (string -> ('c, string) result) ->
+  string ->
+  ('c Consensus.Paxos_msg.t, string) result
+
+val encode_core_paxos : Broadcast.Tob.batch Consensus.Paxos_msg.t -> string
+(** {!encode_paxos} instantiated at the TOB batch command type — the
+    consensus core the paper's broadcast service actually runs. *)
+
+val decode_core_paxos :
+  string -> (Broadcast.Tob.batch Consensus.Paxos_msg.t, string) result
+
+val encode_db_msg : Db_msg.t -> string
+val decode_db_msg : string -> (Db_msg.t, string) result

@@ -17,7 +17,7 @@
      Paxos processes, and the shared CPU is what caps SMR throughput in
      Fig. 9(a)). *)
 
-module Engine = Sim.Engine
+module R = Runtime
 module Database = Storage.Database
 module Value = Storage.Value
 module Tob = Broadcast.Tob
@@ -74,7 +74,59 @@ module Make (C : Consensus.Consensus_intf.S) = struct
 
   type wire = Svc of TM.msg | Note of Tob.deliver | Db of Db_msg.t
 
-  let send_db ctx dst m = Engine.send ctx ~size:(Db_msg.size m) dst (Db m)
+  let send_db ctx dst m = R.send ctx ~size:(Db_msg.size m) dst (Db m)
+
+  (* Wire format for the whole system: broadcast-service traffic, delivery
+     notifications and database replication messages share one socket per
+     link on the live runtime. [enc_core]/[dec_core] serialize the
+     consensus core's protocol messages — for Paxos over TOB batches use
+     {!Codec.encode_core_paxos} / {!Codec.decode_core_paxos}. *)
+  let wire_codec ~enc_core ~dec_core : wire R.codec =
+    let enc = function
+      | Svc (TM.Broadcast e) -> "B" ^ Codec.encode_entry e
+      | Svc (TM.Core m) -> "C" ^ enc_core m
+      | Note d -> "N" ^ Codec.encode_deliver d
+      | Db m -> "D" ^ Codec.encode_db_msg m
+    in
+    let dec s =
+      if s = "" then Error "empty wire message"
+      else
+        let body = String.sub s 1 (String.length s - 1) in
+        match s.[0] with
+        | 'B' -> (
+            match Codec.decode_entry body with
+            | Ok (e, "") -> Ok (Svc (TM.Broadcast e))
+            | Ok _ -> Error "trailing bytes after entry"
+            | Error e -> Error e)
+        | 'C' -> Result.map (fun m -> Svc (TM.Core m)) (dec_core body)
+        | 'N' -> Result.map (fun d -> Note d) (Codec.decode_deliver body)
+        | 'D' -> Result.map (fun m -> Db m) (Codec.decode_db_msg body)
+        | c -> Error (Printf.sprintf "bad wire tag %C" c)
+    in
+    { R.enc; dec }
+
+  (* Replica registries back the [*_of] observers of a cluster handle.
+     Node handlers fill them in — from runtime threads, on the live
+     runtime — while the spawning thread reads them, so access is
+     serialized by a mutex. *)
+  module Registry = struct
+    type 'a t = { mu : Mutex.t; tbl : (loc, 'a) Hashtbl.t }
+
+    let create () = { mu = Mutex.create (); tbl = Hashtbl.create 8 }
+
+    let set t l r =
+      Mutex.lock t.mu;
+      Hashtbl.replace t.tbl l r;
+      Mutex.unlock t.mu
+
+    let view t l f ~default =
+      Mutex.lock t.mu;
+      let v =
+        match Hashtbl.find_opt t.tbl l with Some r -> f r | None -> default
+      in
+      Mutex.unlock t.mu;
+      v
+  end
 
   (* Bounded cache of recently executed transactions (for catch-up). *)
   module Cache = struct
@@ -164,11 +216,11 @@ module Make (C : Consensus.Consensus_intf.S) = struct
 
   let in_cfg r = Config.contains r.cfg r.p_self
 
-  let charge_db ctx r = Engine.charge ctx (Database.take_cost r.db)
+  let charge_db ctx r = R.charge ctx (Database.take_cost r.db)
 
   let exec_and_record ctx r txn =
     let reply = Txn.execute r.reg r.db txn in
-    Engine.charge ctx r.tun.exec_overhead;
+    R.charge ctx r.tun.exec_overhead;
     charge_db ctx r;
     r.gseq <- r.gseq + 1;
     Cache.push r.cache r.gseq txn;
@@ -177,14 +229,14 @@ module Make (C : Consensus.Consensus_intf.S) = struct
 
   let reset_hb ctx r =
     List.iter
-      (fun m -> Hashtbl.replace r.last_hb m (Engine.time ctx))
+      (fun m -> Hashtbl.replace r.last_hb m (R.time ctx))
       r.cfg.Config.members
 
   (* Paper Sec. III-A, recovery steps 1–2: stop, propose a new
      configuration through the broadcast service. *)
   let propose_reconfig ctx r suspects =
     r.running <- false;
-    r.proposed_at <- Engine.time ctx;
+    r.proposed_at <- R.time ctx;
     let spares =
       List.filter (fun m -> not (Config.contains r.cfg m)) r.p_all
     in
@@ -197,7 +249,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     let entry =
       { Tob.origin = r.p_self; id = r.tob_seq; payload }
     in
-    Engine.send ctx ~size:(String.length payload + 24) (List.hd r.p_tob)
+    R.send ctx ~size:(String.length payload + 24) (List.hd r.p_tob)
       (Svc (TM.Broadcast entry))
 
   (* Step 3: adopt the first proposal for the successor configuration and
@@ -322,7 +374,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
         (fun (g, txn) ->
           if g > r.gseq then begin
             let reply = Txn.execute r.reg r.db txn in
-            Engine.charge ctx r.tun.exec_overhead;
+            R.charge ctx r.tun.exec_overhead;
             charge_db ctx r;
             r.gseq <- g;
             Cache.push r.cache g txn;
@@ -341,7 +393,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           let reply = exec_and_record ctx r txn in
           match chain_successor r with
           | Some next ->
-              Engine.charge ctx r.tun.fwd_overhead;
+              R.charge ctx r.tun.fwd_overhead;
               send_db ctx next (Db_msg.Forward { cfg; gseq = r.gseq; txn })
           | None ->
               (* Tail: this transaction has now executed at every replica;
@@ -414,7 +466,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
             (* Reads execute at the tail only; they do not advance the
                chain's update sequence. *)
             let reply = Txn.execute r.reg r.db txn in
-            Engine.charge ctx (r.tun.exec_overhead +. Database.take_cost r.db);
+            R.charge ctx (r.tun.exec_overhead +. Database.take_cost r.db);
             Hashtbl.replace r.client_tbl txn.Txn.client reply;
             send_db ctx txn.Txn.client (Db_msg.Reply reply)
       end
@@ -428,7 +480,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           let reply = exec_and_record ctx r txn in
           match chain_successor r with
           | Some next ->
-              Engine.charge ctx r.tun.fwd_overhead;
+              R.charge ctx r.tun.fwd_overhead;
               send_db ctx next
                 (Db_msg.Forward { cfg = r.cfg.Config.seq; gseq = r.gseq; txn })
           | None -> send_db ctx txn.Txn.client (Db_msg.Reply reply))
@@ -466,7 +518,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
             in
             List.iter
               (fun b ->
-                Engine.charge ctx r.tun.fwd_overhead;
+                R.charge ctx r.tun.fwd_overhead;
                 send_db ctx b fwd)
               bs
           end
@@ -478,7 +530,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       | None -> ()
       | Some (txn, missing) ->
           missing := Sim.Node_id.Set.remove src !missing;
-          Engine.charge ctx (r.tun.fwd_overhead /. 2.0);
+          R.charge ctx (r.tun.fwd_overhead /. 2.0);
           if Sim.Node_id.Set.is_empty !missing then begin
             Hashtbl.remove r.pending gseq;
             match Hashtbl.find_opt r.client_tbl txn.Txn.client with
@@ -489,7 +541,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
 
   let check_suspicion ctx r =
     if in_cfg r then begin
-      let now = Engine.time ctx in
+      let now = R.time ctx in
       let suspects =
         List.filter
           (fun m ->
@@ -513,13 +565,14 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           adopt_config ctx r proposal
     | P_txn _ | P_bytes _ -> ()
 
-  let pbr_replica_handler ~style ~read_kinds ~shared ~locref ~all_ref ~tob_ref
+  let pbr_replica_handler ~style ~read_kinds ~shared ~all_ref ~tob_ref
       ~backend ~setup ~registry ~tun ~initial_members () =
     let r_holder = ref None in
     let get ctx =
       match !r_holder with
       | Some r -> r
       | None ->
+          let self = R.self ctx in
           let db = Database.create backend in
           setup db;
           ignore (Database.take_cost db);
@@ -528,7 +581,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
             {
               style;
               read_kinds;
-              p_self = !locref;
+              p_self = self;
               p_all = !all_ref;
               p_tob = !tob_ref;
               db;
@@ -536,7 +589,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
               tun;
               cfg = Config.initial members;
               primary = List.fold_left min max_int members;
-              running = Config.contains (Config.initial members) !locref;
+              running = Config.contains (Config.initial members) self;
               gseq = 0;
               cache = Cache.create tun.cache_cap;
               client_tbl = Hashtbl.create 64;
@@ -553,25 +606,25 @@ module Make (C : Consensus.Consensus_intf.S) = struct
             }
           in
           reset_hb ctx r;
-          Hashtbl.replace shared !locref r;
+          Registry.set shared self r;
           r_holder := Some r;
           r
     in
     fun ctx input ->
       let r = get ctx in
       match input with
-      | Engine.Init ->
-          ignore (Engine.set_timer ctx r.tun.hb_interval "hb");
-          ignore (Engine.set_timer ctx (r.tun.detect_timeout /. 4.0) "detect")
-      | Engine.Timer { tag = "hb"; _ } ->
+      | R.Init ->
+          ignore (R.set_timer ctx r.tun.hb_interval "hb");
+          ignore (R.set_timer ctx (r.tun.detect_timeout /. 4.0) "detect")
+      | R.Timer { tag = "hb"; _ } ->
           if in_cfg r then begin
             let hb = Db_msg.Heartbeat { cfg = r.cfg.Config.seq } in
             List.iter
               (fun m -> if m <> r.p_self then send_db ctx m hb)
               r.cfg.Config.members
           end;
-          ignore (Engine.set_timer ctx r.tun.hb_interval "hb")
-      | Engine.Timer { tag = "detect"; _ } ->
+          ignore (R.set_timer ctx r.tun.hb_interval "hb")
+      | R.Timer { tag = "detect"; _ } ->
           check_suspicion ctx r;
           (* Re-send election votes until the election concludes: a vote
              sent before a peer adopted the configuration is lost. *)
@@ -583,9 +636,9 @@ module Make (C : Consensus.Consensus_intf.S) = struct
               (fun m -> if m <> r.p_self then send_db ctx m msg)
               r.cfg.Config.members
           end;
-          ignore (Engine.set_timer ctx (r.tun.detect_timeout /. 4.0) "detect")
-      | Engine.Timer _ -> ()
-      | Engine.Recv { src; msg } -> (
+          ignore (R.set_timer ctx (r.tun.detect_timeout /. 4.0) "detect")
+      | R.Timer _ -> ()
+      | R.Recv { src; msg } -> (
           match msg with
           | Note d -> handle_note ctx r d
           | Svc _ -> ()
@@ -597,7 +650,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
               | Db_msg.Ack { cfg; gseq } -> handle_ack ctx r ~cfg ~gseq ~src
               | Db_msg.Reply _ -> ()
               | Db_msg.Heartbeat _ ->
-                  Hashtbl.replace r.last_hb src (Engine.time ctx)
+                  Hashtbl.replace r.last_hb src (R.time ctx)
               | Db_msg.Elect { cfg; last_seq } ->
                   handle_elect ctx r ~src ~cfg ~last_seq
               | Db_msg.Catchup { cfg; txns; upto } ->
@@ -612,7 +665,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       ?(tob_profile = Gpm.Engine_profile.Interpreted_opt) ~world ~registry
       ~setup ~n_active ~n_spare () =
     let n = n_active + n_spare in
-    let shared : (loc, pbr_replica) Hashtbl.t = Hashtbl.create 8 in
+    let shared : pbr_replica Registry.t = Registry.create () in
     let all_ref = ref [] in
     let tob_ref = ref [] in
     let initial_members () = List.filteri (fun i _ -> i < n_active) !all_ref in
@@ -623,16 +676,10 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     in
     let replicas =
       List.init n (fun i ->
-          let locref = ref (-1) in
-          let id =
-            Engine.spawn world
-              ~name:(Printf.sprintf "pbr%d" i)
-              (pbr_replica_handler ~style ~read_kinds ~shared ~locref ~all_ref
-                 ~tob_ref ~backend:(backend_of i) ~setup ~registry ~tun
-                 ~initial_members)
-          in
-          locref := id;
-          id)
+          R.spawn world
+            ~name:(Printf.sprintf "pbr%d" i)
+            (pbr_replica_handler ~style ~read_kinds ~shared ~all_ref ~tob_ref
+               ~backend:(backend_of i) ~setup ~registry ~tun ~initial_members))
     in
     all_ref := replicas;
     let tob =
@@ -645,9 +692,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
         ()
     in
     tob_ref := tob;
-    let view l f ~default =
-      match Hashtbl.find_opt shared l with Some r -> f r | None -> default
-    in
+    let view l f ~default = Registry.view shared l f ~default in
     {
       pbr_replicas = replicas;
       pbr_tob = tob;
@@ -703,13 +748,13 @@ module Make (C : Consensus.Consensus_intf.S) = struct
 
   let smr_exec ctx r txn =
     let reply = Txn.execute r.sreg r.sdb txn in
-    Engine.charge ctx (r.stun.exec_overhead +. Database.take_cost r.sdb);
+    R.charge ctx (r.stun.exec_overhead +. Database.take_cost r.sdb);
     send_db ctx txn.Txn.client (Db_msg.Reply reply)
 
   let smr_adopt ctx r proposal ~proposer =
     r.scfg <- proposal;
     List.iter
-      (fun m -> Hashtbl.replace r.s_last_hb m (Engine.time ctx))
+      (fun m -> Hashtbl.replace r.s_last_hb m (R.time ctx))
       proposal.Config.members;
     let member = Config.contains proposal r.s_self in
     match (r.role, member) with
@@ -733,7 +778,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
         r.buffered <- []
 
   let smr_deliver ctx r (d : Tob.deliver) =
-    Engine.charge ctx r.costs.Broadcast.Shell.per_entry;
+    R.charge ctx r.costs.Broadcast.Shell.per_entry;
     r.sgseq <- r.sgseq + 1;
     match decode_payload d.Tob.entry.Tob.payload with
     | P_txn txn -> (
@@ -747,7 +792,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
              the delivery order, so the spare can take over from here. *)
           if r.s_self = proposer && r.role = Active then begin
             r.pending_snapshot <- Some (Database.dump r.sdb, r.sgseq);
-            Engine.charge ctx (Database.take_cost r.sdb)
+            R.charge ctx (Database.take_cost r.sdb)
           end;
           smr_adopt ctx r proposal ~proposer
         end
@@ -758,18 +803,18 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     List.iter
       (function
         | TM.Send (dst, m) ->
-            Engine.send ctx ~size:256 dst (Svc m)
+            R.send ctx ~size:256 dst (Svc m)
         | TM.Notify (dst, d) ->
             if dst = r.s_self then smr_deliver ctx r d
-            else Engine.send ctx dst (Note d)
-        | TM.Set_timer delay -> ignore (Engine.set_timer ctx delay "tob"))
+            else R.send ctx dst (Note d)
+        | TM.Set_timer delay -> ignore (R.set_timer ctx delay "tob"))
       acts
 
   let smr_broadcast ctx r payload =
     r.s_tob_seq <- r.s_tob_seq + 1;
     let entry = { Tob.origin = r.s_self; id = r.s_tob_seq; payload } in
     smr_feed_tob ctx r
-      (TM.recv r.tob ~now:(Engine.time ctx) ~src:r.s_self (TM.Broadcast entry))
+      (TM.recv r.tob ~now:(R.time ctx) ~src:r.s_self (TM.Broadcast entry))
 
   let smr_check_suspicion ctx r =
     (* A syncing spare re-requests the snapshot until it arrives (the
@@ -780,7 +825,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           (Db_msg.Snapshot_req { cfg = r.scfg.Config.seq; from_seq = r.sgseq })
     | _ -> ());
     if r.role = Active then begin
-      let now = Engine.time ctx in
+      let now = R.time ctx in
       let suspects =
         List.filter
           (fun m ->
@@ -804,13 +849,14 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       end
     end
 
-  let smr_handler ~shared ~locref ~nodes_ref ~backend ~setup ~registry ~tun
+  let smr_handler ~shared ~nodes_ref ~backend ~setup ~registry ~tun
       ~costs ~n_active () =
     let holder = ref None in
     let get ctx =
       match !holder with
       | Some r -> r
       | None ->
+          let self = R.self ctx in
           let db = Database.create backend in
           setup db;
           ignore (Database.take_cost db);
@@ -818,17 +864,16 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           let members = List.filteri (fun i _ -> i < n_active) nodes in
           let r =
             {
-              s_self = !locref;
+              s_self = self;
               s_nodes = nodes;
               sdb = db;
               sreg = registry ();
               stun = tun;
               costs;
               tob =
-                TM.create ~self:!locref ~members:nodes
-                  ~subscribers:[ !locref ] ();
+                TM.create ~self ~members:nodes ~subscribers:[ self ] ();
               scfg = Config.initial members;
-              role = (if List.mem !locref members then Active else Sparing);
+              role = (if List.mem self members then Active else Sparing);
               sgseq = 0;
               buffered = [];
               pending_snapshot = None;
@@ -840,44 +885,44 @@ module Make (C : Consensus.Consensus_intf.S) = struct
             }
           in
           List.iter
-            (fun m -> Hashtbl.replace r.s_last_hb m (Engine.time ctx))
+            (fun m -> Hashtbl.replace r.s_last_hb m (R.time ctx))
             members;
-          Hashtbl.replace shared !locref r;
+          Registry.set shared self r;
           holder := Some r;
           r
     in
     fun ctx input ->
       let r = get ctx in
       match input with
-      | Engine.Init ->
-          smr_feed_tob ctx r (TM.start r.tob ~now:(Engine.time ctx));
-          ignore (Engine.set_timer ctx r.stun.hb_interval "hb");
-          ignore (Engine.set_timer ctx (r.stun.detect_timeout /. 4.0) "detect")
-      | Engine.Timer { tag = "tob"; _ } ->
-          smr_feed_tob ctx r (TM.tick r.tob ~now:(Engine.time ctx))
-      | Engine.Timer { tag = "hb"; _ } ->
+      | R.Init ->
+          smr_feed_tob ctx r (TM.start r.tob ~now:(R.time ctx));
+          ignore (R.set_timer ctx r.stun.hb_interval "hb");
+          ignore (R.set_timer ctx (r.stun.detect_timeout /. 4.0) "detect")
+      | R.Timer { tag = "tob"; _ } ->
+          smr_feed_tob ctx r (TM.tick r.tob ~now:(R.time ctx))
+      | R.Timer { tag = "hb"; _ } ->
           if r.role = Active then begin
             let hb = Db_msg.Heartbeat { cfg = r.scfg.Config.seq } in
             List.iter
               (fun m -> if m <> r.s_self then send_db ctx m hb)
               r.scfg.Config.members
           end;
-          ignore (Engine.set_timer ctx r.stun.hb_interval "hb")
-      | Engine.Timer { tag = "detect"; _ } ->
+          ignore (R.set_timer ctx r.stun.hb_interval "hb")
+      | R.Timer { tag = "detect"; _ } ->
           smr_check_suspicion ctx r;
-          ignore (Engine.set_timer ctx (r.stun.detect_timeout /. 4.0) "detect")
-      | Engine.Timer _ -> ()
-      | Engine.Recv { src; msg } -> (
+          ignore (R.set_timer ctx (r.stun.detect_timeout /. 4.0) "detect")
+      | R.Timer _ -> ()
+      | R.Recv { src; msg } -> (
           match msg with
           | Svc m ->
               (match m with
               | TM.Broadcast _ ->
-                  Engine.charge ctx r.costs.Broadcast.Shell.client_msg
-              | TM.Core _ -> Engine.charge ctx r.costs.Broadcast.Shell.core_msg);
-              smr_feed_tob ctx r (TM.recv r.tob ~now:(Engine.time ctx) ~src m)
+                  R.charge ctx r.costs.Broadcast.Shell.client_msg
+              | TM.Core _ -> R.charge ctx r.costs.Broadcast.Shell.core_msg);
+              smr_feed_tob ctx r (TM.recv r.tob ~now:(R.time ctx) ~src m)
           | Note d -> smr_deliver ctx r d
           | Db (Db_msg.Heartbeat _) ->
-              Hashtbl.replace r.s_last_hb src (Engine.time ctx)
+              Hashtbl.replace r.s_last_hb src (R.time ctx)
           | Db (Db_msg.Snapshot_req { cfg; _ }) -> (
               if cfg = r.scfg.Config.seq then
                 match r.pending_snapshot with
@@ -906,7 +951,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
                 end;
                 (match Database.load_rows r.sdb rows with
                 | Ok () | Error _ -> ());
-                Engine.charge ctx (Database.take_cost r.sdb);
+                R.charge ctx (Database.take_cost r.sdb);
                 if last then begin
                   r.role <- Active;
                   r.snap_started <- false;
@@ -922,7 +967,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       ?(backends : Storage.Store.kind list option)
       ?(costs = Broadcast.Shell.default_costs) ~world ~registry ~setup
       ~n_active () =
-    let shared : (loc, smr_replica) Hashtbl.t = Hashtbl.create 8 in
+    let shared : smr_replica Registry.t = Registry.create () in
     let nodes_ref = ref [] in
     let backend_of i =
       match backends with
@@ -931,20 +976,13 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     in
     let nodes =
       List.init 3 (fun i ->
-          let locref = ref (-1) in
-          let id =
-            Engine.spawn world
-              ~name:(Printf.sprintf "smr%d" i)
-              (smr_handler ~shared ~locref ~nodes_ref ~backend:(backend_of i)
-                 ~setup ~registry ~tun ~costs ~n_active)
-          in
-          locref := id;
-          id)
+          R.spawn world
+            ~name:(Printf.sprintf "smr%d" i)
+            (smr_handler ~shared ~nodes_ref ~backend:(backend_of i) ~setup
+               ~registry ~tun ~costs ~n_active))
     in
     nodes_ref := nodes;
-    let view l f ~default =
-      match Hashtbl.find_opt shared l with Some r -> f r | None -> default
-    in
+    let view l f ~default = Registry.view shared l f ~default in
     {
       smr_nodes = nodes;
       smr_active_of = (fun l -> view l (fun r -> r.role = Active) ~default:false);
@@ -969,7 +1007,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
      procedure name and parameters. *)
   let spawn_clients ~world ~target ~n ~count ~make_txn
       ?(retry_timeout = 4.0) ?(on_commit = fun _ _ -> ()) () =
-    let completed = ref 0 in
+    let completed = Atomic.make 0 in
     let contacts, to_wire =
       match target with
       | To_pbr c ->
@@ -993,52 +1031,47 @@ module Make (C : Consensus.Consensus_intf.S) = struct
               Svc (TM.Broadcast entry) )
     in
     let spawn_one _i =
-      let locref = ref (-1) in
-      let id =
-        Engine.spawn world ~name:"db-client" (fun () ->
-            let seq = ref 0 in
-            let attempt = ref 0 in
-            let sent_at = ref 0.0 in
-            let timer = ref (-1) in
-            let send ctx =
-              let contact =
-                List.nth contacts (!attempt mod List.length contacts)
-              in
-              incr attempt;
-              sent_at := Engine.time ctx;
-              let kind, params = make_txn ~client:!locref ~seq:!seq in
-              let txn =
-                { Txn.client = !locref; seq = !seq; kind; params }
-              in
-              Engine.send ctx ~size:(Txn.size txn) contact (to_wire txn);
-              timer := Engine.set_timer ctx retry_timeout "retry"
+      R.spawn world ~name:"db-client" (fun () ->
+          let seq = ref 0 in
+          let attempt = ref 0 in
+          let sent_at = ref 0.0 in
+          let timer = ref (-1) in
+          let send ctx =
+            let contact =
+              List.nth contacts (!attempt mod List.length contacts)
             in
-            fun ctx -> function
-              | Engine.Init -> if count > 0 then send ctx
-              | Engine.Recv { msg = Db (Db_msg.Reply reply); _ } ->
-                  if reply.Txn.seq = !seq then begin
-                    Engine.cancel_timer ctx !timer;
-                    let now = Engine.time ctx in
-                    (* Deterministic aborts (e.g. TPC-C's 1% rollbacks) are
-                       answered but not counted as commits. *)
-                    (match reply.Txn.outcome with
-                    | Ok _ -> on_commit now (now -. !sent_at)
-                    | Error _ -> ());
-                    incr seq;
-                    (* Successful contact: stick with it next time. *)
-                    attempt := !attempt - 1;
-                    if !seq < count then send ctx else incr completed
-                  end
-              | Engine.Recv _ -> ()
-              | Engine.Timer { tag = "retry"; _ } ->
-                  (* Timeout: resend the same transaction; [send] advances
-                     the rotation, so a dead contact is skipped. *)
+            incr attempt;
+            sent_at := R.time ctx;
+            let client = R.self ctx in
+            let kind, params = make_txn ~client ~seq:!seq in
+            let txn = { Txn.client; seq = !seq; kind; params } in
+            R.send ctx ~size:(Txn.size txn) contact (to_wire txn);
+            timer := R.set_timer ctx retry_timeout "retry"
+          in
+          fun ctx -> function
+            | R.Init -> if count > 0 then send ctx
+            | R.Recv { msg = Db (Db_msg.Reply reply); _ } ->
+                if reply.Txn.seq = !seq then begin
+                  R.cancel_timer ctx !timer;
+                  let now = R.time ctx in
+                  (* Deterministic aborts (e.g. TPC-C's 1% rollbacks) are
+                     answered but not counted as commits. *)
+                  (match reply.Txn.outcome with
+                  | Ok _ -> on_commit now (now -. !sent_at)
+                  | Error _ -> ());
+                  incr seq;
+                  (* Successful contact: stick with it next time. *)
+                  attempt := !attempt - 1;
                   if !seq < count then send ctx
-              | Engine.Timer _ -> ())
-      in
-      locref := id;
-      id
+                  else Atomic.incr completed
+                end
+            | R.Recv _ -> ()
+            | R.Timer { tag = "retry"; _ } ->
+                (* Timeout: resend the same transaction; [send] advances
+                   the rotation, so a dead contact is skipped. *)
+                if !seq < count then send ctx
+            | R.Timer _ -> ())
     in
     let ids = List.init n spawn_one in
-    (ids, fun () -> !completed)
+    (ids, fun () -> Atomic.get completed)
 end

@@ -48,7 +48,16 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     | Svc of TM.msg  (** Broadcast-service traffic. *)
     | Note of Broadcast.Tob.deliver  (** TOB delivery notification. *)
     | Db of Db_msg.t  (** Database replication traffic. *)
-  (** Wire type of a ShadowDB simulation world. *)
+  (** Wire type of a ShadowDB world — simulated or live. *)
+
+  val wire_codec :
+    enc_core:(Broadcast.Tob.batch C.msg -> string) ->
+    dec_core:(string -> (Broadcast.Tob.batch C.msg, string) result) ->
+    wire Runtime.codec
+  (** Byte codec for {!wire}, required by the live socket runtime.
+      [enc_core]/[dec_core] serialize the consensus core's protocol
+      messages; for [Consensus.Paxos] use {!Codec.encode_core_paxos} and
+      {!Codec.decode_core_paxos}. *)
 
   type replication_style = Primary_backup | Chain
 
@@ -76,7 +85,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     ?tun:tuning ->
     ?backends:Storage.Store.kind list ->
     ?tob_profile:Gpm.Engine_profile.t ->
-    world:wire Sim.Engine.t ->
+    world:wire Runtime.t ->
     registry:(unit -> Txn.registry) ->
     setup:(Storage.Database.t -> unit) ->
     n_active:int ->
@@ -96,7 +105,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     ?tun:tuning ->
     ?backends:Storage.Store.kind list ->
     ?tob_profile:Gpm.Engine_profile.t ->
-    world:wire Sim.Engine.t ->
+    world:wire Runtime.t ->
     registry:(unit -> Txn.registry) ->
     setup:(Storage.Database.t -> unit) ->
     n_active:int ->
@@ -123,7 +132,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     ?tun:tuning ->
     ?backends:Storage.Store.kind list ->
     ?costs:Broadcast.Shell.costs ->
-    world:wire Sim.Engine.t ->
+    world:wire Runtime.t ->
     registry:(unit -> Txn.registry) ->
     setup:(Storage.Database.t -> unit) ->
     n_active:int ->
@@ -140,7 +149,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
       misrouted transactions to the head or tail themselves). *)
 
   val spawn_clients :
-    world:wire Sim.Engine.t ->
+    world:wire Runtime.t ->
     target:client_target ->
     n:int ->
     count:int ->

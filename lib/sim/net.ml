@@ -6,6 +6,9 @@ let local = { latency = 5.0e-6; jitter = 1.0e-6; bandwidth = infinity; loss = 0.
 
 let lossy p = { lan with loss = p }
 
+let wan ?(loss = 0.0) () =
+  { latency = 0.04; jitter = 0.01; bandwidth = 12.5e6; loss }
+
 let delay t rng ~size =
   let serialization =
     if t.bandwidth = infinity then 0.0 else float_of_int size /. t.bandwidth

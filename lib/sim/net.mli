@@ -24,5 +24,11 @@ val lossy : float -> t
 (** [lossy p] is {!lan} with drop probability [p] (for failure-injection
     tests). *)
 
+val wan : ?loss:float -> unit -> t
+(** Wide-area profile: 40 ms propagation, up to 10 ms jitter, 12.5 MB/s
+    (a 100 Mbit/s long-haul link), drop probability [loss] (default 0) —
+    for geo-replication experiments, where consensus round trips dominate
+    everything else. *)
+
 val delay : t -> Prng.t -> size:int -> float
 (** Sample the one-way delay for a message of [size] bytes. *)

@@ -16,14 +16,14 @@ let run ?backend ?exec_factor ?lock_timeout ?stmt_delay ?(same_account = false)
     mode ~n_clients ~count () =
   let world : B.wire Engine.t = Engine.create ~seed:31 () in
   let cluster =
-    B.spawn ?backend ?exec_factor ?lock_timeout ?stmt_delay ~world
+    B.spawn ?backend ?exec_factor ?lock_timeout ?stmt_delay ~world:(Runtime.Of_sim.of_engine world)
       ~registry:Workload.Bank.registry
       ~setup:(fun db -> Workload.Bank.setup ~rows db)
       mode
   in
   let latencies = Stats.Sample.create () in
   let completed =
-    B.spawn_clients ~world ~cluster ~n:n_clients ~count
+    B.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~cluster ~n:n_clients ~count
       ~make_txn:(fun ~client ~seq ->
         if same_account then Workload.Bank.deposit ~account:0 ~amount:1
         else make_deposit ~client ~seq)
@@ -96,12 +96,12 @@ let test_deterministic_abort_not_retried () =
      client must move on (not spin). *)
   let world : B.wire Engine.t = Engine.create ~seed:33 () in
   let cluster =
-    B.spawn ~world ~registry:Workload.Bank.registry
+    B.spawn ~world:(Runtime.Of_sim.of_engine world) ~registry:Workload.Bank.registry
       ~setup:(fun db -> Workload.Bank.setup ~rows db)
       B.Standalone
   in
   let completed =
-    B.spawn_clients ~world ~cluster ~n:1 ~count:3
+    B.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~cluster ~n:1 ~count:3
       ~make_txn:(fun ~client:_ ~seq:_ ->
         Workload.Bank.transfer ~src:0 ~dst:1 ~amount:1_000_000)
       ()

@@ -77,7 +77,7 @@ let run_paxos ?crash_first_member_at ~n_clients ~msgs_per_client () =
   let world = Engine.create ~seed:7 () in
   run_tob ~world
     ~spawn_service:(fun ~subscribers ->
-      Shell_paxos.spawn ~world
+      Shell_paxos.spawn ~world:(Runtime.Of_sim.of_engine world)
         ~inj:(fun m -> Svc m)
         ~prj:(function Svc m -> Some m | Note _ -> None)
         ~inj_notify:(fun d -> Note d)
@@ -89,7 +89,7 @@ let run_twothird ~n_clients ~msgs_per_client () =
   let world = Engine.create ~seed:11 () in
   run_tob ~world
     ~spawn_service:(fun ~subscribers ->
-      Shell_tt.spawn ~world
+      Shell_tt.spawn ~world:(Runtime.Of_sim.of_engine world)
         ~inj:(fun m -> Svc m)
         ~prj:(function Svc m -> Some m | Note _ -> None)
         ~inj_notify:(fun d -> Note d)
@@ -153,7 +153,7 @@ let test_paxos_tob_partition_heal () =
     run_tob ~world
       ~spawn_service:(fun ~subscribers ->
         let svc =
-          Shell_paxos.spawn ~world
+          Shell_paxos.spawn ~world:(Runtime.Of_sim.of_engine world)
             ~inj:(fun m -> Svc m)
             ~prj:(function Svc m -> Some m | Note _ -> None)
             ~inj_notify:(fun d -> Note d)

@@ -34,7 +34,7 @@ let pbr_world ?(backends = [ Store.Hazel ]) ?(tun = fast_tun) ?cache_cap
   in
   let world : S.wire Engine.t = Engine.create ~seed:3 () in
   let cluster =
-    S.spawn_pbr ~tun ~backends ~world ~registry:Workload.Bank.registry ~setup
+    S.spawn_pbr ~tun ~backends ~world:(Runtime.Of_sim.of_engine world) ~registry:Workload.Bank.registry ~setup
       ~n_active ~n_spare ()
   in
   (world, cluster)
@@ -43,7 +43,7 @@ let run_pbr ?backends ?cache_cap ?crash_at ~n_clients ~count () =
   let world, cluster = pbr_world ?backends ?cache_cap () in
   let commits = ref 0 in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_pbr cluster) ~n:n_clients ~count
+    S.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~target:(S.To_pbr cluster) ~n:n_clients ~count
       ~make_txn:make_deposit ~retry_timeout:1.0
       ~on_commit:(fun _ _ -> incr commits)
       ()
@@ -96,7 +96,7 @@ let test_pbr_exactly_once_under_retries () =
   let world, cluster = pbr_world () in
   let commits = ref 0 in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_pbr cluster) ~n:2 ~count:25
+    S.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~target:(S.To_pbr cluster) ~n:2 ~count:25
       ~make_txn:make_deposit ~retry_timeout:0.002
       ~on_commit:(fun _ _ -> incr commits)
       ()
@@ -154,7 +154,7 @@ let test_pbr_overlapped_state_transfer () =
   let first_post_crash = ref infinity in
   let crash_at = 0.2 in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_pbr cluster) ~n:3 ~count:5000
+    S.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~target:(S.To_pbr cluster) ~n:3 ~count:5000
       ~make_txn:make_deposit ~retry_timeout:0.5
       ~on_commit:(fun now _ ->
         incr commits;
@@ -194,7 +194,7 @@ let test_pbr_overlapped_state_transfer () =
 let chain_world ?(n_active = 3) () =
   let world : S.wire Engine.t = Engine.create ~seed:9 () in
   let cluster =
-    S.spawn_chain ~read_kinds:[ "balance" ] ~tun:fast_tun ~world
+    S.spawn_chain ~read_kinds:[ "balance" ] ~tun:fast_tun ~world:(Runtime.Of_sim.of_engine world)
       ~registry:Workload.Bank.registry ~setup ~n_active ~n_spare:1 ()
   in
   (world, cluster)
@@ -210,7 +210,7 @@ let test_chain_normal_case () =
   let world, cluster = chain_world () in
   let commits = ref 0 in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_pbr cluster) ~n:3 ~count:30
+    S.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~target:(S.To_pbr cluster) ~n:3 ~count:30
       ~make_txn:make_mixed ~retry_timeout:1.0
       ~on_commit:(fun _ _ -> incr commits)
       ()
@@ -239,7 +239,7 @@ let test_chain_tail_reply_implies_all_executed () =
   let violated = ref false in
   let head = List.hd cluster.S.pbr_replicas in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_pbr cluster) ~n:2 ~count:25
+    S.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~target:(S.To_pbr cluster) ~n:2 ~count:25
       ~make_txn:make_deposit ~retry_timeout:1.0
       ~on_commit:(fun _ _ ->
         incr max_seen;
@@ -256,7 +256,7 @@ let test_chain_head_crash_recovery () =
   let world, cluster = chain_world () in
   let commits = ref 0 in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_pbr cluster) ~n:3 ~count:2000
+    S.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~target:(S.To_pbr cluster) ~n:3 ~count:2000
       ~make_txn:make_deposit ~retry_timeout:0.5
       ~on_commit:(fun _ _ -> incr commits)
       ()
@@ -274,7 +274,7 @@ let test_chain_head_crash_recovery () =
 let smr_world ?(tun = fast_tun) () =
   let world : S.wire Engine.t = Engine.create ~seed:5 () in
   let cluster =
-    S.spawn_smr ~tun ~world ~registry:Workload.Bank.registry ~setup
+    S.spawn_smr ~tun ~world:(Runtime.Of_sim.of_engine world) ~registry:Workload.Bank.registry ~setup
       ~n_active:2 ()
   in
   (world, cluster)
@@ -283,7 +283,7 @@ let run_smr ?crash_at ~n_clients ~count () =
   let world, cluster = smr_world () in
   let commits = ref 0 in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_smr cluster) ~n:n_clients ~count
+    S.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~target:(S.To_smr cluster) ~n:n_clients ~count
       ~make_txn:make_deposit ~retry_timeout:1.0
       ~on_commit:(fun _ _ -> incr commits)
       ()
@@ -356,7 +356,7 @@ let prop_pbr_random_crash =
       let world, cluster = pbr_world () in
       let commits = ref 0 in
       let _, completed =
-        S.spawn_clients ~world ~target:(S.To_pbr cluster) ~n:2 ~count:2500
+        S.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~target:(S.To_pbr cluster) ~n:2 ~count:2500
           ~make_txn:make_deposit ~retry_timeout:0.5
           ~on_commit:(fun _ _ -> incr commits)
           ()
@@ -380,7 +380,7 @@ let prop_smr_random_crash =
       let world, cluster = smr_world () in
       let commits = ref 0 in
       let _, completed =
-        S.spawn_clients ~world ~target:(S.To_smr cluster) ~n:2 ~count:150
+        S.spawn_clients ~world:(Runtime.Of_sim.of_engine world) ~target:(S.To_smr cluster) ~n:2 ~count:150
           ~make_txn:make_deposit ~retry_timeout:0.5
           ~on_commit:(fun _ _ -> incr commits)
           ()

@@ -478,6 +478,51 @@ let prop_engine_deterministic_topologies =
       in
       run () = run ())
 
+(* The wan profile: delays land in tens of milliseconds, the finite
+   bandwidth term shows up for large messages, and the loss knob drops
+   messages end-to-end while lossless delivery still completes. *)
+let test_net_wan_profile () =
+  let wan = Sim.Net.wan () in
+  let rng = Prng.create 41 in
+  for _ = 1 to 100 do
+    let d = Sim.Net.delay wan rng ~size:64 in
+    Alcotest.(check bool)
+      "small-message delay in [40 ms, 51 ms)" true
+      (d >= 0.04 && d < 0.051)
+  done;
+  let rng = Prng.create 41 in
+  let small = Sim.Net.delay wan rng ~size:0 in
+  let rng = Prng.create 41 in
+  let big = Sim.Net.delay wan rng ~size:1_250_000 in
+  Alcotest.(check (float 1e-9))
+    "1.25 MB costs 100 ms of serialization at 12.5 MB/s" 0.1 (big -. small);
+  let run net =
+    let w = Engine.create ~seed:43 ~net () in
+    let got = ref 0 in
+    let echo =
+      Engine.spawn w ~name:"echo" (fun () _ctx -> function
+        | Engine.Recv _ -> incr got
+        | Engine.Init | Engine.Timer _ -> ())
+    in
+    let _sender =
+      Engine.spawn w ~name:"sender" (fun () ctx -> function
+        | Engine.Init -> for i = 1 to 50 do Engine.send ctx echo (string_of_int i) done
+        | Engine.Recv _ | Engine.Timer _ -> ())
+    in
+    Engine.run ~until:60.0 w;
+    (!got, Engine.now w)
+  in
+  let delivered, finished = run wan in
+  Alcotest.(check int) "lossless wan delivers everything" 50 delivered;
+  Alcotest.(check bool)
+    "wan messages took tens of ms" true
+    (finished >= 0.04 && finished < 1.0);
+  let delivered_lossy, _ = run (Sim.Net.wan ~loss:0.7 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss drops messages (got %d of 50)" delivered_lossy)
+    true
+    (delivered_lossy < 50)
+
 let prop_network_delay_positive =
   QCheck.Test.make ~name:"net delay is positive and size-monotone" ~count:100
     QCheck.(pair small_int small_int)
@@ -537,6 +582,7 @@ let () =
             test_engine_scheduler_reorders;
           Alcotest.test_case "scheduler preserves link fifo" `Quick
             test_engine_scheduler_preserves_link_fifo;
+          Alcotest.test_case "wan profile" `Quick test_net_wan_profile;
           qt prop_network_delay_positive;
           qt prop_engine_deterministic_topologies;
         ] );

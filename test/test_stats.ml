@@ -25,6 +25,33 @@ let test_sample_percentile () =
   check_float "p99" 99.0 (Stats.Sample.percentile s 99.0);
   check_float "p100" 100.0 (Stats.Sample.percentile s 100.0)
 
+(* Nearest-rank percentile edges: empty samples answer nan, a singleton
+   answers itself at every p, and p0/p50/p100 hit min/lower-median/max. *)
+let test_sample_percentile_edges () =
+  let empty = Stats.Sample.create () in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "empty p%.0f is nan" p)
+        true
+        (Float.is_nan (Stats.Sample.percentile empty p)))
+    [ 0.0; 50.0; 100.0 ];
+  let one = Stats.Sample.create () in
+  Stats.Sample.add one 42.0;
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "singleton p%.0f" p)
+        42.0
+        (Stats.Sample.percentile one p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  let pair = Stats.Sample.create () in
+  Stats.Sample.add pair 20.0;
+  Stats.Sample.add pair 10.0;
+  check_float "p0 is the minimum" 10.0 (Stats.Sample.percentile pair 0.0);
+  check_float "p50 is the lower median" 10.0 (Stats.Sample.percentile pair 50.0);
+  check_float "p100 is the maximum" 20.0 (Stats.Sample.percentile pair 100.0)
+
 let test_sample_stddev () =
   let s = Stats.Sample.create () in
   List.iter (Stats.Sample.add s) [ 2.0; 2.0; 2.0 ];
@@ -91,6 +118,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_sample_basic;
           Alcotest.test_case "empty" `Quick test_sample_empty;
           Alcotest.test_case "percentile" `Quick test_sample_percentile;
+          Alcotest.test_case "percentile edges" `Quick
+            test_sample_percentile_edges;
           Alcotest.test_case "stddev" `Quick test_sample_stddev;
           Alcotest.test_case "interleaved" `Quick
             test_sample_interleaved_queries;
