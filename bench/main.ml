@@ -6,10 +6,100 @@
 
    `dune exec bench/main.exe` runs everything at quick scale;
    `dune exec bench/main.exe -- --full` uses paper-scale parameters;
-   `dune exec bench/main.exe -- --skip-micro` omits the bechamel part. *)
+   `dune exec bench/main.exe -- --skip-micro` omits the bechamel part;
+   `dune exec bench/main.exe -- --json FILE` additionally runs the
+   perf-trajectory measurements (simulator events/sec, TOB transaction
+   throughput on the simulated and the live socket runtime, model-checker
+   schedules/sec) and writes every number to FILE as JSON, so successive
+   commits' files can be diffed. *)
 
 let quick = not (Array.exists (( = ) "--full") Sys.argv)
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+
+let json_file =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Hand-rolled JSON emitter (no external dependency)                   *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  (* NaN / infinities (e.g. a failed OLS fit) have no JSON encoding. *)
+  let num x = if Float.is_finite x then Num x else Null
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf indent = function
+    | Null -> Buffer.add_string buf "null"
+    | Num x ->
+        let s = Printf.sprintf "%.6g" x in
+        Buffer.add_string buf s
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf pad;
+            emit buf (indent + 2) item)
+          items;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf pad;
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\": ";
+            emit buf (indent + 2) v)
+          fields;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_char buf '}'
+
+  let to_file file t =
+    let buf = Buffer.create 4096 in
+    emit buf 0 t;
+    Buffer.add_char buf '\n';
+    let oc = open_out file in
+    output_string oc (Buffer.contents buf);
+    close_out oc
+end
 
 (* ------------------------------------------------------------------ *)
 (* Paper tables and figures                                            *)
@@ -114,9 +204,27 @@ let bench_codec =
       params = [ Storage.Value.Int 17; Storage.Value.Int 100 ];
     }
   in
-  Test.make ~name:"txn-codec-roundtrip"
-    (Staged.stage (fun () ->
-         Shadowdb.Codec.decode_txn (Shadowdb.Codec.encode_txn txn)))
+  let batch =
+    List.init 64 (fun i ->
+        {
+          Broadcast.Tob.origin = i mod 5;
+          id = i;
+          payload = Shadowdb.Codec.encode_txn txn;
+        })
+  in
+  let batch_bytes = Shadowdb.Codec.encode_batch batch in
+  Test.make_grouped ~name:"codec"
+    [
+      Test.make ~name:"txn-codec-roundtrip"
+        (Staged.stage (fun () ->
+             Shadowdb.Codec.decode_txn (Shadowdb.Codec.encode_txn txn)));
+      Test.make ~name:"batch-codec-roundtrip"
+        (Staged.stage (fun () ->
+             Shadowdb.Codec.decode_batch
+               (Shadowdb.Codec.encode_batch batch)));
+      Test.make ~name:"batch-decode"
+        (Staged.stage (fun () -> Shadowdb.Codec.decode_batch batch_bytes));
+    ]
 
 let bench_paxos_step =
   Test.make ~name:"paxos-acceptor-step"
@@ -167,28 +275,209 @@ let run_micro () =
         in
         (name, ns) :: acc)
       results []
-    |> List.sort compare
+    (* Numeric order, cheapest first; failed fits (no estimate) last. *)
+    |> List.sort (fun (n1, v1) (n2, v2) ->
+           match (Float.is_nan v1, Float.is_nan v2) with
+           | true, true -> compare n1 n2
+           | true, false -> 1
+           | false, true -> -1
+           | false, false ->
+               let c = Float.compare v1 v2 in
+               if c <> 0 then c else compare n1 n2)
   in
   Stats.Table.print_table ~title:"micro-benchmarks (monotonic clock)"
     ~header:[ "benchmark"; "ns/run" ]
-    (List.map (fun (n, v) -> [ n; Stats.Table.fmt_f v ]) rows)
+    (List.map
+       (fun (n, v) ->
+         [ n; (if Float.is_nan v then "n/a" else Stats.Table.fmt_f v) ])
+       rows);
+  rows
 
 let run_ablations () =
   print_endline "\n########################################################";
   print_endline "# Virtual-time ablations (DESIGN.md design choices)    #";
   print_endline "########################################################";
-  Harness.Ablations.print ~title:"ablation — broadcast batching"
-    (Harness.Ablations.batching ());
-  Harness.Ablations.print ~title:"ablation — consensus module under the TOB"
-    (Harness.Ablations.consensus_modules ());
-  Harness.Ablations.print ~title:"ablation — lock granularity under contention"
-    (Harness.Ablations.lock_granularity ());
-  Harness.Ablations.print
-    ~title:"extension — replication styles over the same substrate"
-    (Harness.Ablations.replication_styles ())
+  let sections =
+    [
+      ("ablation — broadcast batching", Harness.Ablations.batching ());
+      ( "ablation — consensus pipelining window",
+        Harness.Ablations.pipelining () );
+      ( "ablation — consensus module under the TOB",
+        Harness.Ablations.consensus_modules () );
+      ( "ablation — lock granularity under contention",
+        Harness.Ablations.lock_granularity () );
+      ( "extension — replication styles over the same substrate",
+        Harness.Ablations.replication_styles () );
+    ]
+  in
+  List.iter (fun (title, pts) -> Harness.Ablations.print ~title pts) sections;
+  sections
+
+(* ------------------------------------------------------------------ *)
+(* Perf trajectory (--json): wall-clock throughput of the hot paths    *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Sim.Engine
+module Sdb = Shadowdb.System.Make (Consensus.Paxos)
+
+let bank_rows = 1_000
+
+let make_deposit ~client ~seq =
+  Workload.Bank.deposit
+    ~account:(abs (Hashtbl.hash (client, seq)) mod bank_rows)
+    ~amount:1
+
+(* SMR bank cluster on the simulator: every transaction goes through the
+   TOB, so committed/s (virtual) is the broadcast service's transaction
+   throughput, and processed events over wall-clock time is the simulator
+   engine's raw speed. *)
+let measure_sim () =
+  let world : Sdb.wire Engine.t = Engine.create ~seed:101 () in
+  let rworld = Runtime.Of_sim.of_engine world in
+  let commits = ref 0 in
+  let last = ref 0.0 in
+  let cluster =
+    Sdb.spawn_smr ~world:rworld ~registry:Workload.Bank.registry
+      ~setup:(Workload.Bank.setup ~rows:bank_rows)
+      ~n_active:2 ()
+  in
+  let _, _ =
+    Sdb.spawn_clients ~world:rworld ~target:(Sdb.To_smr cluster) ~n:8
+      ~count:(if quick then 150 else 1_000)
+      ~make_txn:make_deposit ~retry_timeout:4.0
+      ~on_commit:(fun now _ ->
+        incr commits;
+        last := now)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  Engine.run ~until:3600.0 ~max_events:100_000_000 world;
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = Engine.events_processed world in
+  ( float_of_int events /. wall,
+    if !last > 0.0 then float_of_int !commits /. !last else nan )
+
+(* The same cluster as a real process group over loopback TCP: committed
+   transactions per wall-clock second. *)
+let measure_live () =
+  let codec =
+    Sdb.wire_codec ~enc_core:Shadowdb.Codec.encode_core_paxos
+      ~dec_core:Shadowdb.Codec.decode_core_paxos
+  in
+  let live = Runtime.Live.create ~codec () in
+  let world = Runtime.Live.runtime live in
+  let mu = Mutex.create () in
+  let commits = ref 0 in
+  let cluster =
+    Sdb.spawn_smr ~world ~registry:Workload.Bank.registry
+      ~setup:(Workload.Bank.setup ~rows:bank_rows)
+      ~n_active:2 ()
+  in
+  let n_clients = 4 and count = if quick then 50 else 250 in
+  let _, completed =
+    Sdb.spawn_clients ~world ~target:(Sdb.To_smr cluster) ~n:n_clients ~count
+      ~make_txn:make_deposit ~retry_timeout:4.0
+      ~on_commit:(fun _ _ ->
+        Mutex.lock mu;
+        incr commits;
+        Mutex.unlock mu)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  Runtime.Live.start live;
+  let finished =
+    Runtime.Live.await ~timeout:120.0 live (fun () ->
+        completed () >= n_clients)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Runtime.Live.stop live;
+  if (not finished) || wall <= 0.0 then nan
+  else float_of_int !commits /. wall
+
+(* Model-checker schedule throughput on the two hot scenarios. *)
+let measure_check () =
+  let budget = if quick then 300 else 2_000 in
+  List.map
+    (fun (name, sc) ->
+      let t0 = Unix.gettimeofday () in
+      let r = Check.Explore.random_walk sc ~seed:7 ~budget () in
+      let wall = Unix.gettimeofday () -. t0 in
+      ignore r.Check.Explore.violation;
+      (name, float_of_int budget /. wall))
+    [ ("paxos", Check.Scenarios.paxos); ("tob", Check.Scenarios.tob) ]
+
+let run_trajectory () =
+  print_endline "\n########################################################";
+  print_endline "# Perf trajectory (wall-clock hot-path throughput)     #";
+  print_endline "########################################################";
+  let events_per_sec, sim_txns = measure_sim () in
+  let live_txns = measure_live () in
+  let check_rates = measure_check () in
+  Stats.Table.print_table ~title:"perf trajectory"
+    ~header:[ "measure"; "value" ]
+    ([
+       [ "sim engine events/s (wall)"; Stats.Table.fmt_f events_per_sec ];
+       [ "tob txns/s (sim, virtual)"; Stats.Table.fmt_f sim_txns ];
+       [ "tob txns/s (live, wall)"; Stats.Table.fmt_f live_txns ];
+     ]
+    @ List.map
+        (fun (n, v) ->
+          [ Printf.sprintf "check %s schedules/s" n; Stats.Table.fmt_f v ])
+        check_rates);
+  (events_per_sec, sim_txns, live_txns, check_rates)
 
 let () =
   run_paper_experiments ();
-  run_ablations ();
-  if not skip_micro then run_micro ();
+  let ablations = run_ablations () in
+  let micro = if skip_micro then [] else run_micro () in
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      let events_per_sec, sim_txns, live_txns, check_rates =
+        run_trajectory ()
+      in
+      let json =
+        Json.Obj
+          [
+            ("suite", Json.Str "shadowdb-bench");
+            ("scale", Json.Str (if quick then "quick" else "full"));
+            ( "micro_ns_per_run",
+              Json.Arr
+                (List.map
+                   (fun (name, ns) ->
+                     Json.Obj
+                       [ ("name", Json.Str name); ("ns", Json.num ns) ])
+                   micro) );
+            ( "sim",
+              Json.Obj
+                [
+                  ("engine_events_per_sec", Json.num events_per_sec);
+                  ("tob_txns_per_sec", Json.num sim_txns);
+                ] );
+            ("live", Json.Obj [ ("tob_txns_per_sec", Json.num live_txns) ]);
+            ( "check_schedules_per_sec",
+              Json.Obj (List.map (fun (n, v) -> (n, Json.num v)) check_rates)
+            );
+            ( "ablations",
+              Json.Obj
+                (List.map
+                   (fun (title, pts) ->
+                     ( title,
+                       Json.Arr
+                         (List.map
+                            (fun p ->
+                              Json.Obj
+                                [
+                                  ("label", Json.Str p.Harness.Ablations.label);
+                                  ( "throughput_per_sec",
+                                    Json.num p.Harness.Ablations.throughput );
+                                  ( "latency_ms",
+                                    Json.num p.Harness.Ablations.latency_ms );
+                                ])
+                            pts) ))
+                   ablations) );
+          ]
+      in
+      Json.to_file file json;
+      Printf.printf "\nbench: wrote %s\n" file);
   print_endline "\nbench: done."

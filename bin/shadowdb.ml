@@ -48,23 +48,27 @@ let workload_parts = function
             ~h_id:((client * 1_000_000) + seq)),
         [ "order_status"; "stock_level" ] )
 
-let spawn_cluster mode ~read_kinds ~backends ~world ~registry ~setup =
+let spawn_cluster mode ~window ~read_kinds ~backends ~world ~registry ~setup =
   match mode with
   | Pbr ->
       let c =
-        S.spawn_pbr ~backends ~world ~registry ~setup ~n_active:2 ~n_spare:1 ()
+        S.spawn_pbr ~backends ~tob_window:window ~world ~registry ~setup
+          ~n_active:2 ~n_spare:1 ()
       in
       ("primary-backup (2 active + 1 spare)", S.To_pbr c, c.S.pbr_replicas,
        c.S.pbr_gseq_of, c.S.pbr_hash_of)
   | Chain ->
       let c =
-        S.spawn_chain ~read_kinds ~backends ~world ~registry ~setup
-          ~n_active:3 ~n_spare:1 ()
+        S.spawn_chain ~read_kinds ~backends ~tob_window:window ~world
+          ~registry ~setup ~n_active:3 ~n_spare:1 ()
       in
       ("chain (3 links + 1 spare)", S.To_pbr c, c.S.pbr_replicas,
        c.S.pbr_gseq_of, c.S.pbr_hash_of)
   | Smr ->
-      let c = S.spawn_smr ~backends ~world ~registry ~setup ~n_active:2 () in
+      let c =
+        S.spawn_smr ~backends ~tob_window:window ~world ~registry ~setup
+          ~n_active:2 ()
+      in
       ("state machine replication (2 of 3)", S.To_smr c, c.S.smr_nodes,
        c.S.smr_gseq_of, c.S.smr_hash_of)
 
@@ -95,13 +99,14 @@ let report ~clients ~completed ~commits ~elapsed ~latencies ~alive ~gseq_of
   Printf.printf "agreement  : %b\n"
     (match hashes with h :: t -> List.for_all (( = ) h) t | [] -> true)
 
-let run_sim mode wl clients count crash_at seed diverse =
+let run_sim mode wl clients count crash_at seed diverse window =
   let world : S.wire Engine.t = Engine.create ~seed () in
   let rworld = Runtime.Of_sim.of_engine world in
   let registry, setup, make_txn, read_kinds = workload_parts wl in
   let backends = backends_of diverse in
   let describe, target, replicas, gseq_of, hash_of =
-    spawn_cluster mode ~read_kinds ~backends ~world:rworld ~registry ~setup
+    spawn_cluster mode ~window ~read_kinds ~backends ~world:rworld ~registry
+      ~setup
   in
   let latencies = Stats.Sample.create () in
   let commits = ref 0 in
@@ -148,7 +153,7 @@ let run_sim mode wl clients count crash_at seed diverse =
    own TCP listener, messages are framed Codec bytes over loopback
    sockets, timers run on the wall clock. Same protocol code as the
    simulation — only the runtime underneath changes. *)
-let run_live mode wl clients count crash_at diverse =
+let run_live mode wl clients count crash_at diverse window =
   (match crash_at with
   | Some _ ->
       Printf.eprintf "shadowdb: --crash-at is simulator-only; ignoring\n%!"
@@ -162,7 +167,7 @@ let run_live mode wl clients count crash_at diverse =
   let registry, setup, make_txn, read_kinds = workload_parts wl in
   let backends = backends_of diverse in
   let describe, target, replicas, gseq_of, hash_of =
-    spawn_cluster mode ~read_kinds ~backends ~world ~registry ~setup
+    spawn_cluster mode ~window ~read_kinds ~backends ~world ~registry ~setup
   in
   let latencies = Stats.Sample.create () in
   let mu = Mutex.create () in
@@ -199,10 +204,10 @@ let run_live mode wl clients count crash_at diverse =
     ~latencies ~alive:replicas ~gseq_of ~hash_of ~unit_label:"wall-clock";
   if not finished then exit 1
 
-let run_cluster runtime mode wl clients count crash_at seed diverse =
+let run_cluster runtime mode wl clients count crash_at seed diverse window =
   match runtime with
-  | Rt_sim -> run_sim mode wl clients count crash_at seed diverse
-  | Rt_live -> run_live mode wl clients count crash_at diverse
+  | Rt_sim -> run_sim mode wl clients count crash_at seed diverse window
+  | Rt_live -> run_live mode wl clients count crash_at diverse window
 
 let sql_shell backend =
   let kind =
@@ -263,11 +268,19 @@ let run_cmd =
   let diverse =
     Arg.(value & flag & info [ "diverse" ] ~doc:"Deploy diverse storage backends.")
   in
+  let window =
+    Arg.(
+      value & opt int 1
+      & info [ "window" ]
+          ~doc:
+            "Broadcast-service pipelining window: batches a member may \
+             have in flight through consensus at once.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Deploy a replicated database and drive a workload.")
     Term.(
       const run_cluster $ runtime $ mode $ wl $ clients $ count $ crash $ seed
-      $ diverse)
+      $ diverse $ window)
 
 let sql_cmd =
   let backend =

@@ -18,8 +18,8 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     | T.Core _ -> 256 (* consensus messages carry batches; flat estimate *)
 
   let spawn ?(costs = default_costs) ?(profile = Gpm.Engine_profile.Compiled)
-      ?batch_cap ?suspect_timeout ~world ~inj ~prj ~inj_notify ~n ~subscribers
-      () =
+      ?batch_cap ?window ?suspect_timeout ~world ~inj ~prj ~inj_notify ~n
+      ~subscribers () =
     let lat_f = Gpm.Engine_profile.cpu_factor profile in
     let data_f = Gpm.Engine_profile.data_factor profile in
     let members = ref [] in
@@ -27,8 +27,8 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       {
         R.Proc.init =
           (fun ~self ~now:_ ->
-            T.create ?batch_cap ?suspect_timeout ~self ~members:!members
-              ~subscribers:(subscribers ()) ());
+            T.create ?batch_cap ?window ?suspect_timeout ~self
+              ~members:!members ~subscribers:(subscribers ()) ());
         start = T.start;
         recv = T.recv;
         tick = (fun t ~now ~tag:_ -> T.tick t ~now);

@@ -28,6 +28,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     ?costs:costs ->
     ?profile:Gpm.Engine_profile.t ->
     ?batch_cap:int ->
+    ?window:int ->
     ?suspect_timeout:float ->
     world:'w Runtime.t ->
     inj:(T.msg -> 'w) ->

@@ -24,27 +24,29 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     members : loc list;
     subscribers : loc list;
     batch_cap : int;
+    window : int;  (* max batches in flight through consensus at once *)
     suspect_timeout : float;
     core : batch C.t;
     pending : entry list;  (* accumulated, newest last *)
-    awaiting : batch option;  (* our batch in flight through consensus *)
+    awaiting : batch list;  (* our batches in flight, oldest first *)
     seqno : int;
     seen : Key_set.t;  (* (origin, id) of delivered entries *)
     delivered_log : entry list;  (* reverse delivery order *)
     last_progress : float;
   }
 
-  let create ?(batch_cap = 64) ?(suspect_timeout = 0.5) ~self ~members
-      ~subscribers () =
+  let create ?(batch_cap = 64) ?(window = 1) ?(suspect_timeout = 0.5) ~self
+      ~members ~subscribers () =
     {
       self;
       members;
       subscribers;
       batch_cap;
+      window = max 1 window;
       suspect_timeout;
       core = C.create ~self ~members;
       pending = [];
-      awaiting = None;
+      awaiting = [];
       seqno = 0;
       seen = Key_set.empty;
       delivered_log = [];
@@ -83,6 +85,15 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           (t, acts @ List.map (fun s -> Notify (s, d)) t.subscribers))
       (t, []) batch
 
+  (* Drop the first occurrence of [batch] from the in-flight list, if
+     present. Decisions arrive in slot order and our proposals take slots
+     in propose order, so a decided batch of ours is normally the head —
+     but a proposal that lost its slot is re-proposed by the core and may
+     decide later, so we scan the whole list. *)
+  let rec remove_awaiting batch = function
+    | [] -> []
+    | b :: rest -> if b = batch then rest else b :: remove_awaiting batch rest
+
   let rec integrate t now core_acts acts =
     match core_acts with
     | [] -> maybe_propose t acts
@@ -92,24 +103,23 @@ module Make (C : Consensus.Consensus_intf.S) = struct
         integrate t now rest (acts @ [ Set_timer d ])
     | Consensus.Consensus_intf.Deliver { s = _; c = batch } :: rest ->
         let t = { t with last_progress = now } in
-        let t =
-          match t.awaiting with
-          | Some mine when mine = batch -> { t with awaiting = None }
-          | Some _ | None -> t
-        in
+        let t = { t with awaiting = remove_awaiting batch t.awaiting } in
         let t, notifies = deliver_batch t batch in
         integrate t now rest (acts @ notifies)
 
+  (* Propose batches while the pipeline window has room. Each propose
+     recurses through [integrate], which lands back here, so a window of k
+     opens up to k slots in one step. *)
   and maybe_propose t acts =
-    match (t.awaiting, t.pending) with
-    | Some _, _ | None, [] -> (t, acts)
-    | None, pending ->
-        let batch, rest = take t.batch_cap pending in
-        let t = { t with awaiting = Some batch; pending = rest } in
-        let core, core_acts = C.propose t.core batch in
-        (* Proposing cannot itself deliver our fresh batch synchronously in
-           any sensible core, but integrate handles it uniformly anyway. *)
-        integrate { t with core } t.last_progress core_acts acts
+    if t.pending = [] || List.length t.awaiting >= t.window then (t, acts)
+    else begin
+      let batch, rest = take t.batch_cap t.pending in
+      let t = { t with awaiting = t.awaiting @ [ batch ]; pending = rest } in
+      let core, core_acts = C.propose t.core batch in
+      (* Proposing cannot itself deliver our fresh batch synchronously in
+         any sensible core, but integrate handles it uniformly anyway. *)
+      integrate { t with core } t.last_progress core_acts acts
+    end
 
   let start t ~now =
     let core, core_acts = C.start t.core in
@@ -130,7 +140,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
      takeover / retransmission), then re-arm the heartbeat. *)
   let tick t ~now =
     let stuck =
-      t.awaiting <> None && now -. t.last_progress > t.suspect_timeout
+      t.awaiting <> [] && now -. t.last_progress > t.suspect_timeout
     in
     let t, acts =
       if stuck then begin

@@ -6,9 +6,14 @@
     {!Make} with {!Consensus.Paxos} or {!Consensus.Twothird_multi}.
 
     Messages submitted by clients are accumulated and proposed as batches
-    (one outstanding batch per member at a time — the paper's batching
-    optimization); decided batches are unfolded into individually
-    sequence-numbered deliveries, deduplicated by (origin, id). *)
+    (the paper's batching optimization); decided batches are unfolded into
+    individually sequence-numbered deliveries, deduplicated by
+    (origin, id). A member keeps up to [window] batches in flight through
+    consensus at once (default 1 — the paper's one-outstanding-batch
+    regime); pipelining is safe because both consensus cores decide
+    per-slot and release decisions strictly in slot order, so total order
+    is fixed by slot assignment regardless of how many proposals any
+    member has outstanding. *)
 
 type loc = int
 
@@ -35,6 +40,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
 
   val create :
     ?batch_cap:int ->
+    ?window:int ->
     ?suspect_timeout:float ->
     self:loc ->
     members:loc list ->
@@ -43,6 +49,8 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     t
   (** [subscribers] receive a [Notify] for every delivered message.
       [batch_cap] bounds entries per proposal (default 64).
+      [window] is the number of batches this member may have in flight
+      through consensus simultaneously (default 1; clamped to [>= 1]).
       [suspect_timeout] is the no-progress interval after which the member
       prods the consensus core (leader re-election / retransmission;
       default 0.5 s). *)

@@ -83,6 +83,11 @@ let paxos : Scenario.t =
       ]
     in
     let states : string Consensus.Paxos.t option array = Array.make nodes None in
+    (* Deep-hashing a member's consensus state is the expensive part of a
+       fingerprint; between choice points at most a couple of members
+       change, so cache each member's digest and re-hash lazily. *)
+    let state_h = Array.make nodes 0 in
+    let state_dirty = Array.make nodes true in
     let n_decided = ref 0 in
     let observe d =
       incr n_decided;
@@ -99,6 +104,7 @@ let paxos : Scenario.t =
                 let apply (t, acts) =
                   st := Some t;
                   states.(self) <- Some t;
+                  state_dirty.(self) <- true;
                   List.iter
                     (function
                       | Consensus.Consensus_intf.Send (dst, m) ->
@@ -155,12 +161,15 @@ let paxos : Scenario.t =
             | Engine.Recv _ -> ())
     in
     let fingerprint () =
-      let h =
-        Array.fold_left
-          (fun h st -> Fingerprint.value h st)
-          Fingerprint.empty states
-      in
-      Fingerprint.int h (Engine.in_flight_fingerprint world)
+      let h = ref Fingerprint.empty in
+      for i = 0 to nodes - 1 do
+        if state_dirty.(i) then begin
+          state_h.(i) <- Fingerprint.value 0 states.(i);
+          state_dirty.(i) <- false
+        end;
+        h := Fingerprint.int !h state_h.(i)
+      done;
+      Fingerprint.int !h (Engine.in_flight_fingerprint world)
     in
     let done_ () = !n_decided >= nodes * List.length cmds in
     running ~world ~sched
@@ -181,7 +190,10 @@ module Sh = Broadcast.Shell.Make (Consensus.Paxos)
 
 type tob_wire = T_svc of Sh.T.msg | T_note of Broadcast.Tob.deliver
 
-let tob : Scenario.t =
+(* [window] is the broadcast service's consensus pipelining window; the
+   w2/w4 variants check that the total-order monitors still hold when
+   members keep several batches in flight through consensus at once. *)
+let tob_scenario ~name ~window : Scenario.t =
   let nodes = 3 in
   let n_clients = 2 and per_client = 3 in
   let total = n_clients * per_client in
@@ -195,11 +207,15 @@ let tob : Scenario.t =
         Monitor.tob_no_dup ();
       ]
     in
-    let obs = ref [] in
+    (* Order-independent running digest of all observations: fingerprints
+       are taken at every choice point, so they must not re-walk the
+       observation history (Fingerprint.unordered over a sum is O(1) to
+       maintain per observation). *)
+    let obs_digest = ref 0 in
     let delivered_by : (int, int) Hashtbl.t = Hashtbl.create 8 in
     let subs = ref [] in
     let members =
-      Sh.spawn ~world:(Runtime.Of_sim.of_engine world)
+      Sh.spawn ~window ~world:(Runtime.Of_sim.of_engine world)
         ~inj:(fun m -> T_svc m)
         ~prj:(function T_svc m -> Some m | T_note _ -> None)
         ~inj_notify:(fun d -> T_note d)
@@ -213,9 +229,12 @@ let tob : Scenario.t =
           fun _ctx -> function
             | Engine.Recv { src; msg = T_note d } ->
                 let e = d.Broadcast.Tob.entry in
-                obs :=
-                  (src, d.Broadcast.Tob.seqno, e.Broadcast.Tob.origin, e.id)
-                  :: !obs;
+                obs_digest :=
+                  (!obs_digest
+                  + Hashtbl.hash
+                      (src, d.Broadcast.Tob.seqno, e.Broadcast.Tob.origin, e.id)
+                  )
+                  land max_int;
                 Hashtbl.replace delivered_by src
                   (1 + Option.value (Hashtbl.find_opt delivered_by src) ~default:0);
                 List.iter (fun m -> Monitor.observe m (src, d)) monitors
@@ -261,12 +280,9 @@ let tob : Scenario.t =
     in
     subs := observer :: clients;
     let fingerprint () =
-      let h =
-        Fingerprint.list Fingerprint.empty
-          (fun h o -> Fingerprint.value h o)
-          (List.sort compare !obs)
-      in
-      Fingerprint.int h (Engine.in_flight_fingerprint world)
+      Fingerprint.int
+        (Fingerprint.int Fingerprint.empty !obs_digest)
+        (Engine.in_flight_fingerprint world)
     in
     let done_ () =
       List.exists (Engine.is_alive world) members
@@ -284,7 +300,11 @@ let tob : Scenario.t =
       ~check:(check_of monitors)
       ~finish:(fun () -> List.iter Monitor.finish monitors)
   in
-  { Scenario.name = "tob"; nodes; make }
+  { Scenario.name = name; nodes; make }
+
+let tob = tob_scenario ~name:"tob" ~window:1
+let tob_w2 = tob_scenario ~name:"tob-w2" ~window:2
+let tob_w4 = tob_scenario ~name:"tob-w4" ~window:4
 
 (* ---------------------------------------------------------------------- *)
 (* ShadowDB primary-backup and SMR clusters running the bank workload.    *)
@@ -430,11 +450,12 @@ let pbr : Scenario.t =
     ~executes:(fun _ _ -> true)
     3
 
-let smr : Scenario.t =
-  db_scenario ~name:"smr"
+let smr_scenario ~name ~window : Scenario.t =
+  db_scenario ~name
     ~spawn:(fun world ->
       Sdb.To_smr
-        (Sdb.spawn_smr ~tun:fast_tun ~world ~registry:Workload.Bank.registry
+        (Sdb.spawn_smr ~tun:fast_tun ~tob_window:window ~world
+           ~registry:Workload.Bank.registry
            ~setup:(Workload.Bank.setup ~rows:bank_rows)
            ~n_active:2 ()))
     ~replicas_of:(function
@@ -455,6 +476,10 @@ let smr : Scenario.t =
       | Sdb.To_pbr _ -> false)
     3
 
+let smr = smr_scenario ~name:"smr" ~window:1
+let smr_w2 = smr_scenario ~name:"smr-w2" ~window:2
+let smr_w4 = smr_scenario ~name:"smr-w4" ~window:4
+
 (* ---------------------------------------------------------------------- *)
 (* Buggy: a deliberately broken "broadcast" (clients send to each member  *)
 (* individually; members deliver in arrival order, so there is no total   *)
@@ -473,7 +498,8 @@ let buggy : Scenario.t =
     let world : buggy_wire Engine.t = Engine.create ~seed ~net () in
     Sched.install sched world;
     let monitors = [ Monitor.tob_total_order () ] in
-    let obs = ref [] in
+    let n_obs = ref 0 in
+    let obs_digest = ref 0 in
     let member_ids =
       List.init nodes (fun i ->
           Engine.spawn world ~name:(Printf.sprintf "mem%d" i) (fun () ->
@@ -484,7 +510,11 @@ let buggy : Scenario.t =
                       { Broadcast.Tob.seqno = !counter; entry = e }
                     in
                     incr counter;
-                    obs := (Engine.self ctx, d.Broadcast.Tob.seqno) :: !obs;
+                    incr n_obs;
+                    obs_digest :=
+                      (!obs_digest
+                      + Hashtbl.hash (Engine.self ctx, d.Broadcast.Tob.seqno))
+                      land max_int;
                     List.iter
                       (fun m -> Monitor.observe m (Engine.self ctx, d))
                       monitors
@@ -509,14 +539,11 @@ let buggy : Scenario.t =
                 | _ -> ()))
     in
     let fingerprint () =
-      let h =
-        Fingerprint.list Fingerprint.empty
-          (fun h o -> Fingerprint.value h o)
-          (List.sort compare !obs)
-      in
-      Fingerprint.int h (Engine.in_flight_fingerprint world)
+      Fingerprint.int
+        (Fingerprint.int Fingerprint.empty !obs_digest)
+        (Engine.in_flight_fingerprint world)
     in
-    let done_ () = List.length !obs >= nodes * n_clients in
+    let done_ () = !n_obs >= nodes * n_clients in
     running ~world ~sched
       ~step:(bounded_step world ~horizon:1.0 ~max_events:200 ~done_)
       ~fingerprint
@@ -528,6 +555,6 @@ let buggy : Scenario.t =
 
 (* ---------------------------------------------------------------------- *)
 
-let all = [ paxos; tob; pbr; smr; buggy ]
+let all = [ paxos; tob; tob_w2; tob_w4; pbr; smr; smr_w2; smr_w4; buggy ]
 let find name = List.find_opt (fun s -> s.Scenario.name = name) all
 let names = List.map (fun s -> s.Scenario.name) all

@@ -9,7 +9,7 @@ module Tob_load (C : Consensus.Consensus_intf.S) = struct
 
   type wire = Svc of Shell.T.msg | Note of Tob.deliver
 
-  let run ?batch_cap ~n_members ~n_clients ~msgs_per_client () =
+  let run ?batch_cap ?window ~n_members ~n_clients ~msgs_per_client () =
     let world : wire Engine.t = Engine.create ~seed:47 () in
     let latencies = Stats.Sample.create () in
     let last = ref 0.0 in
@@ -47,7 +47,7 @@ module Tob_load (C : Consensus.Consensus_intf.S) = struct
       id
     in
     let svc =
-      Shell.spawn ?batch_cap ~world:(Runtime.Of_sim.of_engine world)
+      Shell.spawn ?batch_cap ?window ~world:(Runtime.Of_sim.of_engine world)
         ~inj:(fun m -> Svc m)
         ~prj:(function Svc m -> Some m | Note _ -> None)
         ~inj_notify:(fun d -> Note d)
@@ -77,6 +77,23 @@ let batching ?(clients = 24) ?(msgs_per_client = 80) () =
     { label = "batching on (cap 64)"; throughput = t1; latency_ms = l1 };
     { label = "batching off (cap 1)"; throughput = t2; latency_ms = l2 };
   ]
+
+(* Consensus pipelining: batches a member may have in flight at once.
+   Batching is forced off (cap 1) so every entry is its own consensus
+   instance — the backlog that a window > 1 can overlap. *)
+let pipelining ?(clients = 24) ?(msgs_per_client = 80) () =
+  List.map
+    (fun w ->
+      let t, l =
+        Paxos_load.run ~batch_cap:1 ~window:w ~n_members:3 ~n_clients:clients
+          ~msgs_per_client ()
+      in
+      {
+        label = Printf.sprintf "pipelining window %d" w;
+        throughput = t;
+        latency_ms = l;
+      })
+    [ 1; 2; 4 ]
 
 let consensus_modules ?(clients = 16) ?(msgs_per_client = 80) () =
   let t1, l1 =

@@ -3,6 +3,7 @@
 
     - batching on/off in the broadcast service (the paper credits batching
       for the compiled service's 900 msgs/s);
+    - consensus pipelining window (1, 2, 4 batches in flight per member);
     - the consensus module under the broadcast service (Paxos-Synod vs
       TwoThird — the paper's modularity claim, Sec. II-D);
     - lock granularity under contention (table vs row — the mechanism
@@ -13,6 +14,11 @@ type point = { label : string; throughput : float; latency_ms : float }
 val batching : ?clients:int -> ?msgs_per_client:int -> unit -> point list
 (** Compiled broadcast service with the default batch cap vs forced
     batches of one. *)
+
+val pipelining : ?clients:int -> ?msgs_per_client:int -> unit -> point list
+(** Broadcast service with consensus pipelining windows 1, 2 and 4 —
+    batches a member may have in flight through consensus at once —
+    with batching forced off so the backlog is visible. *)
 
 val consensus_modules : ?clients:int -> ?msgs_per_client:int -> unit -> point list
 (** The same broadcast workload over the Paxos core (3 members, f = 1)

@@ -1,128 +1,202 @@
 module Value = Storage.Value
 
-let buf_add_str buf s =
-  Buffer.add_string buf (string_of_int (String.length s));
-  Buffer.add_char buf ':';
+(* v2 wire format (binary).
+
+   Encoding appends to a single [Buffer] threaded through every encoder:
+   no intermediate per-field strings. Decoding walks a cursor (immutable
+   string + mutable position): no per-field tail copies, so decoding a
+   batch is O(bytes), not O(bytes²).
+
+   Primitives:
+   - ints: zigzag-mapped LEB128 varints (1 byte for small magnitudes,
+     self-delimiting, so any truncation mid-int is detected);
+   - strings: varint byte-length followed by the raw bytes;
+   - floats: 8-byte little-endian IEEE 754 bit patterns (exact);
+   - constructors: one ASCII tag byte, kept from v1 for debuggability.
+
+   Decode errors are a private exception caught at the public API
+   boundary, where the remaining input is either returned (streaming
+   decoders) or required to be empty (whole-buffer decoders). *)
+
+exception Bad of string
+
+let bad msg = raise (Bad msg)
+
+type cur = { s : string; mutable pos : int }
+
+let cur s = { s; pos = 0 }
+let remaining c = String.length c.s - c.pos
+let rest_of c = String.sub c.s c.pos (remaining c)
+
+let read_char c =
+  if c.pos >= String.length c.s then bad "truncated input"
+  else begin
+    let ch = c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    ch
+  end
+
+(* Zigzag folds the sign into the low bit so small negative ints stay
+   short; [asr 62] is the sign fill of OCaml's 63-bit native int. *)
+let add_varint buf n =
+  let u = ref ((n lsl 1) lxor (n asr 62)) in
+  while !u lsr 7 <> 0 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!u land 0x7f)));
+    u := !u lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !u)
+
+let read_varint c =
+  let acc = ref 0 and shift = ref 0 and cont = ref true in
+  while !cont do
+    if !shift >= 63 then bad "varint too long";
+    let b = Char.code (read_char c) in
+    acc := !acc lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then cont := false
+  done;
+  (!acc lsr 1) lxor - (!acc land 1)
+
+let add_str buf s =
+  add_varint buf (String.length s);
   Buffer.add_string buf s
+
+let read_str c =
+  let len = read_varint c in
+  if len < 0 then bad "negative string length";
+  if remaining c < len then bad "truncated string";
+  let s = String.sub c.s c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let add_float buf f = Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+let read_float c =
+  if remaining c < 8 then bad "truncated float";
+  let bits = String.get_int64_le c.s c.pos in
+  c.pos <- c.pos + 8;
+  Int64.float_of_bits bits
+
+let add_list add buf l =
+  add_varint buf (List.length l);
+  List.iter (add buf) l
+
+let read_list read c =
+  let n = read_varint c in
+  if n < 0 then bad "negative list length";
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else
+      let v = read c in
+      go (n - 1) (v :: acc)
+  in
+  go n []
+
+(* Wraps a cursor reader into a whole-buffer decoder: all bytes must be
+   consumed, errors become [Error _]. *)
+let whole name read s =
+  try
+    let c = cur s in
+    let v = read c in
+    if remaining c <> 0 then bad ("trailing bytes after " ^ name);
+    Ok v
+  with Bad e -> Error e
+
+(* Wraps a cursor reader into a streaming decoder returning the unread
+   tail. *)
+let streaming read s =
+  try
+    let c = cur s in
+    let v = read c in
+    Ok (v, rest_of c)
+  with Bad e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Values, transactions, configurations                                *)
+(* ------------------------------------------------------------------ *)
+
+let add_value buf = function
+  | Value.Null -> Buffer.add_char buf 'N'
+  | Value.Bool true -> Buffer.add_char buf 'T'
+  | Value.Bool false -> Buffer.add_char buf 'U'
+  | Value.Int i ->
+      Buffer.add_char buf 'I';
+      add_varint buf i
+  | Value.Float f ->
+      Buffer.add_char buf 'F';
+      add_float buf f
+  | Value.Text s ->
+      Buffer.add_char buf 'S';
+      add_str buf s
+
+let read_value c =
+  match read_char c with
+  | 'N' -> Value.Null
+  | 'T' -> Value.Bool true
+  | 'U' -> Value.Bool false
+  | 'I' -> Value.Int (read_varint c)
+  | 'F' -> Value.Float (read_float c)
+  | 'S' -> Value.Text (read_str c)
+  | ch -> bad (Printf.sprintf "bad value tag %C" ch)
 
 let encode_value v =
   let buf = Buffer.create 16 in
-  (match v with
-  | Value.Null -> Buffer.add_char buf 'N'
-  | Value.Int i ->
-      Buffer.add_char buf 'I';
-      buf_add_str buf (string_of_int i)
-  | Value.Float f ->
-      Buffer.add_char buf 'F';
-      buf_add_str buf (Printf.sprintf "%h" f)
-  | Value.Text s ->
-      Buffer.add_char buf 'S';
-      buf_add_str buf s
-  | Value.Bool b -> Buffer.add_char buf (if b then 'T' else 'U'));
+  add_value buf v;
   Buffer.contents buf
 
-(* Parse "<len>:<bytes>" at the head of [s]; return (bytes, rest). *)
-let take_str s =
-  match String.index_opt s ':' with
-  | None -> Error "missing length prefix"
-  | Some i -> (
-      match int_of_string_opt (String.sub s 0 i) with
-      | None -> Error "bad length prefix"
-      | Some len ->
-          if String.length s < i + 1 + len then Error "truncated input"
-          else
-            Ok
-              ( String.sub s (i + 1) len,
-                String.sub s (i + 1 + len) (String.length s - i - 1 - len) ))
+let decode_value s = streaming read_value s
 
-let decode_value s =
-  if s = "" then Error "empty value input"
-  else
-    let rest = String.sub s 1 (String.length s - 1) in
-    match s.[0] with
-    | 'N' -> Ok (Value.Null, rest)
-    | 'T' -> Ok (Value.Bool true, rest)
-    | 'U' -> Ok (Value.Bool false, rest)
-    | 'I' -> (
-        match take_str rest with
-        | Error e -> Error e
-        | Ok (body, rest) -> (
-            match int_of_string_opt body with
-            | Some i -> Ok (Value.Int i, rest)
-            | None -> Error "bad int"))
-    | 'F' -> (
-        match take_str rest with
-        | Error e -> Error e
-        | Ok (body, rest) -> (
-            match float_of_string_opt body with
-            | Some f -> Ok (Value.Float f, rest)
-            | None -> Error "bad float"))
-    | 'S' -> (
-        match take_str rest with
-        | Error e -> Error e
-        | Ok (body, rest) -> Ok (Value.Text body, rest))
-    | c -> Error (Printf.sprintf "bad value tag %C" c)
+let add_txn buf (t : Txn.t) =
+  add_varint buf t.Txn.client;
+  add_varint buf t.Txn.seq;
+  add_str buf t.Txn.kind;
+  add_list add_value buf t.Txn.params
 
-let encode_txn (t : Txn.t) =
+let read_txn c =
+  let client = read_varint c in
+  let seq = read_varint c in
+  let kind = read_str c in
+  let params = read_list read_value c in
+  { Txn.client; seq; kind; params }
+
+let encode_txn t =
   let buf = Buffer.create 64 in
-  Buffer.add_string buf (Printf.sprintf "%d,%d," t.Txn.client t.Txn.seq);
-  buf_add_str buf t.Txn.kind;
-  Buffer.add_string buf (string_of_int (List.length t.Txn.params));
-  Buffer.add_char buf ';';
-  List.iter (fun v -> Buffer.add_string buf (encode_value v)) t.Txn.params;
+  add_txn buf t;
   Buffer.contents buf
 
-let decode_txn s =
-  let ( let* ) = Result.bind in
-  let int_until c s =
-    match String.index_opt s c with
-    | None -> Error "missing separator"
-    | Some i -> (
-        match int_of_string_opt (String.sub s 0 i) with
-        | Some n -> Ok (n, String.sub s (i + 1) (String.length s - i - 1))
-        | None -> Error "bad int field")
-  in
-  let* client, s = int_until ',' s in
-  let* seq, s = int_until ',' s in
-  let* kind, s = take_str s in
-  let* nparams, s = int_until ';' s in
-  let rec params n s acc =
-    if n = 0 then Ok (List.rev acc)
-    else
-      let* v, s = decode_value s in
-      params (n - 1) s (v :: acc)
-  in
-  let* params = params nparams s [] in
-  Ok { Txn.client; seq; kind; params }
+let decode_txn s = whole "txn" read_txn s
 
-let encode_config (c : Config.t) =
-  Printf.sprintf "%d|%s" c.Config.seq
-    (String.concat "," (List.map string_of_int c.Config.members))
+let add_config buf (cf : Config.t) =
+  add_varint buf cf.Config.seq;
+  add_list add_varint buf cf.Config.members
 
-let decode_config s =
-  match String.index_opt s '|' with
-  | None -> Error "bad config"
-  | Some i -> (
-      match int_of_string_opt (String.sub s 0 i) with
-      | None -> Error "bad config seq"
-      | Some seq ->
-          let rest = String.sub s (i + 1) (String.length s - i - 1) in
-          let members =
-            if rest = "" then []
-            else List.filter_map int_of_string_opt (String.split_on_char ',' rest)
-          in
-          Ok { Config.seq; members })
+let read_config c =
+  let seq = read_varint c in
+  let members = read_list read_varint c in
+  { Config.seq; members }
 
-let encode_reconfig c ~last_seq ~proposer =
-  Printf.sprintf "%d@%d@%s" last_seq proposer (encode_config c)
+let encode_config cf =
+  let buf = Buffer.create 16 in
+  add_config buf cf;
+  Buffer.contents buf
+
+let decode_config s = whole "config" read_config s
+
+let encode_reconfig cf ~last_seq ~proposer =
+  let buf = Buffer.create 32 in
+  add_varint buf last_seq;
+  add_varint buf proposer;
+  add_config buf cf;
+  Buffer.contents buf
 
 let decode_reconfig s =
-  match String.split_on_char '@' s with
-  | [ ls; pr; cfg ] -> (
-      match (int_of_string_opt ls, int_of_string_opt pr, decode_config cfg) with
-      | Some last_seq, Some proposer, Ok c -> Ok (c, last_seq, proposer)
-      | _ -> Error "bad reconfig")
-  | _ -> Error "bad reconfig shape"
+  whole "reconfig"
+    (fun c ->
+      let last_seq = read_varint c in
+      let proposer = read_varint c in
+      let cf = read_config c in
+      (cf, last_seq, proposer))
+    s
 
 (* ------------------------------------------------------------------ *)
 (* Live-runtime wire codecs                                            *)
@@ -131,348 +205,298 @@ let decode_reconfig s =
 (* simulator used to pass by reference has to cross the wire: TOB      *)
 (* entries and delivery notifications, the Paxos core's protocol       *)
 (* messages (carrying entry batches), and the database replication     *)
-(* traffic of Db_msg. Same length-prefixed streaming discipline as the *)
-(* payload codecs above; every decoder rejects truncated buffers.      *)
+(* traffic of Db_msg. Every decoder rejects truncated buffers.         *)
 (* ------------------------------------------------------------------ *)
 
-let ( let* ) = Result.bind
+let add_entry buf (e : Broadcast.Tob.entry) =
+  add_varint buf e.Broadcast.Tob.origin;
+  add_varint buf e.Broadcast.Tob.id;
+  add_str buf e.Broadcast.Tob.payload
 
-let enc_int buf n =
-  Buffer.add_string buf (string_of_int n);
-  Buffer.add_char buf ','
-
-(* Parse "<int>," at the head of [s]; return (n, rest). *)
-let dec_int s =
-  match String.index_opt s ',' with
-  | None -> Error "missing int separator"
-  | Some i -> (
-      match int_of_string_opt (String.sub s 0 i) with
-      | Some n -> Ok (n, String.sub s (i + 1) (String.length s - i - 1))
-      | None -> Error "bad int field")
-
-let enc_list enc buf l =
-  enc_int buf (List.length l);
-  List.iter (enc buf) l
-
-let dec_list dec s =
-  let* n, s = dec_int s in
-  if n < 0 then Error "negative list length"
-  else
-    let rec go n s acc =
-      if n = 0 then Ok (List.rev acc, s)
-      else
-        let* v, s = dec s in
-        go (n - 1) s (v :: acc)
-    in
-    go n s []
-
-let enc_entry buf (e : Broadcast.Tob.entry) =
-  enc_int buf e.Broadcast.Tob.origin;
-  enc_int buf e.Broadcast.Tob.id;
-  buf_add_str buf e.Broadcast.Tob.payload
-
-let dec_entry s =
-  let* origin, s = dec_int s in
-  let* id, s = dec_int s in
-  let* payload, s = take_str s in
-  Ok ({ Broadcast.Tob.origin; id; payload }, s)
+let read_entry c =
+  let origin = read_varint c in
+  let id = read_varint c in
+  let payload = read_str c in
+  { Broadcast.Tob.origin; id; payload }
 
 let encode_entry e =
   let buf = Buffer.create 32 in
-  enc_entry buf e;
+  add_entry buf e;
   Buffer.contents buf
 
-let decode_entry = dec_entry
+let decode_entry s = streaming read_entry s
 
-let encode_batch (b : Broadcast.Tob.batch) =
+let add_batch buf (b : Broadcast.Tob.batch) = add_list add_entry buf b
+let read_batch c = read_list read_entry c
+
+let encode_batch b =
   let buf = Buffer.create 64 in
-  enc_list enc_entry buf b;
+  add_batch buf b;
   Buffer.contents buf
 
-let decode_batch s = dec_list dec_entry s
-
-let decode_batch_all s =
-  match decode_batch s with
-  | Ok (b, "") -> Ok b
-  | Ok _ -> Error "trailing bytes after batch"
-  | Error e -> Error e
+let decode_batch s = streaming read_batch s
+let decode_batch_all s = whole "batch" read_batch s
 
 let encode_deliver (d : Broadcast.Tob.deliver) =
   let buf = Buffer.create 32 in
-  enc_int buf d.Broadcast.Tob.seqno;
-  enc_entry buf d.Broadcast.Tob.entry;
+  add_varint buf d.Broadcast.Tob.seqno;
+  add_entry buf d.Broadcast.Tob.entry;
   Buffer.contents buf
 
 let decode_deliver s =
-  let* seqno, s = dec_int s in
-  let* entry, s = dec_entry s in
-  if s <> "" then Error "trailing bytes after deliver"
-  else Ok { Broadcast.Tob.seqno; entry }
+  whole "deliver"
+    (fun c ->
+      let seqno = read_varint c in
+      let entry = read_entry c in
+      { Broadcast.Tob.seqno; entry })
+    s
 
 module PM = Consensus.Paxos_msg
 
-let enc_ballot buf (b : PM.ballot) =
-  enc_int buf b.PM.round;
-  enc_int buf b.PM.leader
+let add_ballot buf (b : PM.ballot) =
+  add_varint buf b.PM.round;
+  add_varint buf b.PM.leader
 
-let dec_ballot s =
-  let* round, s = dec_int s in
-  let* leader, s = dec_int s in
-  Ok ({ PM.round; leader }, s)
+let read_ballot c =
+  let round = read_varint c in
+  let leader = read_varint c in
+  { PM.round; leader }
 
-(* Commands travel length-prefixed so the command codec sees exactly its
-   own bytes and need not be streaming. *)
-let enc_pvalue enc_c buf (pv : 'c PM.pvalue) =
-  enc_ballot buf pv.PM.b;
-  enc_int buf pv.PM.s;
-  buf_add_str buf (enc_c pv.PM.c)
+(* The command writer/reader is abstract so the core instantiation can
+   inline batches straight into the shared buffer, while the generic
+   string-codec interface wraps commands in a length-prefixed blob. *)
+let add_pvalue add_c buf (pv : 'c PM.pvalue) =
+  add_ballot buf pv.PM.b;
+  add_varint buf pv.PM.s;
+  add_c buf pv.PM.c
 
-let dec_pvalue dec_c s =
-  let* b, s = dec_ballot s in
-  let* slot, s = dec_int s in
-  let* cbytes, s = take_str s in
-  let* c = dec_c cbytes in
-  Ok ({ PM.b; s = slot; c }, s)
+let read_pvalue read_c c =
+  let b = read_ballot c in
+  let slot = read_varint c in
+  let cmd = read_c c in
+  { PM.b; s = slot; c = cmd }
 
-let encode_paxos enc_c (m : 'c PM.t) =
-  let buf = Buffer.create 64 in
-  (match m with
+let add_paxos add_c buf (m : 'c PM.t) =
+  match m with
   | PM.P1a { src; b } ->
       Buffer.add_char buf 'A';
-      enc_int buf src;
-      enc_ballot buf b
+      add_varint buf src;
+      add_ballot buf b
   | PM.P1b { src; b; accepted } ->
       Buffer.add_char buf 'B';
-      enc_int buf src;
-      enc_ballot buf b;
-      enc_list (enc_pvalue enc_c) buf accepted
+      add_varint buf src;
+      add_ballot buf b;
+      add_list (add_pvalue add_c) buf accepted
   | PM.P2a { src; pv } ->
       Buffer.add_char buf 'C';
-      enc_int buf src;
-      enc_pvalue enc_c buf pv
+      add_varint buf src;
+      add_pvalue add_c buf pv
   | PM.P2b { src; b; s } ->
       Buffer.add_char buf 'D';
-      enc_int buf src;
-      enc_ballot buf b;
-      enc_int buf s
+      add_varint buf src;
+      add_ballot buf b;
+      add_varint buf s
   | PM.Propose { s; c } ->
       Buffer.add_char buf 'P';
-      enc_int buf s;
-      buf_add_str buf (enc_c c)
+      add_varint buf s;
+      add_c buf c
   | PM.Decision { s; c } ->
       Buffer.add_char buf 'E';
-      enc_int buf s;
-      buf_add_str buf (enc_c c));
+      add_varint buf s;
+      add_c buf c
+
+let read_paxos read_c c =
+  match read_char c with
+  | 'A' ->
+      let src = read_varint c in
+      let b = read_ballot c in
+      PM.P1a { src; b }
+  | 'B' ->
+      let src = read_varint c in
+      let b = read_ballot c in
+      let accepted = read_list (read_pvalue read_c) c in
+      PM.P1b { src; b; accepted }
+  | 'C' ->
+      let src = read_varint c in
+      let pv = read_pvalue read_c c in
+      PM.P2a { src; pv }
+  | 'D' ->
+      let src = read_varint c in
+      let b = read_ballot c in
+      let slot = read_varint c in
+      PM.P2b { src; b; s = slot }
+  | 'P' ->
+      let slot = read_varint c in
+      let cmd = read_c c in
+      PM.Propose { s = slot; c = cmd }
+  | 'E' ->
+      let slot = read_varint c in
+      let cmd = read_c c in
+      PM.Decision { s = slot; c = cmd }
+  | ch -> bad (Printf.sprintf "bad paxos tag %C" ch)
+
+let encode_paxos enc_c m =
+  let buf = Buffer.create 64 in
+  add_paxos (fun buf cmd -> add_str buf (enc_c cmd)) buf m;
   Buffer.contents buf
 
 let decode_paxos dec_c s =
-  if s = "" then Error "empty paxos message"
-  else
-    let body = String.sub s 1 (String.length s - 1) in
-    match s.[0] with
-    | 'A' ->
-        let* src, body = dec_int body in
-        let* b, rest = dec_ballot body in
-        if rest <> "" then Error "trailing bytes in p1a"
-        else Ok (PM.P1a { src; b })
-    | 'B' ->
-        let* src, body = dec_int body in
-        let* b, body = dec_ballot body in
-        let* accepted, rest = dec_list (dec_pvalue dec_c) body in
-        if rest <> "" then Error "trailing bytes in p1b"
-        else Ok (PM.P1b { src; b; accepted })
-    | 'C' ->
-        let* src, body = dec_int body in
-        let* pv, rest = dec_pvalue dec_c body in
-        if rest <> "" then Error "trailing bytes in p2a"
-        else Ok (PM.P2a { src; pv })
-    | 'D' ->
-        let* src, body = dec_int body in
-        let* b, body = dec_ballot body in
-        let* slot, rest = dec_int body in
-        if rest <> "" then Error "trailing bytes in p2b"
-        else Ok (PM.P2b { src; b; s = slot })
-    | 'P' ->
-        let* slot, body = dec_int body in
-        let* cbytes, rest = take_str body in
-        let* c = dec_c cbytes in
-        if rest <> "" then Error "trailing bytes in propose"
-        else Ok (PM.Propose { s = slot; c })
-    | 'E' ->
-        let* slot, body = dec_int body in
-        let* cbytes, rest = take_str body in
-        let* c = dec_c cbytes in
-        if rest <> "" then Error "trailing bytes in decision"
-        else Ok (PM.Decision { s = slot; c })
-    | c -> Error (Printf.sprintf "bad paxos tag %C" c)
+  whole "paxos message"
+    (read_paxos (fun c ->
+         match dec_c (read_str c) with Ok v -> v | Error e -> bad e))
+    s
 
 let encode_core_paxos (m : Broadcast.Tob.batch PM.t) =
-  encode_paxos encode_batch m
+  let buf = Buffer.create 64 in
+  add_paxos add_batch buf m;
+  Buffer.contents buf
 
-let decode_core_paxos s = decode_paxos decode_batch_all s
+let decode_core_paxos s = whole "paxos message" (read_paxos read_batch) s
 
 (* Database replication messages. *)
 
-let enc_value buf v = Buffer.add_string buf (encode_value v)
+let add_varray buf (a : Value.t array) =
+  add_varint buf (Array.length a);
+  Array.iter (add_value buf) a
 
-let enc_varray buf (a : Value.t array) =
-  enc_int buf (Array.length a);
-  Array.iter (enc_value buf) a
+let read_varray c =
+  let n = read_varint c in
+  if n < 0 then bad "negative array length";
+  Array.init n (fun _ -> read_value c)
 
-let dec_varray s =
-  let* n, s = dec_int s in
-  if n < 0 then Error "negative array length"
-  else
-    let rec go n s acc =
-      if n = 0 then Ok (Array.of_list (List.rev acc), s)
-      else
-        let* v, s = decode_value s in
-        go (n - 1) s (v :: acc)
-    in
-    go n s []
+let add_row buf ((key, a) : string * Value.t array) =
+  add_str buf key;
+  add_varray buf a
 
-let enc_row buf ((key, a) : string * Value.t array) =
-  buf_add_str buf key;
-  enc_varray buf a
+let read_row c =
+  let key = read_str c in
+  let a = read_varray c in
+  (key, a)
 
-let dec_row s =
-  let* key, s = take_str s in
-  let* a, s = dec_varray s in
-  Ok ((key, a), s)
-
-let enc_txn_field buf t = buf_add_str buf (encode_txn t)
-
-let dec_txn_field s =
-  let* bytes, s = take_str s in
-  let* t = decode_txn bytes in
-  Ok (t, s)
-
-let enc_reply buf (r : Txn.reply) =
-  enc_int buf r.Txn.client;
-  enc_int buf r.Txn.seq;
+let add_reply buf (r : Txn.reply) =
+  add_varint buf r.Txn.client;
+  add_varint buf r.Txn.seq;
   match r.Txn.outcome with
   | Ok rows ->
       Buffer.add_char buf 'O';
-      enc_list enc_varray buf rows
+      add_list add_varray buf rows
   | Error e ->
       Buffer.add_char buf 'X';
-      buf_add_str buf e
+      add_str buf e
 
-let dec_reply s =
-  let* client, s = dec_int s in
-  let* seq, s = dec_int s in
-  if s = "" then Error "truncated reply"
-  else
-    let body = String.sub s 1 (String.length s - 1) in
-    match s.[0] with
-    | 'O' ->
-        let* rows, s = dec_list dec_varray body in
-        Ok ({ Txn.client; seq; outcome = Ok rows }, s)
-    | 'X' ->
-        let* e, s = take_str body in
-        Ok ({ Txn.client; seq; outcome = Error e }, s)
-    | c -> Error (Printf.sprintf "bad reply tag %C" c)
+let read_reply c =
+  let client = read_varint c in
+  let seq = read_varint c in
+  match read_char c with
+  | 'O' ->
+      let rows = read_list read_varray c in
+      { Txn.client; seq; outcome = Ok rows }
+  | 'X' ->
+      let e = read_str c in
+      { Txn.client; seq; outcome = Error e }
+  | ch -> bad (Printf.sprintf "bad reply tag %C" ch)
 
-let enc_catchup_item buf ((g, t) : int * Txn.t) =
-  enc_int buf g;
-  enc_txn_field buf t
+let add_catchup_item buf ((g, t) : int * Txn.t) =
+  add_varint buf g;
+  add_txn buf t
 
-let dec_catchup_item s =
-  let* g, s = dec_int s in
-  let* t, s = dec_txn_field s in
-  Ok ((g, t), s)
+let read_catchup_item c =
+  let g = read_varint c in
+  let t = read_txn c in
+  (g, t)
 
-let encode_db_msg (m : Db_msg.t) =
-  let buf = Buffer.create 64 in
-  (match m with
+let add_db_msg buf (m : Db_msg.t) =
+  match m with
   | Db_msg.Client_txn t ->
       Buffer.add_char buf 'C';
-      enc_txn_field buf t
+      add_txn buf t
   | Db_msg.Forward { cfg; gseq; txn } ->
       Buffer.add_char buf 'F';
-      enc_int buf cfg;
-      enc_int buf gseq;
-      enc_txn_field buf txn
+      add_varint buf cfg;
+      add_varint buf gseq;
+      add_txn buf txn
   | Db_msg.Ack { cfg; gseq } ->
       Buffer.add_char buf 'A';
-      enc_int buf cfg;
-      enc_int buf gseq
+      add_varint buf cfg;
+      add_varint buf gseq
   | Db_msg.Reply r ->
       Buffer.add_char buf 'R';
-      enc_reply buf r
+      add_reply buf r
   | Db_msg.Heartbeat { cfg } ->
       Buffer.add_char buf 'H';
-      enc_int buf cfg
+      add_varint buf cfg
   | Db_msg.Elect { cfg; last_seq } ->
       Buffer.add_char buf 'E';
-      enc_int buf cfg;
-      enc_int buf last_seq
+      add_varint buf cfg;
+      add_varint buf last_seq
   | Db_msg.Catchup { cfg; txns; upto } ->
       Buffer.add_char buf 'U';
-      enc_int buf cfg;
-      enc_int buf upto;
-      enc_list enc_catchup_item buf txns
+      add_varint buf cfg;
+      add_varint buf upto;
+      add_list add_catchup_item buf txns
   | Db_msg.Snapshot { cfg; rows; upto; last; clients } ->
       Buffer.add_char buf 'S';
-      enc_int buf cfg;
-      enc_int buf upto;
-      enc_int buf (if last then 1 else 0);
-      enc_list enc_row buf rows;
-      enc_list enc_reply buf clients
+      add_varint buf cfg;
+      add_varint buf upto;
+      Buffer.add_char buf (if last then '\001' else '\000');
+      add_list add_row buf rows;
+      add_list add_reply buf clients
   | Db_msg.Recovered { cfg } ->
       Buffer.add_char buf 'V';
-      enc_int buf cfg
+      add_varint buf cfg
   | Db_msg.Snapshot_req { cfg; from_seq } ->
       Buffer.add_char buf 'Q';
-      enc_int buf cfg;
-      enc_int buf from_seq);
+      add_varint buf cfg;
+      add_varint buf from_seq
+
+let read_db_msg c =
+  match read_char c with
+  | 'C' ->
+      let t = read_txn c in
+      Db_msg.Client_txn t
+  | 'F' ->
+      let cfg = read_varint c in
+      let gseq = read_varint c in
+      let txn = read_txn c in
+      Db_msg.Forward { cfg; gseq; txn }
+  | 'A' ->
+      let cfg = read_varint c in
+      let gseq = read_varint c in
+      Db_msg.Ack { cfg; gseq }
+  | 'R' ->
+      let r = read_reply c in
+      Db_msg.Reply r
+  | 'H' ->
+      let cfg = read_varint c in
+      Db_msg.Heartbeat { cfg }
+  | 'E' ->
+      let cfg = read_varint c in
+      let last_seq = read_varint c in
+      Db_msg.Elect { cfg; last_seq }
+  | 'U' ->
+      let cfg = read_varint c in
+      let upto = read_varint c in
+      let txns = read_list read_catchup_item c in
+      Db_msg.Catchup { cfg; txns; upto }
+  | 'S' ->
+      let cfg = read_varint c in
+      let upto = read_varint c in
+      let last = read_char c <> '\000' in
+      let rows = read_list read_row c in
+      let clients = read_list read_reply c in
+      Db_msg.Snapshot { cfg; rows; upto; last; clients }
+  | 'V' ->
+      let cfg = read_varint c in
+      Db_msg.Recovered { cfg }
+  | 'Q' ->
+      let cfg = read_varint c in
+      let from_seq = read_varint c in
+      Db_msg.Snapshot_req { cfg; from_seq }
+  | ch -> bad (Printf.sprintf "bad db message tag %C" ch)
+
+let encode_db_msg m =
+  let buf = Buffer.create 64 in
+  add_db_msg buf m;
   Buffer.contents buf
 
-let decode_db_msg s =
-  if s = "" then Error "empty db message"
-  else
-    let done_ rest v = if rest <> "" then Error "trailing bytes in db message" else Ok v in
-    let body = String.sub s 1 (String.length s - 1) in
-    match s.[0] with
-    | 'C' ->
-        let* t, rest = dec_txn_field body in
-        done_ rest (Db_msg.Client_txn t)
-    | 'F' ->
-        let* cfg, body = dec_int body in
-        let* gseq, body = dec_int body in
-        let* txn, rest = dec_txn_field body in
-        done_ rest (Db_msg.Forward { cfg; gseq; txn })
-    | 'A' ->
-        let* cfg, body = dec_int body in
-        let* gseq, rest = dec_int body in
-        done_ rest (Db_msg.Ack { cfg; gseq })
-    | 'R' ->
-        let* r, rest = dec_reply body in
-        done_ rest (Db_msg.Reply r)
-    | 'H' ->
-        let* cfg, rest = dec_int body in
-        done_ rest (Db_msg.Heartbeat { cfg })
-    | 'E' ->
-        let* cfg, body = dec_int body in
-        let* last_seq, rest = dec_int body in
-        done_ rest (Db_msg.Elect { cfg; last_seq })
-    | 'U' ->
-        let* cfg, body = dec_int body in
-        let* upto, body = dec_int body in
-        let* txns, rest = dec_list dec_catchup_item body in
-        done_ rest (Db_msg.Catchup { cfg; txns; upto })
-    | 'S' ->
-        let* cfg, body = dec_int body in
-        let* upto, body = dec_int body in
-        let* last, body = dec_int body in
-        let* rows, body = dec_list dec_row body in
-        let* clients, rest = dec_list dec_reply body in
-        done_ rest (Db_msg.Snapshot { cfg; rows; upto; last = last <> 0; clients })
-    | 'V' ->
-        let* cfg, rest = dec_int body in
-        done_ rest (Db_msg.Recovered { cfg })
-    | 'Q' ->
-        let* cfg, body = dec_int body in
-        let* from_seq, rest = dec_int body in
-        done_ rest (Db_msg.Snapshot_req { cfg; from_seq })
-    | c -> Error (Printf.sprintf "bad db message tag %C" c)
+let decode_db_msg s = whole "db message" read_db_msg s

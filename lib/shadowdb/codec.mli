@@ -1,6 +1,12 @@
 (** Wire codecs: values, transactions, and group configurations to and
     from strings (the broadcast service carries opaque string payloads).
-    Length-prefixed, so arbitrary text in values round-trips. *)
+
+    v2 binary format: one ASCII tag byte per constructor, zigzag LEB128
+    varints for ints, varint-length-prefixed raw bytes for strings (so
+    arbitrary text in values round-trips), 8-byte little-endian IEEE 754
+    for floats. Encoders share one [Buffer]; decoders walk a cursor with
+    no tail copies. See DESIGN.md for the format and its truncation
+    -rejection argument. *)
 
 val encode_value : Storage.Value.t -> string
 val decode_value : string -> (Storage.Value.t * string, string) result

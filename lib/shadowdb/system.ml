@@ -662,8 +662,8 @@ module Make (C : Consensus.Consensus_intf.S) = struct
 
   let spawn_pbr ?(style = Primary_backup) ?(read_kinds = [])
       ?(tun = default_tuning) ?(backends : Storage.Store.kind list option)
-      ?(tob_profile = Gpm.Engine_profile.Interpreted_opt) ~world ~registry
-      ~setup ~n_active ~n_spare () =
+      ?(tob_profile = Gpm.Engine_profile.Interpreted_opt) ?tob_window ~world
+      ~registry ~setup ~n_active ~n_spare () =
     let n = n_active + n_spare in
     let shared : pbr_replica Registry.t = Registry.create () in
     let all_ref = ref [] in
@@ -683,7 +683,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     in
     all_ref := replicas;
     let tob =
-      Shell.spawn ~profile:tob_profile ~world
+      Shell.spawn ~profile:tob_profile ?window:tob_window ~world
         ~inj:(fun m -> Svc m)
         ~prj:(function Svc m -> Some m | Note _ | Db _ -> None)
         ~inj_notify:(fun d -> Note d)
@@ -704,10 +704,10 @@ module Make (C : Consensus.Consensus_intf.S) = struct
         (fun l -> view l (fun r -> Database.content_hash r.db) ~default:0);
     }
 
-  let spawn_chain ?read_kinds ?tun ?backends ?tob_profile ~world ~registry
-      ~setup ~n_active ~n_spare () =
-    spawn_pbr ~style:Chain ?read_kinds ?tun ?backends ?tob_profile ~world
-      ~registry ~setup ~n_active ~n_spare ()
+  let spawn_chain ?read_kinds ?tun ?backends ?tob_profile ?tob_window ~world
+      ~registry ~setup ~n_active ~n_spare () =
+    spawn_pbr ~style:Chain ?read_kinds ?tun ?backends ?tob_profile ?tob_window
+      ~world ~registry ~setup ~n_active ~n_spare ()
 
   (* ------------------------------------------------------------------ *)
   (* State machine replication                                           *)
@@ -850,7 +850,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     end
 
   let smr_handler ~shared ~nodes_ref ~backend ~setup ~registry ~tun
-      ~costs ~n_active () =
+      ~costs ~tob_window ~n_active () =
     let holder = ref None in
     let get ctx =
       match !holder with
@@ -871,7 +871,8 @@ module Make (C : Consensus.Consensus_intf.S) = struct
               stun = tun;
               costs;
               tob =
-                TM.create ~self ~members:nodes ~subscribers:[ self ] ();
+                TM.create ?window:tob_window ~self ~members:nodes
+                  ~subscribers:[ self ] ();
               scfg = Config.initial members;
               role = (if List.mem self members then Active else Sparing);
               sgseq = 0;
@@ -965,8 +966,8 @@ module Make (C : Consensus.Consensus_intf.S) = struct
 
   let spawn_smr ?(tun = default_tuning)
       ?(backends : Storage.Store.kind list option)
-      ?(costs = Broadcast.Shell.default_costs) ~world ~registry ~setup
-      ~n_active () =
+      ?(costs = Broadcast.Shell.default_costs) ?tob_window ~world ~registry
+      ~setup ~n_active () =
     let shared : smr_replica Registry.t = Registry.create () in
     let nodes_ref = ref [] in
     let backend_of i =
@@ -979,7 +980,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           R.spawn world
             ~name:(Printf.sprintf "smr%d" i)
             (smr_handler ~shared ~nodes_ref ~backend:(backend_of i) ~setup
-               ~registry ~tun ~costs ~n_active))
+               ~registry ~tun ~costs ~tob_window ~n_active))
     in
     nodes_ref := nodes;
     let view l f ~default = Registry.view shared l f ~default in

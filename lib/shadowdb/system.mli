@@ -85,6 +85,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     ?tun:tuning ->
     ?backends:Storage.Store.kind list ->
     ?tob_profile:Gpm.Engine_profile.t ->
+    ?tob_window:int ->
     world:wire Runtime.t ->
     registry:(unit -> Txn.registry) ->
     setup:(Storage.Database.t -> unit) ->
@@ -98,13 +99,15 @@ module Make (C : Consensus.Consensus_intf.S) : sig
       round-robin (default all "hazel"); [setup] loads the initial data
       identically at every replica; [tob_profile] selects the broadcast
       service's execution engine (the paper runs PBR's service
-      interpreted). *)
+      interpreted); [tob_window] is the service's consensus pipelining
+      window (batches in flight per member, default 1). *)
 
   val spawn_chain :
     ?read_kinds:string list ->
     ?tun:tuning ->
     ?backends:Storage.Store.kind list ->
     ?tob_profile:Gpm.Engine_profile.t ->
+    ?tob_window:int ->
     world:wire Runtime.t ->
     registry:(unit -> Txn.registry) ->
     setup:(Storage.Database.t -> unit) ->
@@ -132,6 +135,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     ?tun:tuning ->
     ?backends:Storage.Store.kind list ->
     ?costs:Broadcast.Shell.costs ->
+    ?tob_window:int ->
     world:wire Runtime.t ->
     registry:(unit -> Txn.registry) ->
     setup:(Storage.Database.t -> unit) ->
@@ -140,7 +144,8 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     smr_cluster
   (** Three co-located nodes; the first [n_active] databases execute, the
       rest are spares activated by TOB-ordered reconfiguration (with
-      snapshot sync from the proposer). *)
+      snapshot sync from the proposer). [tob_window] is the co-hosted
+      broadcast member's consensus pipelining window (default 1). *)
 
   (** {1 Clients} *)
 

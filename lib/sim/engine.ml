@@ -42,8 +42,9 @@ and 'm t = {
   net : Net.t;
   mutable nodes : 'm node array;
   mutable node_count : int;
-  link_last : (int * int, float) Hashtbl.t;
-  partitions : (int * int, unit) Hashtbl.t;
+  mutable link_cap : int;  (* nodes covered by the flat link tables *)
+  mutable link_last : float array;  (* [src * cap + dst] last arrival *)
+  mutable partitions : bool array;  (* [min * cap + max] link is cut *)
   cancelled : (int, unit) Hashtbl.t;
   mutable timer_seq : int;
   mutable processed : int;
@@ -52,6 +53,13 @@ and 'm t = {
   mutable scheduler : (sched_candidate array -> int) option;
   mutable sched_slack : float;
   mutable sched_width : int;
+  mutable pending_digest : int;
+      (* order-independent sum of per-event key hashes over every event
+         currently scheduled and not yet dispatched; see
+         [in_flight_fingerprint] *)
+  mutable trace_on : bool;
+  mutable trace_cap : int;
+  mutable trace_len : int;
   mutable trace_buf : (float * Node_id.t * string) list;
 }
 
@@ -74,8 +82,9 @@ let create ?(seed = 1) ?(net = Net.lan) () =
     net;
     nodes = [||];
     node_count = 0;
-    link_last = Hashtbl.create 64;
-    partitions = Hashtbl.create 16;
+    link_cap = 16;
+    link_last = Array.make (16 * 16) neg_infinity;
+    partitions = Array.make (16 * 16) false;
     cancelled = Hashtbl.create 64;
     timer_seq = 0;
     processed = 0;
@@ -84,6 +93,10 @@ let create ?(seed = 1) ?(net = Net.lan) () =
     scheduler = None;
     sched_slack = 0.0;
     sched_width = 8;
+    pending_digest = 0;
+    trace_on = false;
+    trace_cap = max_int;
+    trace_len = 0;
     trace_buf = [];
   }
 
@@ -100,13 +113,33 @@ let set_scheduler t ?(slack = 0.0) ?(width = 8) f =
 
 let clear_scheduler t = t.scheduler <- None
 
+(* Schedule-insensitive key of a pending event (by kind and endpoints, not
+   by time — times differ across schedules that reach the same logical
+   state). The digest of the pending multiset is the plain sum of these
+   hashes: order-independent, so it can be maintained incrementally — add
+   on [schedule], subtract on dispatch. Events popped and re-pushed by the
+   scheduler hook (deferred or unchosen candidates) never touch it. *)
+let mix_key kind a b =
+  let h = (kind lsl 58) lxor (a lsl 29) lxor b in
+  let h = h * 0x9e3779b1 in
+  h lxor (h lsr 17)
+
+let ev_key_hash = function
+  | Ev_arrive { dst; input = Init; _ } -> mix_key 0 dst 0
+  | Ev_arrive { dst; input = Recv { src; _ }; _ } -> mix_key 1 dst src
+  | Ev_arrive { dst; input = Timer { tag; _ }; _ } ->
+      mix_key 2 dst (Hashtbl.hash tag)
+  | Ev_done { node; _ } -> mix_key 3 node 0
+  | Ev_external _ -> mix_key 4 0 0
+
 let schedule t time ev =
   t.seq <- t.seq + 1;
+  t.pending_digest <- t.pending_digest + ev_key_hash ev;
   Heap.push t.heap ~time ~seq:t.seq ev
 
-let node t id =
-  assert (id >= 0 && id < t.node_count);
-  t.nodes.(id)
+(* Ids are engine-issued, so a plain array access (bounds-checked by the
+   runtime) is enough; this is on the dispatch path of every event. *)
+let node t id = t.nodes.(id)
 
 let spawn t ~name ?(cpu_factor = 1.0) factory =
   let id = t.node_count in
@@ -131,16 +164,37 @@ let spawn t ~name ?(cpu_factor = 1.0) factory =
   end;
   t.nodes.(t.node_count) <- n;
   t.node_count <- t.node_count + 1;
+  if t.node_count > t.link_cap then begin
+    let oc = t.link_cap in
+    let nc = 2 * oc in
+    let nll = Array.make (nc * nc) neg_infinity in
+    let npt = Array.make (nc * nc) false in
+    for a = 0 to oc - 1 do
+      for b = 0 to oc - 1 do
+        nll.((a * nc) + b) <- t.link_last.((a * oc) + b);
+        npt.((a * nc) + b) <- t.partitions.((a * oc) + b)
+      done
+    done;
+    t.link_cap <- nc;
+    t.link_last <- nll;
+    t.partitions <- npt
+  end;
   schedule t t.now (Ev_arrive { dst = id; epoch = n.epoch; input = Init });
   id
 
 let is_alive t id = (node t id).alive
 
-let link_key a b = if a < b then (a, b) else (b, a)
+(* Link state lives in flat arrays indexed by packed (src, dst) ints: no
+   tuple keys, no hashing, and [link_last] stays an unboxed float array —
+   both tables are on the path of every routed message. *)
+let pack a b = (a lsl 20) lor b
 
-let partition t a b = Hashtbl.replace t.partitions (link_key a b) ()
-let heal t a b = Hashtbl.remove t.partitions (link_key a b)
-let partitioned t a b = Hashtbl.mem t.partitions (link_key a b)
+let link_idx t a b = (a * t.link_cap) + b
+let link_key t a b = if a < b then link_idx t a b else link_idx t b a
+
+let partition t a b = t.partitions.(link_key t a b) <- true
+let heal t a b = t.partitions.(link_key t a b) <- false
+let partitioned t a b = t.partitions.(link_key t a b)
 
 (* Deliver a message leaving [src] at [depart] towards [dst], obeying the
    latency model, per-link FIFO order, loss and partitions. *)
@@ -151,13 +205,10 @@ let route t ~depart ~src ~dst ~size input =
   else begin
     let d = Net.delay t.net t.rng ~size in
     let arrive = depart +. d in
-    let key = (src, dst) in
-    let arrive =
-      match Hashtbl.find_opt t.link_last key with
-      | Some last when arrive <= last -> last +. fifo_epsilon
-      | _ -> arrive
-    in
-    Hashtbl.replace t.link_last key arrive;
+    let idx = link_idx t src dst in
+    let last = t.link_last.(idx) in
+    let arrive = if arrive <= last then last +. fifo_epsilon else arrive in
+    t.link_last.(idx) <- arrive;
     let n = node t dst in
     schedule t arrive (Ev_arrive { dst; epoch = n.epoch; input })
   end
@@ -213,6 +264,7 @@ let dispatch t = function
 let dispatch_at t time ev =
   t.now <- max t.now time;
   t.processed <- t.processed + 1;
+  t.pending_digest <- t.pending_digest - ev_key_hash ev;
   dispatch t ev
 
 let candidate_of time seq = function
@@ -231,33 +283,38 @@ let candidate_of time seq = function
    act as barriers: they script faults and load changes, so nothing may be
    reordered across them. *)
 let gather t ~tmin first =
+  let lim = tmin +. t.sched_slack in
   let rec go acc n =
-    if n >= t.sched_width then List.rev acc
+    if
+      n >= t.sched_width
+      || Heap.is_empty t.heap
+      || Heap.top_time t.heap > lim
+    then List.rev acc
     else
-      match Heap.peek t.heap with
-      | Some (t2, _, Ev_external _) when t2 <= tmin +. t.sched_slack ->
-          List.rev acc
-      | Some (t2, _, _) when t2 <= tmin +. t.sched_slack -> (
+      match Heap.top_value t.heap with
+      | Ev_external _ -> List.rev acc
+      | Ev_arrive _ | Ev_done _ -> (
           match Heap.pop t.heap with
           | Some e -> go (e :: acc) (n + 1)
           | None -> List.rev acc)
-      | _ -> List.rev acc
   in
   go [ first ] 1
 
 (* Per-link FIFO (the TCP channels the protocols assume) must survive
    reordering: of several pending arrivals on one (src, dst) link, only the
-   earliest is offered as a candidate. *)
+   earliest is offered as a candidate. The candidate set is tiny (at most
+   [sched_width], default 8), so a linear scan over the packed link keys
+   already seen beats allocating a hash table per choice point. *)
 let fifo_filter entries =
-  let seen = Hashtbl.create 8 in
+  let seen = ref [] in
   List.partition
     (fun (_, _, ev) ->
       match ev with
       | Ev_arrive { dst; input = Recv { src; _ }; _ } ->
-          let key = (src, dst) in
-          if Hashtbl.mem seen key then false
+          let key = pack src dst in
+          if List.memq key !seen then false
           else begin
-            Hashtbl.replace seen key ();
+            seen := key :: !seen;
             true
           end
       | Ev_arrive _ | Ev_done _ | Ev_external _ -> true)
@@ -296,12 +353,12 @@ let run ?(until = infinity) ?(max_events = max_int) t =
   let budget = ref max_events in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Heap.peek t.heap with
-    | None -> continue := false
-    | Some (time, _, _) when time > until -> continue := false
-    | Some _ ->
-        ignore (step t);
-        decr budget
+    if Heap.is_empty t.heap || Heap.top_time t.heap > until then
+      continue := false
+    else begin
+      ignore (step t);
+      decr budget
+    end
   done
 
 let crash t id =
@@ -348,37 +405,50 @@ let charge ctx seconds = ctx.charged <- ctx.charged +. seconds
 
 let random ctx = ctx.world.rng
 
+(* Tracing is off by default: an unread trace buffer on a long bench run
+   is pure allocation. When enabled, the buffer keeps the first [cap]
+   lines and then stops recording. *)
+let enable_trace ?(cap = max_int) t =
+  t.trace_on <- true;
+  t.trace_cap <- cap
+
+let disable_trace t = t.trace_on <- false
+
 let trace ctx line =
   let t = ctx.world in
-  t.trace_buf <- (t.now, ctx.node.id, line) :: t.trace_buf
+  if t.trace_on && t.trace_len < t.trace_cap then begin
+    t.trace_len <- t.trace_len + 1;
+    t.trace_buf <- (t.now, ctx.node.id, line) :: t.trace_buf
+  end
 
 let get_trace t = List.rev t.trace_buf
 
 let in_flight t = Heap.length t.heap
 
 (* A schedule-insensitive digest of the transport state: the multiset of
-   pending events (by kind and endpoints, not by time — times differ across
-   schedules that reach the same logical state) plus each node's liveness
-   and queue backlog. Model-checker state hashing composes this with
-   protocol-level state digests. *)
-let in_flight_fingerprint t =
-  let acc = ref 0 in
-  Heap.iter t.heap (fun _time _seq ev ->
-      let k =
-        match ev with
-        | Ev_arrive { dst; input = Init; _ } -> (0, dst, -1)
-        | Ev_arrive { dst; input = Recv { src; _ }; _ } -> (1, dst, src)
-        | Ev_arrive { dst; input = Timer { tag; _ }; _ } ->
-            (2, dst, Hashtbl.hash tag)
-        | Ev_done { node; _ } -> (3, node, -1)
-        | Ev_external _ -> (4, -1, -1)
-      in
-      (* Sum keeps the digest independent of heap-internal order. *)
-      acc := !acc + Hashtbl.hash k);
-  let h = ref !acc in
+   pending events (maintained incrementally in [pending_digest]) plus each
+   node's liveness and queue backlog. Model-checker state hashing composes
+   this with protocol-level state digests. The pending part is O(1) here;
+   only the per-node fold is paid per call. *)
+let fingerprint_of_digest t digest =
+  let h = ref digest in
   for i = 0 to t.node_count - 1 do
     let n = t.nodes.(i) in
-    let v = Hashtbl.hash (i, n.alive, Queue.length n.queue, n.processing) in
+    let v =
+      mix_key 5 i
+        ((Queue.length n.queue lsl 2)
+        lor (if n.alive then 2 else 0)
+        lor (if n.processing then 1 else 0))
+    in
     h := !h lxor (v + 0x9e3779b9 + (!h lsl 6) + (!h lsr 2))
   done;
   !h land max_int
+
+let in_flight_fingerprint t = fingerprint_of_digest t t.pending_digest
+
+(* From-scratch heap walk, kept as the specification of the incremental
+   digest (tests check the two always agree). *)
+let in_flight_fingerprint_ref t =
+  let acc = ref 0 in
+  Heap.iter t.heap (fun _time _seq ev -> acc := !acc + ev_key_hash ev);
+  fingerprint_of_digest t !acc

@@ -96,7 +96,15 @@ val in_flight : 'm t -> int
 val in_flight_fingerprint : 'm t -> int
 (** Order-insensitive digest of the pending-event multiset (by kind and
     endpoints) and per-node liveness/backlog. Used by the model checker to
-    recognize revisited states across different schedules. *)
+    recognize revisited states across different schedules. The pending-event
+    part is maintained incrementally (added on schedule, subtracted on
+    dispatch), so a call costs O(nodes), not O(in-flight events). *)
+
+val in_flight_fingerprint_ref : 'm t -> int
+(** Reference implementation of {!in_flight_fingerprint} that recomputes
+    the pending-event digest with a full heap walk. Always equal to
+    {!in_flight_fingerprint}; exists so tests can check the incremental
+    bookkeeping against the specification. *)
 
 (** {1 Schedule exploration}
 
@@ -151,8 +159,16 @@ val random : 'm ctx -> Prng.t
 (** The world's random stream, for randomized handlers. *)
 
 val trace : 'm ctx -> string -> unit
-(** Append a line to the world's trace buffer (cheap; for debugging and
-    assertions in tests). *)
+(** Append a line to the world's trace buffer. A no-op (zero allocation)
+    unless tracing was switched on with {!enable_trace}. *)
+
+val enable_trace : ?cap:int -> 'm t -> unit
+(** Turn trace recording on. At most [cap] lines are kept (the first
+    [cap]; default unbounded), so long benchmark runs cannot accumulate
+    an unbounded buffer. *)
+
+val disable_trace : 'm t -> unit
+(** Turn trace recording back off; already-recorded lines are kept. *)
 
 val get_trace : 'm t -> (float * Node_id.t * string) list
 (** Trace lines in chronological order. *)

@@ -1,85 +1,121 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Parallel-array layout: [times] is an unboxed float array, so key
+   comparisons never chase a boxed float, and pushing allocates nothing
+   (amortized). This heap sits under every simulator event, so its
+   constant factors bound engine throughput. *)
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  mutable size : int;
+}
 
-type 'a t = { mutable arr : 'a entry array; mutable size : int }
-
-let create () = { arr = [||]; size = 0 }
-
+let create () = { times = [||]; seqs = [||]; values = [||]; size = 0 }
 let length t = t.size
-
 let is_empty t = t.size = 0
 
-let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let lt t i j =
+  let ti = t.times.(i) and tj = t.times.(j) in
+  ti < tj || (ti = tj && t.seqs.(i) < t.seqs.(j))
 
-let grow t entry =
-  let cap = Array.length t.arr in
+let grow t value =
+  let cap = Array.length t.times in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let narr = Array.make ncap entry in
-    Array.blit t.arr 0 narr 0 t.size;
-    t.arr <- narr
+    let ntimes = Array.make ncap 0.0 in
+    Array.blit t.times 0 ntimes 0 t.size;
+    t.times <- ntimes;
+    let nseqs = Array.make ncap 0 in
+    Array.blit t.seqs 0 nseqs 0 t.size;
+    t.seqs <- nseqs;
+    let nvalues = Array.make ncap value in
+    Array.blit t.values 0 nvalues 0 t.size;
+    t.values <- nvalues
   end
 
+(* Sifts move a hole and write the pending element once at the end (three
+   stores per level instead of a nine-store swap). *)
 let push t ~time ~seq value =
-  let entry = { time; seq; value } in
-  grow t entry;
-  t.arr.(t.size) <- entry;
+  grow t value;
+  let i = ref t.size in
   t.size <- t.size + 1;
-  (* Sift up. *)
-  let i = ref (t.size - 1) in
+  (* Sift the hole up while the pending key beats the parent. *)
   while
     !i > 0
     &&
     let parent = (!i - 1) / 2 in
-    lt t.arr.(!i) t.arr.(parent)
+    let pt = t.times.(parent) in
+    time < pt || (time = pt && seq < t.seqs.(parent))
   do
     let parent = (!i - 1) / 2 in
-    let tmp = t.arr.(!i) in
-    t.arr.(!i) <- t.arr.(parent);
-    t.arr.(parent) <- tmp;
+    t.times.(!i) <- t.times.(parent);
+    t.seqs.(!i) <- t.seqs.(parent);
+    t.values.(!i) <- t.values.(parent);
     i := parent
-  done
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.values.(!i) <- value
 
-let sift_down t =
+(* Sift the element at the root's hole down: the pending (time, seq, value)
+   triple is the element logically at index 0. *)
+let sift_down t ~time ~seq value =
   let i = ref 0 in
   let continue = ref true in
   while !continue do
-    let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
-    let smallest = ref !i in
-    if left < t.size && lt t.arr.(left) t.arr.(!smallest) then smallest := left;
-    if right < t.size && lt t.arr.(right) t.arr.(!smallest) then smallest := right;
-    if !smallest = !i then continue := false
+    let left = (2 * !i) + 1 in
+    if left >= t.size then continue := false
     else begin
-      let tmp = t.arr.(!i) in
-      t.arr.(!i) <- t.arr.(!smallest);
-      t.arr.(!smallest) <- tmp;
-      i := !smallest
+      let right = left + 1 in
+      let smallest =
+        if right < t.size && lt t right left then right else left
+      in
+      let st = t.times.(smallest) in
+      if st < time || (st = time && t.seqs.(smallest) < seq) then begin
+        t.times.(!i) <- st;
+        t.seqs.(!i) <- t.seqs.(smallest);
+        t.values.(!i) <- t.values.(smallest);
+        i := smallest
+      end
+      else continue := false
     end
-  done
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.values.(!i) <- value
+
+(* Non-allocating top accessors for hot loops; undefined when empty
+   (callers check [is_empty] first). *)
+let top_time t = t.times.(0)
+let top_value t = t.values.(0)
+
+let drop_top t =
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    let last = t.size in
+    let time = t.times.(last) in
+    let seq = t.seqs.(last) in
+    let value = t.values.(last) in
+    sift_down t ~time ~seq value
+  end
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.arr.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.arr.(0) <- t.arr.(t.size);
-      sift_down t
-    end;
-    Some (top.time, top.seq, top.value)
+    let time = t.times.(0) and seq = t.seqs.(0) and value = t.values.(0) in
+    drop_top t;
+    Some (time, seq, value)
   end
 
 let peek t =
-  if t.size = 0 then None
-  else
-    let top = t.arr.(0) in
-    Some (top.time, top.seq, top.value)
+  if t.size = 0 then None else Some (t.times.(0), t.seqs.(0), t.values.(0))
 
 let iter t f =
   for i = 0 to t.size - 1 do
-    let e = t.arr.(i) in
-    f e.time e.seq e.value
+    f t.times.(i) t.seqs.(i) t.values.(i)
   done
 
 let clear t =
-  t.arr <- [||];
+  t.times <- [||];
+  t.seqs <- [||];
+  t.values <- [||];
   t.size <- 0

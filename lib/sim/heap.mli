@@ -24,6 +24,14 @@ val pop : 'a t -> (float * int * 'a) option
 val peek : 'a t -> (float * int * 'a) option
 (** Return the minimum element without removing it. *)
 
+val top_time : 'a t -> float
+(** Key time of the minimum element, without allocating. Undefined when
+    the heap is empty — check {!is_empty} first. *)
+
+val top_value : 'a t -> 'a
+(** Payload of the minimum element, without allocating. Undefined when
+    the heap is empty — check {!is_empty} first. *)
+
 val iter : 'a t -> (float -> int -> 'a -> unit) -> unit
 (** Visit every stored element in unspecified (heap-internal) order. *)
 

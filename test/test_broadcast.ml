@@ -223,6 +223,70 @@ let test_tob_log_order () =
     [ "0"; "1"; "2"; "3"; "4" ]
     (List.map (fun e -> e.Tob.payload) (T.log !t))
 
+(* Distinct consensus slots this member has open proposals for, read off
+   the outgoing core messages. *)
+let proposed_slots acts =
+  List.sort_uniq compare
+    (List.filter_map
+       (function
+         | T.Send (_, T.Core (Consensus.Paxos_msg.Propose { s; _ })) -> Some s
+         | _ -> None)
+       acts)
+
+let test_tob_pipelining_window () =
+  (* Three members, so proposals stay in flight (no local majority); batch
+     cap 1 makes every entry its own batch. With window 2 a member opens
+     two consensus slots before the first decision; with the default
+     window it holds the second entry back. *)
+  let feed window =
+    let t =
+      T.create ~batch_cap:1 ~window ~self:0 ~members:[ 0; 1; 2 ]
+        ~subscribers:[ 99 ] ()
+    in
+    let t, _ = T.start t ~now:0.0 in
+    let e i = { Tob.origin = 5; id = i; payload = "p" } in
+    let acts = ref [] in
+    let t = ref t in
+    for i = 0 to 2 do
+      let t', a = T.recv !t ~now:0.1 ~src:5 (T.Broadcast (e i)) in
+      t := t';
+      acts := !acts @ a
+    done;
+    proposed_slots !acts
+  in
+  Alcotest.(check (list int)) "window 1: one slot open" [ 0 ] (feed 1);
+  Alcotest.(check (list int)) "window 2: two slots open" [ 0; 1 ] (feed 2);
+  Alcotest.(check (list int)) "window 4: three slots open" [ 0; 1; 2 ] (feed 4)
+
+let test_tob_pipelined_delivery_in_order () =
+  (* Single member: consensus is synchronous, so a window of 4 exercises
+     propose-deliver interleaving while every entry still comes out in
+     submission order with dense seqnos. *)
+  let t =
+    T.create ~batch_cap:1 ~window:4 ~self:0 ~members:[ 0 ] ~subscribers:[ 99 ]
+      ()
+  in
+  let t, _ = T.start t ~now:0.0 in
+  let t = ref t in
+  let seqnos = ref [] in
+  for i = 0 to 5 do
+    let t', acts =
+      T.recv !t ~now:0.1 ~src:5
+        (T.Broadcast { Tob.origin = 5; id = i; payload = string_of_int i })
+    in
+    t := t';
+    List.iter
+      (function
+        | T.Notify (_, d) -> seqnos := d.Tob.seqno :: !seqnos
+        | _ -> ())
+      acts
+  done;
+  Alcotest.(check (list int)) "dense seqnos in submission order"
+    [ 0; 1; 2; 3; 4; 5 ] (List.rev !seqnos);
+  Alcotest.(check (list string)) "log in submission order"
+    [ "0"; "1"; "2"; "3"; "4"; "5" ]
+    (List.map (fun e -> e.Tob.payload) (T.log !t))
+
 let () =
   Alcotest.run "broadcast"
     [
@@ -233,6 +297,10 @@ let () =
           Alcotest.test_case "duplicate suppression" `Quick
             test_tob_duplicate_suppression;
           Alcotest.test_case "log order" `Quick test_tob_log_order;
+          Alcotest.test_case "pipelining window opens slots" `Quick
+            test_tob_pipelining_window;
+          Alcotest.test_case "pipelined delivery stays in order" `Quick
+            test_tob_pipelined_delivery_in_order;
         ] );
       ( "tob-sim",
         [

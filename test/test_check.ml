@@ -122,6 +122,44 @@ let test_tob_member_crash_clean () =
   let r = Explore.random_walk ~faults Scenarios.tob ~seed:5 ~budget:25 () in
   Alcotest.(check bool) "no violation" true (r.Explore.violation = None)
 
+(* Consensus pipelining: the total-order monitors must hold no matter how
+   many batches a member keeps in flight through consensus (k = 1, 2, 4),
+   under both random walks and DFS. *)
+let test_tob_windows_random_clean () =
+  List.iter
+    (fun sc ->
+      let r = Explore.random_walk sc ~seed:3 ~budget:40 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "no violation (%s, random)" sc.Scenario.name)
+        true
+        (r.Explore.violation = None))
+    [ Scenarios.tob; Scenarios.tob_w2; Scenarios.tob_w4 ]
+
+let test_tob_windows_dfs_clean () =
+  List.iter
+    (fun sc ->
+      let r = Explore.dfs ~max_depth:8 sc ~seed:3 ~budget:40 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "no violation (%s, dfs)" sc.Scenario.name)
+        true
+        (r.Explore.violation = None))
+    [ Scenarios.tob; Scenarios.tob_w2; Scenarios.tob_w4 ]
+
+let test_smr_windows_clean () =
+  List.iter
+    (fun sc ->
+      let r = Explore.random_walk sc ~seed:1 ~budget:6 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "no violation (%s, random)" sc.Scenario.name)
+        true
+        (r.Explore.violation = None);
+      let r = Explore.dfs ~max_depth:6 sc ~seed:1 ~budget:6 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "no violation (%s, dfs)" sc.Scenario.name)
+        true
+        (r.Explore.violation = None))
+    [ Scenarios.smr_w2; Scenarios.smr_w4 ]
+
 let test_pbr_random_clean () =
   let r = Explore.random_walk Scenarios.pbr ~seed:1 ~budget:12 () in
   Alcotest.(check bool) "no violation" true (r.Explore.violation = None)
@@ -274,6 +312,12 @@ let () =
           Alcotest.test_case "tob random clean" `Quick test_tob_random_clean;
           Alcotest.test_case "tob member crash clean" `Quick
             test_tob_member_crash_clean;
+          Alcotest.test_case "tob pipelining windows random clean" `Quick
+            test_tob_windows_random_clean;
+          Alcotest.test_case "tob pipelining windows dfs clean" `Quick
+            test_tob_windows_dfs_clean;
+          Alcotest.test_case "smr pipelining windows clean" `Quick
+            test_smr_windows_clean;
           Alcotest.test_case "pbr random clean" `Quick test_pbr_random_clean;
           Alcotest.test_case "pbr primary crash clean" `Quick
             test_pbr_primary_crash_clean;

@@ -215,7 +215,91 @@ let test_garbage_rejected () =
         (Result.is_error (Codec.decode_db_msg s)
         && Result.is_error (Codec.decode_core_paxos s)
         && Result.is_error (Codec.decode_deliver s)))
-    [ ""; "Z"; "C999"; "D?"; "A1,"; "B-,"; "S1,2,3," ]
+    [
+      "";
+      "Z" (* bad tag / truncated body *);
+      "\x80" (* unterminated varint at the tag position *);
+      "A\x80" (* field varint with a dangling continuation bit *);
+      "C" (* valid tag, empty body *);
+      "F\x01\x01" (* valid tag, body stops mid-record *);
+      "S\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff" (* overlong varint *);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden vectors: exact encoded bytes for fixed messages. These catch  *)
+(* silent format drift — any change to the v2 wire layout must be       *)
+(* deliberate (update the bytes here and the DESIGN.md format note).    *)
+(* ------------------------------------------------------------------ *)
+
+let golden_txn =
+  {
+    Txn.client = 7;
+    seq = 42;
+    kind = "put";
+    params =
+      [
+        Value.Null;
+        Value.Bool true;
+        Value.Int (-3);
+        Value.Int 300;
+        Value.Float 1.5;
+        Value.Text "hi";
+      ];
+  }
+
+let golden_txn_bytes =
+  "\x0e\x54\x06\x70\x75\x74\x0c\x4e\x54\x49\x05\x49\xd8\x04\x46\x00\x00\x00\x00\x00\x00\xf8\x3f\x53\x04\x68\x69"
+
+let golden_batch =
+  [
+    { Tob.origin = 1; id = 2; payload = "ab" };
+    { Tob.origin = 3; id = 130; payload = "" };
+  ]
+
+let golden_batch_bytes = "\x04\x02\x04\x04\x61\x62\x06\x84\x02\x00"
+
+let golden_paxos =
+  PM.P2a
+    {
+      src = 2;
+      pv = { PM.b = { PM.round = 1; leader = 0 }; s = 5; c = golden_batch };
+    }
+
+let golden_paxos_bytes =
+  "\x43\x04\x02\x00\x0a\x04\x02\x04\x04\x61\x62\x06\x84\x02\x00"
+
+let test_golden_encodings () =
+  Alcotest.(check string)
+    "txn golden bytes" golden_txn_bytes
+    (Codec.encode_txn golden_txn);
+  Alcotest.(check string)
+    "batch golden bytes" golden_batch_bytes
+    (Codec.encode_batch golden_batch);
+  Alcotest.(check string)
+    "paxos golden bytes" golden_paxos_bytes
+    (Codec.encode_core_paxos golden_paxos)
+
+let test_golden_decodings () =
+  Alcotest.(check bool)
+    "txn golden decodes" true
+    (Codec.decode_txn golden_txn_bytes = Ok golden_txn);
+  Alcotest.(check bool)
+    "batch golden decodes" true
+    (Codec.decode_batch_all golden_batch_bytes = Ok golden_batch);
+  Alcotest.(check bool)
+    "paxos golden decodes" true
+    (Codec.decode_core_paxos golden_paxos_bytes = Ok golden_paxos)
+
+let test_golden_truncations () =
+  Alcotest.(check bool)
+    "every txn truncation rejected" true
+    (rejects_prefixes ~dec:Codec.decode_txn golden_txn_bytes);
+  Alcotest.(check bool)
+    "every batch truncation rejected" true
+    (rejects_prefixes ~dec:Codec.decode_batch_all golden_batch_bytes);
+  Alcotest.(check bool)
+    "every paxos truncation rejected" true
+    (rejects_prefixes ~dec:Codec.decode_core_paxos golden_paxos_bytes)
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
@@ -237,5 +321,12 @@ let () =
           qt prop_db_truncation;
           qt prop_deliver_truncation;
           Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "encodings" `Quick test_golden_encodings;
+          Alcotest.test_case "decodings" `Quick test_golden_decodings;
+          Alcotest.test_case "truncations rejected" `Quick
+            test_golden_truncations;
         ] );
     ]

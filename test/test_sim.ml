@@ -373,6 +373,7 @@ let test_engine_trace_determinism () =
      trace buffer, not just final state). *)
   let run_once () =
     let w = Engine.create ~seed:11 () in
+    Engine.enable_trace w;
     let echo =
       Engine.spawn w ~name:"echo" (fun () ctx -> function
         | Engine.Recv { src; msg } ->
@@ -523,6 +524,93 @@ let test_net_wan_profile () =
     true
     (delivered_lossy < 50)
 
+(* Tracing is off by default and honours its cap when on. *)
+let test_trace_toggle_and_cap () =
+  let run ~setup =
+    let w = Engine.create ~seed:3 () in
+    setup w;
+    let sink =
+      Engine.spawn w ~name:"sink" (fun () ctx -> function
+        | Engine.Recv { msg; _ } -> Engine.trace ctx ("got " ^ msg)
+        | Engine.Init | Engine.Timer _ -> ())
+    in
+    let _src =
+      Engine.spawn w ~name:"src" (fun () ctx -> function
+        | Engine.Init ->
+            for i = 1 to 5 do Engine.send ctx sink (string_of_int i) done
+        | Engine.Recv _ | Engine.Timer _ -> ())
+    in
+    Engine.run w;
+    List.length (Engine.get_trace w)
+  in
+  Alcotest.(check int) "disabled by default" 0 (run ~setup:(fun _ -> ()));
+  Alcotest.(check int)
+    "records when enabled" 5
+    (run ~setup:(fun w -> Engine.enable_trace w));
+  Alcotest.(check int)
+    "cap bounds the buffer" 2
+    (run ~setup:(fun w -> Engine.enable_trace ~cap:2 w))
+
+(* The incremental pending-event digest must agree with a from-scratch
+   heap walk after any interleaving of steps, crashes, restarts,
+   partitions, heals, and external injections. *)
+let prop_fingerprint_incremental =
+  let gen_ops =
+    QCheck.Gen.(
+      list_size (5 -- 40)
+        (oneof
+           [
+             map (fun k -> `Step (1 + (abs k mod 5))) small_int;
+             map (fun n -> `Crash n) (0 -- 3);
+             map (fun n -> `Restart n) (0 -- 3);
+             map2 (fun a b -> `Part (a, b)) (0 -- 3) (0 -- 3);
+             map2 (fun a b -> `Heal (a, b)) (0 -- 3) (0 -- 3);
+             map (fun n -> `Send n) (0 -- 3);
+           ]))
+  in
+  QCheck.Test.make
+    ~name:"incremental fingerprint matches heap-walk reference" ~count:100
+    (QCheck.make ~print:(fun ops -> string_of_int (List.length ops)) gen_ops)
+    (fun ops ->
+      let w = Engine.create ~seed:5 () in
+      let nodes =
+        List.init 4 (fun i ->
+            Engine.spawn w ~name:(string_of_int i) (fun () ctx -> function
+              | Engine.Init -> ignore (Engine.set_timer ctx 0.3 "tick")
+              | Engine.Timer _ -> ()
+              | Engine.Recv { src; msg } ->
+                  if String.length msg < 6 then
+                    Engine.send ctx src (msg ^ "x")))
+      in
+      let node i = List.nth nodes i in
+      let ok = ref true in
+      let check () =
+        if
+          Engine.in_flight_fingerprint w
+          <> Engine.in_flight_fingerprint_ref w
+        then ok := false
+      in
+      check ();
+      List.iter
+        (fun op ->
+          (match op with
+          | `Step k -> for _ = 1 to k do ignore (Engine.step w) done
+          | `Crash n ->
+              if Engine.is_alive w (node n) then Engine.crash w (node n)
+          | `Restart n ->
+              if not (Engine.is_alive w (node n)) then
+                Engine.restart w (node n)
+          | `Part (a, b) ->
+              if a <> b then Engine.partition w (node a) (node b)
+          | `Heal (a, b) -> if a <> b then Engine.heal w (node a) (node b)
+          | `Send n ->
+              Engine.send_external w ~src:(node ((n + 1) mod 4)) (node n) "m");
+          check ())
+        ops;
+      Engine.run ~max_events:500 w;
+      check ();
+      !ok)
+
 let prop_network_delay_positive =
   QCheck.Test.make ~name:"net delay is positive and size-monotone" ~count:100
     QCheck.(pair small_int small_int)
@@ -578,6 +666,9 @@ let () =
             test_engine_crash_in_flight_counters;
           Alcotest.test_case "byte-identical traces" `Quick
             test_engine_trace_determinism;
+          Alcotest.test_case "trace toggle and cap" `Quick
+            test_trace_toggle_and_cap;
+          qt prop_fingerprint_incremental;
           Alcotest.test_case "scheduler reorders concurrent arrivals" `Quick
             test_engine_scheduler_reorders;
           Alcotest.test_case "scheduler preserves link fifo" `Quick
