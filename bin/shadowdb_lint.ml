@@ -1,0 +1,128 @@
+(* Spec-level static analysis over the EventML class terms and GPM
+   machines.
+
+   `shadowdb_lint` (or `shadowdb_lint lint --all`) runs every analysis
+   pass — header coverage, single-valuedness, send-graph reachability,
+   handler purity, the ShadowDB wire table, scenario determinism — over
+   the registered specifications and exits nonzero if anything fires.
+   `--sweep DIR` additionally scans source directories for anonymous
+   failure patterns. `shadowdb_lint selftest` proves each pass can fire
+   by running it over deliberately defective fixture specs. *)
+
+open Cmdliner
+
+let lint all target json sweep_dirs =
+  let targets =
+    if all || target = None then Analysis.Registry.all ()
+    else
+      match target with
+      | Some name -> (
+          match Analysis.Registry.find name with
+          | Some t -> [ t ]
+          | None ->
+              Fmt.epr "unknown target %S; known: %s@." name
+                (String.concat ", " (Analysis.Registry.names ()));
+              exit 64)
+      | None -> []
+  in
+  let reports = List.map Analysis.Lint.run_target targets in
+  let reports =
+    match sweep_dirs with
+    | [] -> reports
+    | dirs ->
+        reports
+        @ [
+            {
+              Analysis.Lint.target = "sources";
+              kind = "sweep";
+              findings = Analysis.Sweep.pass dirs;
+            };
+          ]
+  in
+  if json then print_endline (Analysis.Lint.to_json reports)
+  else Fmt.pr "%a" Analysis.Lint.pp_human reports;
+  if Analysis.Lint.total_findings reports = 0 then 0 else 1
+
+let selftest json =
+  let outcomes = Analysis.Lint.selftest () in
+  if json then begin
+    let one (o : Analysis.Lint.selftest_outcome) =
+      Printf.sprintf
+        "{\"fixture\":\"%s\",\"ok\":%b,\"fired\":[%s],\"missing\":[%s]}"
+        (Analysis.Diag.json_escape o.Analysis.Lint.fixture)
+        (o.Analysis.Lint.missing = [])
+        (String.concat ","
+           (List.map (fun c -> Printf.sprintf "\"%s\"" c) o.Analysis.Lint.fired))
+        (String.concat ","
+           (List.map
+              (fun c -> Printf.sprintf "\"%s\"" c)
+              o.Analysis.Lint.missing))
+    in
+    print_endline
+      (Printf.sprintf "{\"fixtures\":[%s]}"
+         (String.concat "," (List.map one outcomes)))
+  end
+  else
+    List.iter
+      (fun (o : Analysis.Lint.selftest_outcome) ->
+        if o.Analysis.Lint.missing = [] then
+          Fmt.pr "%-20s ok (fired: %s)@." o.Analysis.Lint.fixture
+            (String.concat ", " o.Analysis.Lint.fired)
+        else
+          Fmt.pr "%-20s MISSING %s (fired: %s)@." o.Analysis.Lint.fixture
+            (String.concat ", " o.Analysis.Lint.missing)
+            (String.concat ", " o.Analysis.Lint.fired))
+      outcomes;
+  if Analysis.Lint.selftest_ok outcomes then 0 else 1
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let lint_term =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Lint every registered target (the default when no \
+                $(b,--target) is given).")
+  in
+  let target =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target" ] ~docv:"NAME"
+          ~doc:"Lint a single target; see the target column of the \
+                default run for names.")
+  in
+  let sweep =
+    Arg.(
+      value & opt_all string []
+      & info [ "sweep" ] ~docv:"DIR"
+          ~doc:
+            "Also sweep this source directory (repeatable) for anonymous \
+             failure patterns; requires running from the repo root.")
+  in
+  Term.(const lint $ all $ target $ json_flag $ sweep)
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run all analysis passes over the registered specifications.")
+    lint_term
+
+let selftest_cmd =
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:
+         "Prove every pass fires on its deliberately defective fixture \
+          spec.")
+    Term.(const selftest $ json_flag)
+
+let () =
+  let info =
+    Cmd.info "shadowdb_lint"
+      ~doc:
+        "Static analysis / lint over the EventML specifications, GPM \
+         machines, and check scenarios."
+  in
+  exit (Cmd.eval' (Cmd.group ~default:lint_term info [ lint_cmd; selftest_cmd ]))

@@ -1,0 +1,113 @@
+(* Header-coverage pass.
+
+   Cross-checks three sets per specification:
+   - the headers its class term *recognizes* (Base nodes, syntactic),
+   - the headers its machines *produce* (bounded execution, {!Exec}),
+   - the headers its registration *declares*, each with a wire direction.
+
+   The direction says which of recognized/produced is obligatory:
+
+   [Client_in]     injected from outside (clients, boot probes); must be
+                   recognized, production is the environment's business.
+   [Internal]      member-to-member traffic; must be recognized AND
+                   producible — a producible-but-unhandled header is a
+                   dead letter, a handled-but-unproducible one is a dead
+                   handler (a ghost: code that can never run).
+   [Timer]         delayed self-sends; must be recognized, production is
+                   optional (many timers only arm on rare paths, e.g. the
+                   Paxos leader's backoff only after a preemption).
+   [External_out]  notifications leaving the member set (learners,
+                   subscribers); must be produced, never handled.
+
+   Undeclared traffic in either direction is always a finding: the
+   declaration table is the spec of the spec, and silence is how headers
+   rot. *)
+
+type direction = Client_in | Internal | Timer | External_out
+
+type decl = { hdr : string; dir : direction }
+
+let direction_string = function
+  | Client_in -> "client-input"
+  | Internal -> "internal"
+  | Timer -> "timer"
+  | External_out -> "external-output"
+
+let pass ~target ~recognized ~produced decls =
+  let declared h = List.exists (fun d -> d.hdr = h) decls in
+  let diag = Diag.v ~pass:"coverage" ~target in
+  let per_decl d =
+    let r = List.mem d.hdr recognized and p = List.mem d.hdr produced in
+    match d.dir with
+    | Client_in ->
+        if not r then
+          [
+            diag ~code:"unhandled-input" ~site:d.hdr
+              "client input %S is declared but no class recognizes it"
+              d.hdr;
+          ]
+        else []
+    | Internal ->
+        (if (not r) && p then
+           [
+             diag ~code:"dead-letter" ~site:d.hdr
+               "internal header %S is sent but never handled — a dead \
+                letter the network silently swallows"
+               d.hdr;
+           ]
+         else if not r then
+           [
+             diag ~code:"unhandled-input" ~site:d.hdr
+               "internal header %S is declared but no class recognizes it"
+               d.hdr;
+           ]
+         else [])
+        @
+        if r && not p then
+          [
+            diag ~code:"dead-handler" ~site:d.hdr
+              "internal header %S has a handler but no execution can \
+               produce it — ghost code"
+              d.hdr;
+          ]
+        else []
+    | Timer ->
+        if not r then
+          [
+            diag ~code:"unhandled-input" ~site:d.hdr
+              "timer header %S is declared but no class recognizes it"
+              d.hdr;
+          ]
+        else []
+    | External_out ->
+        if not p then
+          [
+            diag ~code:"never-emitted" ~site:d.hdr
+              "external output %S is declared but never produced"
+              d.hdr;
+          ]
+        else []
+  in
+  let undeclared =
+    List.filter_map
+      (fun h ->
+        if declared h then None
+        else
+          Some
+            (diag ~code:"undeclared-header" ~site:h
+               "header %S is recognized by the spec but missing from its \
+                wire declaration"
+               h))
+      recognized
+    @ List.filter_map
+        (fun h ->
+          if declared h then None
+          else
+            Some
+              (diag ~code:"undeclared-header" ~site:h
+                 "header %S is produced by the spec but missing from its \
+                  wire declaration"
+                 h))
+        produced
+  in
+  List.concat_map per_decl decls @ undeclared

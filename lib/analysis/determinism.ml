@@ -1,0 +1,46 @@
+(* Scenario-determinism pass.
+
+   The model checker's soundness rests on scenarios being deterministic
+   functions of (seed, schedule): replay and DFS both re-run [make] from
+   scratch and trust that identical decisions reproduce identical states.
+   A scenario that consults wall-clock time, ambient randomness, or
+   leftover global state breaks that contract silently — counterexample
+   traces stop replaying long after the cause is forgotten.
+
+   The pass runs every registered Check scenario twice under the default
+   deterministic schedule (an empty forced prefix: the engine's natural
+   event order) and compares outcome fingerprints and event counts. It
+   also surfaces any monitor violation under that default schedule — the
+   lint gate must be able to assume the fault-free, reordering-free run
+   of every scenario is clean. *)
+
+let pass ~target (s : Check.Scenario.t) =
+  let diag = Diag.v ~pass:"determinism" ~target in
+  let run () = Check.Scenario.run s ~seed:7 ~sched:(Check.Sched.fixed [||]) in
+  let a = run () in
+  let b = run () in
+  let violation =
+    match a.Check.Scenario.violation with
+    | Some v ->
+        [
+          diag ~code:"scenario-violation" ~site:v.Check.Scenario.monitor
+            "monitor %S fires under the default schedule: %s"
+            v.Check.Scenario.monitor v.Check.Scenario.detail;
+        ]
+    | None -> []
+  in
+  let nondet =
+    if
+      a.Check.Scenario.fingerprint <> b.Check.Scenario.fingerprint
+      || a.Check.Scenario.events <> b.Check.Scenario.events
+    then
+      [
+        diag ~code:"nondeterministic-scenario"
+          "two identical runs diverged (fingerprint %d vs %d, %d vs %d \
+           events) — replay and DFS cannot be trusted on this scenario"
+          a.Check.Scenario.fingerprint b.Check.Scenario.fingerprint
+          a.Check.Scenario.events b.Check.Scenario.events;
+      ]
+    else []
+  in
+  violation @ nondet

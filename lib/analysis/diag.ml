@@ -1,0 +1,61 @@
+(* Structured lint diagnostics.
+
+   Every pass reports findings through this one type so the CLI can render
+   them uniformly (human or JSON) and the CI gate can count them without
+   parsing prose. [code] is the stable machine-readable identifier tests
+   and fixtures key on; [message] is for humans and may change freely. *)
+
+type severity = Error | Warning
+
+type t = {
+  pass : string;  (* which analysis produced this *)
+  target : string;  (* spec / scenario / table under analysis *)
+  severity : severity;
+  code : string;  (* stable finding identifier, e.g. "dead-letter" *)
+  site : string option;  (* node path, header, or file:line *)
+  message : string;
+}
+
+let v ?site ?(severity = Error) ~pass ~target ~code fmt =
+  Format.kasprintf
+    (fun message -> { pass; target; severity; code; site; message })
+    fmt
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+let is_error d = d.severity = Error
+
+let pp ppf d =
+  Format.fprintf ppf "%s: %s [%s/%s]%a: %s" d.target
+    (severity_string d.severity)
+    d.pass d.code
+    (fun ppf -> function
+      | None -> ()
+      | Some s -> Format.fprintf ppf " at %s" s)
+    d.site d.message
+
+(* Hand-rolled JSON: the repo deliberately carries no JSON dependency. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    "{\"target\":\"%s\",\"pass\":\"%s\",\"code\":\"%s\",\"severity\":\"%s\",%s\"message\":\"%s\"}"
+    (json_escape d.target) (json_escape d.pass) (json_escape d.code)
+    (severity_string d.severity)
+    (match d.site with
+    | None -> ""
+    | Some s -> Printf.sprintf "\"site\":\"%s\"," (json_escape s))
+    (json_escape d.message)

@@ -1,0 +1,84 @@
+(* Bounded concrete execution of a specification's compiled GPM machines.
+
+   The header-coverage and send-graph passes need the set of headers a
+   deployed system can actually produce, which no syntactic walk can give:
+   emissions happen inside opaque handler closures. So the analyses run
+   the real thing — one fused machine ({!Gpm.Opt}) per location, a FIFO
+   queue of directed messages, driven from a registered probe workload —
+   and observe every emission.
+
+   Delayed sends (the timer encoding) are *recorded* but not *delivered*:
+   under reliable FIFO delivery retransmission timers only re-send what
+   already arrived, and delivering them would keep the loop from
+   quiescing. This mirrors the closed-loop harness of test/test_specs.ml,
+   which validates the same convention against the protocol suites. *)
+
+module Message = Loe.Message
+
+type result = {
+  produced : string list;  (* every header emitted by any machine *)
+  edges : (Message.loc * string * Message.loc) list;
+      (* (sender, header, destination) — the raw send graph *)
+  external_out : (string * Message.loc) list;
+      (* headers that left the member set, with their destination *)
+  steps : int;
+  quiesced : bool;  (* the queue drained within the step budget *)
+}
+
+let run ?(max_steps = 50_000) (spec : Loe.Spec.t) ~probes =
+  let machines =
+    List.map (fun l -> (l, Gpm.Opt.compile l spec.Loe.Spec.main)) spec.Loe.Spec.locs
+  in
+  let produced : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let edges : (Message.loc * string * Message.loc, unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let external_out : (string * Message.loc, unit) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let q : (Message.loc * Message.t) Queue.t = Queue.create () in
+  List.iter (fun p -> Queue.push p q) probes;
+  let steps = ref 0 in
+  while (not (Queue.is_empty q)) && !steps < max_steps do
+    incr steps;
+    let dst, msg = Queue.pop q in
+    match List.assoc_opt dst machines with
+    | None -> ()  (* probe aimed outside the member set: drop *)
+    | Some machine ->
+        let outs = Gpm.Opt.step machine msg in
+        List.iter
+          (fun (d : Message.directed) ->
+            let hdr = d.Message.msg.Message.hdr in
+            Hashtbl.replace produced hdr ();
+            Hashtbl.replace edges (dst, hdr, d.Message.dst) ();
+            if List.mem_assoc d.Message.dst machines then begin
+              if d.Message.delay <= 0.0 then
+                Queue.push (d.Message.dst, d.Message.msg) q
+            end
+            else Hashtbl.replace external_out (hdr, d.Message.dst) ())
+          outs
+  done;
+  {
+    produced =
+      List.sort_uniq String.compare
+        (Hashtbl.fold (fun h () acc -> h :: acc) produced []);
+    edges = Hashtbl.fold (fun e () acc -> e :: acc) edges [];
+    external_out = Hashtbl.fold (fun e () acc -> e :: acc) external_out [];
+    steps = !steps;
+    quiesced = Queue.is_empty q;
+  }
+
+(* A machine must be quiescent on input it does not recognize: compile a
+   fresh machine per location and feed it a message with a header no
+   specification declares. Locations that emit anyway are reported — a
+   spec that produces output without input escapes every schedule-based
+   analysis. *)
+let spontaneous (spec : Loe.Spec.t) =
+  let dummy =
+    Message.make (Message.declare "analysis-unrecognized-probe") ()
+  in
+  List.filter
+    (fun l ->
+      let m = Gpm.Opt.compile l spec.Loe.Spec.main in
+      Gpm.Opt.step m dummy <> [])
+    spec.Loe.Spec.locs

@@ -1,0 +1,274 @@
+(* Deliberately defective fixture specifications.
+
+   One tiny spec per failure mode, each designed so exactly the targeted
+   pass fires. They serve two masters: the CLI's [selftest] subcommand
+   (prove every pass can actually catch what it claims to catch — a lint
+   whose checks never fire is indistinguishable from a lint with no
+   checks) and the unit/property tests in test/test_analysis.ml. *)
+
+module Message = Loe.Message
+module Cls = Loe.Cls
+
+type t = {
+  name : string;
+  expect : string list;  (* diagnostic codes that must fire *)
+  run : unit -> Diag.t list;
+}
+
+(* Shared scaffolding: every fixture is a two-member system driven by a
+   single client input [go] at location 0. *)
+let case ~name ?max_steps build =
+  let run = Registry.run_spec_case ?max_steps ~name build in
+  fun expect -> { name; expect; run }
+
+let go_probe go = [ (0, Message.make go ()) ]
+
+(* [orphan] is sent but no class recognizes it. *)
+let dead_letter =
+  (case ~name:"fix-dead-letter" (fun () ->
+       let go = Message.declare "go" and orphan = Message.declare "orphan" in
+       let main = Cls.map (fun () -> Message.send orphan 1 ()) (Cls.base go) in
+       {
+         Registry.spec = Loe.Spec.v ~name:"fix-dead-letter" ~locs:[ 0; 1 ] main;
+         decls =
+           Coverage.
+             [
+               { hdr = "go"; dir = Client_in };
+               { hdr = "orphan"; dir = Internal };
+             ];
+         probes = go_probe go;
+         observations = [];
+       }))
+    [ "dead-letter" ]
+
+(* [ghost] has a handler but nothing can ever produce it. *)
+let dead_handler =
+  (case ~name:"fix-dead-handler" (fun () ->
+       let go = Message.declare "go"
+       and ghost = Message.declare "ghost"
+       and out = Message.declare "out" in
+       let main =
+         Cls.( ||| )
+           (Cls.map (fun () -> Message.send out 99 ()) (Cls.base go))
+           (Cls.map (fun () -> Message.send out 99 ()) (Cls.base ghost))
+       in
+       {
+         Registry.spec = Loe.Spec.v ~name:"fix-dead-handler" ~locs:[ 0; 1 ] main;
+         decls =
+           Coverage.
+             [
+               { hdr = "go"; dir = Client_in };
+               { hdr = "ghost"; dir = Internal };
+               { hdr = "out"; dir = External_out };
+             ];
+         probes = go_probe go;
+         observations = [ 99 ];
+       }))
+    [ "dead-handler" ]
+
+(* Builds the dead-handler fixture's pieces for external harnesses: the
+   qcheck property in test/test_analysis.ml re-runs this spec under a
+   thousand random Check schedules and asserts the flagged header is
+   never delivered (coverage findings admit no false positives). *)
+let dead_handler_spec () =
+  let go = Message.declare "go"
+  and ghost = Message.declare "ghost"
+  and out = Message.declare "out" in
+  let main =
+    Cls.( ||| )
+      (Cls.map (fun () -> Message.send out 99 ()) (Cls.base go))
+      (Cls.map (fun () -> Message.send out 99 ()) (Cls.base ghost))
+  in
+  (Loe.Spec.v ~name:"fix-dead-handler" ~locs:[ 0; 1 ] main, go, ghost)
+
+(* Both Par branches under a State fire on the same header. *)
+let par_overlap =
+  (case ~name:"fix-par-overlap" (fun () ->
+       let go = Message.declare "go" and out = Message.declare "out" in
+       let inputs =
+         Cls.( ||| )
+           (Cls.map (fun () -> 1) (Cls.base go))
+           (Cls.map (fun () -> 2) (Cls.base go))
+       in
+       let tally =
+         Cls.state "Tally" ~init:(fun _ -> 0) ~upd:(fun _ v s -> s + v) inputs
+       in
+       let main =
+         Cls.o2 (fun _ _ s -> [ Message.send out 99 s ]) inputs tally
+       in
+       {
+         Registry.spec = Loe.Spec.v ~name:"fix-par-overlap" ~locs:[ 0 ] main;
+         decls =
+           Coverage.
+             [
+               { hdr = "go"; dir = Client_in };
+               { hdr = "out"; dir = External_out };
+             ];
+         probes = go_probe go;
+         observations = [ 99 ];
+       }))
+    [ "par-overlap" ]
+
+(* A [Once] armed on a timer header that is never armed. *)
+let once_dead =
+  (case ~name:"fix-once-dead" (fun () ->
+       let go = Message.declare "go"
+       and never = Message.declare "never-tick"
+       and out = Message.declare "out" in
+       let main =
+         Cls.( ||| )
+           (Cls.map (fun () -> Message.send out 99 0) (Cls.base go))
+           (Cls.once
+              (Cls.map (fun () -> Message.send out 99 1) (Cls.base never)))
+       in
+       {
+         Registry.spec = Loe.Spec.v ~name:"fix-once-dead" ~locs:[ 0 ] main;
+         decls =
+           Coverage.
+             [
+               { hdr = "go"; dir = Client_in };
+               { hdr = "never-tick"; dir = Timer };
+               { hdr = "out"; dir = External_out };
+             ];
+         probes = go_probe go;
+         observations = [ 99 ];
+       }))
+    [ "once-never-fires" ]
+
+(* A [Delegate] whose trigger can never fire: no children ever spawn. *)
+let delegate_dead =
+  (case ~name:"fix-delegate-dead" (fun () ->
+       let go = Message.declare "go"
+       and never = Message.declare "never-tick"
+       and out = Message.declare "out" in
+       let main =
+         Cls.( ||| )
+           (Cls.map (fun () -> Message.send out 99 0) (Cls.base go))
+           (Cls.delegate "worker"
+              (Cls.map (fun () -> ()) (Cls.base never))
+              (fun _ () ->
+                Cls.map (fun () -> Message.send out 99 1) (Cls.base go)))
+       in
+       {
+         Registry.spec = Loe.Spec.v ~name:"fix-delegate-dead" ~locs:[ 0 ] main;
+         decls =
+           Coverage.
+             [
+               { hdr = "go"; dir = Client_in };
+               { hdr = "never-tick"; dir = Timer };
+               { hdr = "out"; dir = External_out };
+             ];
+         probes = go_probe go;
+         observations = [ 99 ];
+       }))
+    [ "delegate-never-spawns" ]
+
+(* The declared observation point never receives anything. *)
+let unreachable =
+  (case ~name:"fix-unreachable" (fun () ->
+       let go = Message.declare "go" and pong = Message.declare "pong" in
+       let main =
+         Cls.( ||| )
+           (Cls.map (fun () -> Message.send pong 1 ()) (Cls.base go))
+           (Cls.filter
+              (fun _ -> false)
+              (Cls.map (fun () -> Message.send pong 1 ()) (Cls.base pong)))
+       in
+       {
+         Registry.spec = Loe.Spec.v ~name:"fix-unreachable" ~locs:[ 0; 1 ] main;
+         decls =
+           Coverage.
+             [
+               { hdr = "go"; dir = Client_in };
+               { hdr = "pong"; dir = Internal };
+             ];
+         probes = go_probe go;
+         observations = [ 99 ];
+       }))
+    [ "unreachable-observation" ]
+
+(* A handler with a hidden invocation counter. *)
+let impure =
+  (case ~name:"fix-impure" (fun () ->
+       let go = Message.declare "go" and out = Message.declare "out" in
+       let n = ref 0 in
+       let main =
+         Cls.map
+           (fun () ->
+             incr n;
+             Message.send out 99 !n)
+           (Cls.base go)
+       in
+       {
+         Registry.spec = Loe.Spec.v ~name:"fix-impure" ~locs:[ 0 ] main;
+         decls =
+           Coverage.
+             [
+               { hdr = "go"; dir = Client_in };
+               { hdr = "out"; dir = External_out };
+             ];
+         probes = go_probe go;
+         observations = [ 99 ];
+       }))
+    [ "impure-handler" ]
+
+(* A [State]-rooted pipeline emits on events nobody recognizes. *)
+let spontaneous =
+  (case ~name:"fix-spontaneous" (fun () ->
+       let go = Message.declare "go" and out = Message.declare "out" in
+       let latest =
+         Cls.state "Latest"
+           ~init:(fun _ -> 0)
+           ~upd:(fun _ () s -> s + 1)
+           (Cls.base go)
+       in
+       let main = Cls.map (fun s -> Message.send out 99 s) latest in
+       {
+         Registry.spec = Loe.Spec.v ~name:"fix-spontaneous" ~locs:[ 0 ] main;
+         decls =
+           Coverage.
+             [
+               { hdr = "go"; dir = Client_in };
+               { hdr = "out"; dir = External_out };
+             ];
+         probes = go_probe go;
+         observations = [ 99 ];
+       }))
+    [ "spontaneous-output" ]
+
+(* A broken wire table: one constructor missing, one entry stale, one
+   dead letter. *)
+let broken_wire_table =
+  {
+    name = "fix-wire-table";
+    expect = [ "missing-wire-entry"; "stale-wire-entry"; "no-handler" ];
+    run =
+      (fun () ->
+        Wire_table.check ~target:"fix-wire-table"
+          ~all_tags:[ "ping"; "pong" ]
+          [
+            {
+              Wire_table.tag = "ping";
+              producers = [ "client" ];
+              handlers = [];
+            };
+            {
+              Wire_table.tag = "zombie";
+              producers = [ "primary" ];
+              handlers = [ "backup" ];
+            };
+          ]);
+  }
+
+let all =
+  [
+    dead_letter;
+    dead_handler;
+    par_overlap;
+    once_dead;
+    delegate_dead;
+    unreachable;
+    impure;
+    spontaneous;
+    broken_wire_table;
+  ]

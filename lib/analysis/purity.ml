@@ -1,0 +1,130 @@
+(* Handler-purity sanitizer.
+
+   The class combinators assume their opaque OCaml arguments are pure:
+   the Fig. 5 logical characterizations (and the bisimulation between the
+   tree and fused backends) quantify over *functions*, not effectful
+   procedures. A handler that reads a global, counts invocations, or
+   draws randomness silently invalidates every analysis built on the
+   spec — including this library's own {!Exec}-based passes.
+
+   The sanitizer is the dynamic companion to the static walks: it rewraps
+   every handler so each invocation runs twice on the same input, and
+   flags any site where the two results' structural fingerprints differ.
+   The instrumented spec is then driven through the same bounded
+   execution as the coverage pass, so exactly the handlers a real
+   deployment exercises get sanitized.
+
+   Physically shared nodes are instrumented once through an identity memo
+   (the sharing idiom of {!Gpm.Opt.compile}): specs share sub-terms —
+   Paxos-Synod's role inputs appear both as composition arguments and
+   under [State] — and naive rewrapping would split one state cell into
+   two, changing semantics. [Delegate] spawn functions are never invoked
+   twice (spawning allocates children); instead the spawned child class
+   is itself instrumented. *)
+
+module Cls = Loe.Cls
+
+(* Generous traversal bounds, as in Check.Fingerprint: protocol states
+   are small and the default 10-node budget would collide everywhere. *)
+let fingerprint v = try Hashtbl.hash_param 120 300 v with _ -> 0
+
+let instrument ~report cls =
+  let memo : (Obj.t * Obj.t) list ref = ref [] in
+  let rec go : type a. string -> a Cls.t -> a Cls.t =
+   fun parent c ->
+    let key = Obj.repr c in
+    match List.assq_opt key !memo with
+    | Some n -> (Obj.obj n : a Cls.t)
+    | None ->
+        let path = parent ^ "/" ^ Cls.name_of c in
+        let check : type r. string -> r -> r -> unit =
+         fun site a b ->
+          if fingerprint a <> fingerprint b then report (path ^ site)
+        in
+        let node : a Cls.t =
+          match c with
+          | Cls.Base _ | Cls.Const _ -> c
+          | Cls.Map (f, sub) ->
+              Cls.Map
+                ( (fun x ->
+                    let a = f x in
+                    let b = f x in
+                    check "" a b;
+                    a),
+                  go path sub )
+          | Cls.Filter (p, sub) ->
+              Cls.Filter
+                ( (fun x ->
+                    let a = p x in
+                    let b = p x in
+                    check "" a b;
+                    a),
+                  go path sub )
+          | Cls.State { name; init; upd; on } ->
+              Cls.State
+                {
+                  name;
+                  init =
+                    (fun l ->
+                      let a = init l in
+                      let b = init l in
+                      check ":init" a b;
+                      a);
+                  upd =
+                    (fun l v s ->
+                      let a = upd l v s in
+                      let b = upd l v s in
+                      check ":upd" a b;
+                      a);
+                  on = go path on;
+                }
+          | Cls.Compose2 (f, a, b) ->
+              Cls.Compose2
+                ( (fun l x y ->
+                    let r1 = f l x y in
+                    let r2 = f l x y in
+                    check "" r1 r2;
+                    r1),
+                  go path a,
+                  go path b )
+          | Cls.Compose3 (f, a, b, c3) ->
+              Cls.Compose3
+                ( (fun l x y z ->
+                    let r1 = f l x y z in
+                    let r2 = f l x y z in
+                    check "" r1 r2;
+                    r1),
+                  go path a,
+                  go path b,
+                  go path c3 )
+          | Cls.Par (a, b) -> Cls.Par (go path a, go path b)
+          | Cls.Once sub -> Cls.Once (go path sub)
+          | Cls.Delegate { name; trigger; spawn } ->
+              Cls.Delegate
+                {
+                  name;
+                  trigger = go path trigger;
+                  spawn = (fun l v -> go path (spawn l v));
+                }
+        in
+        memo := (key, Obj.repr node) :: !memo;
+        node
+  in
+  go "" cls
+
+let pass ~target ?(max_steps = 50_000) (spec : Loe.Spec.t) ~probes =
+  let seen = Hashtbl.create 8 in
+  let diags = ref [] in
+  let report site =
+    if not (Hashtbl.mem seen site) then begin
+      Hashtbl.add seen site ();
+      diags :=
+        Diag.v ~pass:"purity" ~target ~code:"impure-handler" ~site
+          "re-invoking this handler on identical input gave a different \
+           result — hidden state or nondeterminism in an opaque closure"
+        :: !diags
+    end
+  in
+  let main = instrument ~report spec.Loe.Spec.main in
+  ignore (Exec.run ~max_steps { spec with Loe.Spec.main } ~probes);
+  List.rev !diags

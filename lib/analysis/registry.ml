@@ -1,0 +1,179 @@
+(* Lint-target registry.
+
+   A target bundles everything the passes need about one analysable
+   artifact: how to build it fresh (specs declare headers at construction
+   time, so construction happens inside [run]), its wire declarations,
+   a probe workload that exercises it, and where its outputs are
+   observed. [run] executes every applicable pass and returns the
+   combined findings.
+
+   The probe workloads are chosen to drive each protocol through a full
+   decision: Paxos gets leadership bootstraps at *all* members (forcing
+   the preemption path, the only producer of the backoff timer) plus a
+   client request; TwoThird gets a single proposal; the broadcast service
+   gets boots, a subscription, and a broadcast. *)
+
+module Message = Loe.Message
+
+type target = { name : string; kind : string; run : unit -> Diag.t list }
+
+type spec_case = {
+  spec : Loe.Spec.t;
+  decls : Coverage.decl list;
+  probes : (Message.loc * Message.t) list;
+  observations : Message.loc list;
+}
+
+let run_spec_case ?(max_steps = 50_000) ~name build () =
+  let { spec; decls; probes; observations } = build () in
+  let diag = Diag.v ~pass:"exec" ~target:name in
+  let er = Exec.run ~max_steps spec ~probes in
+  let recognized = Shape.recognized spec.Loe.Spec.main in
+  let live =
+    er.Exec.produced
+    @ List.filter_map
+        (fun (d : Coverage.decl) ->
+          match d.Coverage.dir with
+          | Coverage.Client_in -> Some d.Coverage.hdr
+          | Coverage.Internal | Coverage.Timer | Coverage.External_out -> None)
+        decls
+  in
+  let quiescence =
+    if er.Exec.quiesced then []
+    else
+      [
+        diag ~code:"no-quiescence"
+          "the probe workload did not drain within %d steps — the spec \
+           self-perpetuates under reliable delivery"
+          max_steps;
+      ]
+  in
+  let spontaneous =
+    List.map
+      (fun l ->
+        diag ~code:"spontaneous-output" ~site:(string_of_int l)
+          "the machine at location %d emits on a message no class \
+           recognizes"
+          l)
+      (Exec.spontaneous spec)
+  in
+  quiescence @ spontaneous
+  @ Coverage.pass ~target:name ~recognized ~produced:er.Exec.produced decls
+  @ Single_valued.pass ~target:name ~live spec.Loe.Spec.main
+  @ Send_graph.pass ~target:name
+      ~inject_locs:(List.sort_uniq compare (List.map fst probes))
+      ~observations er
+  @ Purity.pass ~target:name ~max_steps spec ~probes
+
+let spec_target ?max_steps name build =
+  { name; kind = "spec"; run = run_spec_case ?max_steps ~name build }
+
+(* ---- the four Table I specifications ---------------------------------- *)
+
+let paxos_case () =
+  let locs = [ 0; 1; 2 ] and learner = 99 in
+  let spec, io = Consensus.Paxos_spec.make ~locs ~learner in
+  let open Consensus.Paxos_spec in
+  {
+    spec;
+    decls =
+      Coverage.
+        [
+          { hdr = "p1a"; dir = Internal };
+          { hdr = "p1b"; dir = Internal };
+          { hdr = "p2a"; dir = Internal };
+          { hdr = "p2b"; dir = Internal };
+          { hdr = "propose"; dir = Internal };
+          { hdr = "decision"; dir = Internal };
+          { hdr = "request"; dir = Client_in };
+          { hdr = "start"; dir = Client_in };
+          { hdr = "ltick"; dir = Timer };
+          { hdr = "perform"; dir = External_out };
+        ];
+    probes =
+      (* Boot every member: dueling scouts force a preemption, so the
+         backoff-timer emission path is exercised too. *)
+      List.map (fun l -> (l, Message.make io.start ())) locs
+      @ [ (0, Message.make io.request "lint-cmd") ];
+    observations = [ learner ];
+  }
+
+let twothird_case () =
+  let locs = [ 0; 1; 2; 3 ] and learner = 99 in
+  let spec, io = Consensus.Twothird_spec.make ~locs ~learner in
+  let open Consensus.Twothird_spec in
+  {
+    spec;
+    decls =
+      Coverage.
+        [
+          { hdr = "propose"; dir = Client_in };
+          { hdr = "vote"; dir = Internal };
+          { hdr = "tick"; dir = Timer };
+          { hdr = "deliver"; dir = External_out };
+        ];
+    probes = [ (0, Message.make io.propose "lint-value") ];
+    observations = [ learner ];
+  }
+
+let tob_case () =
+  let locs = [ 0; 1; 2 ] and learner = 99 in
+  let spec, io = Broadcast.Tob_spec.make ~locs ~subscribers:[ learner ] in
+  let open Broadcast.Tob_spec in
+  {
+    spec;
+    decls =
+      Coverage.
+        [
+          { hdr = "tob-bcast"; dir = Client_in };
+          { hdr = "tob-subscribe"; dir = Client_in };
+          { hdr = "tob-start"; dir = Client_in };
+          { hdr = "tob-core"; dir = Internal };
+          { hdr = "tob-tick"; dir = Timer };
+          { hdr = "tob-deliver"; dir = External_out };
+        ];
+    probes =
+      List.map (fun l -> (l, Message.make io.start ())) locs
+      @ [
+          (0, Message.make io.subscribe 98);
+          ( 0,
+            Message.make io.bcast
+              { Broadcast.Tob.origin = 98; id = 0; payload = "lint" } );
+        ];
+    observations = [ learner ];
+  }
+
+let clk_case () =
+  let locs = [ 0; 1 ] and sink = 99 in
+  (* Ping-pong incrementing Lamport clocks, escaping to an external sink
+     after a few hops so the bounded execution quiesces. *)
+  let handle slf v = (v + 1, if v >= 4 then sink else 1 - slf) in
+  let clk = Clocks.Clk.make ~locs ~handle in
+  {
+    spec = clk.Clocks.Clk.spec;
+    decls = Coverage.[ { hdr = "msg"; dir = Internal } ];
+    probes = [ (0, Message.make clk.Clocks.Clk.msg (0, 0)) ];
+    observations = [ sink ];
+  }
+
+(* ---- scenario and table targets --------------------------------------- *)
+
+let scenario_target (s : Check.Scenario.t) =
+  let name = "scenario:" ^ s.Check.Scenario.name in
+  { name; kind = "scenario"; run = (fun () -> Determinism.pass ~target:name s) }
+
+let wire_target =
+  { name = "shadowdb-wire"; kind = "table"; run = Wire_table.pass }
+
+let all () =
+  [
+    spec_target "paxos-synod" paxos_case;
+    spec_target "twothird" twothird_case;
+    spec_target ~max_steps:100_000 "broadcast-service" tob_case;
+    spec_target "clk" clk_case;
+    wire_target;
+  ]
+  @ List.map scenario_target Check.Scenarios.all
+
+let find name = List.find_opt (fun t -> t.name = name) (all ())
+let names () = List.map (fun t -> t.name) (all ())

@@ -1,0 +1,79 @@
+(* Send-graph pass.
+
+   From the edges observed by {!Exec} — (sender, header, destination)
+   triples — build the per-role static communication graph and check that
+   every monitored observation point (learner, subscriber) is reachable
+   from a client injection. An observation point no execution can reach
+   means the spec's externally visible behaviour is vacuous: every
+   safety property over it holds trivially, which is precisely the kind
+   of "verified but meaningless" outcome a lint must catch.
+
+   Cycles are computed as graph metadata (consensus protocols are full of
+   legitimate request/reply cycles — p1a/p1b, p2a/p2b — so a cycle is
+   never a finding by itself); the summary is surfaced so a reviewer can
+   eyeball unexpected loops. *)
+
+module Message = Loe.Message
+
+type summary = {
+  locs : Message.loc list;
+  edge_count : int;
+  headers : string list;
+  in_cycle : Message.loc list;  (* locations on some directed cycle *)
+}
+
+let successors edges l =
+  List.filter_map (fun (s, _, d) -> if s = l then Some d else None) edges
+
+let reachable ~from edges =
+  let seen = Hashtbl.create 16 in
+  let rec go l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.add seen l ();
+      List.iter go (successors edges l)
+    end
+  in
+  List.iter go from;
+  fun l -> Hashtbl.mem seen l
+
+let summarize (r : Exec.result) =
+  let locs =
+    List.sort_uniq compare
+      (List.concat_map (fun (s, _, d) -> [ s; d ]) r.Exec.edges)
+  in
+  let in_cycle =
+    List.filter
+      (fun l ->
+        (* l lies on a cycle iff it can reach itself through ≥1 edge. *)
+        let from_succs = successors r.Exec.edges l in
+        reachable ~from:from_succs r.Exec.edges l)
+      locs
+  in
+  {
+    locs;
+    edge_count = List.length r.Exec.edges;
+    headers =
+      List.sort_uniq String.compare
+        (List.map (fun (_, h, _) -> h) r.Exec.edges);
+    in_cycle;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%d locations, %d edges, %d headers, %d in cycles"
+    (List.length s.locs) s.edge_count
+    (List.length s.headers)
+    (List.length s.in_cycle)
+
+let pass ~target ~inject_locs ~observations (r : Exec.result) =
+  let diag = Diag.v ~pass:"send-graph" ~target in
+  let reach = reachable ~from:inject_locs r.Exec.edges in
+  List.filter_map
+    (fun obs ->
+      if reach obs then None
+      else
+        Some
+          (diag ~code:"unreachable-observation" ~site:(string_of_int obs)
+             "observation point %d is unreachable from any client \
+              injection — every property monitored there holds vacuously"
+             obs))
+    observations

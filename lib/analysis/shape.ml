@@ -1,0 +1,87 @@
+(* Syntactic walks over the event-class GADT.
+
+   These are the purely static parts of the analyses: which base headers a
+   class term recognizes, and when a sub-term can fire at all. Opaque
+   handler closures are not inspected — passes that need their behaviour
+   use {!Exec} (bounded concrete execution) or {!Purity} (re-invocation). *)
+
+module Cls = Loe.Cls
+
+let dedup l = List.sort_uniq String.compare l
+
+(* Headers of the [Base] recognizers in a sub-term. *)
+let recognized cls =
+  let rec go : type a. a Cls.t -> string list = function
+    | Cls.Base h -> [ Loe.Message.hdr_name h ]
+    | Cls.Const _ -> []
+    | Cls.Map (_, c) -> go c
+    | Cls.Filter (_, c) -> go c
+    | Cls.Once c -> go c
+    | Cls.State { on; _ } -> go on
+    | Cls.Compose2 (_, a, b) -> go a @ go b
+    | Cls.Compose3 (_, a, b, c) -> go a @ go b @ go c
+    | Cls.Par (a, b) -> go a @ go b
+    | Cls.Delegate { trigger; _ } -> go trigger
+  in
+  dedup (go cls)
+
+(* When can a sub-term produce an output?
+
+   [Always] — at every event (constants, and [State], which re-emits its
+   current value at every event per the Fig. 5 characterization).
+   [On hs] — at most at events carrying one of the headers [hs]
+   (conservative: a [Filter] may still suppress the output). *)
+type firing = Always | On of string list
+
+let union a b =
+  match (a, b) with
+  | Always, _ | _, Always -> Always
+  | On x, On y -> On (dedup (x @ y))
+
+(* Simultaneous composition fires only when every argument fires. *)
+let inter a b =
+  match (a, b) with
+  | Always, f | f, Always -> f
+  | On x, On y -> On (List.filter (fun h -> List.mem h y) x)
+
+let rec firing : type a. a Cls.t -> firing = function
+  | Cls.Base h -> On [ Loe.Message.hdr_name h ]
+  | Cls.Const _ -> Always
+  | Cls.State _ -> Always
+  | Cls.Map (_, c) -> firing c
+  | Cls.Filter (_, c) -> firing c
+  | Cls.Once c -> firing c
+  | Cls.Compose2 (_, a, b) -> inter (firing a) (firing b)
+  | Cls.Compose3 (_, a, b, c) -> inter (inter (firing a) (firing b)) (firing c)
+  | Cls.Par (a, b) -> union (firing a) (firing b)
+  | Cls.Delegate { trigger; _ } -> firing trigger
+
+let overlap a b =
+  match (inter a b) with
+  | Always -> [ "<every event>" ]
+  | On hs -> hs
+
+(* Fold a visitor over every node of the term, carrying a [/]-separated
+   path of node names from the root. Children of a [Delegate]'s spawn
+   function are invisible (they only exist at runtime); its trigger is
+   walked. The visitor is a record field so it stays polymorphic across
+   the GADT's node types. *)
+type 'acc visitor = { visit : 'a. path:string -> 'acc -> 'a Cls.t -> 'acc }
+
+let fold_nodes v acc cls =
+  let rec go : type a. string -> 'acc -> a Cls.t -> 'acc =
+   fun path acc c ->
+    let path = path ^ "/" ^ Cls.name_of c in
+    let acc = v.visit ~path acc c in
+    match c with
+    | Cls.Base _ | Cls.Const _ -> acc
+    | Cls.Map (_, c') -> go path acc c'
+    | Cls.Filter (_, c') -> go path acc c'
+    | Cls.Once c' -> go path acc c'
+    | Cls.State { on; _ } -> go path acc on
+    | Cls.Compose2 (_, a, b) -> go path (go path acc a) b
+    | Cls.Compose3 (_, a, b, c3) -> go path (go path (go path acc a) b) c3
+    | Cls.Par (a, b) -> go path (go path acc a) b
+    | Cls.Delegate { trigger; _ } -> go path acc trigger
+  in
+  go "" acc cls

@@ -1,0 +1,94 @@
+(* Single-valuedness / liveness pass over the class term.
+
+   The paper's Fig. 5 characterization of [State] carries a side
+   condition: the class being folded over must be single-valued — at most
+   one output per event — or the fold order between simultaneous outputs
+   is unspecified and the Nuprl proof obligation does not discharge. The
+   repo's specs establish single-valuedness by construction, feeding
+   [State] a [Par] of recognizers over *disjoint* headers; this pass
+   checks exactly that construction:
+
+   - a [Par] under a [State]'s input (or under a [Once]) whose branches
+     can fire at the same event is flagged ([par-overlap]);
+   - a [Once] or [Delegate] trigger that can never fire given the live
+     header set (client inputs plus everything any execution produces)
+     is flagged ([once-never-fires] / [delegate-never-spawns]) — such a
+     nesting is dead protocol structure.
+
+   Nested [State]s are not descended into from an enclosing check: each
+   [State] node is visited in its own right, so every [Par] is judged
+   exactly once, in the closest single-valued context. *)
+
+module Cls = Loe.Cls
+
+(* All Par nodes in [c], stopping at State boundaries (they are checked
+   at their own visit). Returns (path, branch firings). *)
+let shallow_pars root_path c =
+  let rec go : type a. string -> (string * Shape.firing * Shape.firing) list
+      -> a Cls.t -> (string * Shape.firing * Shape.firing) list =
+   fun path acc c ->
+    let path = path ^ "/" ^ Cls.name_of c in
+    match c with
+    | Cls.Base _ | Cls.Const _ | Cls.State _ -> acc
+    | Cls.Map (_, c') -> go path acc c'
+    | Cls.Filter (_, c') -> go path acc c'
+    | Cls.Once c' -> go path acc c'
+    | Cls.Compose2 (_, a, b) -> go path (go path acc a) b
+    | Cls.Compose3 (_, a, b, c3) -> go path (go path (go path acc a) b) c3
+    | Cls.Par (a, b) ->
+        go path (go path ((path, Shape.firing a, Shape.firing b) :: acc) a) b
+    | Cls.Delegate { trigger; _ } -> go path acc trigger
+  in
+  go root_path [] c
+
+let pass ~target ~live cls =
+  let diag = Diag.v ~pass:"single-valued" ~target in
+  let overlap_diags ctx pars =
+    List.concat_map
+      (fun (path, fa, fb) ->
+        match Shape.overlap fa fb with
+        | [] -> []
+        | hs ->
+            [
+              diag ~code:"par-overlap" ~site:path
+                "Par branches under %s can both fire on %s — the fold \
+                 over simultaneous outputs is order-dependent (Fig. 5 \
+                 single-valuedness side condition)"
+                ctx
+                (String.concat ", " hs);
+            ])
+      pars
+  in
+  let alive = function
+    | Shape.Always -> true
+    | Shape.On hs -> List.exists (fun h -> List.mem h live) hs
+  in
+  let visit ~path acc (type a) (c : a Cls.t) =
+    match c with
+    | Cls.State { name; on; _ } ->
+        acc @ overlap_diags (Printf.sprintf "State %S" name) (shallow_pars path on)
+    | Cls.Once c' ->
+        let acc = acc @ overlap_diags "Once" (shallow_pars path c') in
+        if alive (Shape.firing c') then acc
+        else
+          acc
+          @ [
+              diag ~code:"once-never-fires" ~site:path
+                "Once can never fire: no live header reaches its body \
+                 (live = client inputs + every producible header)";
+            ]
+    | Cls.Delegate { name; trigger; _ } ->
+        if alive (Shape.firing trigger) then acc
+        else
+          acc
+          @ [
+              diag ~code:"delegate-never-spawns" ~site:path
+                "Delegate %S can never spawn %s: no live header reaches \
+                 its trigger"
+                name (Cls.child_name name);
+            ]
+    | Cls.Base _ | Cls.Const _ | Cls.Map _ | Cls.Filter _ | Cls.Compose2 _
+    | Cls.Compose3 _ | Cls.Par _ ->
+        acc
+  in
+  Shape.fold_nodes { Shape.visit } [] cls

@@ -1,0 +1,81 @@
+(* Forbidden-pattern source sweep.
+
+   The repo's failure-reporting convention (PR 2, extended by this one)
+   is the structured [Sim.Invariant.Violation]: anonymous panics lose the
+   layer and state needed to attribute a model-checking counterexample or
+   a live-cluster crash. This sweep keeps the protocol layers honest by
+   flagging the anonymous forms — [assert false], [failwith],
+   [invalid_arg], partial stdlib accessors — plus unsafe [Obj] casts
+   outside the two blessed sharing-memo sites.
+
+   Textual, by design: it runs over source directories handed to the CLI
+   (the build sandbox has no sources, so this pass is opt-in via
+   [--sweep] and wired into CI, not into the runtest alias). Substring
+   matching is crude but the patterns are chosen to not collide with the
+   allowed idioms ([List.assoc_opt] does not contain ["List.assoc "]). *)
+
+let patterns =
+  [
+    ("assert false", "assert-false");
+    ("failwith", "failwith");
+    ("invalid_arg", "invalid-arg");
+    ("List.hd ", "list-hd");
+    ("List.assoc ", "list-assoc");
+    ("Option.get", "option-get");
+    ("Obj.magic", "obj-magic");
+  ]
+
+(* Files whose flagged idioms are deliberate, with the reason on record:
+   the two identity-memo modules (sound [Obj] use documented in place)
+   and the invariant module itself (its comment names the patterns it
+   replaces). *)
+let allowlist = [ "gpm/opt.ml"; "analysis/purity.ml"; "analysis/sweep.ml"; "sim/invariant.ml" ]
+
+let allowlisted path =
+  List.exists
+    (fun suffix ->
+      let lp = String.length path and ls = String.length suffix in
+      lp >= ls && String.sub path (lp - ls) ls = suffix)
+    allowlist
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n > 0 && go 0
+
+let scan_file path =
+  if allowlisted path then []
+  else
+    let ic = open_in path in
+    let diags = ref [] in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         List.iter
+           (fun (pat, code) ->
+             if contains ~sub:pat line then
+               diags :=
+                 Diag.v ~pass:"sweep" ~target:"sources" ~code
+                   ~site:(Printf.sprintf "%s:%d" path !lineno)
+                   "anonymous failure / unsafe pattern %S — use \
+                    Sim.Invariant (or justify in the sweep allowlist)"
+                   pat
+                 :: !diags)
+           patterns
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !diags
+
+let rec scan_dir dir =
+  match Sys.is_directory dir with
+  | exception Sys_error _ -> []
+  | false -> if Filename.check_suffix dir ".ml" then scan_file dir else []
+  | true ->
+      Array.to_list (Sys.readdir dir)
+      |> List.sort String.compare
+      |> List.concat_map (fun f -> scan_dir (Filename.concat dir f))
+
+let pass dirs = List.concat_map scan_dir dirs

@@ -26,12 +26,21 @@ type io = {
    through a side table. *)
 module Core_codec = struct
   let table : (int, T.msg) Hashtbl.t = Hashtbl.create 256
+  let keys : (T.msg, int) Hashtbl.t = Hashtbl.create 256
   let next = ref 0
 
+  (* Deterministic per message: encoding the same core message twice
+     yields the same key, so [encode] is observationally pure — the
+     handler-purity sanitizer (lib/analysis) re-invokes handlers on
+     identical inputs and must see identical outputs. *)
   let encode m =
-    incr next;
-    Hashtbl.replace table !next m;
-    string_of_int !next
+    match Hashtbl.find_opt keys m with
+    | Some k -> string_of_int k
+    | None ->
+        incr next;
+        Hashtbl.replace table !next m;
+        Hashtbl.replace keys m !next;
+        string_of_int !next
 
   let decode s =
     match int_of_string_opt s with

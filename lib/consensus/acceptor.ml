@@ -18,23 +18,21 @@ let accepted t = List.map snd (Slot_map.bindings t.accepted)
 
 let ballot_lt a b = M.ballot_compare a b < 0
 
-exception Invariant_violation of string
 (* The acceptor's promise is monotonically non-decreasing and, once a
    prepare has been processed, always present. If that ever fails, name
    the acceptor and its ballot state instead of dying anonymously — a
    model-checking schedule or a live-cluster log must be able to say
-   which role broke. *)
+   which role broke. [Sim.Invariant.Violation] is the structured error
+   shared by every layer (and enforced by the lint sweep). *)
 
 let promised_after_p1a t (b : M.ballot) =
   match t.ballot with
   | Some cur -> cur
   | None ->
-      raise
-        (Invariant_violation
-           (Format.asprintf
-              "acceptor %d lost its promise handling p1a%a: ballot = None \
-               after promise update (promises may only grow, never vanish)"
-              t.self M.pp_ballot b))
+      Sim.Invariant.fail "paxos-acceptor"
+        "acceptor %d lost its promise handling p1a%a: ballot = None after \
+         promise update (promises may only grow, never vanish)"
+        t.self M.pp_ballot b
 
 let step t (msg : 'c M.t) =
   match msg with

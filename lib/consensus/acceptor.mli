@@ -6,11 +6,6 @@
 
 type 'c t
 
-exception Invariant_violation of string
-(** Raised (never, absent a bug) if promise tracking breaks: the message
-    names the acceptor and its ballot state, so model-checking schedules
-    and live-cluster logs can attribute the violation to a role. *)
-
 val create : self:Paxos_msg.loc -> 'c t
 val self : 'c t -> Paxos_msg.loc
 

@@ -64,7 +64,10 @@ let acceptor_cls io =
         | M.P1b { src; b; accepted } -> Message.send io.p1b dst (src, b, accepted)
         | M.P2b { src; b; s } -> Message.send io.p2b dst (src, b, s)
         | M.P1a _ | M.P2a _ | M.Propose _ | M.Decision _ ->
-            invalid_arg "acceptor emits only p1b/p2b")
+            Sim.Invariant.fail "paxos-spec"
+              "acceptor emits only p1b/p2b (reply to %d escaped the role \
+               boundary)"
+              dst)
       replies
   in
   Cls.o2 emit inputs state
@@ -103,8 +106,11 @@ let leader_emit io slf acts =
       | Leader.Send (dst, M.P1a { src; b }) -> Message.send io.p1a dst (src, b)
       | Leader.Send (dst, M.P2a { src; pv }) -> Message.send io.p2a dst (src, pv)
       | Leader.Send (dst, M.Decision { s; c }) -> Message.send io.decision dst (s, c)
-      | Leader.Send (_, (M.P1b _ | M.P2b _ | M.Propose _)) ->
-          invalid_arg "leader emits only p1a/p2a/decision"
+      | Leader.Send (dst, (M.P1b _ | M.P2b _ | M.Propose _)) ->
+          Sim.Invariant.fail "paxos-spec"
+            "leader emits only p1a/p2a/decision (send to %d escaped the \
+             role boundary)"
+            dst
       | Leader.Set_timer d -> Message.send_after io.ltick d slf ())
     acts
 
@@ -132,8 +138,11 @@ let replica_cls io ~locs ~learner =
       (function
         | Replica.Send (dst, M.Propose { s; c }) ->
             Message.send io.propose dst (s, c)
-        | Replica.Send (_, (M.P1a _ | M.P1b _ | M.P2a _ | M.P2b _ | M.Decision _)) ->
-            invalid_arg "replica emits only propose"
+        | Replica.Send (dst, (M.P1a _ | M.P1b _ | M.P2a _ | M.P2b _ | M.Decision _)) ->
+            Sim.Invariant.fail "paxos-spec"
+              "replica emits only propose (send to %d escaped the role \
+               boundary)"
+              dst
         | Replica.Perform { s; c } -> Message.send io.perform learner (s, c))
       acts
   in

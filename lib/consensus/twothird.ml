@@ -62,7 +62,7 @@ let winner votes =
   let counts =
     Loc_map.fold
       (fun _ v acc ->
-        let cur = try List.assoc v acc with Not_found -> 0 in
+        let cur = Option.value (List.assoc_opt v acc) ~default:0 in
         (v, cur + 1) :: List.remove_assoc v acc)
       votes []
   in
@@ -72,7 +72,8 @@ let winner votes =
         match Int.compare c2 c1 with 0 -> compare v1 v2 | c -> c)
       counts
   with
-  | [] -> invalid_arg "winner: no votes"
+  | [] ->
+      Sim.Invariant.fail "twothird" "winner: called with an empty vote set"
   | (v, c) :: _ -> (v, c)
 
 let decide t v =
@@ -113,11 +114,12 @@ let handle_propose t v =
       check_quorum t acts
 
 let handle_vote t src r value =
-  if t.decided <> None then
-    (* Frozen: point the laggard at the decision. *)
-    ( t,
-      [ Send (src, Decided (Option.get t.decided)) ] )
-  else if r < t.round then
+  match t.decided with
+  | Some d ->
+      (* Frozen: point the laggard at the decision. *)
+      (t, [ Send (src, Decided d) ])
+  | None ->
+  if r < t.round then
     (* Stale vote: help the sender catch up with our current vote. *)
     match t.estimate with
     | Some e -> (t, [ Send (src, Vote { round = t.round; value = e }) ])

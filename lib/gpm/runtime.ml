@@ -36,7 +36,9 @@ let deploy ?(backend = Fused) ?(profile = Engine_profile.Compiled)
           let s =
             match !spec with
             | Some spec -> make_stepper backend !locref spec.Loe.Spec.main
-            | None -> invalid_arg "Runtime.deploy: spec not yet built"
+            | None ->
+                Sim.Invariant.fail "gpm-runtime"
+                  "deploy: node %d stepped before the spec was built" !locref
           in
           stepper := Some s;
           s

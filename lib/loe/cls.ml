@@ -59,3 +59,34 @@ let name_of : type a. a t -> string = function
   | Par _ -> "par"
   | Once _ -> "once"
   | Delegate { name; _ } -> "delegate:" ^ name
+
+(* The canonical name of the sub-specifications a [Delegate name] spawns.
+   Shared by the ILF characterization and the analysis passes so
+   diagnostics and logic formulas agree on what a child is called. *)
+let child_name name = name ^ "-child"
+
+(* Structural pretty-printer: one line per combinator node, children
+   indented, each node annotated with the size of its subtree (the root
+   annotation therefore equals [size]). Opaque arguments — handlers,
+   initial states, spawn functions — are invisible; they are accounted
+   for in the size annotations but have no line of their own. *)
+let rec pp : type a. Format.formatter -> a t -> unit =
+ fun ppf c ->
+  let children : (Format.formatter -> unit) list =
+    match c with
+    | Base _ | Const _ -> []
+    | Map (_, c') -> [ (fun ppf -> pp ppf c') ]
+    | Filter (_, c') -> [ (fun ppf -> pp ppf c') ]
+    | State { on; _ } -> [ (fun ppf -> pp ppf on) ]
+    | Compose2 (_, a, b) -> [ (fun ppf -> pp ppf a); (fun ppf -> pp ppf b) ]
+    | Compose3 (_, a, b, c3) ->
+        [ (fun ppf -> pp ppf a); (fun ppf -> pp ppf b); (fun ppf -> pp ppf c3) ]
+    | Par (a, b) -> [ (fun ppf -> pp ppf a); (fun ppf -> pp ppf b) ]
+    | Once c' -> [ (fun ppf -> pp ppf c') ]
+    | Delegate { trigger; _ } -> [ (fun ppf -> pp ppf trigger) ]
+  in
+  Format.fprintf ppf "@[<v 2>%s [%d]" (name_of c) (size c);
+  List.iter (fun child -> Format.fprintf ppf "@,%t" child) children;
+  Format.fprintf ppf "@]"
+
+let to_string c = Format.asprintf "%a" pp c

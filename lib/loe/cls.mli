@@ -75,3 +75,16 @@ val size : 'a t -> int
 
 val name_of : 'a t -> string
 (** Short constructor name, for diagnostics. *)
+
+val child_name : string -> string
+(** [child_name name] is the canonical name of the sub-specifications a
+    [Delegate name] spawns — shared by {!Ilf.of_cls} and the analysis
+    passes so formulas and diagnostics agree. *)
+
+val pp : Format.formatter -> 'a t -> unit
+(** Structural pretty-printer: one line per combinator node (children
+    indented), each annotated with its subtree's {!size} — the root
+    annotation equals [size] of the whole class. *)
+
+val to_string : 'a t -> string
+(** [Format.asprintf "%a" pp]. *)

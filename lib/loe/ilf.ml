@@ -119,7 +119,8 @@ let rec characterize : type a. a Cls.t -> string -> string -> formula =
                   Atom (Printf.sprintf "e' < %s" e);
                   characterize trigger "x" "e'";
                   Atom
-                    (Printf.sprintf "%s ∈ %s-child(x, e', %s)" out name e);
+                    (Printf.sprintf "%s ∈ %s(x, e', %s)" out
+                       (Cls.child_name name) e);
                 ] ) )
 
 let of_cls ~name c =

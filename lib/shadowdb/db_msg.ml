@@ -18,6 +18,36 @@ type t =
   | Recovered of { cfg : int }
   | Snapshot_req of { cfg : int; from_seq : int }
 
+(* Stable wire tags, one per constructor. [all_tags] is the authoritative
+   enumeration the wire-table lint checks its hand-maintained
+   producer/handler table against: adding a constructor without extending
+   the table (or vice versa) is a finding, not a silent drift. *)
+let tag = function
+  | Client_txn _ -> "client-txn"
+  | Forward _ -> "forward"
+  | Ack _ -> "ack"
+  | Reply _ -> "reply"
+  | Heartbeat _ -> "heartbeat"
+  | Elect _ -> "elect"
+  | Catchup _ -> "catchup"
+  | Snapshot _ -> "snapshot"
+  | Recovered _ -> "recovered"
+  | Snapshot_req _ -> "snapshot-req"
+
+let all_tags =
+  [
+    "client-txn";
+    "forward";
+    "ack";
+    "reply";
+    "heartbeat";
+    "elect";
+    "catchup";
+    "snapshot";
+    "recovered";
+    "snapshot-req";
+  ]
+
 let row_bytes row =
   Array.fold_left (fun a v -> a + Storage.Value.serialized_size v) 8 row
 

@@ -34,3 +34,10 @@ type t =
 
 val size : t -> int
 (** Wire-size estimate for the network model. *)
+
+val tag : t -> string
+(** Stable wire tag, one per constructor. *)
+
+val all_tags : string list
+(** Every constructor's tag — the enumeration the wire-table lint keys
+    on. *)

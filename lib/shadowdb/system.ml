@@ -249,7 +249,14 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     let entry =
       { Tob.origin = r.p_self; id = r.tob_seq; payload }
     in
-    R.send ctx ~size:(String.length payload + 24) (List.hd r.p_tob)
+    let tob_contact =
+      Sim.Invariant.head ~layer:"pbr"
+        ~what:
+          (Printf.sprintf "replica %d proposing reconfiguration: TOB members"
+             r.p_self)
+        r.p_tob
+    in
+    R.send ctx ~size:(String.length payload + 24) tob_contact
       (Svc (TM.Broadcast entry))
 
   (* Step 3: adopt the first proposal for the successor configuration and
@@ -318,11 +325,18 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     if r.p_self = primary then begin
       let others = backups r in
       r.recovered_set <- Sim.Node_id.Set.singleton r.p_self;
+      (* Every backup voted (the election only concludes on a full vote
+         set), so a missing vote here is a broken internal contract. *)
+      let vote_of b =
+        Sim.Invariant.assoc ~layer:"pbr"
+          ~what:
+            (Printf.sprintf "primary %d concluding election: vote of %d"
+               r.p_self b)
+          b r.elect_votes
+      in
       let fast, slow =
         List.partition
-          (fun b ->
-            let bseq = List.assoc b r.elect_votes in
-            Cache.range r.cache ~from:bseq ~upto:r.gseq <> None)
+          (fun b -> Cache.range r.cache ~from:(vote_of b) ~upto:r.gseq <> None)
           others
       in
       (* The paper's overlapped state transfer: wait only for the backups
@@ -335,8 +349,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       else begin
         List.iter
           (fun b ->
-            let bseq = List.assoc b r.elect_votes in
-            match Cache.range r.cache ~from:bseq ~upto:r.gseq with
+            match Cache.range r.cache ~from:(vote_of b) ~upto:r.gseq with
             | Some txns ->
                 send_db ctx b
                   (Db_msg.Catchup

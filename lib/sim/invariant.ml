@@ -1,0 +1,34 @@
+(* Structured invariant-violation errors (extends PR 2's
+   [Acceptor.Invariant_violation] to the whole stack).
+
+   An "impossible" state reached at runtime must name the layer and the
+   state that broke instead of dying anonymously in [assert false] /
+   [List.hd]: a model-checking schedule or a live-cluster log has to be
+   able to say which role violated which internal contract. The lint
+   CLI's forbidden-pattern sweep (`shadowdb_lint --sweep`) keeps new
+   anonymous-failure sites from creeping back in. *)
+
+exception Violation of { layer : string; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Violation { layer; detail } ->
+        Some (Printf.sprintf "Invariant violation [%s]: %s" layer detail)
+    | _ -> None)
+
+(* [fail layer fmt ...] raises a structured violation. *)
+let fail layer fmt =
+  Format.kasprintf (fun detail -> raise (Violation { layer; detail })) fmt
+
+(* Checked replacements for the partial list operations the sweep bans in
+   protocol code: same behaviour on the happy path, a structured
+   violation (instead of an anonymous [Failure]/[Not_found]) otherwise. *)
+
+let head ~layer ~what = function
+  | x :: _ -> x
+  | [] -> fail layer "%s: expected a non-empty list" what
+
+let assoc ~layer ~what key l =
+  match List.assoc_opt key l with
+  | Some v -> v
+  | None -> fail layer "%s: key absent from association list" what
