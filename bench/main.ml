@@ -357,9 +357,21 @@ let measure_sim () =
   ( float_of_int events /. wall,
     if !last > 0.0 then float_of_int !commits /. !last else nan )
 
+(* Scratch directories for the durability measurements. *)
+let dur_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "shadowdb-bench-dur-%d-%d-%s" (Unix.getpid ()) !n name)
+
 (* The same cluster as a real process group over loopback TCP: committed
-   transactions per wall-clock second. *)
-let measure_live () =
+   transactions per wall-clock second. [dur_group_commit] additionally
+   journals every applied batch through the file WAL backend, syncing
+   after that many records — 1 is fsync-per-commit, larger windows are
+   group commit. *)
+let measure_live ?dur_group_commit () =
   let codec =
     Sdb.wire_codec ~enc_core:Shadowdb.Codec.encode_core_paxos
       ~dec_core:Shadowdb.Codec.decode_core_paxos
@@ -368,8 +380,29 @@ let measure_live () =
   let world = Runtime.Live.runtime live in
   let mu = Mutex.create () in
   let commits = ref 0 in
+  let durability =
+    Option.map
+      (fun gc ->
+        let base = dur_dir (Printf.sprintf "live-gc%d" gc) in
+        {
+          Sdb.dur_backend =
+            (fun i ->
+              Durable.File.create
+                ~dir:(Filename.concat base (Printf.sprintf "node%d" i))
+                ());
+          dur_policy =
+            (fun _ ->
+              {
+                Durable.Manager.group_commit = gc;
+                snapshot_every = 0;
+                replay_tail = true;
+              });
+          dur_on_recover = (fun _ _ ~state_hash:_ -> ());
+        })
+      dur_group_commit
+  in
   let cluster =
-    Sdb.spawn_smr ~world ~registry:Workload.Bank.registry
+    Sdb.spawn_smr ~world ?durability ~registry:Workload.Bank.registry
       ~setup:(Workload.Bank.setup ~rows:bank_rows)
       ~n_active:2 ()
   in
@@ -394,6 +427,80 @@ let measure_live () =
   if (not finished) || wall <= 0.0 then nan
   else float_of_int !commits /. wall
 
+(* Raw WAL append bandwidth of the file backend (256-byte payloads,
+   synced every 64 records). *)
+let measure_wal_append () =
+  let dir = dur_dir "wal" in
+  let b = Durable.File.create ~dir () in
+  let payload = String.make 256 'w' in
+  let n = if quick then 2_000 else 20_000 in
+  let bytes = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    let e =
+      Durable.Wal.encode_record
+        { Durable.Wal.idx = i; aux = i; hash = i land 0xFFFF; payload }
+    in
+    bytes := !bytes + String.length e;
+    b.Durable.Backend.log_append e;
+    if i mod 64 = 63 then b.Durable.Backend.log_sync ()
+  done;
+  b.Durable.Backend.log_sync ();
+  let wall = Unix.gettimeofday () -. t0 in
+  b.Durable.Backend.close ();
+  float_of_int !bytes /. wall /. (1024.0 *. 1024.0)
+
+(* Recovery speed: journal bank deposits through the file backend, then
+   time a full log replay into a fresh replica. Reported normalized as
+   milliseconds per 10k records. *)
+let measure_recovery () =
+  let n = if quick then 2_000 else 10_000 in
+  let dir = dur_dir "recover" in
+  let policy =
+    { Durable.Manager.group_commit = 256; snapshot_every = 0; replay_tail = true }
+  in
+  let reg = Workload.Bank.registry () in
+  let fresh_db () =
+    let db = Storage.Database.create Storage.Store.Hazel in
+    Workload.Bank.setup ~rows:bank_rows db;
+    db
+  in
+  let deposit i =
+    let kind, params = make_deposit ~client:0 ~seq:i in
+    { Shadowdb.Txn.client = 0; seq = i; kind; params }
+  in
+  let b = Durable.File.create ~dir () in
+  let db = fresh_db () in
+  let mgr, _ =
+    Durable.Manager.recover b policy ~install:(fun _ -> ()) ~apply:(fun _ -> ())
+  in
+  for i = 0 to n - 1 do
+    let txn = deposit i in
+    ignore (Shadowdb.Txn.execute reg db txn);
+    Durable.Manager.append mgr
+      {
+        Durable.Wal.idx = i;
+        aux = i + 1;
+        hash = 0;
+        payload = Shadowdb.Codec.encode_txn txn;
+      }
+  done;
+  Durable.Manager.flush mgr;
+  b.Durable.Backend.close ();
+  let b2 = Durable.File.create ~dir () in
+  let db2 = fresh_db () in
+  let apply (r : Durable.Wal.record) =
+    match Shadowdb.Codec.decode_txn r.Durable.Wal.payload with
+    | Ok txn -> ignore (Shadowdb.Txn.execute reg db2 txn)
+    | Error _ -> ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let _, rep = Durable.Manager.recover b2 policy ~install:(fun _ -> ()) ~apply in
+  let wall = Unix.gettimeofday () -. t0 in
+  b2.Durable.Backend.close ();
+  if rep.Durable.Manager.recovered_idx <> n - 1 then nan
+  else wall *. 1000.0 /. float_of_int n *. 10_000.0
+
 (* Model-checker schedule throughput on the two hot scenarios. *)
 let measure_check () =
   let budget = if quick then 300 else 2_000 in
@@ -413,18 +520,30 @@ let run_trajectory () =
   let events_per_sec, sim_txns = measure_sim () in
   let live_txns = measure_live () in
   let check_rates = measure_check () in
+  let wal_mb_s = measure_wal_append () in
+  let live_fsync = measure_live ~dur_group_commit:1 () in
+  let live_group = measure_live ~dur_group_commit:8 () in
+  let recovery_ms = measure_recovery () in
   Stats.Table.print_table ~title:"perf trajectory"
     ~header:[ "measure"; "value" ]
     ([
        [ "sim engine events/s (wall)"; Stats.Table.fmt_f events_per_sec ];
        [ "tob txns/s (sim, virtual)"; Stats.Table.fmt_f sim_txns ];
        [ "tob txns/s (live, wall)"; Stats.Table.fmt_f live_txns ];
+       [ "wal append MB/s (file)"; Stats.Table.fmt_f wal_mb_s ];
+       [ "tob txns/s (live, fsync/commit)"; Stats.Table.fmt_f live_fsync ];
+       [ "tob txns/s (live, group commit 8)"; Stats.Table.fmt_f live_group ];
+       [ "recovery ms / 10k records"; Stats.Table.fmt_f recovery_ms ];
      ]
     @ List.map
         (fun (n, v) ->
           [ Printf.sprintf "check %s schedules/s" n; Stats.Table.fmt_f v ])
         check_rates);
-  (events_per_sec, sim_txns, live_txns, check_rates)
+  ( events_per_sec,
+    sim_txns,
+    live_txns,
+    check_rates,
+    (wal_mb_s, live_fsync, live_group, recovery_ms) )
 
 let () =
   run_paper_experiments ();
@@ -433,7 +552,11 @@ let () =
   (match json_file with
   | None -> ()
   | Some file ->
-      let events_per_sec, sim_txns, live_txns, check_rates =
+      let ( events_per_sec,
+            sim_txns,
+            live_txns,
+            check_rates,
+            (wal_mb_s, live_fsync, live_group, recovery_ms) ) =
         run_trajectory ()
       in
       let json =
@@ -458,6 +581,14 @@ let () =
             ( "check_schedules_per_sec",
               Json.Obj (List.map (fun (n, v) -> (n, Json.num v)) check_rates)
             );
+            ( "durability",
+              Json.Obj
+                [
+                  ("wal_append_mb_per_sec", Json.num wal_mb_s);
+                  ("live_txns_per_sec_fsync_per_commit", Json.num live_fsync);
+                  ("live_txns_per_sec_group_commit_8", Json.num live_group);
+                  ("recovery_ms_per_10k_records", Json.num recovery_ms);
+                ] );
             ( "ablations",
               Json.Obj
                 (List.map

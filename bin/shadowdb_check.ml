@@ -16,7 +16,7 @@ type mode = Random | Dfs
 let mode_conv = Arg.enum [ ("random", Random); ("dfs", Dfs) ]
 
 let explore scenario mode budget seed slack width max_depth faults
-    random_faults out =
+    random_faults recovery_faults out =
   let faults =
     match Check.Fault.parse faults with
     | Ok plan -> plan
@@ -24,11 +24,14 @@ let explore scenario mode budget seed slack width max_depth faults
         prerr_endline msg;
         exit 64
   in
+  let fault_gen =
+    if recovery_faults then Some Check.Fault.random_recovery else None
+  in
   let report =
     match mode with
     | Random ->
         Check.Explore.random_walk ~slack ~width ~faults ~random_faults
-          ~max_depth scenario ~seed ~budget ()
+          ?fault_gen ~max_depth scenario ~seed ~budget ()
     | Dfs ->
         Check.Explore.dfs ~slack ~width ~faults ~max_depth scenario ~seed
           ~budget ()
@@ -130,6 +133,16 @@ let explore_term =
             "Random mode: draw a fresh crash-stop fault plan per schedule \
              (crashes and transient partitions, never amnesia restarts).")
   in
+  let recovery_faults =
+    Arg.(
+      value & flag
+      & info [ "recovery-faults" ]
+          ~doc:
+            "Random mode: draw a fresh crash-and-recover plan per schedule \
+             (one node crashed, then restarted strictly later) — for \
+             durable scenarios whose nodes recover from a write-ahead \
+             log.")
+  in
   let out =
     Arg.(
       value
@@ -139,7 +152,7 @@ let explore_term =
   in
   Term.(
     const explore $ protocol $ mode $ budget $ seed $ slack $ width
-    $ max_depth $ faults $ random_faults $ out)
+    $ max_depth $ faults $ random_faults $ recovery_faults $ out)
 
 let explore_cmd =
   Cmd.v

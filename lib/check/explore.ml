@@ -144,10 +144,12 @@ let finish_violation scenario ~world_seed ~slack ~width ~faults ~decisions v =
 
 (* Random walk: [budget] schedules, each driven by an independently seeded
    random strategy over the same world seed. [random_faults] draws a fresh
-   crash-stop fault plan per schedule. *)
+   crash-stop fault plan per schedule; [fault_gen] substitutes a custom
+   per-schedule plan generator (e.g. [Fault.random_recovery] for durable
+   scenarios). *)
 let random_walk ?(slack = Sched.default_slack) ?(width = Sched.default_width)
-    ?(faults = []) ?(random_faults = false) ?(max_depth = 40) scenario ~seed
-    ~budget () =
+    ?(faults = []) ?(random_faults = false) ?fault_gen ?(max_depth = 40)
+    scenario ~seed ~budget () =
   let seen = Hashtbl.create 1024 in
   let reset_cov, hook = coverage_hook seen in
   let schedules = ref 0 in
@@ -158,11 +160,17 @@ let random_walk ?(slack = Sched.default_slack) ?(width = Sched.default_width)
   while !i < budget && !violation = None do
     let sched = Sched.random ~slack ~width (mix seed !i) in
     let plan =
-      if random_faults then
-        Fault.random
-          (Sim.Prng.create (mix (seed + 1) !i))
-          ~nodes:scenario.Scenario.nodes ~max_depth
-      else faults
+      match fault_gen with
+      | Some gen ->
+          gen
+            (Sim.Prng.create (mix (seed + 1) !i))
+            ~nodes:scenario.Scenario.nodes ~max_depth
+      | None ->
+          if random_faults then
+            Fault.random
+              (Sim.Prng.create (mix (seed + 1) !i))
+              ~nodes:scenario.Scenario.nodes ~max_depth
+          else faults
     in
     reset_cov ();
     let out = Scenario.run ~faults:plan ~on_step:hook scenario ~seed ~sched in

@@ -99,3 +99,21 @@ let random rng ~nodes ~max_depth =
   if nodes >= 3 && Sim.Prng.bool rng then
     plan := { at_depth = depth (); op = Crash (Sim.Prng.int rng nodes) } :: !plan;
   List.sort (fun a b -> compare a.at_depth b.at_depth) !plan
+
+(* Random crash-and-recover plans, for protocols whose nodes persist
+   state and recover on restart (the durability layer's whole point —
+   contrast [random] above, which never restarts). Each plan crashes one
+   node at a random depth and restarts the same node strictly later; a
+   majority is always up, and no partitions keep the plans focused on
+   the recovery path. *)
+let random_recovery rng ~nodes ~max_depth =
+  if nodes < 3 then []
+  else begin
+    let n = Sim.Prng.int rng nodes in
+    let d_crash = 1 + Sim.Prng.int rng (max 1 max_depth) in
+    let d_restart = d_crash + 1 + Sim.Prng.int rng (max 1 max_depth) in
+    [
+      { at_depth = d_crash; op = Crash n };
+      { at_depth = d_restart; op = Restart n };
+    ]
+  end

@@ -25,3 +25,8 @@ val random : Sim.Prng.t -> nodes:int -> max_depth:int -> plan
     and one partition/heal pair. Never generates [Restart] — an
     acceptor restarting from a fresh factory is an amnesia failure
     outside the Paxos fault model. *)
+
+val random_recovery : Sim.Prng.t -> nodes:int -> max_depth:int -> plan
+(** Random crash-and-recover plan for durable protocols: one node is
+    crashed at a random depth and restarted strictly later (empty for
+    clusters of < 3, which cannot spare a node). *)

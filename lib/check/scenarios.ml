@@ -481,6 +481,204 @@ let smr_w2 = smr_scenario ~name:"smr-w2" ~window:2
 let smr_w4 = smr_scenario ~name:"smr-w4" ~window:4
 
 (* ---------------------------------------------------------------------- *)
+(* Durable SMR: the [smr] cluster and workload, plus a write-ahead log    *)
+(* and snapshots on the deterministic in-memory backend. A crash fault    *)
+(* tears the victim's unsynced write cache at a random byte boundary      *)
+(* before the engine kills it; a restart runs the real recovery path      *)
+(* (snapshot install + torn-tail truncation + WAL replay) on the node's   *)
+(* first event back. Two monitors check the recovery contract:           *)
+(* no-committed-loss (recovery reaches every position the crash left      *)
+(* durable) and recovery-agreement (the recovered state fingerprint       *)
+(* matches the logged one, and any other durable image retaining that     *)
+(* total-order position agrees).                                          *)
+(* ---------------------------------------------------------------------- *)
+
+let durable_scenario ~name ~(policy : Durable.Manager.policy) : Scenario.t =
+  let nodes = 3 in
+  let n_clients = 2 and per_client = 3 in
+  let make ~seed ~sched =
+    let world : Sdb.wire Engine.t = Engine.create ~seed () in
+    Sched.install sched world;
+    let rworld = Runtime.Of_sim.of_engine world in
+    let mems = Array.init nodes (fun _ -> Durable.Backend.mem_create ()) in
+    let torn_rng = Sim.Prng.create ((seed * 7919) + 11) in
+    (* Per node: the latest recovery observation (report + state
+       fingerprint at recovery time), how many recoveries ran, and — set
+       at fault-injection time — the durable position the crash left
+       behind, which recovery must reach again. *)
+    let recovered = Array.make nodes None in
+    let recovers = Array.make nodes 0 in
+    let restarted = Array.make nodes false in
+    let restart_marker = Array.make nodes 0 in
+    let expected_durable = Array.make nodes (-1) in
+    let durability =
+      {
+        Sdb.dur_backend = (fun i -> Durable.Backend.mem_backend mems.(i));
+        dur_policy = (fun _ -> policy);
+        dur_on_recover =
+          (fun i report ~state_hash ->
+            recovered.(i) <- Some (report, state_hash);
+            recovers.(i) <- recovers.(i) + 1);
+      }
+    in
+    let cluster =
+      Sdb.spawn_smr ~tun:fast_tun ~durability ~world:rworld
+        ~registry:Workload.Bank.registry
+        ~setup:(Workload.Bank.setup ~rows:bank_rows)
+        ~n_active:2 ()
+    in
+    let replicas = cluster.Sdb.smr_nodes in
+    let replica_arr = Array.of_list replicas in
+    let commits = ref 0 in
+    let _, completed =
+      Sdb.spawn_clients ~world:rworld ~target:(Sdb.To_smr cluster)
+        ~n:n_clients ~count:per_client ~make_txn:make_deposit
+        ~retry_timeout:1.0
+        ~on_commit:(fun _ _ -> incr commits)
+        ()
+    in
+    let durable_image i =
+      Durable.Manager.inspect
+        ~snap:(Durable.Backend.mem_durable_snap mems.(i))
+        ~log:(Durable.Backend.mem_durable_log mems.(i))
+    in
+    let apply_fault op =
+      (match op with
+      | Fault.Crash i when i >= 0 && i < nodes ->
+          if Engine.is_alive world replica_arr.(i) then begin
+            Durable.Backend.mem_crash ~keep:(Sim.Prng.int torn_rng 5) mems.(i);
+            expected_durable.(i) <-
+              (durable_image i).Durable.Manager.i_durable_idx
+          end
+      | Fault.Restart i when i >= 0 && i < nodes ->
+          if not (Engine.is_alive world replica_arr.(i)) then begin
+            restarted.(i) <- true;
+            restart_marker.(i) <- recovers.(i)
+          end
+      | _ -> ());
+      fault_applier world replica_arr op
+    in
+    (* Latest recovery observation for node [i], provided a recovery
+       actually ran after its restart (the restarted node's Init may
+       still be queued when the run ends). *)
+    let judge i k =
+      if restarted.(i) && recovers.(i) > restart_marker.(i) then
+        match recovered.(i) with Some o -> k o | None -> None
+      else None
+    in
+    let each_node k =
+      let rec go i =
+        if i >= nodes then None
+        else match k i with Some v -> Some v | None -> go (i + 1)
+      in
+      go 0
+    in
+    let no_loss : unit Monitor.t =
+      Monitor.finish_check ~name:(name ^ "-no-committed-loss") (fun () ->
+          each_node (fun i ->
+              judge i (fun ((rep : Durable.Manager.report), _) ->
+                  if rep.Durable.Manager.recovered_idx < expected_durable.(i)
+                  then
+                    Some
+                      (Printf.sprintf
+                         "node %d: the crash left records durable up to \
+                          total-order position %d but recovery only reached \
+                          %d (snapshot %s, %d records replayed, %d stale)"
+                         i expected_durable.(i)
+                         rep.Durable.Manager.recovered_idx
+                         (if rep.Durable.Manager.snapshot_valid then "valid"
+                          else "absent")
+                         rep.Durable.Manager.wal_replayed
+                         rep.Durable.Manager.wal_stale)
+                  else None)))
+    in
+    let recovery_agreement : unit Monitor.t =
+      Monitor.finish_check ~name:(name ^ "-recovery-agreement") (fun () ->
+          each_node (fun i ->
+              judge i (fun ((rep : Durable.Manager.report), state_hash) ->
+                  let ridx = rep.Durable.Manager.recovered_idx in
+                  if ridx < 0 then None
+                  else if state_hash <> rep.Durable.Manager.recovered_hash
+                  then
+                    Some
+                      (Printf.sprintf
+                         "node %d: recovered state fingerprint %d differs \
+                          from the logged fingerprint %d at position %d"
+                         i state_hash rep.Durable.Manager.recovered_hash ridx)
+                  else
+                    (* Any other durable image retaining position [ridx]
+                       must agree on its state fingerprint (all replicas
+                       run the same backend kind, so fingerprints are
+                       comparable). *)
+                    each_node (fun j ->
+                        if j = i then None
+                        else
+                          match
+                            Durable.Manager.hash_at (durable_image j) ridx
+                          with
+                          | Some h
+                            when h <> rep.Durable.Manager.recovered_hash ->
+                              Some
+                                (Printf.sprintf
+                                   "nodes %d and %d disagree on the state \
+                                    fingerprint at total-order position %d"
+                                   i j ridx)
+                          | _ -> None))))
+    in
+    let monitors = [ no_loss; recovery_agreement ] in
+    let done_at = ref nan in
+    let done_ () =
+      if completed () >= n_clients && Float.is_nan !done_at then
+        done_at := Engine.now world;
+      (not (Float.is_nan !done_at)) && Engine.now world > !done_at +. 2.0
+    in
+    let fingerprint () =
+      let h =
+        List.fold_left
+          (fun h l ->
+            Fingerprint.int
+              (Fingerprint.int h (cluster.Sdb.smr_gseq_of l))
+              (cluster.Sdb.smr_hash_of l))
+          (Fingerprint.int Fingerprint.empty !commits)
+          replicas
+      in
+      let h =
+        Array.fold_left
+          (fun h m ->
+            Fingerprint.int h
+              (Hashtbl.hash
+                 ( Durable.Backend.mem_durable_log m,
+                   Durable.Backend.mem_durable_snap m )))
+          h mems
+      in
+      Fingerprint.int h (Engine.in_flight_fingerprint world)
+    in
+    running ~world ~sched
+      ~step:(bounded_step world ~horizon:20.0 ~max_events:300_000 ~done_)
+      ~fingerprint ~apply_fault
+      ~check:(check_of monitors)
+      ~finish:(fun () -> List.iter Monitor.finish monitors)
+  in
+  { Scenario.name; nodes; make }
+
+let smr_durable =
+  durable_scenario ~name:"smr-durable"
+    ~policy:
+      { Durable.Manager.group_commit = 2; snapshot_every = 4; replay_tail = true }
+
+(* Deliberately-broken fixture: per-commit sync but no WAL replay on
+   recovery — committed transactions past the (absent) snapshot are
+   silently dropped, which the no-committed-loss monitor must catch. *)
+let smr_noreplay =
+  durable_scenario ~name:"smr-noreplay"
+    ~policy:
+      {
+        Durable.Manager.group_commit = 1;
+        snapshot_every = 0;
+        replay_tail = false;
+      }
+
+(* ---------------------------------------------------------------------- *)
 (* Buggy: a deliberately broken "broadcast" (clients send to each member  *)
 (* individually; members deliver in arrival order, so there is no total   *)
 (* order). Correct under the default FIFO schedule of this workload, it   *)
@@ -555,6 +753,19 @@ let buggy : Scenario.t =
 
 (* ---------------------------------------------------------------------- *)
 
-let all = [ paxos; tob; tob_w2; tob_w4; pbr; smr; smr_w2; smr_w4; buggy ]
+let all =
+  [
+    paxos;
+    tob;
+    tob_w2;
+    tob_w4;
+    pbr;
+    smr;
+    smr_w2;
+    smr_w4;
+    smr_durable;
+    smr_noreplay;
+    buggy;
+  ]
 let find name = List.find_opt (fun s -> s.Scenario.name = name) all
 let names = List.map (fun s -> s.Scenario.name) all

@@ -1,0 +1,79 @@
+(* The PERSIST signature: what a durability medium must provide, as a
+   record of closures (the same first-class-module-free idiom as
+   [Storage.Store.t]). All framing, group-commit and recovery logic lives
+   above this interface in [Wal]/[Manager], so the deterministic
+   in-memory backend (here) and the real file backend ([File]) run the
+   exact same recovery code — the point of wiring durability into the
+   model checker.
+
+   Durability contract: bytes passed to [log_append] are volatile until
+   the next [log_sync] (or [snap_write], which is atomic and durable by
+   itself). A crash may retain any prefix of the unsynced suffix — that
+   is how torn tails arise. *)
+
+type t = {
+  kind : string;
+  log_read : unit -> string;  (* entire log as currently readable *)
+  log_append : string -> unit;  (* buffered until [log_sync] *)
+  log_sync : unit -> unit;  (* make every appended byte durable *)
+  log_truncate : int -> unit;  (* keep only the first n bytes *)
+  log_reset : unit -> unit;  (* empty the log (after a snapshot) *)
+  snap_read : unit -> string option;
+  snap_write : string -> unit;  (* atomic replace, durable on return *)
+  sync_count : unit -> int;  (* fsync-equivalents issued (metrics) *)
+  close : unit -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic in-memory backend                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Models the durable/volatile split of a real disk: [durable_log] holds
+   synced bytes, [unsynced] the write-cache suffix. [crash] drops the
+   cache, optionally retaining a prefix of it — a torn write. *)
+type mem = {
+  mutable durable_log : string;
+  mutable unsynced : string;
+  mutable snap : string option;
+  mutable syncs : int;
+}
+
+let mem_create () = { durable_log = ""; unsynced = ""; snap = None; syncs = 0 }
+
+let mem_crash ?(keep = 0) m =
+  let keep = max 0 (min keep (String.length m.unsynced)) in
+  m.durable_log <- m.durable_log ^ String.sub m.unsynced 0 keep;
+  m.unsynced <- ""
+
+let mem_durable_log m = m.durable_log
+let mem_durable_snap m = m.snap
+
+let mem_backend m =
+  {
+    kind = "mem";
+    log_read = (fun () -> m.durable_log ^ m.unsynced);
+    log_append = (fun s -> m.unsynced <- m.unsynced ^ s);
+    log_sync =
+      (fun () ->
+        if m.unsynced <> "" then begin
+          m.durable_log <- m.durable_log ^ m.unsynced;
+          m.unsynced <- ""
+        end;
+        m.syncs <- m.syncs + 1);
+    log_truncate =
+      (fun n ->
+        let all = m.durable_log ^ m.unsynced in
+        m.unsynced <- "";
+        m.durable_log <- String.sub all 0 (max 0 (min n (String.length all))));
+    log_reset =
+      (fun () ->
+        m.durable_log <- "";
+        m.unsynced <- "");
+    snap_read = (fun () -> m.snap);
+    snap_write =
+      (fun s ->
+        m.snap <- Some s;
+        m.syncs <- m.syncs + 1);
+    sync_count = (fun () -> m.syncs);
+    close = (fun () -> ());
+  }

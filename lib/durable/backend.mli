@@ -1,0 +1,41 @@
+(** The PERSIST signature: a durability medium as a record of closures.
+
+    Bytes passed to [log_append] are volatile until the next [log_sync];
+    [snap_write] is atomic and durable on return. Framing and recovery
+    live above this interface (in {!Wal} and {!Manager}), so every
+    backend runs the same recovery code. *)
+
+type t = {
+  kind : string;
+  log_read : unit -> string;
+  log_append : string -> unit;
+  log_sync : unit -> unit;
+  log_truncate : int -> unit;  (** keep only the first n bytes *)
+  log_reset : unit -> unit;
+  snap_read : unit -> string option;
+  snap_write : string -> unit;
+  sync_count : unit -> int;
+  close : unit -> unit;
+}
+
+(** {1 Deterministic in-memory backend}
+
+    Models the durable/volatile split of a disk: appended bytes sit in a
+    write cache until synced; {!mem_crash} drops the cache, optionally
+    retaining a prefix — a torn write. Used by the model checker so
+    crash/restart schedules exercise real recovery. *)
+
+type mem
+
+val mem_create : unit -> mem
+
+val mem_backend : mem -> t
+
+val mem_crash : ?keep:int -> mem -> unit
+(** Simulate a crash: drop unsynced bytes, keeping the first [keep] of
+    them appended to the durable image (a torn tail). Default 0. *)
+
+val mem_durable_log : mem -> string
+(** The bytes that would survive a crash right now (observers). *)
+
+val mem_durable_snap : mem -> string option

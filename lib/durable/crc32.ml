@@ -1,0 +1,25 @@
+(* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. The WAL and
+   snapshot framing uses it as the per-record integrity check: a torn or
+   bit-rotted tail must be distinguishable from a valid record, because
+   recovery truncates at the first record that fails the check. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xedb88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  let t = Lazy.force table in
+  let crc = ref (crc lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    crc := t.((!crc lxor Char.code (String.unsafe_get s i)) land 0xff)
+           lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xffffffff
+
+let string s = update 0 s ~pos:0 ~len:(String.length s)

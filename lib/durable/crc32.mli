@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE), the per-record integrity check of the WAL framing. *)
+
+val string : string -> int
+(** CRC-32 of a whole string; result in [0, 0xffffffff]. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Extend a running checksum over a substring ([update 0 s ...] over the
+    whole string equals {!string}). *)

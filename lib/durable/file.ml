@@ -1,0 +1,87 @@
+(* The real Unix file backend: one data directory per node holding
+
+     wal.log       append-only log, made durable by fsync on [log_sync]
+     snapshot.bin  latest snapshot, replaced atomically (tmp + rename +
+                   directory fsync), durable before [snap_write] returns
+
+   Torn-tail truncation maps to ftruncate. A second, read-only view of a
+   live node's directory is available through [read_dir] (the chaos drill
+   inspects a victim's durable state from outside the process). *)
+
+let wal_name = "wal.log"
+let snap_name = "snapshot.bin"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_whole path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  end
+
+(* Durable snapshot and log images of a data directory, via plain reads
+   (no fds kept): what a recovery starting now would see. *)
+let read_dir dir =
+  ( read_whole (Filename.concat dir snap_name),
+    Option.value ~default:"" (read_whole (Filename.concat dir wal_name)) )
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let create ~dir () : Backend.t =
+  mkdir_p dir;
+  let wal_path = Filename.concat dir wal_name in
+  let snap_path = Filename.concat dir snap_name in
+  let tmp_path = Filename.concat dir (snap_name ^ ".tmp") in
+  let fd =
+    Unix.openfile wal_path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let syncs = ref 0 in
+  {
+    Backend.kind = "file:" ^ dir;
+    log_read =
+      (fun () -> Option.value ~default:"" (read_whole wal_path));
+    log_append =
+      (fun s ->
+        let n = Unix.write_substring fd s 0 (String.length s) in
+        if n <> String.length s then
+          Sim.Invariant.fail "durable" "%s: short write (%d of %d bytes)"
+            wal_path n (String.length s));
+    log_sync =
+      (fun () ->
+        Unix.fsync fd;
+        incr syncs);
+    log_truncate = (fun n -> Unix.ftruncate fd (max 0 n));
+    log_reset = (fun () -> Unix.ftruncate fd 0);
+    snap_read = (fun () -> read_whole snap_path);
+    snap_write =
+      (fun s ->
+        let tfd =
+          Unix.openfile tmp_path
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+            0o644
+        in
+        let n = Unix.write_substring tfd s 0 (String.length s) in
+        Unix.fsync tfd;
+        Unix.close tfd;
+        if n <> String.length s then
+          Sim.Invariant.fail "durable" "%s: short snapshot write" tmp_path;
+        Unix.rename tmp_path snap_path;
+        fsync_dir dir;
+        incr syncs);
+    sync_count = (fun () -> !syncs);
+    close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+  }

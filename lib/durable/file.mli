@@ -1,0 +1,10 @@
+(** Unix file backend: [wal.log] (fsync on sync) and [snapshot.bin]
+    (atomic tmp + rename replace) under one data directory per node. *)
+
+val create : dir:string -> unit -> Backend.t
+(** Creates [dir] (and parents) if needed and opens the WAL for append. *)
+
+val read_dir : string -> string option * string
+(** [(snapshot, log)] images of a data directory via plain reads — a
+    read-only observer's view of what recovery would see (used by the
+    chaos drill to inspect a victim or survivor from outside). *)

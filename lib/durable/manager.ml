@@ -1,0 +1,221 @@
+(* The durability manager: group-committed WAL appends, periodic
+   snapshots, and the deterministic [recover] path shared by every
+   backend.
+
+   Recovery invariants (checked by the model-checker monitors and the
+   qcheck crash-replay property):
+
+   - No committed loss: every record the backend reported durable (synced
+     before the crash) is either covered by the snapshot or replayed.
+   - Torn-tail truncation: the unsynced suffix a crash tears is cut at
+     the last whole valid record; a torn frame never yields a record.
+   - Fingerprint agreement: the recovered state's fingerprint equals the
+     hash field of the last durable record — and, since [idx] positions
+     the record in the replicated total order, equals any other replica's
+     fingerprint at the same position.
+
+   [policy.replay_tail = false] is a deliberately-broken fixture: it
+   skips WAL replay after snapshot install, losing every committed
+   record past the snapshot — the defect the no-committed-loss monitor
+   must be able to catch. *)
+
+type policy = {
+  group_commit : int;  (* sync after this many appended records; 1 = per commit *)
+  snapshot_every : int;  (* snapshot + log reset cadence in records; 0 = never *)
+  replay_tail : bool;  (* false = broken fixture: skip WAL replay *)
+}
+
+let default_policy = { group_commit = 8; snapshot_every = 0; replay_tail = true }
+
+type t = {
+  backend : Backend.t;
+  policy : policy;
+  mutable last_idx : int;
+  mutable last_aux : int;
+  mutable last_hash : int;
+  mutable synced_idx : int;  (* durable applied position *)
+  mutable pending : int;  (* records appended since the last sync *)
+  mutable since_snap : int;
+  mutable appends : int;
+  mutable snapshots : int;
+}
+
+type report = {
+  snapshot_present : bool;
+  snapshot_valid : bool;
+  snapshot_idx : int;  (* -1 when no valid snapshot *)
+  wal_records : int;  (* whole valid records scanned *)
+  wal_replayed : int;
+  wal_stale : int;  (* records at or below the snapshot position *)
+  torn_bytes : int;  (* truncated from the tail *)
+  recovered_idx : int;  (* -1 when nothing recovered *)
+  recovered_aux : int;
+  recovered_hash : int;
+}
+
+let recover backend policy ~install ~apply =
+  let snap = backend.Backend.snap_read () in
+  let snapshot_present = snap <> None in
+  let snapshot_valid, snap_rec =
+    match snap with
+    | None -> (false, None)
+    | Some s -> (
+        match Snapshot.decode s with
+        | Ok r ->
+            install r;
+            (true, Some r)
+        | Error _ -> (false, None))
+  in
+  let scan = Wal.scan (backend.Backend.log_read ()) in
+  if scan.Wal.torn_bytes > 0 then
+    backend.Backend.log_truncate scan.Wal.valid_bytes;
+  let cur_idx = ref (-1)
+  and cur_aux = ref 0
+  and cur_hash = ref 0 in
+  (match snap_rec with
+  | Some r ->
+      cur_idx := r.Wal.idx;
+      cur_aux := r.Wal.aux;
+      cur_hash := r.Wal.hash
+  | None -> ());
+  let replayed = ref 0 and stale = ref 0 in
+  if policy.replay_tail then
+    List.iter
+      (fun (r : Wal.record) ->
+        if r.Wal.idx > !cur_idx then begin
+          apply r;
+          cur_idx := r.Wal.idx;
+          cur_aux := r.Wal.aux;
+          cur_hash := r.Wal.hash;
+          incr replayed
+        end
+        else incr stale)
+      scan.Wal.records;
+  let t =
+    {
+      backend;
+      policy;
+      last_idx = !cur_idx;
+      last_aux = !cur_aux;
+      last_hash = !cur_hash;
+      synced_idx = !cur_idx;
+      pending = 0;
+      since_snap = !replayed;
+      appends = 0;
+      snapshots = 0;
+    }
+  in
+  let report =
+    {
+      snapshot_present;
+      snapshot_valid;
+      snapshot_idx =
+        (match snap_rec with Some r -> r.Wal.idx | None -> -1);
+      wal_records = List.length scan.Wal.records;
+      wal_replayed = !replayed;
+      wal_stale = !stale;
+      torn_bytes = scan.Wal.torn_bytes;
+      recovered_idx = !cur_idx;
+      recovered_aux = !cur_aux;
+      recovered_hash = !cur_hash;
+    }
+  in
+  (t, report)
+
+let flush t =
+  if t.pending > 0 then begin
+    t.backend.Backend.log_sync ();
+    t.pending <- 0;
+    t.synced_idx <- t.last_idx
+  end
+
+let append t (r : Wal.record) =
+  t.backend.Backend.log_append (Wal.encode_record r);
+  t.last_idx <- r.Wal.idx;
+  t.last_aux <- r.Wal.aux;
+  t.last_hash <- r.Wal.hash;
+  t.pending <- t.pending + 1;
+  t.since_snap <- t.since_snap + 1;
+  t.appends <- t.appends + 1;
+  if t.pending >= max 1 t.policy.group_commit then flush t
+
+(* Write a snapshot of the current state now: durable before the log is
+   reset, so a crash between the two steps only leaves stale records
+   (skipped on replay by their idx). *)
+let snapshot_now t ~payload =
+  t.backend.Backend.snap_write
+    (Snapshot.encode
+       { Wal.idx = t.last_idx; aux = t.last_aux; hash = t.last_hash; payload });
+  t.backend.Backend.log_reset ();
+  t.pending <- 0;
+  t.since_snap <- 0;
+  t.snapshots <- t.snapshots + 1;
+  t.synced_idx <- t.last_idx
+
+let maybe_snapshot t ~payload =
+  if t.policy.snapshot_every > 0 && t.since_snap >= t.policy.snapshot_every
+  then snapshot_now t ~payload:(payload ())
+
+(* Record the state installed by an out-of-band transfer (ShadowDB's
+   snapshot-based state sync): the WAL contents no longer describe the
+   database, so pin the new position and reset the log around it. *)
+let install_state t (r : Wal.record) =
+  t.last_idx <- r.Wal.idx;
+  t.last_aux <- r.Wal.aux;
+  t.last_hash <- r.Wal.hash;
+  snapshot_now t ~payload:r.Wal.payload
+
+let applied_idx t = t.last_idx
+let durable_idx t = t.synced_idx
+
+type stats = { appends : int; syncs : int; snapshots : int }
+
+let stats (t : t) =
+  {
+    appends = t.appends;
+    syncs = t.backend.Backend.sync_count ();
+    snapshots = t.snapshots;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Read-only inspection (monitors, chaos drill)                        *)
+(* ------------------------------------------------------------------ *)
+
+type inspection = {
+  i_snapshot : Wal.record option;
+  i_records : Wal.record list;
+  i_torn : int;
+  i_durable_idx : int;  (* -1 when nothing durable *)
+}
+
+let inspect ~snap ~log =
+  let snap_rec =
+    match snap with
+    | None -> None
+    | Some s -> ( match Snapshot.decode s with Ok r -> Some r | Error _ -> None)
+  in
+  let scan = Wal.scan log in
+  let durable =
+    List.fold_left
+      (fun acc (r : Wal.record) -> max acc r.Wal.idx)
+      (match snap_rec with Some r -> r.Wal.idx | None -> -1)
+      scan.Wal.records
+  in
+  {
+    i_snapshot = snap_rec;
+    i_records = scan.Wal.records;
+    i_torn = scan.Wal.torn_bytes;
+    i_durable_idx = durable;
+  }
+
+(* State fingerprint at total-order position [idx], if this image
+   retains it (the snapshot pins one position; records pin the rest). *)
+let hash_at info idx =
+  match
+    List.find_opt (fun (r : Wal.record) -> r.Wal.idx = idx) info.i_records
+  with
+  | Some r -> Some r.Wal.hash
+  | None -> (
+      match info.i_snapshot with
+      | Some r when r.Wal.idx = idx -> Some r.Wal.hash
+      | _ -> None)

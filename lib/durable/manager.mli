@@ -1,0 +1,88 @@
+(** The durability manager: group-committed WAL appends, periodic
+    snapshots, and the deterministic recovery path shared by the file
+    and in-memory backends. *)
+
+type policy = {
+  group_commit : int;
+      (** Sync after this many appended records; [1] = fsync per commit. *)
+  snapshot_every : int;
+      (** Snapshot + log-reset cadence in applied records; [0] = never. *)
+  replay_tail : bool;
+      (** [false] is a deliberately-broken fixture that skips WAL replay
+          after snapshot install — used to prove the no-committed-loss
+          monitor can catch real recovery defects. *)
+}
+
+val default_policy : policy
+(** [{ group_commit = 8; snapshot_every = 0; replay_tail = true }] *)
+
+type t
+
+type report = {
+  snapshot_present : bool;
+  snapshot_valid : bool;
+  snapshot_idx : int;  (** [-1] when no valid snapshot. *)
+  wal_records : int;  (** Whole valid records scanned from the log. *)
+  wal_replayed : int;
+  wal_stale : int;  (** Records at or below the snapshot position. *)
+  torn_bytes : int;  (** Bytes truncated from a torn tail. *)
+  recovered_idx : int;  (** [-1] when nothing was recovered. *)
+  recovered_aux : int;
+  recovered_hash : int;
+}
+
+val recover :
+  Backend.t ->
+  policy ->
+  install:(Wal.record -> unit) ->
+  apply:(Wal.record -> unit) ->
+  t * report
+(** Deterministic recovery: decode and [install] the latest valid
+    snapshot (if any), truncate any torn WAL tail, then [apply] each
+    whole log record strictly above the current position, in order. *)
+
+val append : t -> Wal.record -> unit
+(** Append one applied-batch record; syncs when the group-commit window
+    fills. *)
+
+val flush : t -> unit
+(** Force a sync of any pending appends (no-op when none are pending). *)
+
+val maybe_snapshot : t -> payload:(unit -> string) -> unit
+(** Snapshot + log reset if the policy's cadence has been reached; the
+    state image is only serialized when a snapshot is actually taken. *)
+
+val snapshot_now : t -> payload:string -> unit
+(** Unconditional snapshot of the current position + log reset. *)
+
+val install_state : t -> Wal.record -> unit
+(** Pin the position/fingerprint of a state image installed out-of-band
+    (ShadowDB state transfer) and snapshot it, resetting the now-stale
+    log. *)
+
+val applied_idx : t -> int
+(** Highest position appended (durable or not); [-1] initially. *)
+
+val durable_idx : t -> int
+(** Highest position known durable (synced or snapshotted); [-1]
+    initially. *)
+
+type stats = { appends : int; syncs : int; snapshots : int }
+
+val stats : t -> stats
+
+(** {2 Read-only inspection} — monitors and the chaos drill examine
+    durable images without a live manager. *)
+
+type inspection = {
+  i_snapshot : Wal.record option;
+  i_records : Wal.record list;
+  i_torn : int;
+  i_durable_idx : int;  (** [-1] when nothing durable. *)
+}
+
+val inspect : snap:string option -> log:string -> inspection
+
+val hash_at : inspection -> int -> int option
+(** State fingerprint at total-order position [idx], if this image
+    retains it. *)

@@ -1,0 +1,24 @@
+(* Snapshot blob: a magic header followed by one WAL-framed record whose
+   payload is the serialized database image (schema-free row dump on the
+   ShadowDB side — this layer treats it as opaque bytes) and whose
+   idx/aux/hash fields pin the applied position and state fingerprint the
+   image corresponds to. Reusing the WAL frame gives the snapshot the
+   same CRC and truncation-rejection guarantees as log records: a partial
+   snapshot file (crash before the backend's atomic rename, or a corrupt
+   medium) decodes to [Error] and recovery falls back to log replay. *)
+
+let magic = "SDBSNAP2"
+
+let encode (r : Wal.record) = magic ^ Wal.encode_record r
+
+let decode s =
+  let ml = String.length magic in
+  if String.length s < ml || String.sub s 0 ml <> magic then
+    Error "snapshot: bad magic"
+  else
+    let body = String.sub s ml (String.length s - ml) in
+    match Wal.scan body with
+    | { Wal.records = [ r ]; torn_bytes = 0; _ } -> Ok r
+    | { Wal.torn_bytes; _ } when torn_bytes > 0 ->
+        Error "snapshot: truncated or corrupt image"
+    | _ -> Error "snapshot: malformed image"

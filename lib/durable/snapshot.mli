@@ -1,0 +1,7 @@
+(** Snapshot blob: magic header + one WAL-framed record (payload = the
+    serialized state image; idx/aux/hash = the applied position and
+    fingerprint it corresponds to). A partial or corrupt blob decodes to
+    [Error] and recovery falls back to log replay. *)
+
+val encode : Wal.record -> string
+val decode : string -> (Wal.record, string) result

@@ -1,0 +1,122 @@
+(* WAL record framing (codec-v2 style, self-delimiting, checksummed).
+
+   Each record is framed as
+
+     [4-byte BE body length] [4-byte BE CRC-32 of body] [body]
+
+   with body = varint idx ‖ varint aux ‖ varint hash ‖ varint payload
+   length ‖ payload. Varints are the codec-v2 zigzag LEB128 encoding, so
+   negative sentinels and full-range state hashes round-trip. [idx] is
+   the record's position in the replicated total order, [aux] a
+   caller-owned companion counter (ShadowDB stores the replica's
+   delivered-entry count), [hash] the state fingerprint after applying
+   the record, [payload] opaque bytes (this layer never interprets them,
+   which keeps the dependency direction durable ← shadowdb acyclic).
+
+   [scan] walks a raw log image and stops at the first frame that is
+   short, oversized, or fails its CRC: everything before is the valid
+   prefix, everything after is a torn tail for recovery to truncate.
+   Because the length prefix is checked against the remaining bytes and
+   the CRC covers the whole body, no proper prefix of a record is ever
+   accepted (the qcheck suite proves this for every cut point). *)
+
+type record = { idx : int; aux : int; hash : int; payload : string }
+
+let max_body = 256 * 1024 * 1024
+
+(* Zigzag LEB128, identical format to Shadowdb.Codec. *)
+let add_varint buf n =
+  let u = ref ((n lsl 1) lxor (n asr 62)) in
+  while !u lsr 7 <> 0 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!u land 0x7f)));
+    u := !u lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !u)
+
+(* Reads a varint at [!pos]; None on truncation/overflow. *)
+let read_varint s pos =
+  let n = String.length s in
+  let rec go acc shift =
+    if !pos >= n || shift > 62 then None
+    else begin
+      let b = Char.code s.[!pos] in
+      incr pos;
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then Some ((acc lsr 1) lxor (-(acc land 1)))
+      else go acc (shift + 7)
+    end
+  in
+  go 0 0
+
+let encode_body r =
+  let buf = Buffer.create (String.length r.payload + 24) in
+  add_varint buf r.idx;
+  add_varint buf r.aux;
+  add_varint buf r.hash;
+  add_varint buf (String.length r.payload);
+  Buffer.add_string buf r.payload;
+  Buffer.contents buf
+
+let decode_body s =
+  let pos = ref 0 in
+  match (read_varint s pos, read_varint s pos, read_varint s pos) with
+  | Some idx, Some aux, Some hash -> (
+      match read_varint s pos with
+      | Some plen
+        when plen >= 0 && !pos + plen = String.length s ->
+          Some { idx; aux; hash; payload = String.sub s !pos plen }
+      | _ -> None)
+  | _ -> None
+
+let encode_record r =
+  let body = encode_body r in
+  let len = String.length body in
+  let buf = Buffer.create (len + 8) in
+  Buffer.add_uint8 buf ((len lsr 24) land 0xff);
+  Buffer.add_uint8 buf ((len lsr 16) land 0xff);
+  Buffer.add_uint8 buf ((len lsr 8) land 0xff);
+  Buffer.add_uint8 buf (len land 0xff);
+  let crc = Crc32.string body in
+  Buffer.add_uint8 buf ((crc lsr 24) land 0xff);
+  Buffer.add_uint8 buf ((crc lsr 16) land 0xff);
+  Buffer.add_uint8 buf ((crc lsr 8) land 0xff);
+  Buffer.add_uint8 buf (crc land 0xff);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let be32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+type scan_result = {
+  records : record list;  (* oldest first *)
+  valid_bytes : int;  (* log prefix covered by accepted records *)
+  torn_bytes : int;  (* trailing bytes rejected (short/corrupt frame) *)
+}
+
+let scan s =
+  let n = String.length s in
+  let records = ref [] in
+  let pos = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    if n - !pos < 8 then stop := true
+    else begin
+      let len = be32 s !pos in
+      if len < 0 || len > max_body || n - !pos - 8 < len then stop := true
+      else begin
+        let crc_stored = be32 s (!pos + 4) in
+        let crc = Crc32.update 0 s ~pos:(!pos + 8) ~len in
+        if crc <> crc_stored then stop := true
+        else
+          match decode_body (String.sub s (!pos + 8) len) with
+          | None -> stop := true
+          | Some r ->
+              records := r :: !records;
+              pos := !pos + 8 + len
+      end
+    end
+  done;
+  { records = List.rev !records; valid_bytes = !pos; torn_bytes = n - !pos }

@@ -38,6 +38,7 @@ type 'm node = {
   mutable n_sent_msgs : int;
   mutable n_sent_bytes : int;
   mutable n_thread : Thread.t option;
+  n_stop : bool Atomic.t;  (* per-node kill switch (crash injection) *)
 }
 
 type 'm t = {
@@ -66,6 +67,11 @@ let now t =
       t.mono_last)
 
 let create ~codec () =
+  (* A node crashed mid-run leaves peers holding half-closed sockets;
+     their next write must surface as EPIPE (handled per-connection),
+     not kill the whole process group. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   {
     codec;
     lock = Mutex.create ();
@@ -239,7 +245,7 @@ let fire_due_timers t node handler =
 let node_loop t node =
   let handler = node.n_factory () in
   dispatch t node handler Core.Init;
-  while Atomic.get t.phase < 2 do
+  while Atomic.get t.phase < 2 && not (Atomic.get node.n_stop) do
     let timeout =
       match node.n_timers with
       | [] -> 0.05
@@ -294,7 +300,8 @@ let spawn t ~name ~cpu_factor:_ factory =
   let port =
     match Unix.getsockname listen with
     | Unix.ADDR_INET (_, p) -> p
-    | _ -> invalid_arg "Live.spawn: unexpected socket address"
+    | _ ->
+        Sim.Invariant.fail "live" "spawn: unexpected socket address family"
   in
   let node =
     locked t (fun () ->
@@ -316,6 +323,7 @@ let spawn t ~name ~cpu_factor:_ factory =
             n_sent_msgs = 0;
             n_sent_bytes = 0;
             n_thread = None;
+            n_stop = Atomic.make false;
           }
         in
         Hashtbl.replace t.ports id port;
@@ -349,6 +357,68 @@ let stop t =
           try Unix.close n.n_listen with Unix.Unix_error _ -> ())
       (locked t (fun () -> t.nodes))
   end
+
+(* ---------------------------------------------------------------- *)
+(* Crash injection                                                    *)
+(* ---------------------------------------------------------------- *)
+
+(* Kill one node mid-run: flip its stop switch, join its thread (the
+   loop notices within its 50ms select timeout and runs the normal
+   shutdown path, closing every socket it owns), and unregister its
+   port. Peers see a dead endpoint — cached connections fail on the next
+   write and are dropped, exactly like sends to a crashed machine. *)
+let crash t id =
+  let node =
+    locked t (fun () -> List.find_opt (fun n -> n.n_id = id) t.nodes)
+  in
+  match node with
+  | None -> ()
+  | Some node ->
+      Atomic.set node.n_stop true;
+      (match node.n_thread with Some th -> Thread.join th | None -> ());
+      locked t (fun () -> Hashtbl.remove t.ports id)
+
+(* Restart a crashed node under the same id: fresh sockets (a new port,
+   republished in the port table so peers reconnect lazily after their
+   next failed send) and a fresh handler from the same factory — any
+   recovery (e.g. reading a WAL) is the handler's own job, which is the
+   point: the restarted process only has what it made durable. *)
+let restart t id =
+  let prev =
+    locked t (fun () -> List.find_opt (fun n -> n.n_id = id) t.nodes)
+  in
+  match prev with
+  | None -> ()
+  | Some prev ->
+      let listen = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt listen Unix.SO_REUSEADDR true;
+      Unix.bind listen (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen listen 64;
+      let port =
+        match Unix.getsockname listen with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ ->
+            Sim.Invariant.fail "live"
+              "restart: unexpected socket address family"
+      in
+      let node =
+        {
+          prev with
+          n_listen = listen;
+          n_port = port;
+          n_conns = [];
+          n_out = Hashtbl.create 8;
+          n_timers = [];
+          n_cancelled = Hashtbl.create 8;
+          n_charged = 0.0;
+          n_thread = None;
+          n_stop = Atomic.make false;
+        }
+      in
+      locked t (fun () ->
+          Hashtbl.replace t.ports id port;
+          t.nodes <- node :: t.nodes);
+      if Atomic.get t.phase = 1 then launch t node
 
 (* Poll [pred] until it holds or [timeout] elapses; true iff it held. *)
 let await ?(timeout = 60.0) ?(poll = 0.002) t pred =

@@ -500,3 +500,13 @@ let encode_db_msg m =
   Buffer.contents buf
 
 let decode_db_msg s = whole "db message" read_db_msg s
+
+(* Bare row dumps: the durability layer's snapshot payload (a whole
+   [Database.dump] image, no message framing around it). *)
+
+let encode_rows (rows : (string * Value.t array) list) =
+  let buf = Buffer.create 256 in
+  add_list add_row buf rows;
+  Buffer.contents buf
+
+let decode_rows s = whole "row dump" (read_list read_row) s

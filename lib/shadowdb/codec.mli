@@ -65,3 +65,9 @@ val decode_core_paxos :
 
 val encode_db_msg : Db_msg.t -> string
 val decode_db_msg : string -> (Db_msg.t, string) result
+
+val encode_rows : (string * Storage.Value.t array) list -> string
+val decode_rows :
+  string -> ((string * Storage.Value.t array) list, string) result
+(** Bare row dumps — the durability layer's snapshot payload (a whole
+    [Database.dump] image with no message framing). *)

@@ -728,6 +728,17 @@ module Make (C : Consensus.Consensus_intf.S) = struct
 
   type smr_role = Active | Sparing | Syncing
 
+  (* Per-node durability hooks: [dur_backend i] supplies node [i]'s
+     persistent backend (file-backed live, in-memory under the sim),
+     [dur_policy i] its group-commit/snapshot cadence, and
+     [dur_on_recover] observes the recovery report each time node [i]
+     (re)initializes — the monitors and the chaos drill hang off it. *)
+  type durability = {
+    dur_backend : int -> Durable.Backend.t;
+    dur_policy : int -> Durable.Manager.policy;
+    dur_on_recover : int -> Durable.Manager.report -> state_hash:int -> unit;
+  }
+
   type smr_replica = {
     s_self : loc;
     s_nodes : loc list;  (* the three co-located TOB/DB machines *)
@@ -749,6 +760,12 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     s_last_hb : (loc, float) Hashtbl.t;
     mutable s_proposed_at : float;
     mutable s_tob_seq : int;
+    sdur : Durable.Manager.t option;  (* write-ahead durability, if on *)
+    mutable sdur_floor : int;
+        (* highest TOB seqno already applied (recovered or live): a
+           restarted broadcast member re-delivers the total order from
+           where its peers re-learn it, so deliveries at or below the
+           floor are duplicates of recovered state and must be skipped *)
   }
 
   type smr_cluster = {
@@ -790,26 +807,59 @@ module Make (C : Consensus.Consensus_intf.S) = struct
         r.role <- Sparing;
         r.buffered <- []
 
+  (* One WAL record per applied transaction: [idx] is the TOB delivery
+     seqno (the position in the total order), [aux] the replica's
+     delivered-entry count, [hash] the state fingerprint after applying,
+     [payload] the delivered entry's payload verbatim (so replay decodes
+     it with the same codec as delivery). *)
+  let smr_durable_record r (d : Tob.deliver) =
+    {
+      Durable.Wal.idx = d.Tob.seqno;
+      aux = r.sgseq;
+      hash = Database.content_hash r.sdb;
+      payload = d.Tob.entry.Tob.payload;
+    }
+
+  let smr_durable_image ctx r =
+    let rows = Database.dump r.sdb in
+    R.charge ctx (Database.take_cost r.sdb);
+    Codec.encode_rows rows
+
   let smr_deliver ctx r (d : Tob.deliver) =
-    R.charge ctx r.costs.Broadcast.Shell.per_entry;
-    r.sgseq <- r.sgseq + 1;
-    match decode_payload d.Tob.entry.Tob.payload with
-    | P_txn txn -> (
-        match r.role with
-        | Active -> smr_exec ctx r txn
-        | Syncing -> r.buffered <- r.buffered @ [ txn ]
-        | Sparing -> ())
-    | P_reconfig (proposal, _, proposer) ->
-        if proposal.Config.seq = r.scfg.Config.seq + 1 then begin
-          (* The proposer snapshots its database at this exact point of
-             the delivery order, so the spare can take over from here. *)
-          if r.s_self = proposer && r.role = Active then begin
-            r.pending_snapshot <- Some (Database.dump r.sdb, r.sgseq);
-            R.charge ctx (Database.take_cost r.sdb)
-          end;
-          smr_adopt ctx r proposal ~proposer
-        end
-    | P_bytes _ -> ()
+    if r.sdur <> None && d.Tob.seqno <= r.sdur_floor then
+      (* Duplicate of recovered state: a restarted broadcast member
+         re-delivers entries the WAL already covers. Skip entirely — the
+         recovered [sgseq] already counted them. *)
+      ()
+    else begin
+      r.sdur_floor <- max r.sdur_floor d.Tob.seqno;
+      R.charge ctx r.costs.Broadcast.Shell.per_entry;
+      r.sgseq <- r.sgseq + 1;
+      match decode_payload d.Tob.entry.Tob.payload with
+      | P_txn txn -> (
+          match r.role with
+          | Active -> (
+              smr_exec ctx r txn;
+              match r.sdur with
+              | None -> ()
+              | Some mgr ->
+                  Durable.Manager.append mgr (smr_durable_record r d);
+                  Durable.Manager.maybe_snapshot mgr ~payload:(fun () ->
+                      smr_durable_image ctx r))
+          | Syncing -> r.buffered <- r.buffered @ [ txn ]
+          | Sparing -> ())
+      | P_reconfig (proposal, _, proposer) ->
+          if proposal.Config.seq = r.scfg.Config.seq + 1 then begin
+            (* The proposer snapshots its database at this exact point of
+               the delivery order, so the spare can take over from here. *)
+            if r.s_self = proposer && r.role = Active then begin
+              r.pending_snapshot <- Some (Database.dump r.sdb, r.sgseq);
+              R.charge ctx (Database.take_cost r.sdb)
+            end;
+            smr_adopt ctx r proposal ~proposer
+          end
+      | P_bytes _ -> ()
+    end
 
   let smr_feed_tob ctx r (t, acts) =
     r.tob <- t;
@@ -863,7 +913,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     end
 
   let smr_handler ~shared ~nodes_ref ~backend ~setup ~registry ~tun
-      ~costs ~tob_window ~n_active () =
+      ~costs ~tob_window ~n_active ~durable () =
     let holder = ref None in
     let get ctx =
       match !holder with
@@ -873,6 +923,42 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           let db = Database.create backend in
           setup db;
           ignore (Database.take_cost db);
+          let sreg = registry () in
+          (* Deterministic recovery, run on the node's first event after
+             every (re)start: install the latest valid snapshot, truncate
+             any torn WAL tail, replay the remaining records through the
+             normal transaction engine. A fresh node recovers from an
+             empty backend to the initial state. *)
+          let recovery =
+            match durable with
+            | None -> None
+            | Some (i, dur) ->
+                let install (w : Durable.Wal.record) =
+                  match Codec.decode_rows w.Durable.Wal.payload with
+                  | Ok rows -> (
+                      Database.clear_data db;
+                      match Database.load_rows db rows with
+                      | Ok () -> ()
+                      | Error e ->
+                          Sim.Invariant.fail "durable"
+                            "node %d: snapshot install failed: %s" i e)
+                  | Error e ->
+                      Sim.Invariant.fail "durable"
+                        "node %d: snapshot payload undecodable: %s" i e
+                in
+                let apply (w : Durable.Wal.record) =
+                  match decode_payload w.Durable.Wal.payload with
+                  | P_txn txn -> ignore (Txn.execute sreg db txn)
+                  | P_reconfig _ | P_bytes _ -> ()
+                in
+                let mgr, report =
+                  Durable.Manager.recover (dur.dur_backend i)
+                    (dur.dur_policy i) ~install ~apply
+                in
+                dur.dur_on_recover i report
+                  ~state_hash:(Database.content_hash db);
+                Some (mgr, report)
+          in
           let nodes = !nodes_ref in
           let members = List.filteri (fun i _ -> i < n_active) nodes in
           let r =
@@ -880,7 +966,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
               s_self = self;
               s_nodes = nodes;
               sdb = db;
-              sreg = registry ();
+              sreg;
               stun = tun;
               costs;
               tob =
@@ -888,7 +974,10 @@ module Make (C : Consensus.Consensus_intf.S) = struct
                   ~subscribers:[ self ] ();
               scfg = Config.initial members;
               role = (if List.mem self members then Active else Sparing);
-              sgseq = 0;
+              sgseq =
+                (match recovery with
+                | Some (_, rep) -> rep.Durable.Manager.recovered_aux
+                | None -> 0);
               buffered = [];
               pending_snapshot = None;
               snap_started = false;
@@ -896,6 +985,11 @@ module Make (C : Consensus.Consensus_intf.S) = struct
               s_last_hb = Hashtbl.create 8;
               s_proposed_at = -1.0e9;
               s_tob_seq = 0;
+              sdur = Option.map fst recovery;
+              sdur_floor =
+                (match recovery with
+                | Some (_, rep) -> rep.Durable.Manager.recovered_idx
+                | None -> -1);
             }
           in
           List.iter
@@ -972,13 +1066,27 @@ module Make (C : Consensus.Consensus_intf.S) = struct
                   r.sync_proposer <- None;
                   let todo = r.buffered in
                   r.buffered <- [];
-                  List.iter (smr_exec ctx r) todo
+                  List.iter (smr_exec ctx r) todo;
+                  (* The installed state supersedes whatever the WAL
+                     described: pin the transferred position and snapshot
+                     it so a crash right after state transfer recovers to
+                     here, not to the stale pre-transfer log. *)
+                  match r.sdur with
+                  | None -> ()
+                  | Some mgr ->
+                      Durable.Manager.install_state mgr
+                        {
+                          Durable.Wal.idx = r.sdur_floor;
+                          aux = r.sgseq;
+                          hash = Database.content_hash r.sdb;
+                          payload = smr_durable_image ctx r;
+                        }
                 end
               end
           | Db _ -> ())
 
   let spawn_smr ?(tun = default_tuning)
-      ?(backends : Storage.Store.kind list option)
+      ?(backends : Storage.Store.kind list option) ?durability
       ?(costs = Broadcast.Shell.default_costs) ?tob_window ~world ~registry
       ~setup ~n_active () =
     let shared : smr_replica Registry.t = Registry.create () in
@@ -993,7 +1101,8 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           R.spawn world
             ~name:(Printf.sprintf "smr%d" i)
             (smr_handler ~shared ~nodes_ref ~backend:(backend_of i) ~setup
-               ~registry ~tun ~costs ~tob_window ~n_active))
+               ~registry ~tun ~costs ~tob_window ~n_active
+               ~durable:(Option.map (fun d -> (i, d)) durability)))
     in
     nodes_ref := nodes;
     let view l f ~default = Registry.view shared l f ~default in

@@ -121,6 +121,22 @@ module Make (C : Consensus.Consensus_intf.S) : sig
 
   (** {1 State-machine-replication clusters} *)
 
+  type durability = {
+    dur_backend : int -> Durable.Backend.t;
+        (** Node [i]'s persistent backend (file-backed live, in-memory
+            deterministic under the sim). *)
+    dur_policy : int -> Durable.Manager.policy;
+    dur_on_recover : int -> Durable.Manager.report -> state_hash:int -> unit;
+        (** Observes the recovery report and post-recovery state
+            fingerprint each time node [i] (re)initializes — monitors and
+            the chaos drill hang off it. *)
+  }
+  (** Per-node durability hooks for SMR clusters: applied transactions are
+      written to a write-ahead log (group-committed per the policy),
+      snapshots are taken at the policy's cadence, and a restarted node
+      recovers deterministically (snapshot install + torn-tail truncation
+      + WAL replay) before processing its first event. *)
+
   type smr_cluster = {
     smr_nodes : loc list;
         (** The three machines, each co-hosting a broadcast member and a
@@ -134,6 +150,7 @@ module Make (C : Consensus.Consensus_intf.S) : sig
   val spawn_smr :
     ?tun:tuning ->
     ?backends:Storage.Store.kind list ->
+    ?durability:durability ->
     ?costs:Broadcast.Shell.costs ->
     ?tob_window:int ->
     world:wire Runtime.t ->

@@ -25,3 +25,11 @@ let bins t =
   build t.last_bin []
 
 let total t = t.total
+
+let between t t0 t1 =
+  let b0 = int_of_float (t0 /. t.bin) and b1 = int_of_float (t1 /. t.bin) in
+  let n = ref 0 in
+  for b = max 0 b0 to min t.last_bin b1 do
+    n := !n + Option.value ~default:0 (Hashtbl.find_opt t.counts b)
+  done;
+  !n

@@ -15,3 +15,8 @@ val bins : t -> (float * float) list
 
 val total : t -> int
 (** Total number of recorded events. *)
+
+val between : t -> float -> float -> int
+(** [between t t0 t1] counts events recorded in bins overlapping
+    [\[t0, t1\]] — e.g. commits that landed while a node was down (bin
+    granularity, so edges are rounded to bin boundaries). *)

@@ -206,7 +206,8 @@ let scan_delete t name ~pred =
 
 let begin_txn t =
   match t.txn with
-  | Some _ -> invalid_arg "Database.begin_txn: transaction already open"
+  | Some _ ->
+      Sim.Invariant.fail "database" "begin_txn: transaction already open"
   | None ->
       charge t t.prof.Cost.txn_overhead;
       t.txn <- Some []

@@ -49,7 +49,8 @@ val scan_delete :
 (** {1 Transactions} *)
 
 val begin_txn : t -> unit
-(** Starts the undo log; nested calls raise [Invalid_argument]. *)
+(** Starts the undo log; nested calls raise a structured
+    [Sim.Invariant.Violation] for the ["database"] layer. *)
 
 val in_txn : t -> bool
 val commit : t -> unit

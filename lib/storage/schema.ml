@@ -5,11 +5,13 @@ type t = { table : string; columns : column list; pkey : int list }
 let v ~table ~columns ~pkey =
   let names = List.map fst columns in
   if List.length (List.sort_uniq String.compare names) <> List.length names
-  then invalid_arg "Schema.v: duplicate column";
+  then Sim.Invariant.fail "schema" "v: duplicate column in table %s" table;
   let index name =
     match List.find_index (String.equal name) names with
     | Some i -> i
-    | None -> invalid_arg ("Schema.v: unknown pkey column " ^ name)
+    | None ->
+        Sim.Invariant.fail "schema" "v: unknown pkey column %s in table %s"
+          name table
   in
   {
     table;

@@ -277,7 +277,7 @@ let exec db (stmt : A.stmt) =
       with
       | Ok () -> Ok Done
       | Error e -> Error e
-      | exception Invalid_argument m -> Error m)
+      | exception Sim.Invariant.Violation { detail; _ } -> Error detail)
   | A.Create_index { table; column } -> (
       match Database.create_index db table column with
       | Ok () -> Ok Done

@@ -48,7 +48,7 @@ let add a b =
   | Float x, Float y -> Float (x +. y)
   | Int x, Float y -> Float (float_of_int x +. y)
   | Float x, Int y -> Float (x +. float_of_int y)
-  | _ -> invalid_arg "Value.add: non-numeric operands"
+  | _ -> Sim.Invariant.fail "value" "add: non-numeric operands"
 
 let serialized_size = function
   | Null -> 1

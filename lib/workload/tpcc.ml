@@ -399,6 +399,7 @@ let wrap proc db params =
   try proc db params with
   | Abort m -> Error m
   | Invalid_argument m -> Error m
+  | Sim.Invariant.Violation { detail; _ } -> Error detail
 
 let registry ?scale:_ () =
   Shadowdb.Txn.registry

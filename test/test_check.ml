@@ -285,6 +285,63 @@ let prop_buggy_counterexamples_replay =
       | Some t ->
           (Explore.replay Scenarios.buggy t).Scenario.violation <> None)
 
+(* ---- durability: crash/restart schedules through real recovery -------- *)
+
+(* Crash/restart plans need enough depth for transactions to commit before
+   the crash; at shallow depths the fault lands on an idle replica and
+   recovery has nothing to prove. *)
+let recovery_depth = 300
+
+let test_smr_durable_recovery_clean () =
+  let r =
+    Explore.random_walk ~fault_gen:Fault.random_recovery
+      ~max_depth:recovery_depth Scenarios.smr_durable ~seed:3 ~budget:30 ()
+  in
+  Alcotest.(check bool) "no violation" true (r.Explore.violation = None)
+
+let find_noreplay () =
+  let r =
+    Explore.random_walk ~fault_gen:Fault.random_recovery
+      ~max_depth:recovery_depth Scenarios.smr_noreplay ~seed:3 ~budget:80 ()
+  in
+  match r.Explore.violation with
+  | Some t -> t
+  | None -> Alcotest.fail "no violation found on the no-replay fixture"
+
+let test_noreplay_counterexample_found () =
+  let t = find_noreplay () in
+  Alcotest.(check string) "monitor" "smr-noreplay-no-committed-loss"
+    t.Trace.monitor;
+  Alcotest.(check bool) "plan contains a crash and a restart" true
+    (List.exists (fun f -> match f.Fault.op with Fault.Crash _ -> true | _ -> false)
+       t.Trace.faults
+    && List.exists
+         (fun f -> match f.Fault.op with Fault.Restart _ -> true | _ -> false)
+         t.Trace.faults)
+
+let test_noreplay_counterexample_replays () =
+  let t = find_noreplay () in
+  match (Explore.replay Scenarios.smr_noreplay t).Scenario.violation with
+  | Some v ->
+      Alcotest.(check string) "same monitor" t.Trace.monitor v.Scenario.monitor
+  | None -> Alcotest.fail "captured durability trace does not replay"
+
+let prop_recovery_plan_shape =
+  QCheck.Test.make ~count:100
+    ~name:"recovery plans restart the crashed node strictly later"
+    QCheck.(small_int)
+    (fun seed ->
+      let plan =
+        Fault.random_recovery (Sim.Prng.create seed) ~nodes:3 ~max_depth:50
+      in
+      match plan with
+      | [
+       { Fault.at_depth = d1; op = Fault.Crash a };
+       { Fault.at_depth = d2; op = Fault.Restart b };
+      ] ->
+          a = b && d2 > d1
+      | _ -> false)
+
 let () =
   Alcotest.run "check"
     [
@@ -336,11 +393,21 @@ let () =
           Alcotest.test_case "trace file round-trip" `Quick
             test_trace_file_roundtrip;
         ] );
+      ( "durability",
+        [
+          Alcotest.test_case "smr-durable clean under crash/restart" `Quick
+            test_smr_durable_recovery_clean;
+          Alcotest.test_case "no-replay fixture caught" `Quick
+            test_noreplay_counterexample_found;
+          Alcotest.test_case "no-replay counterexample replays" `Quick
+            test_noreplay_counterexample_replays;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_fault_roundtrip;
             prop_paxos_never_violates;
             prop_buggy_counterexamples_replay;
+            prop_recovery_plan_shape;
           ] );
     ]
