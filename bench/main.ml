@@ -357,6 +357,66 @@ let measure_sim () =
   ( float_of_int events /. wall,
     if !last > 0.0 then float_of_int !commits /. !last else nan )
 
+(* Sharded SMR on the simulator, weak scaling: 4 closed-loop clients and
+   one 3-replica TOB group per shard, a Zipf-skewed (theta = 0.9) deposit
+   stream with a 5% transfer mix whose cross-shard fraction rides through
+   the 2PC coordinator. Virtual committed/s measures how much total
+   transaction throughput the extra independent total orders buy. *)
+let measure_sim_sharded ~shards () =
+  let world : Sdb.wire Engine.t = Engine.create ~seed:(300 + shards) () in
+  let rworld = Runtime.Of_sim.of_engine world in
+  let zipf = Workload.Zipf.create ~n:bank_rows ~theta:0.9 in
+  let commits = ref 0 in
+  let last = ref 0.0 in
+  let cluster =
+    Sdb.spawn_sharded ~world:rworld ~registry:Workload.Bank.registry
+      ~setup:(fun s db ->
+        Workload.Bank.setup_shard ~rows:bank_rows ~shards s db)
+      ~router:(Workload.Bank.router ~shards)
+      ()
+  in
+  let make_txn ~client ~seq =
+    if seq mod 20 = 19 then
+      let src = Workload.Zipf.sample_id zipf ~client ~seq in
+      let dst =
+        (src + 1 + (abs (Hashtbl.hash (client, seq, 1)) mod (bank_rows - 1)))
+        mod bank_rows
+      in
+      Workload.Bank.transfer ~src ~dst ~amount:1
+    else
+      Workload.Bank.deposit
+        ~account:(Workload.Zipf.sample_id zipf ~client ~seq)
+        ~amount:1
+  in
+  let n_clients = 4 * shards and count = if quick then 100 else 400 in
+  let _, _ =
+    Sdb.spawn_clients ~world:rworld ~target:(Sdb.To_sharded cluster)
+      ~n:n_clients ~count ~make_txn ~retry_timeout:4.0
+      ~on_commit:(fun now _ ->
+        incr commits;
+        last := now)
+      ()
+  in
+  Engine.run ~until:3600.0 ~max_events:100_000_000 world;
+  let txns_s = if !last > 0.0 then float_of_int !commits /. !last else nan in
+  (txns_s, cluster.Sdb.sh_committed (), cluster.Sdb.sh_aborted ())
+
+let sharding_curve () =
+  let counts = [ 1; 2; 4 ] in
+  let pts =
+    List.map
+      (fun shards ->
+        let txns_s, x_committed, x_aborted = measure_sim_sharded ~shards () in
+        (shards, txns_s, x_committed, x_aborted))
+      counts
+  in
+  let base =
+    match pts with (_, t, _, _) :: _ -> t | [] -> nan
+  in
+  List.map
+    (fun (shards, t, xc, xa) -> (shards, t, t /. base, xc, xa))
+    pts
+
 (* Scratch directories for the durability measurements. *)
 let dur_dir =
   let n = ref 0 in
@@ -518,6 +578,7 @@ let run_trajectory () =
   print_endline "# Perf trajectory (wall-clock hot-path throughput)     #";
   print_endline "########################################################";
   let events_per_sec, sim_txns = measure_sim () in
+  let shard_pts = sharding_curve () in
   let live_txns = measure_live () in
   let check_rates = measure_check () in
   let wal_mb_s = measure_wal_append () in
@@ -536,11 +597,21 @@ let run_trajectory () =
        [ "recovery ms / 10k records"; Stats.Table.fmt_f recovery_ms ];
      ]
     @ List.map
+        (fun (shards, t, speedup, xc, xa) ->
+          [
+            Printf.sprintf "sharded txns/s (sim, %d shard%s)" shards
+              (if shards = 1 then "" else "s");
+            Printf.sprintf "%s (%.2fx, 2pc %d/%d)" (Stats.Table.fmt_f t)
+              speedup xc (xc + xa);
+          ])
+        shard_pts
+    @ List.map
         (fun (n, v) ->
           [ Printf.sprintf "check %s schedules/s" n; Stats.Table.fmt_f v ])
         check_rates);
   ( events_per_sec,
     sim_txns,
+    shard_pts,
     live_txns,
     check_rates,
     (wal_mb_s, live_fsync, live_group, recovery_ms) )
@@ -554,6 +625,7 @@ let () =
   | Some file ->
       let ( events_per_sec,
             sim_txns,
+            shard_pts,
             live_txns,
             check_rates,
             (wal_mb_s, live_fsync, live_group, recovery_ms) ) =
@@ -577,6 +649,19 @@ let () =
                   ("engine_events_per_sec", Json.num events_per_sec);
                   ("tob_txns_per_sec", Json.num sim_txns);
                 ] );
+            ( "sharding",
+              Json.Arr
+                (List.map
+                   (fun (shards, t, speedup, xc, xa) ->
+                     Json.Obj
+                       [
+                         ("shards", Json.num (float_of_int shards));
+                         ("tob_txns_per_sec", Json.num t);
+                         ("speedup_vs_1_shard", Json.num speedup);
+                         ("cross_shard_committed", Json.num (float_of_int xc));
+                         ("cross_shard_aborted", Json.num (float_of_int xa));
+                       ])
+                   shard_pts) );
             ("live", Json.Obj [ ("tob_txns_per_sec", Json.num live_txns) ]);
             ( "check_schedules_per_sec",
               Json.Obj (List.map (fun (n, v) -> (n, Json.num v)) check_rates)

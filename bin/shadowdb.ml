@@ -48,6 +48,28 @@ let workload_parts = function
             ~h_id:((client * 1_000_000) + seq)),
         [ "order_status"; "stock_level" ] )
 
+(* What [spawn_cluster] hands back to the runners: enough to drive
+   clients, report liveness, and judge replica agreement (per shard for
+   a sharded deployment — replicas of different shards legitimately hold
+   different states). *)
+type deployed = {
+  describe : string;
+  target : S.client_target;
+  replicas : int list;
+  gseq_of : int -> int;
+  hash_of : int -> int;
+  agreement : int list -> bool;  (* over the still-alive replicas *)
+  extra : unit -> (string * string) list;  (* extra report lines *)
+}
+
+let flat_agreement ~gseq_of ~hash_of alive =
+  let hashes =
+    List.filter_map
+      (fun l -> if gseq_of l > 0 then Some (hash_of l) else None)
+      alive
+  in
+  match hashes with h :: t -> List.for_all (( = ) h) t | [] -> true
+
 let spawn_cluster mode ~window ~read_kinds ~backends ~world ~registry ~setup =
   match mode with
   | Pbr ->
@@ -55,30 +77,114 @@ let spawn_cluster mode ~window ~read_kinds ~backends ~world ~registry ~setup =
         S.spawn_pbr ~backends ~tob_window:window ~world ~registry ~setup
           ~n_active:2 ~n_spare:1 ()
       in
-      ("primary-backup (2 active + 1 spare)", S.To_pbr c, c.S.pbr_replicas,
-       c.S.pbr_gseq_of, c.S.pbr_hash_of)
+      {
+        describe = "primary-backup (2 active + 1 spare)";
+        target = S.To_pbr c;
+        replicas = c.S.pbr_replicas;
+        gseq_of = c.S.pbr_gseq_of;
+        hash_of = c.S.pbr_hash_of;
+        agreement =
+          flat_agreement ~gseq_of:c.S.pbr_gseq_of ~hash_of:c.S.pbr_hash_of;
+        extra = (fun () -> []);
+      }
   | Chain ->
       let c =
         S.spawn_chain ~read_kinds ~backends ~tob_window:window ~world
           ~registry ~setup ~n_active:3 ~n_spare:1 ()
       in
-      ("chain (3 links + 1 spare)", S.To_pbr c, c.S.pbr_replicas,
-       c.S.pbr_gseq_of, c.S.pbr_hash_of)
+      {
+        describe = "chain (3 links + 1 spare)";
+        target = S.To_pbr c;
+        replicas = c.S.pbr_replicas;
+        gseq_of = c.S.pbr_gseq_of;
+        hash_of = c.S.pbr_hash_of;
+        agreement =
+          flat_agreement ~gseq_of:c.S.pbr_gseq_of ~hash_of:c.S.pbr_hash_of;
+        extra = (fun () -> []);
+      }
   | Smr ->
       let c =
         S.spawn_smr ~backends ~tob_window:window ~world ~registry ~setup
           ~n_active:2 ()
       in
-      ("state machine replication (2 of 3)", S.To_smr c, c.S.smr_nodes,
-       c.S.smr_gseq_of, c.S.smr_hash_of)
+      {
+        describe = "state machine replication (2 of 3)";
+        target = S.To_smr c;
+        replicas = c.S.smr_nodes;
+        gseq_of = c.S.smr_gseq_of;
+        hash_of = c.S.smr_hash_of;
+        agreement =
+          flat_agreement ~gseq_of:c.S.smr_gseq_of ~hash_of:c.S.smr_hash_of;
+        extra = (fun () -> []);
+      }
+
+(* A sharded deployment: one 3-replica SMR group (its own TOB instance)
+   per shard plus the 2PC coordinator; single-shard transactions go
+   straight to the owning shard, cross-shard ones through
+   prepare/commit records totally ordered within each participant's
+   TOB. Bank only: the transfer mix is what exercises 2PC. *)
+let shard_rows = 10_000
+
+let spawn_sharded_cluster ~shards ~window ~backends ~world =
+  let router = Workload.Bank.router ~shards in
+  let c =
+    S.spawn_sharded ~backends ~tob_window:window ~world
+      ~registry:Workload.Bank.registry
+      ~setup:(fun s db ->
+        Workload.Bank.setup_shard ~rows:shard_rows ~shards s db)
+      ~router ()
+  in
+  let group_of l =
+    Array.to_list c.S.sh_groups
+    |> List.find (fun g -> List.mem l g.S.smr_nodes)
+  in
+  let gseq_of l = (group_of l).S.smr_gseq_of l in
+  let hash_of l = (group_of l).S.smr_hash_of l in
+  let agreement alive =
+    Array.for_all
+      (fun g ->
+        let mine = List.filter (fun l -> List.mem l g.S.smr_nodes) alive in
+        flat_agreement ~gseq_of:g.S.smr_gseq_of ~hash_of:g.S.smr_hash_of mine)
+      c.S.sh_groups
+  in
+  {
+    describe =
+      Printf.sprintf "%d shards x 3 SMR replicas + 2PC coordinator" shards;
+    target = S.To_sharded c;
+    replicas = List.filter (fun l -> l <> c.S.sh_coord) c.S.sh_nodes;
+    gseq_of;
+    hash_of;
+    agreement;
+    extra =
+      (fun () ->
+        [
+          ( "cross-shard",
+            Printf.sprintf "%d committed, %d aborted via 2PC"
+              (c.S.sh_committed ()) (c.S.sh_aborted ()) );
+        ]);
+  }
+
+(* Mixed sharded workload: alternating transfers (the 2PC traffic; with
+   k shards, a fraction (k-1)/k of them cross shards) and single-shard
+   deposits. *)
+let make_sharded_txn ~client ~seq =
+  let h = abs (Hashtbl.hash (client, seq)) in
+  if seq mod 2 = 0 then
+    let src = h mod shard_rows in
+    let dst =
+      (src + 1 + (abs (Hashtbl.hash (client, seq, 1)) mod (shard_rows - 1)))
+      mod shard_rows
+    in
+    Workload.Bank.transfer ~src ~dst ~amount:1
+  else Workload.Bank.deposit ~account:(h mod shard_rows) ~amount:(1 + (seq mod 9))
 
 let backends_of diverse =
   if diverse then
     [ Storage.Store.Hazel; Storage.Store.Hickory; Storage.Store.Dogwood ]
   else [ Storage.Store.Hazel ]
 
-let report ~clients ~completed ~commits ~elapsed ~latencies ~alive ~gseq_of
-    ~hash_of ~unit_label =
+let report ~clients ~completed ~commits ~elapsed ~latencies ~alive ~d
+    ~unit_label =
   Printf.printf "completed  : %d/%d clients\n" completed clients;
   Printf.printf "committed  : %d txns in %.3f s %s\n" commits elapsed
     unit_label;
@@ -88,31 +194,36 @@ let report ~clients ~completed ~commits ~elapsed ~latencies ~alive ~gseq_of
     (Stats.Sample.mean latencies *. 1e3)
     (Stats.Sample.percentile latencies 50.0 *. 1e3)
     (Stats.Sample.percentile latencies 99.0 *. 1e3);
-  let hashes =
-    List.filter_map
-      (fun l -> if gseq_of l > 0 then Some (hash_of l) else None)
-      alive
-  in
   Printf.printf "replicas   : %s executed %s txns\n"
     (String.concat "," (List.map string_of_int alive))
-    (String.concat "/" (List.map (fun l -> string_of_int (gseq_of l)) alive));
-  Printf.printf "agreement  : %b\n"
-    (match hashes with h :: t -> List.for_all (( = ) h) t | [] -> true)
+    (String.concat "/" (List.map (fun l -> string_of_int (d.gseq_of l)) alive));
+  List.iter (fun (k, v) -> Printf.printf "%-11s: %s\n" k v) (d.extra ());
+  Printf.printf "agreement  : %b\n" (d.agreement alive)
 
-let run_sim mode wl clients count crash_at seed diverse window =
+let deploy mode wl shards ~window ~diverse ~world =
+  let backends = backends_of diverse in
+  if shards > 1 then begin
+    (match wl with
+    | Bank -> ()
+    | Tpcc ->
+        prerr_endline "shadowdb: --shards currently supports the bank workload";
+        exit 2);
+    (spawn_sharded_cluster ~shards ~window ~backends ~world, make_sharded_txn)
+  end
+  else
+    let registry, setup, make_txn, read_kinds = workload_parts wl in
+    ( spawn_cluster mode ~window ~read_kinds ~backends ~world ~registry ~setup,
+      make_txn )
+
+let run_sim mode wl shards clients count crash_at seed diverse window =
   let world : S.wire Engine.t = Engine.create ~seed () in
   let rworld = Runtime.Of_sim.of_engine world in
-  let registry, setup, make_txn, read_kinds = workload_parts wl in
-  let backends = backends_of diverse in
-  let describe, target, replicas, gseq_of, hash_of =
-    spawn_cluster mode ~window ~read_kinds ~backends ~world:rworld ~registry
-      ~setup
-  in
+  let d, make_txn = deploy mode wl shards ~window ~diverse ~world:rworld in
   let latencies = Stats.Sample.create () in
   let commits = ref 0 in
   let last = ref 0.0 in
   let _, completed =
-    S.spawn_clients ~world:rworld ~target ~n:clients ~count ~make_txn
+    S.spawn_clients ~world:rworld ~target:d.target ~n:clients ~count ~make_txn
       ~retry_timeout:2.0
       ~on_commit:(fun now l ->
         incr commits;
@@ -123,37 +234,23 @@ let run_sim mode wl clients count crash_at seed diverse window =
   (match crash_at with
   | Some t ->
       Engine.at world t (fun () ->
-          Printf.printf "t=%-8.2f crashing node %d\n" t (List.hd replicas);
-          Engine.crash world (List.hd replicas))
+          Printf.printf "t=%-8.2f crashing node %d\n" t (List.hd d.replicas);
+          Engine.crash world (List.hd d.replicas))
   | None -> ());
-  Printf.printf "deployment : %s%s\n" describe
+  Printf.printf "deployment : %s%s\n" d.describe
     (if diverse then ", diverse backends (hazel/hickory/dogwood)" else "");
   Printf.printf "workload   : %d clients x %d txns\n%!" clients count;
   Engine.run ~until:3600.0 ~max_events:500_000_000 world;
-  Printf.printf "completed  : %d/%d clients\n" (completed ()) clients;
-  Printf.printf "committed  : %d txns in %.3f s virtual\n" !commits !last;
-  Printf.printf "throughput : %.0f txns/s\n" (float_of_int !commits /. !last);
-  Printf.printf "latency    : mean %.2f ms, p99 %.2f ms\n"
-    (Stats.Sample.mean latencies *. 1e3)
-    (Stats.Sample.percentile latencies 99.0 *. 1e3);
-  let alive = List.filter (Engine.is_alive world) replicas in
-  let hashes =
-    List.filter_map
-      (fun l -> if gseq_of l > 0 then Some (hash_of l) else None)
-      alive
-  in
-  Printf.printf "replicas   : %s executed %s txns\n"
-    (String.concat "," (List.map string_of_int alive))
-    (String.concat "/" (List.map (fun l -> string_of_int (gseq_of l)) alive));
-  Printf.printf "agreement  : %b\n"
-    (match hashes with h :: t -> List.for_all (( = ) h) t | [] -> true);
+  let alive = List.filter (Engine.is_alive world) d.replicas in
+  report ~clients ~completed:(completed ()) ~commits:!commits ~elapsed:!last
+    ~latencies ~alive ~d ~unit_label:"virtual";
   if completed () <> clients then exit 1
 
 (* A real cluster on the local machine: every node is a thread with its
    own TCP listener, messages are framed Codec bytes over loopback
    sockets, timers run on the wall clock. Same protocol code as the
    simulation — only the runtime underneath changes. *)
-let run_live mode wl clients count crash_at diverse window =
+let run_live mode wl shards clients count crash_at diverse window =
   (match crash_at with
   | Some _ ->
       Printf.eprintf "shadowdb: --crash-at is simulator-only; ignoring\n%!"
@@ -164,16 +261,12 @@ let run_live mode wl clients count crash_at diverse window =
   in
   let live = Runtime.Live.create ~codec () in
   let world = Runtime.Live.runtime live in
-  let registry, setup, make_txn, read_kinds = workload_parts wl in
-  let backends = backends_of diverse in
-  let describe, target, replicas, gseq_of, hash_of =
-    spawn_cluster mode ~window ~read_kinds ~backends ~world ~registry ~setup
-  in
+  let d, make_txn = deploy mode wl shards ~window ~diverse ~world in
   let latencies = Stats.Sample.create () in
   let mu = Mutex.create () in
   let commits = ref 0 in
   let _, completed =
-    S.spawn_clients ~world ~target ~n:clients ~count ~make_txn
+    S.spawn_clients ~world ~target:d.target ~n:clients ~count ~make_txn
       ~retry_timeout:2.0
       ~on_commit:(fun _now l ->
         Mutex.lock mu;
@@ -182,13 +275,13 @@ let run_live mode wl clients count crash_at diverse window =
         Mutex.unlock mu)
       ()
   in
-  Printf.printf "deployment : %s%s, live over loopback TCP\n" describe
+  Printf.printf "deployment : %s%s, live over loopback TCP\n" d.describe
     (if diverse then ", diverse backends (hazel/hickory/dogwood)" else "");
   List.iter
     (fun l ->
       Printf.printf "node       : replica %d on 127.0.0.1:%d\n" l
         (Option.value ~default:0 (Runtime.Live.port_of live l)))
-    replicas;
+    d.replicas;
   Printf.printf "workload   : %d clients x %d txns\n%!" clients count;
   let t0 = Unix.gettimeofday () in
   Runtime.Live.start live;
@@ -201,13 +294,14 @@ let run_live mode wl clients count crash_at diverse window =
     (fun e -> Printf.eprintf "live runtime error: %s\n%!" e)
     (Runtime.Live.errors live);
   report ~clients ~completed:(completed ()) ~commits:!commits ~elapsed
-    ~latencies ~alive:replicas ~gseq_of ~hash_of ~unit_label:"wall-clock";
+    ~latencies ~alive:d.replicas ~d ~unit_label:"wall-clock";
   if not finished then exit 1
 
-let run_cluster runtime mode wl clients count crash_at seed diverse window =
+let run_cluster runtime mode wl shards clients count crash_at seed diverse
+    window =
   match runtime with
-  | Rt_sim -> run_sim mode wl clients count crash_at seed diverse window
-  | Rt_live -> run_live mode wl clients count crash_at diverse window
+  | Rt_sim -> run_sim mode wl shards clients count crash_at seed diverse window
+  | Rt_live -> run_live mode wl shards clients count crash_at diverse window
 
 let sql_shell backend =
   let kind =
@@ -252,6 +346,17 @@ let run_cmd =
   let wl =
     Arg.(value & opt wl_conv Bank & info [ "workload" ] ~doc:"bank or tpcc.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Deploy N independent shards (one TOB-replicated SMR group \
+             each) behind a 2PC coordinator; transfers spanning shards \
+             commit atomically via prepare/commit records in each \
+             participant's total order. N=1 keeps the classic \
+             single-group deployment selected by --mode.")
+  in
   let clients =
     Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Closed-loop clients.")
   in
@@ -279,8 +384,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Deploy a replicated database and drive a workload.")
     Term.(
-      const run_cluster $ runtime $ mode $ wl $ clients $ count $ crash $ seed
-      $ diverse $ window)
+      const run_cluster $ runtime $ mode $ wl $ shards $ clients $ count
+      $ crash $ seed $ diverse $ window)
 
 let sql_cmd =
   let backend =

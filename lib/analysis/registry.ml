@@ -165,6 +165,15 @@ let scenario_target (s : Check.Scenario.t) =
 let wire_target =
   { name = "shadowdb-wire"; kind = "table"; run = Wire_table.pass }
 
+(* Concrete bounded-domain sweeps over the sharding layer: the partition
+   function / router decomposition invariants, and the 2PC codec and
+   entry-id artifacts the coordinator's dedup relies on. *)
+let shard_router_target =
+  { name = "shard-router"; kind = "table"; run = Shard_checks.router_pass }
+
+let coord_target =
+  { name = "2pc-coordinator"; kind = "table"; run = Shard_checks.coord_pass }
+
 let all () =
   [
     spec_target "paxos-synod" paxos_case;
@@ -172,6 +181,8 @@ let all () =
     spec_target ~max_steps:100_000 "broadcast-service" tob_case;
     spec_target "clk" clk_case;
     wire_target;
+    shard_router_target;
+    coord_target;
   ]
   @ List.map scenario_target Check.Scenarios.all
 

@@ -13,23 +13,26 @@
 
 type entry = { tag : string; producers : string list; handlers : string list }
 
-let roles = [ "client"; "primary"; "backup"; "spare"; "replica" ]
-(* [replica] is the symmetric SMR role; primary/backup/spare are PBR. *)
+let roles =
+  [ "client"; "primary"; "backup"; "spare"; "replica"; "coordinator" ]
+(* [replica] is the symmetric SMR role; primary/backup/spare are PBR;
+   [coordinator] is the sharded deployment's 2PC coordinator. *)
 
 let table =
   [
     (* Clients retry against every replica, so any role may receive a
-       transaction; non-primaries forward it. *)
+       transaction; non-primaries forward it. Sharded clients send
+       cross-shard transactions to the 2PC coordinator instead. *)
     {
       tag = "client-txn";
       producers = [ "client" ];
-      handlers = [ "primary"; "backup"; "replica" ];
+      handlers = [ "primary"; "backup"; "replica"; "coordinator" ];
     };
     { tag = "forward"; producers = [ "primary" ]; handlers = [ "backup" ] };
     { tag = "ack"; producers = [ "backup" ]; handlers = [ "primary" ] };
     {
       tag = "reply";
-      producers = [ "primary"; "replica" ];
+      producers = [ "primary"; "replica"; "coordinator" ];
       handlers = [ "client" ];
     };
     {
@@ -63,6 +66,14 @@ let table =
       tag = "snapshot-req";
       producers = [ "spare" ];
       handlers = [ "replica" ];
+    };
+    (* Sharded 2PC: a participant replica's vote on a prepared
+       cross-shard transaction, resent periodically until the decision
+       is delivered through its shard's TOB. *)
+    {
+      tag = "vote";
+      producers = [ "replica" ];
+      handlers = [ "coordinator" ];
     };
   ]
 

@@ -121,6 +121,106 @@ let tob_no_dup () =
           (Printf.sprintf "member %d delivered %s twice" m (pp_entry d.entry))
       else Hashtbl.replace seen key ())
 
+(* ---- Cross-shard 2PC monitors ------------------------------------------
+
+   Observations come from the sharded cluster's [on_apply] hook: one per
+   decision application at a participant replica, identifying the
+   transaction (client, seq), the applying (shard, node), the decision
+   direction and the keys it covered. *)
+
+type xshard_obs = {
+  xnode : int;  (* applying replica *)
+  xshard : int;  (* its shard *)
+  xclient : int;
+  xseq : int;  (* the cross-shard xid *)
+  xcommit : bool;
+  xkeys : (string * int) list;  (* (table, row id) keys the decision covered *)
+}
+
+let pp_xid c s = Printf.sprintf "txn (client=%d,seq=%d)" c s
+
+(* Atomicity: a cross-shard transaction is either committed everywhere
+   or aborted everywhere — no (shard, node) may apply a decision
+   direction different from any other observation of the same xid. This
+   is exactly what breaks when the coordinator forgets a decision
+   between informing the first and the last participant. *)
+let xshard_atomicity () =
+  let decided : (int * int, bool) Hashtbl.t = Hashtbl.create 64 in
+  make ~name:"xshard-atomicity" (fun violate (o : xshard_obs) ->
+      match Hashtbl.find_opt decided (o.xclient, o.xseq) with
+      | None -> Hashtbl.replace decided (o.xclient, o.xseq) o.xcommit
+      | Some prior ->
+          if prior <> o.xcommit then
+            violate
+              (Printf.sprintf
+                 "%s applied as %s at shard %d (node %d) but %s elsewhere"
+                 (pp_xid o.xclient o.xseq)
+                 (if o.xcommit then "COMMIT" else "ABORT")
+                 o.xshard o.xnode
+                 (if prior then "COMMIT" else "ABORT")))
+
+(* Conflict-serializability of committed cross-shard transactions: each
+   node applies commits in some local order; two commits conflict when
+   they share a key. Union the per-node conflict edges (a -> b iff a
+   applied before b somewhere and they conflict) and require the graph
+   acyclic — lock-based voting must order conflicting transactions the
+   same way on every shard. *)
+let xshard_serializable () =
+  let order : (int, (int * int) list) Hashtbl.t = Hashtbl.create 8 in
+  (* per node, committed xids, most recent first *)
+  let keys_of : (int * int, (string * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let edges : (int * int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let conflict a b =
+    let ka = Option.value (Hashtbl.find_opt keys_of a) ~default:[] in
+    let kb = Option.value (Hashtbl.find_opt keys_of b) ~default:[] in
+    List.exists (fun k -> List.mem k kb) ka
+  in
+  let cycle_from start =
+    (* DFS over the accumulated edge set *)
+    let rec visit path seen v =
+      if List.mem v path then true
+      else if List.mem v seen then false
+      else
+        List.exists
+          (fun w -> visit (v :: path) seen w)
+          (Option.value (Hashtbl.find_opt edges v) ~default:[])
+    in
+    visit [] [] start
+  in
+  make ~name:"xshard-serializable" (fun violate (o : xshard_obs) ->
+      if o.xcommit then begin
+        let xid = (o.xclient, o.xseq) in
+        let merge ks =
+          let prior = Option.value (Hashtbl.find_opt keys_of xid) ~default:[] in
+          Hashtbl.replace keys_of xid
+            (List.sort_uniq compare (ks @ prior))
+        in
+        merge o.xkeys;
+        let prior = Option.value (Hashtbl.find_opt order o.xnode) ~default:[] in
+        if not (List.mem xid prior) then begin
+          (* every earlier conflicting commit at this node precedes xid *)
+          List.iter
+            (fun earlier ->
+              if earlier <> xid && conflict earlier xid then begin
+                let outs =
+                  Option.value (Hashtbl.find_opt edges earlier) ~default:[]
+                in
+                if not (List.mem xid outs) then
+                  Hashtbl.replace edges earlier (xid :: outs)
+              end)
+            prior;
+          Hashtbl.replace order o.xnode (xid :: prior);
+          if cycle_from xid then
+            violate
+              (Printf.sprintf
+                 "conflict cycle through %s: nodes apply conflicting \
+                  cross-shard commits in different orders"
+                 (pp_xid o.xclient o.xseq))
+        end
+      end)
+
 (* ---- End-of-run checks --------------------------------------------------
 
    For ShadowDB state agreement and durability the interesting predicate

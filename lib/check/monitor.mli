@@ -52,6 +52,29 @@ val tob_gap_free : unit -> tob_obs t
 val tob_no_dup : unit -> tob_obs t
 (** No member delivers the same (origin, id) twice. *)
 
+(** {1 Cross-shard 2PC monitors} — observations come from the sharded
+    cluster's [on_apply] hook: one per decision application at a
+    participant replica. *)
+
+type xshard_obs = {
+  xnode : int;  (** Applying replica. *)
+  xshard : int;  (** Its shard. *)
+  xclient : int;
+  xseq : int;  (** The cross-shard transaction id. *)
+  xcommit : bool;
+  xkeys : (string * int) list;
+      (** (table, row id) keys the decision covered. *)
+}
+
+val xshard_atomicity : unit -> xshard_obs t
+(** A cross-shard transaction commits everywhere or aborts everywhere:
+    no two observations of one xid may disagree on direction. *)
+
+val xshard_serializable : unit -> xshard_obs t
+(** Conflict-serializability of committed cross-shard transactions: the
+    union over nodes of local apply-order edges between conflicting
+    commits must be acyclic. *)
+
 (** {1 End-of-run checks} *)
 
 val finish_check : name:string -> (unit -> string option) -> 'o t

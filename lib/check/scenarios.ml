@@ -437,16 +437,16 @@ let pbr : Scenario.t =
            ~n_active:2 ~n_spare:1 ()))
     ~replicas_of:(function
       | Sdb.To_pbr c -> c.Sdb.pbr_replicas
-      | Sdb.To_smr _ -> [])
+      | Sdb.To_smr _ | Sdb.To_sharded _ -> [])
     ~cfg_of:(function
       | Sdb.To_pbr c -> c.Sdb.pbr_cfg_of
-      | Sdb.To_smr _ -> fun _ -> -1)
+      | Sdb.To_smr _ | Sdb.To_sharded _ -> fun _ -> -1)
     ~gseq_of:(function
       | Sdb.To_pbr c -> c.Sdb.pbr_gseq_of
-      | Sdb.To_smr _ -> fun _ -> 0)
+      | Sdb.To_smr _ | Sdb.To_sharded _ -> fun _ -> 0)
     ~hash_of:(function
       | Sdb.To_pbr c -> c.Sdb.pbr_hash_of
-      | Sdb.To_smr _ -> fun _ -> 0)
+      | Sdb.To_smr _ | Sdb.To_sharded _ -> fun _ -> 0)
     ~executes:(fun _ _ -> true)
     3
 
@@ -460,20 +460,20 @@ let smr_scenario ~name ~window : Scenario.t =
            ~n_active:2 ()))
     ~replicas_of:(function
       | Sdb.To_smr c -> c.Sdb.smr_nodes
-      | Sdb.To_pbr _ -> [])
+      | Sdb.To_pbr _ | Sdb.To_sharded _ -> [])
     ~cfg_of:(function
       | Sdb.To_smr c -> c.Sdb.smr_cfg_of
-      | Sdb.To_pbr _ -> fun _ -> -1)
+      | Sdb.To_pbr _ | Sdb.To_sharded _ -> fun _ -> -1)
     ~gseq_of:(function
       | Sdb.To_smr c -> c.Sdb.smr_gseq_of
-      | Sdb.To_pbr _ -> fun _ -> 0)
+      | Sdb.To_pbr _ | Sdb.To_sharded _ -> fun _ -> 0)
     ~hash_of:(function
       | Sdb.To_smr c -> c.Sdb.smr_hash_of
-      | Sdb.To_pbr _ -> fun _ -> 0)
+      | Sdb.To_pbr _ | Sdb.To_sharded _ -> fun _ -> 0)
     ~executes:(fun cluster l ->
       match cluster with
       | Sdb.To_smr c -> c.Sdb.smr_active_of l
-      | Sdb.To_pbr _ -> false)
+      | Sdb.To_pbr _ | Sdb.To_sharded _ -> false)
     3
 
 let smr = smr_scenario ~name:"smr" ~window:1
@@ -679,6 +679,290 @@ let smr_noreplay =
       }
 
 (* ---------------------------------------------------------------------- *)
+(* Sharded ShadowDB: two 3-replica SMR shards, each with its own TOB,    *)
+(* plus the 2PC coordinator; a transfers-only bank workload where about  *)
+(* half the transfers span both shards. Shard replicas are crash-durable *)
+(* (in-memory WAL, torn on crash like the durable scenario) so the       *)
+(* random crash-and-recover fault plans may pick any of the 7 nodes —    *)
+(* coordinator included. The cross-shard monitors check atomicity (one   *)
+(* decision direction per transaction, everywhere) and conflict-         *)
+(* serializability; finish checks add per-shard state agreement and,     *)
+(* once every decided commit has reached the freshest replica of every   *)
+(* participant shard, global conservation of money.                      *)
+(*                                                                       *)
+(* [sharded-nopersist] is the same system with the coordinator's         *)
+(* decision journal deliberately dropped ("2PC without prepare/decision  *)
+(* persistence"): a coordinator crash between informing the first and    *)
+(* the last participant of a commit forgets the decision, the still-     *)
+(* staged participant times out into a presumed abort, and the atomicity *)
+(* monitor fires — the counterexample the checker must find and shrink.  *)
+(* ---------------------------------------------------------------------- *)
+
+let shard_count = 2
+let shard_replicas = 3
+
+(* Deterministic per (client, seq); src <> dst always, and with 32 rows
+   over 2 shards roughly half the transfers cross shards. *)
+let make_transfer ~client ~seq =
+  let h0 = abs (Hashtbl.hash (client, seq, 0)) in
+  let h1 = abs (Hashtbl.hash (client, seq, 1)) in
+  let src = h0 mod bank_rows in
+  let dst = (src + 1 + (h1 mod (bank_rows - 1))) mod bank_rows in
+  Workload.Bank.transfer ~src ~dst ~amount:1
+
+let sharded_scenario ~name ~coord_journal : Scenario.t =
+  let nodes = 1 + (shard_count * shard_replicas) in
+  let n_clients = 2 and per_client = 3 in
+  let router = Workload.Bank.router ~shards:shard_count in
+  let make ~seed ~sched =
+    let world : Sdb.wire Engine.t = Engine.create ~seed () in
+    Sched.install sched world;
+    let rworld = Runtime.Of_sim.of_engine world in
+    let mems =
+      Array.init (shard_count * shard_replicas) (fun _ ->
+          Durable.Backend.mem_create ())
+    in
+    let torn_rng = Sim.Prng.create ((seed * 7919) + 13) in
+    let atomicity = Monitor.xshard_atomicity () in
+    let serializable = Monitor.xshard_serializable () in
+    (* (client, seq, shard, node) -> the decision reached this replica.
+       Cleared when the node crashes; WAL replay re-fires on_apply during
+       recovery, so the set tracks the *current incarnation*. *)
+    let applied_obs : (int * int * int * int, unit) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    (* (client, seq) -> latest coordinator decision direction *)
+    let decided_tbl : (int * int, bool) Hashtbl.t = Hashtbl.create 32 in
+    let on_apply ~shard ~node ~client ~seq ~commit ~keys =
+      let obs =
+        {
+          Monitor.xnode = node;
+          xshard = shard;
+          xclient = client;
+          xseq = seq;
+          xcommit = commit;
+          xkeys =
+            List.map
+              (fun (k : Shadowdb.Shard.key) -> (k.Shadowdb.Shard.table, k.Shadowdb.Shard.id))
+              keys;
+        }
+      in
+      Monitor.observe atomicity obs;
+      Monitor.observe serializable obs;
+      Hashtbl.replace applied_obs (client, seq, shard, node) ()
+    in
+    let on_decide ~client ~seq ~commit =
+      Hashtbl.replace decided_tbl (client, seq) commit
+    in
+    (* Per-shard durability: shard [s]'s replica [i] gets backend
+       [mems.(s*3 + i)]. *)
+    let durability s =
+      Some
+        {
+          Sdb.dur_backend =
+            (fun i -> Durable.Backend.mem_backend mems.((s * shard_replicas) + i));
+          dur_policy =
+            (fun _ ->
+              {
+                Durable.Manager.group_commit = 1;
+                snapshot_every = 0;
+                replay_tail = true;
+              });
+          dur_on_recover = (fun _ _ ~state_hash:_ -> ());
+        }
+    in
+    let cluster =
+      Sdb.spawn_sharded ~tun:fast_tun ~durability ~coord_journal
+        ~pending_timeout:0.9 ~pump_interval:0.25 ~on_apply ~on_decide
+        ~world:rworld ~registry:Workload.Bank.registry
+        ~setup:(fun s db ->
+          Workload.Bank.setup_shard ~rows:bank_rows ~shards:shard_count s db)
+        ~router ()
+    in
+    let fault_surface = Array.of_list cluster.Sdb.sh_nodes in
+    let commits = ref 0 in
+    let _, completed =
+      Sdb.spawn_clients ~world:rworld ~target:(Sdb.To_sharded cluster)
+        ~n:n_clients ~count:per_client ~make_txn:make_transfer
+        ~retry_timeout:1.0
+        ~on_commit:(fun _ _ -> incr commits)
+        ()
+    in
+    let apply_fault op =
+      (match op with
+      | Fault.Crash i when i >= 0 && i < nodes ->
+          if Engine.is_alive world fault_surface.(i) then begin
+            (* Shard replicas (indices 1..) lose their unsynced write
+               cache at a random byte boundary, like the durable
+               scenario; the coordinator (index 0) holds its journal on
+               modelled stable storage. *)
+            if i >= 1 then
+              Durable.Backend.mem_crash
+                ~keep:(Sim.Prng.int torn_rng 5)
+                mems.(i - 1);
+            (* Drop the crashed incarnation's apply observations; WAL
+               replay re-records whatever recovery reconstructs. *)
+            let node = fault_surface.(i) in
+            let stale =
+              Hashtbl.fold
+                (fun ((_, _, _, n) as k) () acc ->
+                  if n = node then k :: acc else acc)
+                applied_obs []
+            in
+            List.iter (Hashtbl.remove applied_obs) stale
+          end
+      | _ -> ());
+      fault_applier world fault_surface op
+    in
+    (* Freshest alive replica of each shard (max delivered prefix):
+       per-shard total order makes its state a superset of any other
+       alive replica's. *)
+    let chosen_of (g : Sdb.smr_cluster) =
+      let alive = List.filter (Engine.is_alive world) g.Sdb.smr_nodes in
+      List.fold_left
+        (fun best l ->
+          match best with
+          | None -> Some l
+          | Some b ->
+              if g.Sdb.smr_gseq_of l > g.Sdb.smr_gseq_of b then Some l
+              else best)
+        None alive
+    in
+    let agreement : Monitor.xshard_obs Monitor.t =
+      Monitor.finish_check ~name:(name ^ "-state-agreement") (fun () ->
+          Array.fold_left
+            (fun viol (g : Sdb.smr_cluster) ->
+              match viol with
+              | Some _ -> viol
+              | None ->
+                  let tbl : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+                  List.fold_left
+                    (fun viol l ->
+                      match viol with
+                      | Some _ -> viol
+                      | None -> (
+                          if not (Engine.is_alive world l) then None
+                          else
+                            let gq = g.Sdb.smr_gseq_of l in
+                            let h = g.Sdb.smr_hash_of l in
+                            match Hashtbl.find_opt tbl gq with
+                            | Some (l0, h0) when h0 <> h ->
+                                Some
+                                  (Printf.sprintf
+                                     "shard replicas %d and %d delivered %d \
+                                      entries but their databases differ"
+                                     l0 l gq)
+                            | Some _ -> None
+                            | None ->
+                                Hashtbl.replace tbl gq (l, h);
+                                None))
+                    None g.Sdb.smr_nodes)
+            None cluster.Sdb.sh_groups)
+    in
+    let conservation : Monitor.xshard_obs Monitor.t =
+      Monitor.finish_check ~name:(name ^ "-conservation") (fun () ->
+          let chosen = Array.map chosen_of cluster.Sdb.sh_groups in
+          if Array.exists Option.is_none chosen then None
+          else
+            (* Quiescent iff every decided COMMIT has reached the chosen
+               replica of every participant shard (participants recomputed
+               by re-routing the deterministic workload); a half-applied
+               transfer legitimately unbalances the books. Aborts and
+               single-shard transfers never move money across shards. *)
+            let quiescent =
+              Hashtbl.fold
+                (fun (client, seq) commit ok ->
+                  ok
+                  && ((not commit)
+                     ||
+                     let kind, params = make_transfer ~client ~seq in
+                     let txn =
+                       { Shadowdb.Txn.client; seq; kind; params }
+                     in
+                     match Shadowdb.Shard.route router txn with
+                     | Shadowdb.Shard.Local _ -> true
+                     | Shadowdb.Shard.Distributed parts ->
+                         List.for_all
+                           (fun (s, _) ->
+                             Hashtbl.mem applied_obs
+                               (client, seq, s, Option.get chosen.(s)))
+                           parts))
+                decided_tbl true
+            in
+            if not quiescent then None
+            else
+              let total =
+                Array.fold_left
+                  (fun acc (i, g) ->
+                    ignore i;
+                    acc
+                    + (g : Sdb.smr_cluster).Sdb.smr_db_view
+                        (Option.get chosen.(i))
+                        Workload.Bank.total_balance ~default:0)
+                  0
+                  (Array.mapi (fun i g -> (i, g)) cluster.Sdb.sh_groups)
+              in
+              let expect = bank_rows * 100 in
+              if total <> expect then
+                Some
+                  (Printf.sprintf
+                     "money not conserved: freshest replicas sum to %d, \
+                      expected %d"
+                     total expect)
+              else None)
+    in
+    let monitors =
+      [
+        atomicity;
+        serializable;
+        conservation;
+        agreement;
+      ]
+    in
+    let done_at = ref nan in
+    let done_ () =
+      if completed () >= n_clients && Float.is_nan !done_at then
+        done_at := Engine.now world;
+      (* Long drain: a coordinator crash-recovery resolves stuck
+         participants via vote resend + pending timeout + decision pump —
+         about 2.5 s of timer traffic after the restart. The drain must
+         outlive it or the divergence the broken fixture plants would
+         never be observed. *)
+      (not (Float.is_nan !done_at)) && Engine.now world > !done_at +. 6.0
+    in
+    let fingerprint () =
+      let h =
+        Array.fold_left
+          (fun h (g : Sdb.smr_cluster) ->
+            List.fold_left
+              (fun h l ->
+                Fingerprint.int
+                  (Fingerprint.int h (g.Sdb.smr_gseq_of l))
+                  (g.Sdb.smr_hash_of l))
+              h g.Sdb.smr_nodes)
+          (Fingerprint.int Fingerprint.empty !commits)
+          cluster.Sdb.sh_groups
+      in
+      let h = Fingerprint.int h (cluster.Sdb.sh_committed ()) in
+      let h = Fingerprint.int h (cluster.Sdb.sh_aborted ()) in
+      Fingerprint.int h (Engine.in_flight_fingerprint world)
+    in
+    running ~world ~sched
+      ~step:(bounded_step world ~horizon:20.0 ~max_events:400_000 ~done_)
+      ~fingerprint ~apply_fault
+      ~check:(check_of monitors)
+      ~finish:(fun () -> List.iter Monitor.finish monitors)
+  in
+  { Scenario.name; nodes; make }
+
+let sharded = sharded_scenario ~name:"sharded" ~coord_journal:true
+
+(* Deliberately-broken fixture: the coordinator forgets its decisions on
+   crash. Clean fault-free; diverges under crash-and-recover plans. *)
+let sharded_nopersist =
+  sharded_scenario ~name:"sharded-nopersist" ~coord_journal:false
+
+(* ---------------------------------------------------------------------- *)
 (* Buggy: a deliberately broken "broadcast" (clients send to each member  *)
 (* individually; members deliver in arrival order, so there is no total   *)
 (* order). Correct under the default FIFO schedule of this workload, it   *)
@@ -765,6 +1049,8 @@ let all =
     smr_w4;
     smr_durable;
     smr_noreplay;
+    sharded;
+    sharded_nopersist;
     buggy;
   ]
 let find name = List.find_opt (fun s -> s.Scenario.name = name) all

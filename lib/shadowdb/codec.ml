@@ -448,6 +448,12 @@ let add_db_msg buf (m : Db_msg.t) =
       Buffer.add_char buf 'Q';
       add_varint buf cfg;
       add_varint buf from_seq
+  | Db_msg.Vote { shard; participants; vote; vtxn } ->
+      Buffer.add_char buf 'T';
+      add_varint buf shard;
+      add_list add_varint buf participants;
+      add_reply buf vote;
+      add_txn buf vtxn
 
 let read_db_msg c =
   match read_char c with
@@ -492,6 +498,12 @@ let read_db_msg c =
       let cfg = read_varint c in
       let from_seq = read_varint c in
       Db_msg.Snapshot_req { cfg; from_seq }
+  | 'T' ->
+      let shard = read_varint c in
+      let participants = read_list read_varint c in
+      let vote = read_reply c in
+      let vtxn = read_txn c in
+      Db_msg.Vote { shard; participants; vote; vtxn }
   | ch -> bad (Printf.sprintf "bad db message tag %C" ch)
 
 let encode_db_msg m =
@@ -500,6 +512,44 @@ let encode_db_msg m =
   Buffer.contents buf
 
 let decode_db_msg s = whole "db message" read_db_msg s
+
+(* Sharded 2PC broadcast payloads. These travel inside each participant
+   shard's own TOB stream (payload tags 'P' / 'D' at the System layer),
+   so they are encoded bare here and framed by the caller. *)
+
+let encode_prepare ~coord ~shard ~participants ~ptxn =
+  let buf = Buffer.create 64 in
+  add_varint buf coord;
+  add_varint buf shard;
+  add_list add_varint buf participants;
+  add_txn buf ptxn;
+  Buffer.contents buf
+
+let decode_prepare s =
+  whole "2pc prepare"
+    (fun c ->
+      let coord = read_varint c in
+      let shard = read_varint c in
+      let participants = read_list read_varint c in
+      let ptxn = read_txn c in
+      (coord, shard, participants, ptxn))
+    s
+
+let encode_decision ~shard ~commit ~dtxn =
+  let buf = Buffer.create 64 in
+  add_varint buf shard;
+  Buffer.add_char buf (if commit then '\001' else '\000');
+  add_txn buf dtxn;
+  Buffer.contents buf
+
+let decode_decision s =
+  whole "2pc decision"
+    (fun c ->
+      let shard = read_varint c in
+      let commit = read_char c <> '\000' in
+      let dtxn = read_txn c in
+      (shard, commit, dtxn))
+    s
 
 (* Bare row dumps: the durability layer's snapshot payload (a whole
    [Database.dump] image, no message framing around it). *)

@@ -66,6 +66,24 @@ val decode_core_paxos :
 val encode_db_msg : Db_msg.t -> string
 val decode_db_msg : string -> (Db_msg.t, string) result
 
+(** {1 Sharded 2PC payloads}
+
+    Prepare and decision records for cross-shard transactions. They ride
+    inside each participant shard's own TOB stream, so they are encoded
+    bare here — the System layer frames them with its payload tag. *)
+
+val encode_prepare :
+  coord:int -> shard:int -> participants:int list -> ptxn:Txn.t -> string
+
+val decode_prepare : string -> (int * int * int list * Txn.t, string) result
+(** [(coord, shard, participants, ptxn)]. *)
+
+val encode_decision : shard:int -> commit:bool -> dtxn:Txn.t -> string
+
+val decode_decision : string -> (int * bool * Txn.t, string) result
+(** [(shard, commit, dtxn)] — the decision carries the sub-transaction
+    so a replica that missed the prepare can still apply a commit. *)
+
 val encode_rows : (string * Storage.Value.t array) list -> string
 val decode_rows :
   string -> ((string * Storage.Value.t array) list, string) result

@@ -17,6 +17,12 @@ type t =
     }
   | Recovered of { cfg : int }
   | Snapshot_req of { cfg : int; from_seq : int }
+  | Vote of {
+      shard : int;
+      participants : int list;
+      vote : Txn.reply;
+      vtxn : Txn.t;
+    }
 
 (* Stable wire tags, one per constructor. [all_tags] is the authoritative
    enumeration the wire-table lint checks its hand-maintained
@@ -33,6 +39,7 @@ let tag = function
   | Snapshot _ -> "snapshot"
   | Recovered _ -> "recovered"
   | Snapshot_req _ -> "snapshot-req"
+  | Vote _ -> "vote"
 
 let all_tags =
   [
@@ -46,6 +53,7 @@ let all_tags =
     "snapshot";
     "recovered";
     "snapshot-req";
+    "vote";
   ]
 
 let row_bytes row =
@@ -64,3 +72,7 @@ let size = function
       32 + List.fold_left (fun a (_, r) -> a + row_bytes r) 0 rows
   | Recovered _ -> 16
   | Snapshot_req _ -> 24
+  | Vote { participants; vote; vtxn; _ } ->
+      16
+      + (8 * List.length participants)
+      + Txn.reply_size vote + Txn.size vtxn

@@ -31,6 +31,18 @@ type t =
   | Recovered of { cfg : int }  (** Backup → primary: caught up. *)
   | Snapshot_req of { cfg : int; from_seq : int }
       (** SMR: activated spare → reconfiguration proposer. *)
+  | Vote of {
+      shard : int;
+      participants : int list;
+      vote : Txn.reply;
+      vtxn : Txn.t;
+    }
+      (** Sharded 2PC, replica → coordinator: this shard's vote on the
+          cross-shard transaction identified by [(vote.client,
+          vote.seq)]. [Ok rows] is a yes-vote carrying the trial
+          result; [Error _] a no-vote. [vtxn] is the shard's
+          sub-transaction, so a restarted coordinator rebuilds its
+          pending state entirely from resent votes. *)
 
 val size : t -> int
 (** Wire-size estimate for the network model. *)

@@ -1,0 +1,74 @@
+(* Deterministic keyspace partitioning and transaction routing for
+   sharded ShadowDB.
+
+   A shard is an independent replica group running its own total-order
+   broadcast instance. The partition function maps every (table, row id)
+   key to exactly one shard; the router classifies a transaction as
+   single-shard (forwarded straight into that shard's TOB) or
+   distributed (split into per-shard sub-transactions committed with
+   2PC-over-TOB). Both the partition function and the entry-id scheme
+   are pure so that routing decisions and broadcast dedup survive
+   crashes and re-encoding unchanged. *)
+
+type key = { table : string; id : int }
+
+(* FNV-1a over the table name, then fold in the row id with the FNV
+   prime. Stable across runs and processes — never use a randomized
+   hash here, routing must be a pure function of the key. The offset
+   basis is the 64-bit FNV basis with the sign bit cleared so the
+   literal fits OCaml's 63-bit int. *)
+let fnv_prime = 0x100000001b3
+let fnv_offset = 0x4bf29ce484222325
+
+let hash_key k =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * fnv_prime)
+    k.table;
+  h := (!h lxor (k.id land 0xff)) * fnv_prime;
+  h := (!h lxor ((k.id lsr 8) land 0xff)) * fnv_prime;
+  h := (!h lxor ((k.id lsr 16) land 0xff)) * fnv_prime;
+  h := (!h lxor ((k.id lsr 24) land 0xff)) * fnv_prime;
+  !h land max_int
+
+let shard_of_key ~shards k =
+  if shards <= 0 then invalid_arg "Shard.shard_of_key: shards <= 0";
+  hash_key k mod shards
+
+type router = {
+  shards : int;
+  keys_of : Txn.t -> key list;
+      (* every key the transaction may read or write *)
+  split : Txn.t -> (int * Txn.t) list;
+      (* per-shard sub-transactions, workload-specific *)
+}
+
+type route = Local of int | Distributed of (int * Txn.t) list
+
+let route r txn =
+  match r.keys_of txn with
+  | [] -> Local 0
+  | k0 :: rest ->
+      let s0 = shard_of_key ~shards:r.shards k0 in
+      if List.for_all (fun k -> shard_of_key ~shards:r.shards k = s0) rest
+      then Local s0
+      else (
+        let parts =
+          List.sort (fun (a, _) (b, _) -> compare a b) (r.split txn)
+        in
+        match parts with
+        | [] -> Local s0
+        | [ (s, sub) ] -> Local (ignore sub; s)
+        | _ -> Distributed parts)
+
+(* Broadcast entry ids for 2PC records. Each (client, seq) transaction
+   id yields one prepare and one decision entry per participant shard;
+   the id must be injective over (phase, client, seq, shard) and stable
+   across coordinator restarts so the TOB layer's (origin, id) dedup
+   absorbs re-broadcasts. Layout (LSB first): phase bit, 7-bit shard,
+   20-bit seq, then client. *)
+let entry_id ~phase ~client ~seq ~shard =
+  if shard < 0 || shard > 0x7f then invalid_arg "Shard.entry_id: shard";
+  let phase_bit = match phase with `Prepare -> 0 | `Decision -> 1 in
+  let hi = (client lsl 20) lor (seq land 0xFFFFF) in
+  (hi lsl 8) lor (shard lsl 1) lor phase_bit

@@ -1,0 +1,49 @@
+(** Deterministic keyspace partitioning and transaction routing for
+    sharded ShadowDB.
+
+    Each shard is an independent replica group with its own total-order
+    broadcast instance. Single-shard transactions go straight into the
+    owning shard's TOB; cross-shard transactions are split into
+    per-shard sub-transactions and committed with 2PC whose prepare and
+    decision records are totally ordered within each participant
+    shard's own TOB. *)
+
+type key = { table : string; id : int }
+(** A partitionable datum: one row of one table. *)
+
+val hash_key : key -> int
+(** Pure FNV-1a hash of the key — stable across runs, processes, and
+    re-encodings (never seeded). *)
+
+val shard_of_key : shards:int -> key -> int
+(** The owning shard, in [0, shards). Total and deterministic: every
+    key maps to exactly one shard. Raises [Invalid_argument] if
+    [shards <= 0]. *)
+
+type router = {
+  shards : int;
+  keys_of : Txn.t -> key list;
+      (** Every key the transaction may touch; empty means
+          shard-agnostic (routed to shard 0). *)
+  split : Txn.t -> (int * Txn.t) list;
+      (** Decompose a cross-shard transaction into per-shard
+          sub-transactions. Workload-specific; only consulted when
+          [keys_of] spans more than one shard. *)
+}
+
+type route =
+  | Local of int  (** All keys on one shard: forward into its TOB. *)
+  | Distributed of (int * Txn.t) list
+      (** Cross-shard: per-shard sub-transactions, sorted by shard
+          index, at least two parts. *)
+
+val route : router -> Txn.t -> route
+(** Classify a transaction. A [split] that collapses to one part (or
+    none) degrades to [Local]. *)
+
+val entry_id : phase:[ `Prepare | `Decision ] -> client:int -> seq:int -> shard:int -> int
+(** Stable injective broadcast-entry id for a 2PC record, so a
+    restarted coordinator's re-broadcasts dedup at the TOB layer
+    instead of double-delivering. Injective over
+    [(phase, client, seq land 0xFFFFF, shard)]; [shard] must fit in
+    7 bits. *)

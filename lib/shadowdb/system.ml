@@ -29,9 +29,18 @@ let tob_payload_txn txn = "T" ^ Codec.encode_txn txn
 let tob_payload_reconfig cfg ~last_seq ~proposer =
   "R" ^ Codec.encode_reconfig cfg ~last_seq ~proposer
 
+let tob_payload_prepare ~coord ~shard ~participants ~ptxn =
+  "P" ^ Codec.encode_prepare ~coord ~shard ~participants ~ptxn
+
+let tob_payload_decision ~shard ~commit ~dtxn =
+  "D" ^ Codec.encode_decision ~shard ~commit ~dtxn
+
 type decoded_payload =
   | P_txn of Txn.t
   | P_reconfig of Config.t * int * loc
+  | P_prepare of loc * int * int list * Txn.t
+      (* coordinator, shard, participants, sub-transaction *)
+  | P_decision of int * bool * Txn.t  (* shard, commit?, sub-transaction *)
   | P_bytes of string
 
 let decode_payload s =
@@ -46,6 +55,15 @@ let decode_payload s =
     | 'R' -> (
         match Codec.decode_reconfig body with
         | Ok (c, ls, pr) -> P_reconfig (c, ls, pr)
+        | Error _ -> P_bytes s)
+    | 'P' -> (
+        match Codec.decode_prepare body with
+        | Ok (coord, shard, parts, ptxn) ->
+            P_prepare (coord, shard, parts, ptxn)
+        | Error _ -> P_bytes s)
+    | 'D' -> (
+        match Codec.decode_decision body with
+        | Ok (shard, commit, dtxn) -> P_decision (shard, commit, dtxn)
         | Error _ -> P_bytes s)
     | _ -> P_bytes s
 
@@ -576,7 +594,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     | P_reconfig (proposal, _, _) ->
         if proposal.Config.seq = r.cfg.Config.seq + 1 then
           adopt_config ctx r proposal
-    | P_txn _ | P_bytes _ -> ()
+    | P_txn _ | P_prepare _ | P_decision _ | P_bytes _ -> ()
 
   let pbr_replica_handler ~style ~read_kinds ~shared ~all_ref ~tob_ref
       ~backend ~setup ~registry ~tun ~initial_members () =
@@ -671,7 +689,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
               | Db_msg.Snapshot { cfg; rows; upto; last; clients } ->
                   handle_snapshot ctx r ~src ~cfg ~rows ~upto ~last ~clients
               | Db_msg.Recovered { cfg } -> handle_recovered r ~src ~cfg
-              | Db_msg.Snapshot_req _ -> ()))
+              | Db_msg.Snapshot_req _ | Db_msg.Vote _ -> ()))
 
   let spawn_pbr ?(style = Primary_backup) ?(read_kinds = [])
       ?(tun = default_tuning) ?(backends : Storage.Store.kind list option)
@@ -739,6 +757,153 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     dur_on_recover : int -> Durable.Manager.report -> state_hash:int -> unit;
   }
 
+  (* ---- Cross-shard 2PC participant state -------------------------- *)
+
+  (* In a sharded deployment every replica of a shard additionally acts
+     as a 2PC participant: prepares trial-execute and lock, decisions
+     unlock and (on commit) really execute. All of this state is
+     reconstructed after a crash by replaying the WAL through the same
+     [x2pc_apply] used live (with sends suppressed), so it needs no
+     snapshotting of its own. *)
+
+  type x2pc_config = {
+    xc_shard : int;
+    xc_coord : loc;
+    xc_keys_of : Txn.t -> Shard.key list;
+    xc_on_apply :
+      shard:int ->
+      node:loc ->
+      client:loc ->
+      seq:int ->
+      commit:bool ->
+      keys:Shard.key list ->
+      unit;
+  }
+
+  type x2pc_staged = {
+    g_txn : Txn.t;
+    g_keys : Shard.key list;
+    g_participants : int list;
+    g_vote : Txn.reply;
+  }
+
+  type x2pc = {
+    xcfg : x2pc_config;
+    x_self : loc;
+    staged : (loc * int, x2pc_staged) Hashtbl.t;  (* xid = (client, seq) *)
+    locks : (Shard.key, loc * int) Hashtbl.t;  (* key -> locking xid *)
+    mutable deferred : Txn.t list;
+        (* single-shard transactions delivered while a key they touch was
+           locked by an undecided prepare; drained in order at decision
+           application *)
+    applied : (loc * int, bool) Hashtbl.t;
+        (* every decided xid — dedups re-broadcast decisions *)
+  }
+
+  let xid_of (t : Txn.t) = (t.Txn.client, t.Txn.seq)
+
+  let x2pc_locked x keys = List.exists (fun k -> Hashtbl.mem x.locks k) keys
+
+  (* Deterministic 2PC participant step, shared verbatim by live TOB
+     delivery and WAL-replay recovery: the effects ([exec_reply] for
+     single-shard transactions, [exec] for committed sub-transactions,
+     [send_vote] toward the coordinator) are the only difference between
+     the two callers — recovery suppresses the sends and re-executes
+     silently, leaving locks/staged/deferred/applied exactly as the
+     pre-crash replica had them. *)
+  let x2pc_apply ~sreg ~db x payload ~exec_reply ~exec ~send_vote =
+    let drain () =
+      let still =
+        List.filter
+          (fun t ->
+            if x2pc_locked x (x.xcfg.xc_keys_of t) then true
+            else begin
+              exec_reply t;
+              false
+            end)
+          x.deferred
+      in
+      x.deferred <- still
+    in
+    match payload with
+    | P_txn txn ->
+        (* Single-shard transaction ordered by this shard's own TOB. If a
+           key is locked by an undecided prepare it must wait for the
+           decision — executing now would read uncommitted 2PC state. *)
+        if x2pc_locked x (x.xcfg.xc_keys_of txn) then
+          x.deferred <- x.deferred @ [ txn ]
+        else exec_reply txn
+    | P_prepare (_coord, shard, participants, ptxn) ->
+        if shard = x.xcfg.xc_shard then begin
+          let xid = xid_of ptxn in
+          if not (Hashtbl.mem x.applied xid || Hashtbl.mem x.staged xid)
+          then begin
+            let keys = x.xcfg.xc_keys_of ptxn in
+            if x2pc_locked x keys then
+              (* No-vote: not staged, no locks taken, never resent — a
+                 lost no-vote is covered by the coordinator's timeout
+                 abort. Sinfonia-style: never wait for a lock, so there
+                 is no distributed deadlock. *)
+              send_vote ~participants
+                ~vote:
+                  {
+                    Txn.client = ptxn.Txn.client;
+                    seq = ptxn.Txn.seq;
+                    outcome = Error "locked";
+                  }
+                ~vtxn:ptxn
+            else begin
+              let vote = Txn.execute_trial sreg db ptxn in
+              (match vote.Txn.outcome with
+              | Ok _ ->
+                  List.iter (fun k -> Hashtbl.replace x.locks k xid) keys;
+                  Hashtbl.replace x.staged xid
+                    {
+                      g_txn = ptxn;
+                      g_keys = keys;
+                      g_participants = participants;
+                      g_vote = vote;
+                    }
+              | Error _ -> ());
+              send_vote ~participants ~vote ~vtxn:ptxn
+            end
+          end
+          (* Duplicate prepare of a staged xid: ignored — the periodic
+             vote-resend timer already covers a lost yes-vote. *)
+        end
+    | P_decision (shard, commit, dtxn) ->
+        if shard = x.xcfg.xc_shard then begin
+          let xid = xid_of dtxn in
+          if not (Hashtbl.mem x.applied xid) then begin
+            Hashtbl.replace x.applied xid commit;
+            let keys =
+              match Hashtbl.find_opt x.staged xid with
+              | Some g ->
+                  Hashtbl.remove x.staged xid;
+                  g.g_keys
+              | None ->
+                  (* Never staged (missed the prepare, or no-voted): the
+                     decision carries the sub-transaction, so a commit
+                     still applies. *)
+                  x.xcfg.xc_keys_of dtxn
+            in
+            List.iter
+              (fun k ->
+                match Hashtbl.find_opt x.locks k with
+                | Some owner when owner = xid -> Hashtbl.remove x.locks k
+                | _ -> ())
+              keys;
+            if commit then exec dtxn;
+            x.xcfg.xc_on_apply ~shard ~node:x.x_self ~client:(fst xid)
+              ~seq:(snd xid) ~commit ~keys;
+            drain ()
+          end
+        end
+    | P_reconfig _ | P_bytes _ ->
+        (* Reconfiguration is disabled in sharded mode: a spare activated
+           mid-2PC would lack lock/stage state. *)
+        ()
+
   type smr_replica = {
     s_self : loc;
     s_nodes : loc list;  (* the three co-located TOB/DB machines *)
@@ -760,6 +925,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     s_last_hb : (loc, float) Hashtbl.t;
     mutable s_proposed_at : float;
     mutable s_tob_seq : int;
+    sx2pc : x2pc option;  (* 2PC participant state, sharded mode only *)
     sdur : Durable.Manager.t option;  (* write-ahead durability, if on *)
     mutable sdur_floor : int;
         (* highest TOB seqno already applied (recovered or live): a
@@ -774,6 +940,10 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     smr_cfg_of : loc -> int;
     smr_gseq_of : loc -> int;
     smr_hash_of : loc -> int;
+    smr_db_view : 'a. loc -> (Database.t -> 'a) -> default:'a -> 'a;
+        (* read-only view of a replica's database (e.g. conservation
+           sums in the checker); [default] when the node never
+           initialized *)
   }
 
   let smr_exec ctx r txn =
@@ -835,6 +1005,31 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       r.sdur_floor <- max r.sdur_floor d.Tob.seqno;
       R.charge ctx r.costs.Broadcast.Shell.per_entry;
       r.sgseq <- r.sgseq + 1;
+      match r.sx2pc with
+      | Some x ->
+          (* Sharded mode: every delivery (transaction, prepare or
+             decision) flows through the 2PC participant step, and every
+             delivery is WAL-logged so recovery replays the identical
+             sequence. No snapshots here — a snapshot would capture the
+             database but not the lock/stage tables, so sharded replicas
+             recover by full-log replay. *)
+          if r.role = Active then begin
+            x2pc_apply ~sreg:r.sreg ~db:r.sdb x
+              (decode_payload d.Tob.entry.Tob.payload)
+              ~exec_reply:(fun txn -> smr_exec ctx r txn)
+              ~exec:(fun txn ->
+                ignore (Txn.execute r.sreg r.sdb txn);
+                R.charge ctx
+                  (r.stun.exec_overhead +. Database.take_cost r.sdb))
+              ~send_vote:(fun ~participants ~vote ~vtxn ->
+                send_db ctx x.xcfg.xc_coord
+                  (Db_msg.Vote
+                     { shard = x.xcfg.xc_shard; participants; vote; vtxn }));
+            match r.sdur with
+            | None -> ()
+            | Some mgr -> Durable.Manager.append mgr (smr_durable_record r d)
+          end
+      | None -> (
       match decode_payload d.Tob.entry.Tob.payload with
       | P_txn txn -> (
           match r.role with
@@ -858,7 +1053,8 @@ module Make (C : Consensus.Consensus_intf.S) = struct
             end;
             smr_adopt ctx r proposal ~proposer
           end
-      | P_bytes _ -> ()
+      | P_prepare _ | P_decision _ -> ()  (* sharded records, plain group *)
+      | P_bytes _ -> ())
     end
 
   let smr_feed_tob ctx r (t, acts) =
@@ -912,8 +1108,26 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       end
     end
 
+  (* Resend the yes-votes of every still-staged xid (sorted for
+     determinism): a vote sent before the coordinator crashed — or lost
+     with a crashed shard replica — must keep flowing until the decision
+     arrives. Runs on the same periodic timer as failure detection. *)
+  let x2pc_resend_votes ctx x =
+    let entries = Hashtbl.fold (fun xid g acc -> (xid, g) :: acc) x.staged [] in
+    List.iter
+      (fun (_, g) ->
+        send_db ctx x.xcfg.xc_coord
+          (Db_msg.Vote
+             {
+               shard = x.xcfg.xc_shard;
+               participants = g.g_participants;
+               vote = g.g_vote;
+               vtxn = g.g_txn;
+             }))
+      (List.sort (fun (a, _) (b, _) -> compare a b) entries)
+
   let smr_handler ~shared ~nodes_ref ~backend ~setup ~registry ~tun
-      ~costs ~tob_window ~n_active ~durable () =
+      ~costs ~tob_window ~n_active ~durable ~x2pc () =
     let holder = ref None in
     let get ctx =
       match !holder with
@@ -924,6 +1138,21 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           setup db;
           ignore (Database.take_cost db);
           let sreg = registry () in
+          (* 2PC participant state precedes recovery so WAL replay can
+             repopulate it. *)
+          let xstate =
+            Option.map
+              (fun xcfg ->
+                {
+                  xcfg;
+                  x_self = self;
+                  staged = Hashtbl.create 16;
+                  locks = Hashtbl.create 64;
+                  deferred = [];
+                  applied = Hashtbl.create 64;
+                })
+              x2pc
+          in
           (* Deterministic recovery, run on the node's first event after
              every (re)start: install the latest valid snapshot, truncate
              any torn WAL tail, replay the remaining records through the
@@ -947,9 +1176,24 @@ module Make (C : Consensus.Consensus_intf.S) = struct
                         "node %d: snapshot payload undecodable: %s" i e
                 in
                 let apply (w : Durable.Wal.record) =
-                  match decode_payload w.Durable.Wal.payload with
-                  | P_txn txn -> ignore (Txn.execute sreg db txn)
-                  | P_reconfig _ | P_bytes _ -> ()
+                  match xstate with
+                  | Some x ->
+                      (* Replay the identical participant step with sends
+                         suppressed: database, locks, staged votes,
+                         deferred queue and applied-decision set all come
+                         back exactly as logged. Votes flow again via the
+                         periodic resend timer, not here. *)
+                      let silent txn = ignore (Txn.execute sreg db txn) in
+                      x2pc_apply ~sreg ~db x
+                        (decode_payload w.Durable.Wal.payload)
+                        ~exec_reply:silent ~exec:silent
+                        ~send_vote:(fun ~participants:_ ~vote:_ ~vtxn:_ -> ())
+                  | None -> (
+                      match decode_payload w.Durable.Wal.payload with
+                      | P_txn txn -> ignore (Txn.execute sreg db txn)
+                      | P_reconfig _ | P_prepare _ | P_decision _
+                      | P_bytes _ ->
+                          ())
                 in
                 let mgr, report =
                   Durable.Manager.recover (dur.dur_backend i)
@@ -985,6 +1229,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
               s_last_hb = Hashtbl.create 8;
               s_proposed_at = -1.0e9;
               s_tob_seq = 0;
+              sx2pc = xstate;
               sdur = Option.map fst recovery;
               sdur_floor =
                 (match recovery with
@@ -1017,7 +1262,13 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           end;
           ignore (R.set_timer ctx r.stun.hb_interval "hb")
       | R.Timer { tag = "detect"; _ } ->
-          smr_check_suspicion ctx r;
+          (match r.sx2pc with
+          | Some x ->
+              (* Sharded mode: no suspicion/reconfiguration (spares can't
+                 inherit 2PC state); the timer drives vote resends
+                 instead. *)
+              if r.role = Active then x2pc_resend_votes ctx x
+          | None -> smr_check_suspicion ctx r);
           ignore (R.set_timer ctx (r.stun.detect_timeout /. 4.0) "detect")
       | R.Timer _ -> ()
       | R.Recv { src; msg } -> (
@@ -1085,7 +1336,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
               end
           | Db _ -> ())
 
-  let spawn_smr ?(tun = default_tuning)
+  let spawn_smr_group ?(name_prefix = "") ?x2pc ?(tun = default_tuning)
       ?(backends : Storage.Store.kind list option) ?durability
       ?(costs = Broadcast.Shell.default_costs) ?tob_window ~world ~registry
       ~setup ~n_active () =
@@ -1099,10 +1350,11 @@ module Make (C : Consensus.Consensus_intf.S) = struct
     let nodes =
       List.init 3 (fun i ->
           R.spawn world
-            ~name:(Printf.sprintf "smr%d" i)
+            ~name:(Printf.sprintf "%ssmr%d" name_prefix i)
             (smr_handler ~shared ~nodes_ref ~backend:(backend_of i) ~setup
                ~registry ~tun ~costs ~tob_window ~n_active
-               ~durable:(Option.map (fun d -> (i, d)) durability)))
+               ~durable:(Option.map (fun d -> (i, d)) durability)
+               ~x2pc))
     in
     nodes_ref := nodes;
     let view l f ~default = Registry.view shared l f ~default in
@@ -1113,6 +1365,334 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       smr_gseq_of = (fun l -> view l (fun r -> r.sgseq) ~default:0);
       smr_hash_of =
         (fun l -> view l (fun r -> Database.content_hash r.sdb) ~default:0);
+      smr_db_view =
+        (fun l f ~default -> view l (fun r -> f r.sdb) ~default);
+    }
+
+  let spawn_smr ?tun ?backends ?durability ?costs ?tob_window ~world
+      ~registry ~setup ~n_active () =
+    spawn_smr_group ?tun ?backends ?durability ?costs ?tob_window ~world
+      ~registry ~setup ~n_active ()
+
+  (* ------------------------------------------------------------------ *)
+  (* Sharded deployment: per-shard TOB groups + 2PC-over-TOB             *)
+  (* ------------------------------------------------------------------ *)
+
+  type coord_pending = {
+    mutable cp_votes : (int * Txn.reply) list;  (* shard -> vote *)
+    mutable cp_parts : (int * Txn.t) list;  (* shard -> sub-txn *)
+    mutable cp_participants : int list;
+    cp_created : float;
+  }
+
+  type coord_decision = {
+    cd_commit : bool;
+    cd_reply : Txn.reply;
+    cd_parts : (int * Txn.t) list;
+  }
+
+  type coord_journal =
+    (loc * int, coord_decision) Hashtbl.t * (loc * int) list ref
+  (* Decisions in decision order, newest first. Allocated by
+     [spawn_sharded] (so it survives coordinator restarts — the
+     "persisted prepare decision" of the safety argument) unless
+     [coord_journal:false] deliberately breaks it for the checker's
+     broken-2PC fixture. *)
+
+  (* The 2PC coordinator. Deliberately NOT a TOB member: it injects
+     prepare and decision records into each participant shard's own TOB
+     (via any shard member, like a client would), so the records are
+     totally ordered against that shard's transactions. All soft state
+     (pending votes) reconstructs after a crash from the participants'
+     periodic vote resends; decided outcomes come from the journal.
+
+     Decisions are broadcast one per "pump" tick rather than all at
+     once: a handler runs atomically under the sim, so the pump is what
+     makes "coordinator crashed after informing some but not all
+     participants" a schedulable state the checker can actually reach. *)
+  let coord_handler ~router ~members_of ~journal ~pending_timeout
+      ~pump_interval ~committed ~aborted ~on_decide () =
+    let decided, decided_order =
+      match (journal : coord_journal option) with
+      | Some (tbl, order) -> (tbl, order)
+      | None -> (Hashtbl.create 32, ref [])
+      (* fresh per incarnation: decisions forgotten on crash *)
+    in
+    let pendings : (loc * int, coord_pending) Hashtbl.t = Hashtbl.create 32 in
+    let pump : (int * bool * Txn.t) Queue.t = Queue.create () in
+    (* (shard, xid) entries currently sitting in [pump]: periodic vote
+       resends from still-staged replicas re-request their shard's
+       decision faster than the one-per-tick pump drains, so without
+       dedup the queue grows without bound and every decision falls
+       further behind the resend rate. *)
+    let queued : (int * (loc * int), unit) Hashtbl.t = Hashtbl.create 32 in
+    let pump_armed = ref false in
+    let rot = ref 0 in
+    let bcast ctx ~shard entry =
+      match members_of shard with
+      | [] -> ()
+      | members ->
+          let contact = List.nth members (!rot mod List.length members) in
+          incr rot;
+          R.send ctx ~size:256 contact (Svc (TM.Broadcast entry))
+    in
+    let send_prepare ctx ~self ~shard ~participants ~ptxn:(ptxn : Txn.t) =
+      bcast ctx ~shard
+        {
+          Tob.origin = self;
+          id =
+            Shard.entry_id ~phase:`Prepare ~client:ptxn.Txn.client
+              ~seq:ptxn.Txn.seq ~shard;
+          payload = tob_payload_prepare ~coord:self ~shard ~participants ~ptxn;
+        }
+    in
+    let arm_pump ctx =
+      if (not !pump_armed) && not (Queue.is_empty pump) then begin
+        pump_armed := true;
+        ignore (R.set_timer ctx pump_interval "pump")
+      end
+    in
+    let enqueue_decision ((shard, _, dtxn) as d : int * bool * Txn.t) =
+      let k = (shard, (dtxn.Txn.client, dtxn.Txn.seq)) in
+      if not (Hashtbl.mem queued k) then begin
+        Hashtbl.replace queued k ();
+        Queue.add d pump
+      end
+    in
+    let decide ctx xid p ~commit =
+      let parts =
+        List.sort (fun (a, _) (b, _) -> compare a b) p.cp_parts
+      in
+      let votes =
+        List.sort (fun (a, _) (b, _) -> compare a b) p.cp_votes
+      in
+      let outcome =
+        if commit then
+          (* Merged cross-shard result: each participant's trial rows,
+             concatenated in shard order. *)
+          Ok
+            (List.concat_map
+               (fun (_, v) ->
+                 match v.Txn.outcome with Ok rows -> rows | Error _ -> [])
+               votes)
+        else
+          Error
+            (match
+               List.find_opt
+                 (fun (_, v) ->
+                   match v.Txn.outcome with Error _ -> true | Ok _ -> false)
+                 votes
+             with
+            | Some (_, v) -> (
+                match v.Txn.outcome with Error e -> e | Ok _ -> "aborted")
+            | None -> "2pc timeout")
+      in
+      let reply = { Txn.client = fst xid; seq = snd xid; outcome } in
+      Hashtbl.replace decided xid
+        { cd_commit = commit; cd_reply = reply; cd_parts = parts };
+      decided_order := xid :: !decided_order;
+      Hashtbl.remove pendings xid;
+      Atomic.incr (if commit then committed else aborted);
+      on_decide ~client:(fst xid) ~seq:(snd xid) ~commit;
+      send_db ctx (fst xid) (Db_msg.Reply reply);
+      List.iter (fun (s, dtxn) -> enqueue_decision (s, commit, dtxn)) parts;
+      arm_pump ctx
+    in
+    fun ctx input ->
+      let self = R.self ctx in
+      match input with
+      | R.Init ->
+          (* A restarted coordinator re-broadcasts every journaled
+             decision: participants still staged unlock, TOB dedup (the
+             stable [Shard.entry_id]) absorbs the rest. Without a journal
+             this is a no-op and staged participants hang until the
+             timeout abort — the divergence the broken fixture exists to
+             exhibit. *)
+          List.iter
+            (fun xid ->
+              match Hashtbl.find_opt decided xid with
+              | None -> ()
+              | Some d ->
+                  List.iter
+                    (fun (s, dtxn) ->
+                      enqueue_decision (s, d.cd_commit, dtxn))
+                    d.cd_parts)
+            (List.rev !decided_order);
+          arm_pump ctx;
+          ignore (R.set_timer ctx (pending_timeout /. 2.0) "expire")
+      | R.Timer { tag = "pump"; _ } ->
+          pump_armed := false;
+          (match Queue.take_opt pump with
+          | None -> ()
+          | Some (shard, commit, dtxn) ->
+              Hashtbl.remove queued (shard, (dtxn.Txn.client, dtxn.Txn.seq));
+              bcast ctx ~shard
+                {
+                  Tob.origin = self;
+                  id =
+                    Shard.entry_id ~phase:`Decision ~client:dtxn.Txn.client
+                      ~seq:dtxn.Txn.seq ~shard;
+                  payload = tob_payload_decision ~shard ~commit ~dtxn;
+                });
+          arm_pump ctx
+      | R.Timer { tag = "expire"; _ } ->
+          (* Abort pendings that outlived the timeout. Always safe: no
+             decision exists for them yet, so no participant can have
+             committed. Covers lost prepares and lost no-votes. *)
+          let now = R.time ctx in
+          let stale =
+            Hashtbl.fold
+              (fun xid p acc ->
+                if now -. p.cp_created > pending_timeout then (xid, p) :: acc
+                else acc)
+              pendings []
+          in
+          List.iter
+            (fun (xid, p) -> decide ctx xid p ~commit:false)
+            (List.sort (fun (a, _) (b, _) -> compare a b) stale);
+          ignore (R.set_timer ctx (pending_timeout /. 2.0) "expire")
+      | R.Timer _ -> ()
+      | R.Recv { msg = Db (Db_msg.Client_txn txn); _ } -> (
+          let xid = (txn.Txn.client, txn.Txn.seq) in
+          match Hashtbl.find_opt decided xid with
+          | Some d -> send_db ctx txn.Txn.client (Db_msg.Reply d.cd_reply)
+          | None ->
+              if not (Hashtbl.mem pendings xid) then (
+                match Shard.route router txn with
+                | Shard.Local s ->
+                    (* Single-shard after all: inject into the owning
+                       shard's TOB with the client's own entry identity,
+                       so a direct client broadcast of the same
+                       transaction dedups against it. *)
+                    bcast ctx ~shard:s
+                      {
+                        Tob.origin = txn.Txn.client;
+                        id = txn.Txn.seq;
+                        payload = tob_payload_txn txn;
+                      }
+                | Shard.Distributed parts ->
+                    let participants = List.map fst parts in
+                    Hashtbl.replace pendings xid
+                      {
+                        cp_votes = [];
+                        cp_parts = parts;
+                        cp_participants = participants;
+                        cp_created = R.time ctx;
+                      };
+                    List.iter
+                      (fun (s, ptxn) ->
+                        send_prepare ctx ~self ~shard:s ~participants ~ptxn)
+                      parts))
+      | R.Recv { msg = Db (Db_msg.Vote { shard; participants; vote; vtxn }); _ }
+        -> (
+          let xid = (vote.Txn.client, vote.Txn.seq) in
+          match Hashtbl.find_opt decided xid with
+          | Some d -> (
+              (* The voter is still staged, waiting: re-send just that
+                 shard's decision. *)
+              match List.find_opt (fun (s, _) -> s = shard) d.cd_parts with
+              | Some (s, dtxn) ->
+                  enqueue_decision (s, d.cd_commit, dtxn);
+                  arm_pump ctx
+              | None -> ())
+          | None ->
+              let p =
+                match Hashtbl.find_opt pendings xid with
+                | Some p -> p
+                | None ->
+                    (* Unknown xid: a resent vote reaching a restarted
+                       coordinator. The vote carries enough (participants
+                       and the sub-transaction) to rebuild the pending
+                       entry from scratch. *)
+                    let p =
+                      {
+                        cp_votes = [];
+                        cp_parts = [];
+                        cp_participants = participants;
+                        cp_created = R.time ctx;
+                      }
+                    in
+                    Hashtbl.replace pendings xid p;
+                    p
+              in
+              if not (List.mem_assoc shard p.cp_votes) then
+                p.cp_votes <- (shard, vote) :: p.cp_votes;
+              if not (List.mem_assoc shard p.cp_parts) then
+                p.cp_parts <- (shard, vtxn) :: p.cp_parts;
+              if p.cp_participants = [] then p.cp_participants <- participants;
+              if
+                p.cp_participants <> []
+                && List.length p.cp_votes >= List.length p.cp_participants
+              then
+                let commit =
+                  List.for_all
+                    (fun (_, v) ->
+                      match v.Txn.outcome with Ok _ -> true | Error _ -> false)
+                    p.cp_votes
+                in
+                decide ctx xid p ~commit)
+      | R.Recv _ -> ()
+
+  type sharded_cluster = {
+    sh_shards : int;
+    sh_router : Shard.router;
+    sh_coord : loc;
+    sh_groups : smr_cluster array;
+    sh_nodes : loc list;  (* coordinator first, then every replica *)
+    sh_committed : unit -> int;
+    sh_aborted : unit -> int;
+  }
+
+  let spawn_sharded ?(tun = default_tuning) ?backends
+      ?(durability : (int -> durability option) = fun _ -> None)
+      ?(costs = Broadcast.Shell.default_costs) ?tob_window
+      ?(coord_journal = true) ?(pending_timeout = 1.5)
+      ?(pump_interval = 0.005)
+      ?(on_apply =
+        fun ~shard:_ ~node:_ ~client:_ ~seq:_ ~commit:_ ~keys:_ -> ())
+      ?(on_decide = fun ~client:_ ~seq:_ ~commit:_ -> ()) ~world ~registry
+      ~setup ~router () =
+    let shards = router.Shard.shards in
+    if shards <= 0 then invalid_arg "spawn_sharded: router.shards <= 0";
+    let groups_ref = ref [||] in
+    let members_of s =
+      let gs = !groups_ref in
+      if Array.length gs = 0 then [] else gs.(s).smr_nodes
+    in
+    let journal : coord_journal option =
+      if coord_journal then Some (Hashtbl.create 64, ref []) else None
+    in
+    let committed = Atomic.make 0 and aborted = Atomic.make 0 in
+    (* The coordinator spawns first so each shard group can close over
+       its concrete location. *)
+    let coord =
+      R.spawn world ~name:"coord"
+        (coord_handler ~router ~members_of ~journal ~pending_timeout
+           ~pump_interval ~committed ~aborted ~on_decide)
+    in
+    let groups =
+      Array.init shards (fun s ->
+          spawn_smr_group ~name_prefix:(Printf.sprintf "sh%d-" s)
+            ~x2pc:
+              {
+                xc_shard = s;
+                xc_coord = coord;
+                xc_keys_of = router.Shard.keys_of;
+                xc_on_apply = on_apply;
+              }
+            ~tun ?backends ?durability:(durability s) ~costs ?tob_window
+            ~world ~registry ~setup:(setup s) ~n_active:3 ())
+    in
+    groups_ref := groups;
+    {
+      sh_shards = shards;
+      sh_router = router;
+      sh_coord = coord;
+      sh_groups = groups;
+      sh_nodes =
+        coord :: List.concat_map (fun g -> g.smr_nodes) (Array.to_list groups);
+      sh_committed = (fun () -> Atomic.get committed);
+      sh_aborted = (fun () -> Atomic.get aborted);
     }
 
   (* ------------------------------------------------------------------ *)
@@ -1122,6 +1702,7 @@ module Make (C : Consensus.Consensus_intf.S) = struct
   type client_target =
     | To_pbr of pbr_cluster
     | To_smr of smr_cluster
+    | To_sharded of sharded_cluster
 
   (* A closed-loop client: submits [count] transactions one at a time,
      resending (same sequence number — duplicates are suppressed
@@ -1131,7 +1712,19 @@ module Make (C : Consensus.Consensus_intf.S) = struct
   let spawn_clients ~world ~target ~n ~count ~make_txn
       ?(retry_timeout = 4.0) ?(on_commit = fun _ _ -> ()) () =
     let completed = Atomic.make 0 in
-    let contacts, to_wire =
+    let rotate contacts attempt =
+      List.nth contacts (attempt mod List.length contacts)
+    in
+    let smr_entry (txn : Txn.t) =
+      {
+        Tob.origin = txn.Txn.client;
+        id = txn.Txn.seq;
+        payload = tob_payload_txn txn;
+      }
+    in
+    (* [dispatch ctx ~attempt txn] routes one submission; [attempt]
+       rotates contacts on retry. *)
+    let dispatch =
       match target with
       | To_pbr c ->
           let all = c.pbr_replicas in
@@ -1140,18 +1733,26 @@ module Make (C : Consensus.Consensus_intf.S) = struct
             c.pbr_initial_primary
             :: List.filter (fun l -> l <> c.pbr_initial_primary) all
           in
-          (ordered, fun txn -> Db (Db_msg.Client_txn txn))
+          fun ctx ~attempt txn ->
+            R.send ctx ~size:(Txn.size txn) (rotate ordered attempt)
+              (Db (Db_msg.Client_txn txn))
       | To_smr c ->
-          ( c.smr_nodes,
-            fun txn ->
-              let entry =
-                {
-                  Tob.origin = txn.Txn.client;
-                  id = txn.Txn.seq;
-                  payload = tob_payload_txn txn;
-                }
-              in
-              Svc (TM.Broadcast entry) )
+          fun ctx ~attempt txn ->
+            R.send ctx ~size:(Txn.size txn) (rotate c.smr_nodes attempt)
+              (Svc (TM.Broadcast (smr_entry txn)))
+      | To_sharded sc -> (
+          fun ctx ~attempt txn ->
+            match Shard.route sc.sh_router txn with
+            | Shard.Local s ->
+                (* Single-shard: straight into the owning shard's TOB,
+                   bypassing the coordinator entirely. *)
+                R.send ctx ~size:(Txn.size txn)
+                  (rotate sc.sh_groups.(s).smr_nodes attempt)
+                  (Svc (TM.Broadcast (smr_entry txn)))
+            | Shard.Distributed _ ->
+                (* Cross-shard: the 2PC coordinator owns it. *)
+                R.send ctx ~size:(Txn.size txn) sc.sh_coord
+                  (Db (Db_msg.Client_txn txn)))
     in
     let spawn_one _i =
       R.spawn world ~name:"db-client" (fun () ->
@@ -1160,15 +1761,13 @@ module Make (C : Consensus.Consensus_intf.S) = struct
           let sent_at = ref 0.0 in
           let timer = ref (-1) in
           let send ctx =
-            let contact =
-              List.nth contacts (!attempt mod List.length contacts)
-            in
+            let a = !attempt in
             incr attempt;
             sent_at := R.time ctx;
             let client = R.self ctx in
             let kind, params = make_txn ~client ~seq:!seq in
             let txn = { Txn.client; seq = !seq; kind; params } in
-            R.send ctx ~size:(Txn.size txn) contact (to_wire txn);
+            dispatch ctx ~attempt:a txn;
             timer := R.set_timer ctx retry_timeout "retry"
           in
           fun ctx -> function

@@ -145,6 +145,10 @@ module Make (C : Consensus.Consensus_intf.S) : sig
     smr_cfg_of : loc -> int;  (** Configuration sequence number. *)
     smr_gseq_of : loc -> int;
     smr_hash_of : loc -> int;
+    smr_db_view : 'a. loc -> (Storage.Database.t -> 'a) -> default:'a -> 'a;
+        (** Read-only introspection of a replica's database (e.g.
+            conservation sums in the checker); [default] if the node
+            never initialized. *)
   }
 
   val spawn_smr :
@@ -164,11 +168,79 @@ module Make (C : Consensus.Consensus_intf.S) : sig
       snapshot sync from the proposer). [tob_window] is the co-hosted
       broadcast member's consensus pipelining window (default 1). *)
 
+  (** {1 Sharded clusters}
+
+      N independent shards, each a full 3-replica SMR group with its own
+      TOB instance, plus one 2PC coordinator for cross-shard
+      transactions. Single-shard transactions enter the owning shard's
+      TOB directly; cross-shard ones are split by the {!Shard.router},
+      prepared (trial-executed and locked) at every participant, and
+      decided by the coordinator — prepare and decision records are
+      totally ordered {e within each participant shard's own TOB}, which
+      together with the journaled decision gives atomicity (see
+      DESIGN.md). *)
+
+  type sharded_cluster = {
+    sh_shards : int;
+    sh_router : Shard.router;
+    sh_coord : loc;  (** The 2PC coordinator node. *)
+    sh_groups : smr_cluster array;  (** One SMR group per shard. *)
+    sh_nodes : loc list;  (** Coordinator first, then every replica. *)
+    sh_committed : unit -> int;
+        (** Cross-shard transactions decided commit. *)
+    sh_aborted : unit -> int;  (** Decided abort (incl. timeouts). *)
+  }
+
+  val spawn_sharded :
+    ?tun:tuning ->
+    ?backends:Storage.Store.kind list ->
+    ?durability:(int -> durability option) ->
+    ?costs:Broadcast.Shell.costs ->
+    ?tob_window:int ->
+    ?coord_journal:bool ->
+    ?pending_timeout:float ->
+    ?pump_interval:float ->
+    ?on_apply:
+      (shard:int ->
+      node:loc ->
+      client:loc ->
+      seq:int ->
+      commit:bool ->
+      keys:Shard.key list ->
+      unit) ->
+    ?on_decide:(client:loc -> seq:int -> commit:bool -> unit) ->
+    world:wire Runtime.t ->
+    registry:(unit -> Txn.registry) ->
+    setup:(int -> Storage.Database.t -> unit) ->
+    router:Shard.router ->
+    unit ->
+    sharded_cluster
+  (** Spawn [router.shards] SMR groups (3 replicas each, all active —
+      reconfiguration is disabled in sharded mode) and the coordinator.
+      [setup shard db] loads shard-local initial data; [durability shard]
+      optionally makes that shard's replicas crash-durable (recovery
+      replays the full WAL through the 2PC participant step, rebuilding
+      locks and staged votes). [coord_journal:false] deliberately drops
+      the coordinator's decision journal — the checker's broken-2PC
+      fixture. [pump_interval] paces decision broadcasts (one per tick —
+      the crash window the checker explores; re-requests triggered by
+      resent votes dedup against the queue, so it stays bounded by the
+      number of in-flight decisions); [pending_timeout] is the
+      presumed-abort deadline for undecided transactions. [on_apply]
+      observes every decision application at every replica, [on_decide]
+      every coordinator decision — the cross-shard monitors hang off
+      both. *)
+
   (** {1 Clients} *)
 
-  type client_target = To_pbr of pbr_cluster | To_smr of smr_cluster
+  type client_target =
+    | To_pbr of pbr_cluster
+    | To_smr of smr_cluster
+    | To_sharded of sharded_cluster
   (** Chain clusters are addressed with [To_pbr] (replicas forward
-      misrouted transactions to the head or tail themselves). *)
+      misrouted transactions to the head or tail themselves).
+      [To_sharded] clients route per transaction: single-shard straight
+      into the owning shard's TOB, cross-shard to the coordinator. *)
 
   val spawn_clients :
     world:wire Runtime.t ->

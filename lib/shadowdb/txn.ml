@@ -39,6 +39,22 @@ let execute reg db (txn : t) =
   in
   { client = txn.client; seq = txn.seq; outcome }
 
+let execute_trial reg db (txn : t) =
+  let outcome =
+    match lookup reg txn.kind with
+    | None -> Error ("unknown transaction type " ^ txn.kind)
+    | Some proc -> (
+        Database.begin_txn db;
+        match proc db txn.params with
+        | (Ok _ | Error _) as o ->
+            Database.rollback db;
+            o
+        | exception e ->
+            Database.rollback db;
+            Error (Printexc.to_string e))
+  in
+  { client = txn.client; seq = txn.seq; outcome }
+
 let value_size = Value.serialized_size
 
 let size t =

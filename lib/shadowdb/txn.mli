@@ -34,6 +34,12 @@ val execute : registry -> Storage.Database.t -> t -> reply
 (** Run the procedure inside BEGIN/COMMIT (ROLLBACK on abort); unknown
     kinds abort. *)
 
+val execute_trial : registry -> Storage.Database.t -> t -> reply
+(** Run the procedure inside BEGIN … ROLLBACK — always rolled back, even
+    on [Ok]. The 2PC prepare phase uses this to compute a vote (and the
+    would-be result rows) without mutating the database before the
+    decision arrives. *)
+
 val reply_size : reply -> int
 (** Wire-size estimate of a reply, for the network model. *)
 

@@ -82,12 +82,53 @@ let proc_transfer db = function
             | Error e, _ | _, Error e -> Error e))
   | _ -> Error "transfer: bad parameters"
 
+(* The 2PC debit leg of a cross-shard transfer: the prepare trial runs
+   it against the source shard and votes no on insufficient funds. *)
+let proc_withdraw db = function
+  | [ Value.Int id; Value.Int amount ] -> (
+      match Database.get db table [ Value.Int id ] with
+      | None -> Error "no such account"
+      | Some row ->
+          if get_int row.(2) < amount then Error "insufficient funds"
+          else (
+            match
+              Database.update db table [ Value.Int id ] (fun r ->
+                  r.(2) <- Value.Int (get_int r.(2) - amount);
+                  r)
+            with
+            | Ok true -> Ok []
+            | Ok false -> Error "no such account"
+            | Error e -> Error e))
+  | _ -> Error "withdraw: bad parameters"
+
+(* Read-only multi-account audit: one [|id; balance|] row per requested
+   account that exists, in request order. Cross-shard audits merge each
+   shard's rows in shard order — the merged-read property the qcheck
+   suite compares against an unsharded run. *)
+let proc_audit db params =
+  let rows =
+    List.filter_map
+      (fun p ->
+        match p with
+        | Value.Int id -> (
+            match Database.get db table [ Value.Int id ] with
+            | Some row -> Some [| Value.Int id; row.(2) |]
+            | None -> None)
+        | _ -> None)
+      params
+  in
+  if List.for_all (function Value.Int _ -> true | _ -> false) params then
+    Ok rows
+  else Error "audit: bad parameters"
+
 let registry () =
   Shadowdb.Txn.registry
     [
       ("deposit", proc_deposit);
       ("balance", proc_balance);
       ("transfer", proc_transfer);
+      ("withdraw", proc_withdraw);
+      ("audit", proc_audit);
     ]
 
 let deposit ~account ~amount =
@@ -98,8 +139,89 @@ let balance ~account = ("balance", [ Value.Int account ])
 let transfer ~src ~dst ~amount =
   ("transfer", [ Value.Int src; Value.Int dst; Value.Int amount ])
 
+let withdraw ~account ~amount =
+  ("withdraw", [ Value.Int account; Value.Int amount ])
+
+let audit ~accounts = ("audit", List.map (fun id -> Value.Int id) accounts)
+
 let random_deposit rng ~rows =
   deposit ~account:(Sim.Prng.int rng rows) ~amount:(1 + Sim.Prng.int rng 100)
+
+(* ---- Sharding ---------------------------------------------------- *)
+
+module Shard = Shadowdb.Shard
+module Txn = Shadowdb.Txn
+
+let key id = { Shard.table; id }
+
+let shard_keys (t : Txn.t) =
+  match (t.Txn.kind, t.Txn.params) with
+  | ("deposit" | "withdraw"), Value.Int id :: _ -> [ key id ]
+  | "balance", [ Value.Int id ] -> [ key id ]
+  | "transfer", Value.Int src :: Value.Int dst :: _ ->
+      [ key src; key dst ]
+  | "audit", ids ->
+      List.filter_map
+        (function Value.Int id -> Some (key id) | _ -> None)
+        ids
+  | _ -> []
+
+(* Decompose a cross-shard transaction into per-shard sub-transactions
+   carrying the parent's (client, seq) identity — the 2PC xid. Only
+   consulted when [shard_keys] spans more than one shard. *)
+let shard_split ~shards (t : Txn.t) =
+  let sub kind params = { t with Txn.kind; params } in
+  let of_key k = Shard.shard_of_key ~shards k in
+  match (t.Txn.kind, t.Txn.params) with
+  | "transfer", [ Value.Int src; Value.Int dst; Value.Int amount ] ->
+      [
+        (of_key (key src), sub "withdraw" [ Value.Int src; Value.Int amount ]);
+        (of_key (key dst), sub "deposit" [ Value.Int dst; Value.Int amount ]);
+      ]
+  | "audit", ids ->
+      (* Group the requested ids by owning shard, preserving request
+         order within each shard; merged shard-order results then match
+         an unsharded audit over shard-sorted ids. *)
+      let by_shard = Hashtbl.create 8 in
+      List.iter
+        (fun p ->
+          match p with
+          | Value.Int id ->
+              let s = of_key (key id) in
+              let prev =
+                Option.value (Hashtbl.find_opt by_shard s) ~default:[]
+              in
+              Hashtbl.replace by_shard s (p :: prev)
+          | _ -> ())
+        ids;
+      Hashtbl.fold
+        (fun s ps acc -> (s, sub "audit" (List.rev ps)) :: acc)
+        by_shard []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+  | _ -> (
+      match shard_keys t with
+      | k :: _ -> [ (of_key k, t) ]
+      | [] -> [ (0, t) ])
+
+let router ~shards =
+  { Shard.shards; keys_of = shard_keys; split = shard_split ~shards }
+
+(* Shard-local population: each shard holds exactly the rows the
+   partition function assigns it, so the union over shards equals the
+   unsharded [setup] and the global balance sum is [rows * 100]. *)
+let setup_shard ~rows ~shards shard db =
+  (match Database.create_table db (schema ()) with
+  | Ok () -> ()
+  | Error e -> invalid_arg e);
+  for i = 0 to rows - 1 do
+    if Shard.shard_of_key ~shards (key i) = shard then
+      match
+        Database.insert db table
+          [| Value.Int i; Value.Text "o"; Value.Int 100 |]
+      with
+      | Ok () -> ()
+      | Error e -> invalid_arg e
+  done
 
 let total_balance db =
   match Database.scan db table ~pred:(fun _ -> true) with

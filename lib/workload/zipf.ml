@@ -1,0 +1,56 @@
+(* Zipf-distributed key sampler, YCSB-style.
+
+   Precomputes the generalized harmonic numbers once so each draw is
+   O(1) CDF inversion (Gray et al., "Quickly Generating Billion-Record
+   Synthetic Databases"). [sample] is a pure function of the uniform
+   input, so callers that need retry-determinism can derive [u] from a
+   hash of (client, seq) instead of a stateful generator. *)
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+}
+
+let zeta n theta =
+  let z = ref 0.0 in
+  for i = 1 to n do
+    z := !z +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !z
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+  if theta < 0.0 || theta >= 1.0 then
+    invalid_arg "Zipf.create: theta must be in [0, 1)";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta }
+
+let sample t ~u =
+  let u = if u < 0.0 then 0.0 else if u >= 1.0 then Float.pred 1.0 else u in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** t.theta) then 1
+  else
+    let k =
+      int_of_float
+        (float_of_int t.n *. (((t.eta *. u) -. t.eta +. 1.0) ** t.alpha))
+    in
+    if k >= t.n then t.n - 1 else if k < 0 then 0 else k
+
+let sample_rng t rng = sample t ~u:(Sim.Prng.float rng)
+
+(* Deterministic per-(client, seq) draw: the same submission always
+   picks the same key, so a timeout resend is byte-identical. *)
+let sample_id t ~client ~seq =
+  let h = Shadowdb.Shard.hash_key { table = "zipf"; id = (client * 1_000_003) + seq } in
+  let u = float_of_int (h land 0xFFFFFFF) /. float_of_int 0x10000000 in
+  sample t ~u

@@ -1,0 +1,26 @@
+(** Zipf-distributed key sampler (YCSB-style, O(1) per draw).
+
+    Skewed key access for honest hot-shard benchmarks: with skew
+    [theta] the i-th most popular key has probability proportional to
+    [1/i^theta]. [theta = 0] degenerates to uniform; YCSB's default is
+    0.99. Construction is O(n) (harmonic-number precomputation); each
+    sample is constant time. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Sampler over keys [0 .. n-1]. [theta] must be in [0, 1). *)
+
+val zeta : int -> float -> float
+(** Generalized harmonic number [H_{n,theta}] (exposed for tests). *)
+
+val sample : t -> u:float -> int
+(** Pure CDF inversion of a uniform [u] in [0, 1): key rank, hottest
+    first. Out-of-range [u] is clamped. *)
+
+val sample_rng : t -> Sim.Prng.t -> int
+(** Draw using the simulator's deterministic generator. *)
+
+val sample_id : t -> client:int -> seq:int -> int
+(** Deterministic draw keyed by [(client, seq)] — a retried submission
+    re-picks the identical key. *)

@@ -326,6 +326,62 @@ let test_noreplay_counterexample_replays () =
       Alcotest.(check string) "same monitor" t.Trace.monitor v.Scenario.monitor
   | None -> Alcotest.fail "captured durability trace does not replay"
 
+(* ---- sharding: 2PC-over-TOB under coordinator crash/restart ----------- *)
+
+let test_sharded_recovery_clean () =
+  let r =
+    Explore.random_walk ~fault_gen:Fault.random_recovery ~max_depth:2000
+      Scenarios.sharded ~seed:3 ~budget:20 ()
+  in
+  Alcotest.(check bool) "no violation" true (r.Explore.violation = None)
+
+let test_sharded_dfs_clean () =
+  let r = Explore.dfs ~max_depth:200 Scenarios.sharded ~seed:1 ~budget:60 () in
+  Alcotest.(check bool) "no violation" true (r.Explore.violation = None);
+  Alcotest.(check bool) "ran schedules" true (r.Explore.schedules > 10)
+
+(* The broken fixture drops the coordinator's decision journal: a crash
+   after sending one participant's COMMIT but before the other's leaves
+   a restarted coordinator unable to re-decide, and the presumed-abort
+   timeout diverges from the already-applied commit. *)
+let sharded_monitors =
+  [
+    "xshard-atomicity";
+    "xshard-serializable";
+    "sharded-nopersist-conservation";
+    "sharded-nopersist-state-agreement";
+  ]
+
+let find_nopersist () =
+  let r =
+    Explore.random_walk ~fault_gen:Fault.random_recovery ~max_depth:2000
+      Scenarios.sharded_nopersist ~seed:3 ~budget:40 ()
+  in
+  match r.Explore.violation with
+  | Some t -> t
+  | None -> Alcotest.fail "no violation found on the no-journal 2PC fixture"
+
+let test_nopersist_counterexample_found () =
+  let t = find_nopersist () in
+  Alcotest.(check bool)
+    (Printf.sprintf "violates a cross-shard monitor (%s)" t.Trace.monitor)
+    true
+    (List.mem t.Trace.monitor sharded_monitors);
+  Alcotest.(check bool) "plan crashes and restarts the coordinator" true
+    (List.exists
+       (fun f -> match f.Fault.op with Fault.Crash _ -> true | _ -> false)
+       t.Trace.faults
+    && List.exists
+         (fun f -> match f.Fault.op with Fault.Restart _ -> true | _ -> false)
+         t.Trace.faults)
+
+let test_nopersist_counterexample_replays () =
+  let t = find_nopersist () in
+  match (Explore.replay Scenarios.sharded_nopersist t).Scenario.violation with
+  | Some v ->
+      Alcotest.(check string) "same monitor" t.Trace.monitor v.Scenario.monitor
+  | None -> Alcotest.fail "captured 2PC trace does not replay"
+
 let prop_recovery_plan_shape =
   QCheck.Test.make ~count:100
     ~name:"recovery plans restart the crashed node strictly later"
@@ -401,6 +457,16 @@ let () =
             test_noreplay_counterexample_found;
           Alcotest.test_case "no-replay counterexample replays" `Quick
             test_noreplay_counterexample_replays;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "sharded clean under crash/restart" `Quick
+            test_sharded_recovery_clean;
+          Alcotest.test_case "sharded dfs clean" `Quick test_sharded_dfs_clean;
+          Alcotest.test_case "no-journal 2PC fixture caught" `Quick
+            test_nopersist_counterexample_found;
+          Alcotest.test_case "no-journal counterexample replays" `Quick
+            test_nopersist_counterexample_replays;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
