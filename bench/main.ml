@@ -9,7 +9,8 @@
    `dune exec bench/main.exe -- --skip-micro` omits the bechamel part;
    `dune exec bench/main.exe -- --json FILE` additionally runs the
    perf-trajectory measurements (simulator events/sec, TOB transaction
-   throughput on the simulated and the live socket runtime, model-checker
+   throughput on the simulator and on both socket runtimes — thread-per-
+   node and event-loop — plus frame-path ns/frame and model-checker
    schedules/sec) and writes every number to FILE as JSON, so successive
    commits' files can be diffed. *)
 
@@ -426,20 +427,31 @@ let dur_dir =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "shadowdb-bench-dur-%d-%d-%s" (Unix.getpid ()) !n name)
 
-(* The same cluster as a real process group over loopback TCP: committed
-   transactions per wall-clock second. [dur_group_commit] additionally
-   journals every applied batch through the file WAL backend, syncing
-   after that many records — 1 is fsync-per-commit, larger windows are
-   group commit. *)
-let measure_live ?dur_group_commit () =
+(* The same cluster as a real socket deployment over loopback TCP:
+   committed transactions per wall-clock second plus p50/p99 commit
+   latency, on either socket runtime ([`Live] thread-per-node, [`Loop]
+   single-reactor event loop). [dur_group_commit] additionally journals
+   every applied batch through the file WAL backend, syncing after that
+   many records — 1 is fsync-per-commit, larger windows are group
+   commit. *)
+(* One timed deployment of the socket-runtime SMR bank. The clock runs
+   from [start] to client completion; the GC is quiesced first so a
+   major slice from earlier phases doesn't land inside a
+   single-digit-millisecond window. *)
+let measure_socket_once ?dur_group_commit rt () =
   let codec =
     Sdb.wire_codec ~enc_core:Shadowdb.Codec.encode_core_paxos
       ~dec_core:Shadowdb.Codec.decode_core_paxos
   in
-  let live = Runtime.Live.create ~codec () in
-  let world = Runtime.Live.runtime live in
+  let live =
+    match rt with
+    | `Live -> Runtime.Driver.live ~codec ()
+    | `Loop -> Runtime.Driver.loop ~codec ()
+  in
+  let world = live.Runtime.Driver.world in
   let mu = Mutex.create () in
   let commits = ref 0 in
+  let latencies = Stats.Sample.create () in
   let durability =
     Option.map
       (fun gc ->
@@ -470,22 +482,72 @@ let measure_live ?dur_group_commit () =
   let _, completed =
     Sdb.spawn_clients ~world ~target:(Sdb.To_smr cluster) ~n:n_clients ~count
       ~make_txn:make_deposit ~retry_timeout:4.0
-      ~on_commit:(fun _ _ ->
+      ~on_commit:(fun _ l ->
         Mutex.lock mu;
         incr commits;
+        Stats.Sample.add latencies l;
         Mutex.unlock mu)
       ()
   in
+  (* Compact, not just a major cycle: by this point earlier bench phases
+     have grown and fragmented the major heap, and the timed window is
+     single-digit milliseconds. *)
+  Gc.compact ();
   let t0 = Unix.gettimeofday () in
-  Runtime.Live.start live;
+  live.Runtime.Driver.start ();
   let finished =
-    Runtime.Live.await ~timeout:120.0 live (fun () ->
+    live.Runtime.Driver.await ~timeout:120.0 (fun () ->
         completed () >= n_clients)
   in
   let wall = Unix.gettimeofday () -. t0 in
-  Runtime.Live.stop live;
-  if (not finished) || wall <= 0.0 then nan
-  else float_of_int !commits /. wall
+  live.Runtime.Driver.stop ();
+  let txns =
+    if (not finished) || wall <= 0.0 then nan
+    else float_of_int !commits /. wall
+  in
+  ( txns,
+    Stats.Sample.percentile latencies 50.0 *. 1e3,
+    Stats.Sample.percentile latencies 99.0 *. 1e3 )
+
+(* Best of five trials (single trial when a durability backend is
+   attached: trials would otherwise replay each other's WAL dirs). The
+   quick run finishes in milliseconds, so a stolen timeslice on a small
+   machine easily halves one trial's figure; the max over a handful of
+   trials is a far better estimate of what the runtime sustains, at
+   negligible cost. Applied identically to both socket runtimes. *)
+let measure_socket ?dur_group_commit rt () =
+  match dur_group_commit with
+  | Some _ -> measure_socket_once ?dur_group_commit rt ()
+  | None ->
+      let best = ref (measure_socket_once rt ()) in
+      for _ = 2 to 5 do
+        let ((t, _, _) as m) = measure_socket_once rt () in
+        let bt, _, _ = !best in
+        if (not (Float.is_nan t)) && (Float.is_nan bt || t > bt) then best := m
+      done;
+      !best
+
+let measure_live ?dur_group_commit () =
+  let t, _, _ = measure_socket ?dur_group_commit `Live () in
+  t
+
+(* ns per frame through the shared wire framing: append one encoded frame
+   into a reused buffer and parse it back out — the per-message data-
+   plane work both socket runtimes do besides the syscall. *)
+let measure_frame_ns () =
+  let payload = String.make 200 'p' in
+  let buf = Runtime.Frame.create 65536 in
+  let n = if quick then 300_000 else 3_000_000 in
+  let sink = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    Runtime.Frame.append buf ~src:1 ~payload;
+    Runtime.Frame.drain buf
+      ~frame:(fun ~src:_ p -> sink := !sink + String.length p)
+      ~bad:(fun _ -> ())
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  if !sink = 0 then nan else wall /. float_of_int n *. 1e9
 
 (* Raw WAL append bandwidth of the file backend (256-byte payloads,
    synced every 64 records). *)
@@ -579,7 +641,9 @@ let run_trajectory () =
   print_endline "########################################################";
   let events_per_sec, sim_txns = measure_sim () in
   let shard_pts = sharding_curve () in
-  let live_txns = measure_live () in
+  let live_txns, live_p50, live_p99 = measure_socket `Live () in
+  let loop_txns, loop_p50, loop_p99 = measure_socket `Loop () in
+  let frame_ns = measure_frame_ns () in
   let check_rates = measure_check () in
   let wal_mb_s = measure_wal_append () in
   let live_fsync = measure_live ~dur_group_commit:1 () in
@@ -590,7 +654,17 @@ let run_trajectory () =
     ([
        [ "sim engine events/s (wall)"; Stats.Table.fmt_f events_per_sec ];
        [ "tob txns/s (sim, virtual)"; Stats.Table.fmt_f sim_txns ];
-       [ "tob txns/s (live, wall)"; Stats.Table.fmt_f live_txns ];
+       [
+         "tob txns/s (live, wall)";
+         Printf.sprintf "%s (p50 %.2f ms, p99 %.2f ms)"
+           (Stats.Table.fmt_f live_txns) live_p50 live_p99;
+       ];
+       [
+         "tob txns/s (loop, wall)";
+         Printf.sprintf "%s (p50 %.2f ms, p99 %.2f ms)"
+           (Stats.Table.fmt_f loop_txns) loop_p50 loop_p99;
+       ];
+       [ "frame ns/frame (append+drain)"; Stats.Table.fmt_f frame_ns ];
        [ "wal append MB/s (file)"; Stats.Table.fmt_f wal_mb_s ];
        [ "tob txns/s (live, fsync/commit)"; Stats.Table.fmt_f live_fsync ];
        [ "tob txns/s (live, group commit 8)"; Stats.Table.fmt_f live_group ];
@@ -612,7 +686,9 @@ let run_trajectory () =
   ( events_per_sec,
     sim_txns,
     shard_pts,
-    live_txns,
+    (live_txns, live_p50, live_p99),
+    (loop_txns, loop_p50, loop_p99),
+    frame_ns,
     check_rates,
     (wal_mb_s, live_fsync, live_group, recovery_ms) )
 
@@ -626,7 +702,9 @@ let () =
       let ( events_per_sec,
             sim_txns,
             shard_pts,
-            live_txns,
+            (live_txns, live_p50, live_p99),
+            (loop_txns, loop_p50, loop_p99),
+            frame_ns,
             check_rates,
             (wal_mb_s, live_fsync, live_group, recovery_ms) ) =
         run_trajectory ()
@@ -662,7 +740,22 @@ let () =
                          ("cross_shard_aborted", Json.num (float_of_int xa));
                        ])
                    shard_pts) );
-            ("live", Json.Obj [ ("tob_txns_per_sec", Json.num live_txns) ]);
+            ( "live",
+              Json.Obj
+                [
+                  ("tob_txns_per_sec", Json.num live_txns);
+                  ("latency_p50_ms", Json.num live_p50);
+                  ("latency_p99_ms", Json.num live_p99);
+                ] );
+            ( "live_loop",
+              Json.Obj
+                [
+                  ("tob_txns_per_sec", Json.num loop_txns);
+                  ("latency_p50_ms", Json.num loop_p50);
+                  ("latency_p99_ms", Json.num loop_p99);
+                  ("speedup_vs_live", Json.num (loop_txns /. live_txns));
+                ] );
+            ("frame", Json.Obj [ ("ns_per_frame", Json.num frame_ns) ]);
             ( "check_schedules_per_sec",
               Json.Obj (List.map (fun (n, v) -> (n, Json.num v)) check_rates)
             );

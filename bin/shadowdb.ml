@@ -3,9 +3,11 @@
    `shadowdb run` deploys a replicated database and drives a workload
    against it — on the deterministic simulator (`--runtime sim`, the
    default, optionally crashing a replica mid-run) or as a real cluster
-   of socket-connected nodes on the local machine (`--runtime live`);
-   `shadowdb sql` is a small SQL shell over the embedded storage engine
-   (reads statements from stdin, one per line). *)
+   of socket-connected nodes on the local machine (`--runtime live` for
+   thread-per-node, `--runtime loop` for the single-reactor event loop
+   with batched sends and backpressure); `shadowdb sql` is a small SQL
+   shell over the embedded storage engine (reads statements from stdin,
+   one per line). *)
 
 open Cmdliner
 module Engine = Sim.Engine
@@ -20,9 +22,10 @@ type wl = Bank | Tpcc
 
 let wl_conv = Arg.enum [ ("bank", Bank); ("tpcc", Tpcc) ]
 
-type rt = Rt_sim | Rt_live
+type rt = Rt_sim | Rt_live | Rt_loop
 
-let rt_conv = Arg.enum [ ("sim", Rt_sim); ("live", Rt_live) ]
+let rt_conv =
+  Arg.enum [ ("sim", Rt_sim); ("live", Rt_live); ("loop", Rt_loop) ]
 
 let workload_parts = function
   | Bank ->
@@ -246,11 +249,12 @@ let run_sim mode wl shards clients count crash_at seed diverse window =
     ~latencies ~alive ~d ~unit_label:"virtual";
   if completed () <> clients then exit 1
 
-(* A real cluster on the local machine: every node is a thread with its
-   own TCP listener, messages are framed Codec bytes over loopback
-   sockets, timers run on the wall clock. Same protocol code as the
-   simulation — only the runtime underneath changes. *)
-let run_live mode wl shards clients count crash_at diverse window =
+(* A real cluster on the local machine: messages are framed Codec bytes
+   over loopback sockets, timers run on the wall clock. `live` hosts
+   every node on its own thread; `loop` multiplexes the whole deployment
+   over one event-loop reactor. Same protocol code as the simulation —
+   only the runtime underneath changes. *)
+let run_socket rt mode wl shards clients count crash_at diverse window =
   (match crash_at with
   | Some _ ->
       Printf.eprintf "shadowdb: --crash-at is simulator-only; ignoring\n%!"
@@ -259,8 +263,19 @@ let run_live mode wl shards clients count crash_at diverse window =
     S.wire_codec ~enc_core:Shadowdb.Codec.encode_core_paxos
       ~dec_core:Shadowdb.Codec.decode_core_paxos
   in
-  let live = Runtime.Live.create ~codec () in
-  let world = Runtime.Live.runtime live in
+  let d_rt, flavour =
+    match rt with
+    | Rt_loop ->
+        ( Runtime.Driver.loop
+            ~on_backpressure:(fun ~dst ~bytes ->
+              Printf.eprintf
+                "backpressure: outbox to node %d engaged at %d bytes\n%!" dst
+                bytes)
+            ~codec (),
+          "event-loop reactor" )
+    | Rt_live | Rt_sim -> (Runtime.Driver.live ~codec (), "thread-per-node")
+  in
+  let world = d_rt.Runtime.Driver.world in
   let d, make_txn = deploy mode wl shards ~window ~diverse ~world in
   let latencies = Stats.Sample.create () in
   let mu = Mutex.create () in
@@ -275,33 +290,41 @@ let run_live mode wl shards clients count crash_at diverse window =
         Mutex.unlock mu)
       ()
   in
-  Printf.printf "deployment : %s%s, live over loopback TCP\n" d.describe
-    (if diverse then ", diverse backends (hazel/hickory/dogwood)" else "");
+  Printf.printf "deployment : %s%s, live over loopback TCP (%s)\n" d.describe
+    (if diverse then ", diverse backends (hazel/hickory/dogwood)" else "")
+    flavour;
   List.iter
     (fun l ->
       Printf.printf "node       : replica %d on 127.0.0.1:%d\n" l
-        (Option.value ~default:0 (Runtime.Live.port_of live l)))
+        (Option.value ~default:0 (d_rt.Runtime.Driver.port_of l)))
     d.replicas;
   Printf.printf "workload   : %d clients x %d txns\n%!" clients count;
   let t0 = Unix.gettimeofday () in
-  Runtime.Live.start live;
+  d_rt.Runtime.Driver.start ();
   let finished =
-    Runtime.Live.await ~timeout:300.0 live (fun () -> completed () >= clients)
+    d_rt.Runtime.Driver.await ~timeout:300.0 (fun () ->
+        completed () >= clients)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
-  Runtime.Live.stop live;
+  d_rt.Runtime.Driver.stop ();
   List.iter
     (fun e -> Printf.eprintf "live runtime error: %s\n%!" e)
-    (Runtime.Live.errors live);
+    (d_rt.Runtime.Driver.errors ());
   report ~clients ~completed:(completed ()) ~commits:!commits ~elapsed
     ~latencies ~alive:d.replicas ~d ~unit_label:"wall-clock";
+  (match rt with
+  | Rt_loop ->
+      Printf.printf "backpressure: %d outbox engagements\n"
+        (d_rt.Runtime.Driver.backpressure ())
+  | Rt_live | Rt_sim -> ());
   if not finished then exit 1
 
 let run_cluster runtime mode wl shards clients count crash_at seed diverse
     window =
   match runtime with
   | Rt_sim -> run_sim mode wl shards clients count crash_at seed diverse window
-  | Rt_live -> run_live mode wl shards clients count crash_at diverse window
+  | (Rt_live | Rt_loop) as rt ->
+      run_socket rt mode wl shards clients count crash_at diverse window
 
 let sql_shell backend =
   let kind =
@@ -337,8 +360,9 @@ let run_cmd =
       value & opt rt_conv Rt_sim
       & info [ "runtime" ]
           ~doc:
-            "sim (deterministic simulator) or live (real processes over \
-             loopback sockets).")
+            "sim (deterministic simulator), live (thread-per-node over \
+             loopback sockets) or loop (single-process event-loop reactor \
+             with batched sends and backpressure).")
   in
   let mode =
     Arg.(value & opt mode_conv Pbr & info [ "mode" ] ~doc:"pbr, smr or chain.")

@@ -1,7 +1,9 @@
 (* Chaos drill: crash-and-recover a live ShadowDB node under traffic.
 
    Deploys a real 3-node SMR cluster on loopback TCP with file-backed
-   durability (write-ahead log + snapshots per node), drives closed-loop
+   durability (write-ahead log + snapshots per node) — on the
+   thread-per-node runtime (`--runtime live`, the default) or the
+   single-reactor event loop (`--runtime loop`) — drives closed-loop
    client traffic against it, kills one node mid-run, optionally tears
    its WAL tail (appending half an encoded record, as an interrupted
    write would), restarts it, and verifies the recovery contract from
@@ -15,6 +17,13 @@
      time, and a survivor's durable image at the same total-order
      position carries the same fingerprint (post-recovery agreement);
    - the cluster keeps committing throughout.
+
+   Under the loop runtime the drill additionally records the delivery
+   order of every frame (payload digests checked off per (src,dst) link
+   end-to-end through the real wire path) and gates on zero per-link
+   FIFO violations across the crash — keeping the batched data plane
+   honest against the channel assumption the protocols are verified
+   under.
 
    The verdict and all measurements are written as a JSON artifact
    (--json) and the exit code is non-zero unless every check passed, so
@@ -117,7 +126,9 @@ type recovery_obs = {
   obs_at : float;  (* wall-clock seconds since drill start *)
 }
 
-let run clients count group_commit snapshot_every torn data_dir json_path
+type rt = Rt_live | Rt_loop
+
+let run rt clients count group_commit snapshot_every torn data_dir json_path
     kill_after =
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
@@ -127,8 +138,13 @@ let run clients count group_commit snapshot_every torn data_dir json_path
     S.wire_codec ~enc_core:Shadowdb.Codec.encode_core_paxos
       ~dec_core:Shadowdb.Codec.decode_core_paxos
   in
-  let live = Runtime.Live.create ~codec () in
-  let world = Runtime.Live.runtime live in
+  let rt_name = match rt with Rt_live -> "live" | Rt_loop -> "loop" in
+  let live =
+    match rt with
+    | Rt_live -> Runtime.Driver.live ~codec ()
+    | Rt_loop -> Runtime.Driver.loop ~record_delivery:true ~codec ()
+  in
+  let world = live.Runtime.Driver.world in
   let mu = Mutex.create () in
   let observations = ref [] in
   let durability =
@@ -181,16 +197,18 @@ let run clients count group_commit snapshot_every torn data_dir json_path
       ()
   in
   let commits_now () = Mutex.lock mu; let c = !commits in Mutex.unlock mu; c in
-  Printf.printf "drill      : 3-node SMR over loopback TCP, file-backed WAL\n";
+  Printf.printf
+    "drill      : 3-node SMR over loopback TCP (%s runtime), file-backed WAL\n"
+    rt_name;
   Printf.printf "durability : group-commit %d, snapshot every %d (victim)\n"
     group_commit snapshot_every;
   Printf.printf "workload   : %d clients x %d deposits\n%!" clients count;
-  Runtime.Live.start live;
+  live.Runtime.Driver.start ();
   let kill_threshold =
     match kill_after with Some k -> k | None -> clients * count / 3
   in
   let warmed =
-    Runtime.Live.await ~timeout:60.0 live (fun () ->
+    live.Runtime.Driver.await ~timeout:60.0 (fun () ->
         commits_now () >= kill_threshold)
   in
   (* Kill the victim mid-traffic, then inspect what its disk holds — the
@@ -198,7 +216,7 @@ let run clients count group_commit snapshot_every torn data_dir json_path
   Printf.printf "kill       : node %d after %d commits (%.2fs)\n%!" victim
     (commits_now ()) (elapsed ());
   let killed_at = elapsed () in
-  Runtime.Live.crash live nodes.(victim);
+  live.Runtime.Driver.crash nodes.(victim);
   let pre_snap, pre_log = Durable.File.read_dir (node_dir data_dir victim) in
   let torn_injected =
     if torn then begin
@@ -224,7 +242,7 @@ let run clients count group_commit snapshot_every torn data_dir json_path
     (if torn then Printf.sprintf " (+%d torn bytes injected)" torn_injected
      else "");
   let restart_at = elapsed () in
-  Runtime.Live.restart live nodes.(victim);
+  live.Runtime.Driver.restart nodes.(victim);
   let recovery_of_restart () =
     Mutex.lock mu;
     let o =
@@ -235,19 +253,19 @@ let run clients count group_commit snapshot_every torn data_dir json_path
     Mutex.unlock mu;
     o
   in
-  let _ = Runtime.Live.await ~timeout:30.0 live (fun () ->
+  let _ = live.Runtime.Driver.await ~timeout:30.0 (fun () ->
       recovery_of_restart () <> None)
   in
   let drained =
-    Runtime.Live.await ~timeout:120.0 live (fun () -> completed () >= clients)
+    live.Runtime.Driver.await ~timeout:120.0 (fun () -> completed () >= clients)
   in
   let back_at =
     match recovery_of_restart () with Some o -> o.obs_at | None -> nan
   in
-  Runtime.Live.stop live;
+  live.Runtime.Driver.stop ();
   List.iter
     (fun e -> Printf.eprintf "live runtime error: %s\n%!" e)
-    (Runtime.Live.errors live);
+    (live.Runtime.Driver.errors ());
   (* Verdict. Every check is computed from the recovery report plus
      read-only inspection of the on-disk images. *)
   let surv_snap, surv_log = Durable.File.read_dir (node_dir data_dir survivor) in
@@ -280,6 +298,12 @@ let run clients count group_commit snapshot_every torn data_dir json_path
               | None -> ridx < 0 );
             ("traffic_drained", drained && warmed);
           ]
+          (* Loop runtime only: the recorded delivery order must show
+             zero per-link FIFO violations across the crash window. *)
+          @ (match rt with
+            | Rt_loop ->
+                [ ("per_link_fifo", live.Runtime.Driver.fifo_violations () = 0) ]
+            | Rt_live -> [])
         in
         let r = rep.Durable.Manager.recovered_idx in
         ( checks,
@@ -317,6 +341,7 @@ let run clients count group_commit snapshot_every torn data_dir json_path
         ( "config",
           Json.Obj
             [
+              ("runtime", Json.Str rt_name);
               ("clients", Json.int clients);
               ("count", Json.int count);
               ("group_commit", Json.int group_commit);
@@ -341,6 +366,21 @@ let run clients count group_commit snapshot_every torn data_dir json_path
               ("torn_bytes", Json.int pre.Durable.Manager.i_torn);
             ] );
         ("recovery", recovery_json);
+        ( "delivery",
+          match rt with
+          | Rt_loop ->
+              let msgs, bytes = live.Runtime.Driver.sent () in
+              Json.Obj
+                [
+                  ("recorded", Json.Bool true);
+                  ("frames_sent", Json.int msgs);
+                  ("bytes_sent", Json.int bytes);
+                  ( "fifo_violations",
+                    Json.int (live.Runtime.Driver.fifo_violations ()) );
+                  ( "backpressure_engagements",
+                    Json.int (live.Runtime.Driver.backpressure ()) );
+                ]
+          | Rt_live -> Json.Obj [ ("recorded", Json.Bool false) ] );
         ( "traffic",
           Json.Obj
             [
@@ -369,6 +409,15 @@ let run clients count group_commit snapshot_every torn data_dir json_path
   if ok then 0 else 1
 
 let term =
+  let rt =
+    Arg.(
+      value
+      & opt (enum [ ("live", Rt_live); ("loop", Rt_loop) ]) Rt_live
+      & info [ "runtime" ]
+          ~doc:
+            "live (thread-per-node) or loop (single-reactor event loop; \
+             also records delivery order and gates on per-link FIFO).")
+  in
   let clients =
     Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Closed-loop clients.")
   in
@@ -421,7 +470,7 @@ let term =
              the total workload).")
   in
   Term.(
-    const run $ clients $ count $ group_commit $ snapshot_every $ torn
+    const run $ rt $ clients $ count $ group_commit $ snapshot_every $ torn
     $ data_dir $ json $ kill_after)
 
 let () =

@@ -862,6 +862,12 @@ let sharded_scenario ~name ~coord_journal : Scenario.t =
     let conservation : Monitor.xshard_obs Monitor.t =
       Monitor.finish_check ~name:(name ^ "-conservation") (fun () ->
           let chosen = Array.map chosen_of cluster.Sdb.sh_groups in
+          let chosen_node s =
+            match chosen.(s) with
+            | Some n -> n
+            | None ->
+                Sim.Invariant.fail "scenario" "no chosen replica for shard %d" s
+          in
           if Array.exists Option.is_none chosen then None
           else
             (* Quiescent iff every decided COMMIT has reached the chosen
@@ -885,7 +891,7 @@ let sharded_scenario ~name ~coord_journal : Scenario.t =
                          List.for_all
                            (fun (s, _) ->
                              Hashtbl.mem applied_obs
-                               (client, seq, s, Option.get chosen.(s)))
+                               (client, seq, s, chosen_node s))
                            parts))
                 decided_tbl true
             in
@@ -897,7 +903,7 @@ let sharded_scenario ~name ~coord_journal : Scenario.t =
                     ignore i;
                     acc
                     + (g : Sdb.smr_cluster).Sdb.smr_db_view
-                        (Option.get chosen.(i))
+                        (chosen_node i)
                         Workload.Bank.total_balance ~default:0)
                   0
                   (Array.mapi (fun i g -> (i, g)) cluster.Sdb.sh_groups)

@@ -31,7 +31,7 @@ type 'm ctx = {
 
 type 'm handler = 'm ctx -> 'm input -> unit
 
-type kind = Sim | Live
+type kind = Sim | Live | Loop
 
 type 'm t = {
   rt_kind : kind;

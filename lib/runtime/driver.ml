@@ -1,0 +1,68 @@
+(* A uniform handle over the socket runtimes.
+
+   {!Live} (thread-per-node) and {!Loop} (single-reactor event loop)
+   expose the same lifecycle — spawn through a {!Core.t}, start, await a
+   predicate, crash/restart nodes, stop — but as separate concrete types.
+   This record erases the difference so harnesses ([bin/shadowdb], the
+   chaos drill, the bench) select the runtime from a flag and share one
+   deployment/driving path. The loop-only observability hooks
+   (backpressure engagements, recorded per-link FIFO violations) report
+   zero under {!Live}, which has no outboxes and no recorder. *)
+
+type 'm t = {
+  world : 'm Core.t;
+  start : unit -> unit;
+  await : ?timeout:float -> (unit -> bool) -> bool;
+  stop : unit -> unit;
+  crash : Sim.Node_id.t -> unit;
+  restart : Sim.Node_id.t -> unit;
+  port_of : Sim.Node_id.t -> int option;
+  errors : unit -> string list;
+  sent : unit -> int * int;  (* messages, bytes *)
+  backpressure : unit -> int;
+  fifo_violations : unit -> int;
+}
+
+let live ~codec () =
+  let rt = Live.create ~codec () in
+  {
+    world = Live.runtime rt;
+    start = (fun () -> Live.start rt);
+    await = (fun ?timeout pred -> Live.await ?timeout rt pred);
+    stop = (fun () -> Live.stop rt);
+    crash = (fun id -> Live.crash rt id);
+    restart = (fun id -> Live.restart rt id);
+    port_of = (fun id -> Live.port_of rt id);
+    errors = (fun () -> Live.errors rt);
+    sent = (fun () -> Live.stats rt);
+    backpressure = (fun () -> 0);
+    fifo_violations = (fun () -> 0);
+  }
+
+let loop ?high ?low ?direct ?on_backpressure ?record_delivery ~codec () =
+  let rt =
+    Loop.create ?high ?low ?direct ?on_backpressure ?record_delivery ~codec ()
+  in
+  {
+    world = Loop.runtime rt;
+    start = (fun () -> Loop.start rt);
+    await = (fun ?timeout pred -> Loop.await ?timeout rt pred);
+    stop = (fun () -> Loop.stop rt);
+    crash = (fun id -> Loop.crash rt id);
+    restart = (fun id -> Loop.restart rt id);
+    port_of = (fun id -> Loop.port_of rt id);
+    errors = (fun () -> Loop.errors rt);
+    sent =
+      (fun () ->
+        let s = Loop.stats rt in
+        (s.Loop.s_sent_msgs, s.Loop.s_sent_bytes));
+    backpressure = (fun () -> Loop.backpressure_events rt);
+    fifo_violations = (fun () -> Loop.fifo_violations rt);
+  }
+
+let of_kind ?high ?low ?direct ?on_backpressure ?record_delivery kind ~codec ()
+    =
+  match kind with
+  | Core.Loop ->
+      loop ?high ?low ?direct ?on_backpressure ?record_delivery ~codec ()
+  | Core.Live | Core.Sim -> live ~codec ()

@@ -1,12 +1,14 @@
 (* The live runtime: real processes over loopback/TCP sockets.
 
    Each spawned node runs a private event loop on its own thread, owns a
-   listening TCP socket on 127.0.0.1, and exchanges length-prefixed
-   frames ([4-byte payload length | 4-byte source id | payload]) encoded
-   by the world's {!Core.codec}. Per-link FIFO — the channel assumption
-   every protocol here makes — comes from TCP itself: a node keeps one
-   outbound connection per destination and only its own thread writes to
-   it.
+   listening TCP socket on 127.0.0.1, and exchanges {!Frame}-format
+   length-prefixed frames ([4-byte payload length | 1-byte source id |
+   payload]) encoded by the world's {!Core.codec}. Per-link FIFO — the
+   channel assumption every protocol here makes — comes from TCP itself:
+   a node keeps one outbound connection per destination and only its own
+   thread writes to it. Frames are staged in a reused per-connection
+   scratch buffer, so the steady-state send path allocates nothing but
+   the codec's output string.
 
    Timers use a monotonic view of the wall clock (never stepping
    backwards even if the system clock does), [charge] is recorded but
@@ -18,10 +20,13 @@
    predicate, and {!stop}. Spawning after {!start} launches the node
    immediately. *)
 
-let frame_header = 8
-let max_frame = 64 * 1024 * 1024
+module F = Frame
 
-type conn = { c_fd : Unix.file_descr; mutable c_buf : Bytes.t; mutable c_len : int }
+type conn = { c_fd : Unix.file_descr; c_buf : F.buf }
+
+(* An outbound connection: the socket plus a reused scratch buffer the
+   frame is staged in before the write (no per-frame allocation). *)
+type out = { o_fd : Unix.file_descr; o_scratch : F.buf }
 
 type 'm node = {
   n_id : Sim.Node_id.t;
@@ -30,7 +35,7 @@ type 'm node = {
   n_listen : Unix.file_descr;
   n_port : int;
   mutable n_conns : conn list;  (* inbound connections *)
-  n_out : (Sim.Node_id.t, Unix.file_descr) Hashtbl.t;
+  n_out : (Sim.Node_id.t, out) Hashtbl.t;
   mutable n_timers : (float * int * string) list;  (* deadline-ascending *)
   n_cancelled : (int, unit) Hashtbl.t;
   mutable n_last_now : float;  (* per-thread monotonic guard *)
@@ -110,9 +115,9 @@ let really_write fd buf pos len =
   go pos len
 
 let send_frame t node dst msg =
-  let fd =
+  let out =
     match Hashtbl.find_opt node.n_out dst with
-    | Some fd -> Some fd
+    | Some out -> Some out
     | None -> (
         match locked t (fun () -> Hashtbl.find_opt t.ports dst) with
         | None -> None
@@ -121,29 +126,27 @@ let send_frame t node dst msg =
             try
               Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
               Unix.setsockopt fd Unix.TCP_NODELAY true;
-              Hashtbl.replace node.n_out dst fd;
-              Some fd
+              let out = { o_fd = fd; o_scratch = F.create 65536 } in
+              Hashtbl.replace node.n_out dst out;
+              Some out
             with Unix.Unix_error _ ->
               (try Unix.close fd with Unix.Unix_error _ -> ());
               None))
   in
-  match fd with
+  match out with
   | None -> ()  (* unknown or unreachable peer: behaves like a lost message *)
-  | Some fd -> (
+  | Some out -> (
       let payload = t.codec.Core.enc msg in
-      let len = String.length payload in
-      let buf = Bytes.create (frame_header + len) in
-      Bytes.set_int32_be buf 0 (Int32.of_int len);
-      Bytes.set_int32_be buf 4 (Int32.of_int node.n_id);
-      Bytes.blit_string payload 0 buf frame_header len;
+      F.reset out.o_scratch;
+      F.append out.o_scratch ~src:node.n_id ~payload;
       try
-        really_write fd buf 0 (frame_header + len);
+        really_write out.o_fd out.o_scratch.F.b 0 (F.length out.o_scratch);
         node.n_sent_msgs <- node.n_sent_msgs + 1;
-        node.n_sent_bytes <- node.n_sent_bytes + frame_header + len
+        node.n_sent_bytes <- node.n_sent_bytes + F.length out.o_scratch
       with Unix.Unix_error _ ->
         (* Peer gone: drop the connection; a later send reconnects. *)
         Hashtbl.remove node.n_out dst;
-        (try Unix.close fd with Unix.Unix_error _ -> ()))
+        (try Unix.close out.o_fd with Unix.Unix_error _ -> ()))
 
 (* ---------------------------------------------------------------- *)
 (* Node event loop                                                   *)
@@ -187,48 +190,24 @@ let dispatch t node handler input =
 
 (* Drain every complete frame accumulated on [conn]. *)
 let drain_frames t node handler conn =
-  let continue = ref true in
-  while !continue do
-    if conn.c_len < frame_header then continue := false
-    else begin
-      let len = Int32.to_int (Bytes.get_int32_be conn.c_buf 0) in
-      let src = Int32.to_int (Bytes.get_int32_be conn.c_buf 4) in
-      if len < 0 || len > max_frame then begin
-        record_error t
-          (Printf.sprintf "node %d: bad frame length %d" node.n_id len);
-        conn.c_len <- 0;
-        continue := false
-      end
-      else if conn.c_len < frame_header + len then continue := false
-      else begin
-        let payload = Bytes.sub_string conn.c_buf frame_header len in
-        let rest = conn.c_len - frame_header - len in
-        Bytes.blit conn.c_buf (frame_header + len) conn.c_buf 0 rest;
-        conn.c_len <- rest;
-        match t.codec.Core.dec payload with
-        | Ok msg -> dispatch t node handler (Core.Recv { src; msg })
-        | Error e ->
-            record_error t
-              (Printf.sprintf "node %d: undecodable frame from %d: %s"
-                 node.n_id src e)
-      end
-    end
-  done
+  F.drain conn.c_buf
+    ~frame:(fun ~src payload ->
+      match t.codec.Core.dec payload with
+      | Ok msg -> dispatch t node handler (Core.Recv { src; msg })
+      | Error e ->
+          record_error t
+            (Printf.sprintf "node %d: undecodable frame from %d: %s" node.n_id
+               src e))
+    ~bad:(fun len ->
+      record_error t
+        (Printf.sprintf "node %d: bad frame length %d" node.n_id len))
 
 let read_conn t node handler conn =
-  let cap = Bytes.length conn.c_buf in
-  if cap - conn.c_len < 65536 then begin
-    let nbuf = Bytes.create (Stdlib.max (2 * cap) (conn.c_len + 65536)) in
-    Bytes.blit conn.c_buf 0 nbuf 0 conn.c_len;
-    conn.c_buf <- nbuf
-  end;
-  match Unix.read conn.c_fd conn.c_buf conn.c_len (Bytes.length conn.c_buf - conn.c_len) with
-  | 0 -> false  (* peer closed *)
-  | n ->
-      conn.c_len <- conn.c_len + n;
-      drain_frames t node handler conn;
+  match F.read_into conn.c_buf conn.c_fd with
+  | `Closed -> false
+  | `Data n ->
+      if n > 0 then drain_frames t node handler conn;
       true
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> false
 
 let fire_due_timers t node handler =
   let rec go () =
@@ -246,11 +225,13 @@ let node_loop t node =
   let handler = node.n_factory () in
   dispatch t node handler Core.Init;
   while Atomic.get t.phase < 2 && not (Atomic.get node.n_stop) do
+    (* Sleep until the earliest pending timer (no fixed tick), capped at
+       1s so stop/crash flags are still noticed promptly when idle. *)
     let timeout =
       match node.n_timers with
-      | [] -> 0.05
+      | [] -> 1.0
       | (deadline, _, _) :: _ ->
-          Float.min 0.05 (Float.max 0.0 (deadline -. node_now t node))
+          Float.min 1.0 (Float.max 0.0 (deadline -. node_now t node))
     in
     let fds = node.n_listen :: List.map (fun c -> c.c_fd) node.n_conns in
     let ready =
@@ -263,8 +244,7 @@ let node_loop t node =
         if fd == node.n_listen then begin
           let cfd, _ = Unix.accept node.n_listen in
           Unix.setsockopt cfd Unix.TCP_NODELAY true;
-          node.n_conns <-
-            { c_fd = cfd; c_buf = Bytes.create 65536; c_len = 0 } :: node.n_conns
+          node.n_conns <- { c_fd = cfd; c_buf = F.create 65536 } :: node.n_conns
         end
         else
           match List.find_opt (fun c -> c.c_fd == fd) node.n_conns with
@@ -282,7 +262,7 @@ let node_loop t node =
     (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
     node.n_conns;
   Hashtbl.iter
-    (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun _ out -> try Unix.close out.o_fd with Unix.Unix_error _ -> ())
     node.n_out;
   try Unix.close node.n_listen with Unix.Unix_error _ -> ()
 
@@ -363,9 +343,9 @@ let stop t =
 (* ---------------------------------------------------------------- *)
 
 (* Kill one node mid-run: flip its stop switch, join its thread (the
-   loop notices within its 50ms select timeout and runs the normal
-   shutdown path, closing every socket it owns), and unregister its
-   port. Peers see a dead endpoint — cached connections fail on the next
+   loop notices within its select timeout — the sooner of the next timer
+   deadline and the 1s cap — and runs the normal shutdown path, closing
+   every socket it owns), and unregister its port. Peers see a dead endpoint — cached connections fail on the next
    write and are dropped, exactly like sends to a crashed machine. *)
 let crash t id =
   let node =

@@ -32,7 +32,7 @@ let hash_key k =
   !h land max_int
 
 let shard_of_key ~shards k =
-  if shards <= 0 then invalid_arg "Shard.shard_of_key: shards <= 0";
+  if shards <= 0 then Sim.Invariant.fail "shard" "shard_of_key: shards <= 0 (%d)" shards;
   hash_key k mod shards
 
 type router = {
@@ -68,7 +68,8 @@ let route r txn =
    absorbs re-broadcasts. Layout (LSB first): phase bit, 7-bit shard,
    20-bit seq, then client. *)
 let entry_id ~phase ~client ~seq ~shard =
-  if shard < 0 || shard > 0x7f then invalid_arg "Shard.entry_id: shard";
+  if shard < 0 || shard > 0x7f then
+    Sim.Invariant.fail "shard" "entry_id: shard %d outside [0, 0x7f]" shard;
   let phase_bit = match phase with `Prepare -> 0 | `Decision -> 1 in
   let hi = (client lsl 20) lor (seq land 0xFFFFF) in
   (hi lsl 8) lor (shard lsl 1) lor phase_bit

@@ -1653,7 +1653,8 @@ module Make (C : Consensus.Consensus_intf.S) = struct
       ?(on_decide = fun ~client:_ ~seq:_ ~commit:_ -> ()) ~world ~registry
       ~setup ~router () =
     let shards = router.Shard.shards in
-    if shards <= 0 then invalid_arg "spawn_sharded: router.shards <= 0";
+    if shards <= 0 then
+      Sim.Invariant.fail "shard" "spawn_sharded: router.shards <= 0 (%d)" shards;
     let groups_ref = ref [||] in
     let members_of s =
       let gs = !groups_ref in

@@ -2,12 +2,16 @@
 
    The same handlers — written once against the Runtime capability
    records — must behave identically whether hosted on the deterministic
-   simulator (Of_sim) or on the live socket runtime (Live, one thread and
-   TCP listener per node on loopback). The suite exercises the generic
-   process shell on both substrates, checks Of_sim keeps the simulator
-   deterministic, and finishes with the acceptance scenario: a 3-node
-   Paxos-backed SMR cluster on the live runtime running ≥100 bank
-   transactions end-to-end, reporting wall-clock p50/p99. *)
+   simulator (Of_sim), on the thread-per-node live socket runtime (Live),
+   or on the single-reactor event-loop runtime (Loop). The suite
+   exercises the generic process shell on all substrates, checks Of_sim
+   keeps the simulator deterministic, runs the acceptance scenario — a
+   3-node Paxos-backed SMR bank cluster with ≥100 transactions
+   end-to-end, wall-clock p50/p99 — on both socket runtimes, drills
+   crash/restart and outbox saturation (backpressure, bounded memory,
+   no loss, per-link FIFO) under the loop runtime, and finishes with the
+   cross-runtime conformance check: the same workload on Live and Loop
+   must commit to identical database fingerprints. *)
 
 module R = Runtime
 module Engine = Sim.Engine
@@ -106,22 +110,45 @@ let test_proc_pingpong_live () =
   Alcotest.(check int) "final reply" 10 (Atomic.get final);
   Alcotest.(check int) "echo handled every message" 10 (Atomic.get echo_count)
 
+(* The same exchange again, on the event-loop runtime through the
+   uniform driver handle. [~direct:false] forces socket sinks for every
+   destination, covering the reactor's TCP flush/accept/read path (the
+   other loop tests run the default direct local delivery). *)
+let test_proc_pingpong_loop () =
+  let d = R.Driver.loop ~direct:false ~record_delivery:true ~codec:int_codec () in
+  let echo_count = Atomic.make 0 in
+  let final = Atomic.make (-1) in
+  let _ =
+    spawn_pingpong d.R.Driver.world ~limit:10 ~echo_count ~on_reply:(fun _ n ->
+        if n >= 10 then Atomic.set final n)
+  in
+  d.R.Driver.start ();
+  let ok = d.R.Driver.await ~timeout:30.0 (fun () -> Atomic.get final >= 0) in
+  d.R.Driver.stop ();
+  Alcotest.(check (list string)) "no runtime errors" [] (d.R.Driver.errors ());
+  Alcotest.(check bool) "exchange finished" true ok;
+  Alcotest.(check int) "final reply" 10 (Atomic.get final);
+  Alcotest.(check int) "echo handled every message" 10 (Atomic.get echo_count);
+  Alcotest.(check int) "per-link FIFO clean" 0 (d.R.Driver.fifo_violations ())
+
 (* ------------------------------------------------------------------ *)
-(* Acceptance: a 3-node Paxos-backed SMR bank cluster on the live
-   runtime over loopback TCP — ≥100 transactions end-to-end, state
-   agreement across the executing replicas, wall-clock p50/p99.         *)
+(* Acceptance: a 3-node Paxos-backed SMR bank cluster over loopback
+   TCP — ≥100 transactions end-to-end, state agreement across the
+   executing replicas, wall-clock p50/p99 — on either socket runtime
+   through the uniform driver handle.                                   *)
 (* ------------------------------------------------------------------ *)
 
-let test_live_smr_bank () =
-  let codec =
-    S.wire_codec ~enc_core:Shadowdb.Codec.encode_core_paxos
-      ~dec_core:Shadowdb.Codec.decode_core_paxos
-  in
-  let live = R.Live.create ~codec () in
-  let world = R.Live.runtime live in
+let smr_codec () =
+  S.wire_codec ~enc_core:Shadowdb.Codec.encode_core_paxos
+    ~dec_core:Shadowdb.Codec.decode_core_paxos
+
+(* Run the bank workload on [d] and return (commits, per-replica content
+   hashes of the executing replicas, elapsed seconds, latency sample).
+   Asserts completion, no runtime errors, and replica state agreement. *)
+let run_smr_bank (d : _ R.Driver.t) ~label ~clients ~count =
   let rows = 1_000 in
   let cluster =
-    S.spawn_smr ~world ~registry:Workload.Bank.registry
+    S.spawn_smr ~world:d.R.Driver.world ~registry:Workload.Bank.registry
       ~setup:(fun db -> Workload.Bank.setup ~rows db)
       ~n_active:2 ()
   in
@@ -131,9 +158,8 @@ let test_live_smr_bank () =
       Alcotest.(check bool)
         (Printf.sprintf "node %d has a bound port" l)
         true
-        (R.Live.port_of live l <> None))
+        (d.R.Driver.port_of l <> None))
     cluster.S.smr_nodes;
-  let clients = 4 and count = 30 in
   let mu = Mutex.create () in
   let commits = ref 0 in
   let latencies = Stats.Sample.create () in
@@ -143,8 +169,8 @@ let test_live_smr_bank () =
     else Workload.Bank.deposit ~account ~amount:(1 + (seq mod 9))
   in
   let _, completed =
-    S.spawn_clients ~world ~target:(S.To_smr cluster) ~n:clients ~count
-      ~make_txn ~retry_timeout:2.0
+    S.spawn_clients ~world:d.R.Driver.world ~target:(S.To_smr cluster)
+      ~n:clients ~count ~make_txn ~retry_timeout:2.0
       ~on_commit:(fun _now l ->
         Mutex.lock mu;
         incr commits;
@@ -153,22 +179,18 @@ let test_live_smr_bank () =
       ()
   in
   let t0 = Unix.gettimeofday () in
-  R.Live.start live;
+  d.R.Driver.start ();
   let finished =
-    R.Live.await ~timeout:120.0 live (fun () -> completed () >= clients)
+    d.R.Driver.await ~timeout:120.0 (fun () -> completed () >= clients)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
-  R.Live.stop live;
-  Alcotest.(check (list string)) "no runtime errors" [] (R.Live.errors live);
+  d.R.Driver.stop ();
+  Alcotest.(check (list string)) "no runtime errors" [] (d.R.Driver.errors ());
   Alcotest.(check bool) "all clients finished" true finished;
   Alcotest.(check int) "clients completed" clients (completed ());
-  Alcotest.(check bool)
-    (Printf.sprintf "at least 100 transactions committed (got %d)" !commits)
-    true
-    (!commits >= 100 && !commits <= clients * count);
   Printf.printf
-    "live smr: %d txns in %.3f s wall-clock — latency p50 %.2f ms, p99 %.2f ms\n%!"
-    !commits elapsed
+    "%s smr: %d txns in %.3f s wall-clock — latency p50 %.2f ms, p99 %.2f ms\n%!"
+    label !commits elapsed
     (Stats.Sample.percentile latencies 50.0 *. 1e3)
     (Stats.Sample.percentile latencies 99.0 *. 1e3);
   (* The inactive spare tracks delivery sequence numbers but does not
@@ -181,10 +203,201 @@ let test_live_smr_bank () =
   Alcotest.(check bool)
     "at least two replicas executed" true
     (List.length executed >= 2);
-  (match List.map cluster.S.smr_hash_of executed with
+  let hashes = List.map cluster.S.smr_hash_of executed in
+  (match hashes with
   | h :: t ->
       Alcotest.(check bool) "state agreement" true (List.for_all (( = ) h) t)
-  | [] -> Alcotest.fail "no replica executed")
+  | [] -> Alcotest.fail "no replica executed");
+  (!commits, hashes, elapsed, latencies)
+
+let test_live_smr_bank () =
+  let d = R.Driver.live ~codec:(smr_codec ()) () in
+  let clients = 4 and count = 30 in
+  let commits, _, _, _ = run_smr_bank d ~label:"live" ~clients ~count in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 100 transactions committed (got %d)" commits)
+    true
+    (commits >= 100 && commits <= clients * count)
+
+let test_loop_smr_bank () =
+  let d = R.Driver.loop ~codec:(smr_codec ()) () in
+  let clients = 4 and count = 30 in
+  let commits, _, _, _ = run_smr_bank d ~label:"loop" ~clients ~count in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 100 transactions committed (got %d)" commits)
+    true
+    (commits >= 100 && commits <= clients * count)
+
+(* ------------------------------------------------------------------ *)
+(* Loop runtime: crash/restart, outbox saturation, conformance.        *)
+(* ------------------------------------------------------------------ *)
+
+(* A driver that survives the death of its peer: a heartbeat timer
+   resends the current counter until the echo answers, so progress stalls
+   across the crash window and resumes after restart. *)
+let test_loop_crash_restart () =
+  let loop = R.Loop.create ~record_delivery:true ~codec:int_codec () in
+  let world = R.Loop.runtime loop in
+  let limit = 40 in
+  let progress = Atomic.make 0 in
+  let echo =
+    R.spawn world ~name:"echo" (fun () ->
+        R.Proc.node_handler ~machine:(echo_machine ())
+          ~prj:(fun n -> Some n)
+          ~interp:(fun ctx (Send_to (dst, n)) -> R.send ctx dst n)
+          ())
+  in
+  let _driver =
+    R.spawn world ~name:"driver" (fun () ->
+        let next = ref 0 in
+        R.Proc.stateful_handler
+          ~init:(fun ~self:_ ~now:_ -> ())
+          ~handle:(fun ctx () -> function
+            | R.Init -> ignore (R.set_timer ctx 0.01 "kick")
+            | R.Timer _ ->
+                if !next < limit then begin
+                  R.send ctx echo !next;
+                  ignore (R.set_timer ctx 0.1 "kick")
+                end
+            | R.Recv { msg = n; _ } ->
+                if n > !next then begin
+                  next := n;
+                  Atomic.set progress n
+                end;
+                if !next < limit then R.send ctx echo !next)
+          ())
+  in
+  R.Loop.start loop;
+  let warmed =
+    R.Loop.await ~timeout:30.0 loop (fun () -> Atomic.get progress >= 10)
+  in
+  Alcotest.(check bool) "progress before crash" true warmed;
+  R.Loop.crash loop echo;
+  let before = Atomic.get progress in
+  Thread.delay 0.25;  (* driver heartbeats into the void *)
+  R.Loop.restart loop echo;
+  let finished =
+    R.Loop.await ~timeout:30.0 loop (fun () -> Atomic.get progress >= limit)
+  in
+  R.Loop.stop loop;
+  Alcotest.(check bool) "finished after restart" true finished;
+  Alcotest.(check bool)
+    (Printf.sprintf "crash did not rewind progress (%d -> %d)" before
+       (Atomic.get progress))
+    true
+    (Atomic.get progress >= before);
+  Alcotest.(check (list string)) "no runtime errors" [] (R.Loop.errors loop);
+  Alcotest.(check int) "per-link FIFO clean across crash" 0
+    (R.Loop.fifo_violations loop)
+
+(* Saturate one outbox with tiny watermarks: a producer bursts far more
+   bytes per dispatch than the high watermark, so backpressure must
+   engage (parking the producer's next burst timer), memory must stay
+   bounded by one burst of overshoot, and every message must still reach
+   the consumer exactly once, in order. *)
+let test_loop_outbox_saturation () =
+  let high = 8 * 1024 and low = 2 * 1024 in
+  let burst = 2_000 and bursts = 10 in
+  let total = burst * bursts in
+  let signalled = Atomic.make 0 in
+  let loop =
+    R.Loop.create ~high ~low ~record_delivery:true
+      ~on_backpressure:(fun ~dst:_ ~bytes:_ -> Atomic.incr signalled)
+      ~codec:int_codec ()
+  in
+  let world = R.Loop.runtime loop in
+  let received = Atomic.make 0 in
+  let disorder = Atomic.make 0 in
+  let consumer =
+    R.spawn world ~name:"consumer" (fun () ->
+        let expected = ref 0 in
+        R.Proc.stateful_handler
+          ~init:(fun ~self:_ ~now:_ -> ())
+          ~handle:(fun _ctx () -> function
+            | R.Recv { msg = n; _ } ->
+                if n <> !expected then Atomic.incr disorder;
+                incr expected;
+                Atomic.set received !expected
+            | R.Init | R.Timer _ -> ())
+          ())
+  in
+  let _producer =
+    R.spawn world ~name:"producer" (fun () ->
+        let sent = ref 0 in
+        R.Proc.stateful_handler
+          ~init:(fun ~self:_ ~now:_ -> ())
+          ~handle:(fun ctx () -> function
+            | R.Init -> ignore (R.set_timer ctx 0.0 "burst")
+            | R.Timer _ ->
+                if !sent < total then begin
+                  for i = !sent to !sent + burst - 1 do
+                    R.send ctx consumer i
+                  done;
+                  sent := !sent + burst;
+                  ignore (R.set_timer ctx 0.0 "burst")
+                end
+            | R.Recv _ -> ())
+          ())
+  in
+  R.Loop.start loop;
+  let finished =
+    R.Loop.await ~timeout:60.0 loop (fun () -> Atomic.get received >= total)
+  in
+  R.Loop.stop loop;
+  let st = R.Loop.stats loop in
+  Alcotest.(check (list string)) "no runtime errors" [] (R.Loop.errors loop);
+  Alcotest.(check bool) "all messages delivered" true finished;
+  Alcotest.(check int) "no loss, no duplication" total (Atomic.get received);
+  Alcotest.(check int) "delivered in order" 0 (Atomic.get disorder);
+  Alcotest.(check int) "per-link FIFO clean" 0 st.R.Loop.s_fifo_violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "backpressure engaged (%d times)" st.R.Loop.s_backpressure)
+    true
+    (st.R.Loop.s_backpressure >= 1);
+  Alcotest.(check bool) "harness saw the Backpressure signal" true
+    (Atomic.get signalled >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "producer was parked (%d times)" st.R.Loop.s_parked)
+    true (st.R.Loop.s_parked >= 1);
+  (* A producer can overshoot the watermark only by what one dispatch
+     emits: one burst of ~12-byte frames. *)
+  let bound = high + (burst * 32) in
+  Alcotest.(check bool)
+    (Printf.sprintf "outbox memory bounded (peak %d <= %d)"
+       st.R.Loop.s_peak_outbox_bytes bound)
+    true
+    (st.R.Loop.s_peak_outbox_bytes <= bound);
+  Alcotest.(check bool)
+    (Printf.sprintf "sends were coalesced (%d frames in %d writes)"
+       st.R.Loop.s_sent_msgs st.R.Loop.s_flush_writes)
+    true
+    (st.R.Loop.s_flush_writes * 2 <= st.R.Loop.s_sent_msgs)
+
+(* Cross-runtime conformance: the same deterministic closed-loop bank
+   workload on the thread-per-node and event-loop runtimes must commit to
+   identical database content fingerprints (TOB agreement end-to-end;
+   commutativity of the deposit set makes the fingerprint schedule-
+   independent, and duplicate suppression makes it retry-independent). *)
+let test_runtime_conformance () =
+  let clients = 3 and count = 20 in
+  let _, live_hashes, _, _ =
+    run_smr_bank
+      (R.Driver.live ~codec:(smr_codec ()) ())
+      ~label:"conformance/live" ~clients ~count
+  in
+  let d = R.Driver.loop ~record_delivery:true ~codec:(smr_codec ()) () in
+  let _, loop_hashes, _, _ =
+    run_smr_bank d ~label:"conformance/loop" ~clients ~count
+  in
+  Alcotest.(check int) "loop per-link FIFO clean" 0
+    (d.R.Driver.fifo_violations ());
+  match (live_hashes, loop_hashes) with
+  | lh :: _, ph :: _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "identical committed-state fingerprints (%d vs %d)" lh
+           ph)
+        true (lh = ph)
+  | _ -> Alcotest.fail "a runtime produced no executed replicas"
 
 let () =
   Alcotest.run "runtime"
@@ -202,5 +415,18 @@ let () =
             test_proc_pingpong_live;
           Alcotest.test_case "3-node SMR bank cluster, 120 txns" `Slow
             test_live_smr_bank;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "ping-pong on the event loop" `Quick
+            test_proc_pingpong_loop;
+          Alcotest.test_case "3-node SMR bank cluster, 120 txns" `Slow
+            test_loop_smr_bank;
+          Alcotest.test_case "crash/restart under the event loop" `Quick
+            test_loop_crash_restart;
+          Alcotest.test_case "outbox saturation: backpressure, no loss"
+            `Quick test_loop_outbox_saturation;
+          Alcotest.test_case "live vs loop committed-state conformance" `Slow
+            test_runtime_conformance;
         ] );
     ]
