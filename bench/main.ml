@@ -635,6 +635,35 @@ let measure_check () =
       (name, float_of_int budget /. wall))
     [ ("paxos", Check.Scenarios.paxos); ("tob", Check.Scenarios.tob) ]
 
+(* Conformance-checker throughput: a recorded sim bank trace pushed
+   through the LoE replay + invariant monitors (events/s) and through
+   the trace codec (encode + decode, MB/s). *)
+let measure_conform () =
+  let clients, count = if quick then (2, 20) else (3, 60) in
+  let run = Conform.Record.sim_bank ~seed:7 ~clients ~count ~rows:512 () in
+  let events = Conform.Recorder.events run.Conform.Record.recorder in
+  let meta = Conform.Recorder.meta run.Conform.Record.recorder in
+  let n = List.length events in
+  let spec_exec = Conform.Replay.spec_exec_of_meta meta in
+  let t0 = Unix.gettimeofday () in
+  let replay = Conform.Replay.check ?spec_exec events in
+  let monitors = Conform.Monitors.check ~meta events in
+  let check_wall = Unix.gettimeofday () -. t0 in
+  let events_s =
+    if Conform.Replay.ok replay && Conform.Monitors.ok monitors then
+      float_of_int n /. check_wall
+    else nan
+  in
+  let t1 = Unix.gettimeofday () in
+  let enc = Conform.Trace_file.encode ~meta events in
+  let roundtrip_ok =
+    match Conform.Trace_file.decode enc with Ok _ -> true | Error _ -> false
+  in
+  let codec_wall = Unix.gettimeofday () -. t1 in
+  let mb = float_of_int (String.length enc) /. (1024.0 *. 1024.0) in
+  let codec_mb_s = if roundtrip_ok then 2.0 *. mb /. codec_wall else nan in
+  (events_s, codec_mb_s)
+
 let run_trajectory () =
   print_endline "\n########################################################";
   print_endline "# Perf trajectory (wall-clock hot-path throughput)     #";
@@ -649,6 +678,7 @@ let run_trajectory () =
   let live_fsync = measure_live ~dur_group_commit:1 () in
   let live_group = measure_live ~dur_group_commit:8 () in
   let recovery_ms = measure_recovery () in
+  let conform_events_s, conform_codec_mb_s = measure_conform () in
   Stats.Table.print_table ~title:"perf trajectory"
     ~header:[ "measure"; "value" ]
     ([
@@ -669,6 +699,8 @@ let run_trajectory () =
        [ "tob txns/s (live, fsync/commit)"; Stats.Table.fmt_f live_fsync ];
        [ "tob txns/s (live, group commit 8)"; Stats.Table.fmt_f live_group ];
        [ "recovery ms / 10k records"; Stats.Table.fmt_f recovery_ms ];
+       [ "conform check events/s"; Stats.Table.fmt_f conform_events_s ];
+       [ "conform trace codec MB/s"; Stats.Table.fmt_f conform_codec_mb_s ];
      ]
     @ List.map
         (fun (shards, t, speedup, xc, xa) ->
@@ -690,7 +722,8 @@ let run_trajectory () =
     (loop_txns, loop_p50, loop_p99),
     frame_ns,
     check_rates,
-    (wal_mb_s, live_fsync, live_group, recovery_ms) )
+    (wal_mb_s, live_fsync, live_group, recovery_ms),
+    (conform_events_s, conform_codec_mb_s) )
 
 let () =
   run_paper_experiments ();
@@ -706,7 +739,8 @@ let () =
             (loop_txns, loop_p50, loop_p99),
             frame_ns,
             check_rates,
-            (wal_mb_s, live_fsync, live_group, recovery_ms) ) =
+            (wal_mb_s, live_fsync, live_group, recovery_ms),
+            (conform_events_s, conform_codec_mb_s) ) =
         run_trajectory ()
       in
       let json =
@@ -766,6 +800,12 @@ let () =
                   ("live_txns_per_sec_fsync_per_commit", Json.num live_fsync);
                   ("live_txns_per_sec_group_commit_8", Json.num live_group);
                   ("recovery_ms_per_10k_records", Json.num recovery_ms);
+                ] );
+            ( "conform",
+              Json.Obj
+                [
+                  ("check_events_per_sec", Json.num conform_events_s);
+                  ("trace_codec_mb_per_sec", Json.num conform_codec_mb_s);
                 ] );
             ( "ablations",
               Json.Obj

@@ -27,9 +27,11 @@ type rt = Rt_sim | Rt_live | Rt_loop
 let rt_conv =
   Arg.enum [ ("sim", Rt_sim); ("live", Rt_live); ("loop", Rt_loop) ]
 
+let bank_rows = 10_000
+
 let workload_parts = function
   | Bank ->
-      let rows = 10_000 in
+      let rows = bank_rows in
       ( Workload.Bank.registry,
         (fun db -> Workload.Bank.setup ~rows db),
         (fun ~client ~seq ->
@@ -181,6 +183,71 @@ let make_sharded_txn ~client ~seq =
     Workload.Bank.transfer ~src ~dst ~amount:1
   else Workload.Bank.deposit ~account:(h mod shard_rows) ~amount:(1 + (seq mod 9))
 
+(* --------------------- conformance instrumentation -------------------- *)
+
+let wire_codec =
+  S.wire_codec ~enc_core:Shadowdb.Codec.encode_core_paxos
+    ~dec_core:Shadowdb.Codec.decode_core_paxos
+
+(* Trace meta lets the offline checker rebuild the shadow execution
+   environment (workload + seeding) and pick the right monitor set. *)
+let conform_meta ~rt ~wl ~shards ~seed ~clients ~count =
+  let rt_name =
+    match rt with Rt_sim -> "sim" | Rt_live -> "live" | Rt_loop -> "loop"
+  in
+  let wl_meta =
+    match (wl, shards) with
+    | Bank, 1 -> [ ("workload", "bank"); ("rows", string_of_int bank_rows) ]
+    | Bank, _ -> [ ("workload", "bank") ]
+    | Tpcc, _ -> [ ("workload", "tpcc") ]
+  in
+  wl_meta
+  @ [
+      ("runtime", rt_name);
+      ("shards", string_of_int shards);
+      ("seed", string_of_int seed);
+      ("clients", string_of_int clients);
+      ("count", string_of_int count);
+    ]
+
+(* The recorder (for --trace) and the online monitor (for --monitor),
+   combined into the single tap the runtime accepts. *)
+let conform_taps ~meta ~trace ~monitor =
+  let recorder =
+    match trace with
+    | None -> None
+    | Some _ -> Some (Conform.Recorder.create ~meta ())
+  in
+  let online = if monitor then Some (Conform.Online.create ()) else None in
+  let taps =
+    (match recorder with
+    | Some r -> [ Conform.Recorder.tap r ~enc:wire_codec.Runtime.enc ]
+    | None -> [])
+    @ match online with Some o -> [ Conform.Online.tap o ] | None -> []
+  in
+  let tap = match taps with [] -> None | l -> Some (Runtime.tap_all l) in
+  (recorder, online, tap)
+
+(* Returns true when the online monitor saw a violation. *)
+let conform_finish ~trace recorder online =
+  (match (trace, recorder) with
+  | Some path, Some r ->
+      Conform.Recorder.save r path;
+      Printf.printf "trace      : %d events to %s%s\n"
+        (Conform.Recorder.recorded r)
+        path
+        (let d = Conform.Recorder.dropped r in
+         if d > 0 then Printf.sprintf " (%d oldest dropped)" d else "")
+  | _ -> ());
+  match online with
+  | None -> false
+  | Some o ->
+      Printf.printf "%s\n" (Conform.Online.summary o);
+      List.iter
+        (fun m -> Printf.printf "monitor    : %s\n" m)
+        (Conform.Online.messages o);
+      Conform.Online.violations o > 0
+
 let backends_of diverse =
   if diverse then
     [ Storage.Store.Hazel; Storage.Store.Hickory; Storage.Store.Dogwood ]
@@ -218,9 +285,12 @@ let deploy mode wl shards ~window ~diverse ~world =
     ( spawn_cluster mode ~window ~read_kinds ~backends ~world ~registry ~setup,
       make_txn )
 
-let run_sim mode wl shards clients count crash_at seed diverse window =
+let run_sim mode wl shards clients count crash_at seed diverse window trace
+    monitor =
   let world : S.wire Engine.t = Engine.create ~seed () in
-  let rworld = Runtime.Of_sim.of_engine world in
+  let meta = conform_meta ~rt:Rt_sim ~wl ~shards ~seed ~clients ~count in
+  let recorder, online, tap = conform_taps ~meta ~trace ~monitor in
+  let rworld = Runtime.Of_sim.of_engine ?tap world in
   let d, make_txn = deploy mode wl shards ~window ~diverse ~world:rworld in
   let latencies = Stats.Sample.create () in
   let commits = ref 0 in
@@ -247,22 +317,25 @@ let run_sim mode wl shards clients count crash_at seed diverse window =
   let alive = List.filter (Engine.is_alive world) d.replicas in
   report ~clients ~completed:(completed ()) ~commits:!commits ~elapsed:!last
     ~latencies ~alive ~d ~unit_label:"virtual";
-  if completed () <> clients then exit 1
+  let violated = conform_finish ~trace recorder online in
+  if completed () <> clients || violated then exit 1
 
 (* A real cluster on the local machine: messages are framed Codec bytes
    over loopback sockets, timers run on the wall clock. `live` hosts
    every node on its own thread; `loop` multiplexes the whole deployment
    over one event-loop reactor. Same protocol code as the simulation —
    only the runtime underneath changes. *)
-let run_socket rt mode wl shards clients count crash_at diverse window =
+let run_socket rt mode wl shards clients count crash_at diverse window trace
+    monitor =
   (match crash_at with
   | Some _ ->
       Printf.eprintf "shadowdb: --crash-at is simulator-only; ignoring\n%!"
   | None -> ());
-  let codec =
-    S.wire_codec ~enc_core:Shadowdb.Codec.encode_core_paxos
-      ~dec_core:Shadowdb.Codec.decode_core_paxos
+  let codec = wire_codec in
+  let meta =
+    conform_meta ~rt ~wl ~shards ~seed:0 ~clients ~count
   in
+  let recorder, online, tap = conform_taps ~meta ~trace ~monitor in
   let d_rt, flavour =
     match rt with
     | Rt_loop ->
@@ -271,9 +344,9 @@ let run_socket rt mode wl shards clients count crash_at diverse window =
               Printf.eprintf
                 "backpressure: outbox to node %d engaged at %d bytes\n%!" dst
                 bytes)
-            ~codec (),
+            ?tap ~codec (),
           "event-loop reactor" )
-    | Rt_live | Rt_sim -> (Runtime.Driver.live ~codec (), "thread-per-node")
+    | Rt_live | Rt_sim -> (Runtime.Driver.live ?tap ~codec (), "thread-per-node")
   in
   let world = d_rt.Runtime.Driver.world in
   let d, make_txn = deploy mode wl shards ~window ~diverse ~world in
@@ -317,14 +390,18 @@ let run_socket rt mode wl shards clients count crash_at diverse window =
       Printf.printf "backpressure: %d outbox engagements\n"
         (d_rt.Runtime.Driver.backpressure ())
   | Rt_live | Rt_sim -> ());
-  if not finished then exit 1
+  let violated = conform_finish ~trace recorder online in
+  if not finished || violated then exit 1
 
 let run_cluster runtime mode wl shards clients count crash_at seed diverse
-    window =
+    window trace monitor =
   match runtime with
-  | Rt_sim -> run_sim mode wl shards clients count crash_at seed diverse window
+  | Rt_sim ->
+      run_sim mode wl shards clients count crash_at seed diverse window trace
+        monitor
   | (Rt_live | Rt_loop) as rt ->
-      run_socket rt mode wl shards clients count crash_at diverse window
+      run_socket rt mode wl shards clients count crash_at diverse window trace
+        monitor
 
 let sql_shell backend =
   let kind =
@@ -405,11 +482,30 @@ let run_cmd =
             "Broadcast-service pipelining window: batches a member may \
              have in flight through consensus at once.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the cluster's event trace (deliveries, fingerprint \
+             checkpoints, messages) to this file for offline conformance \
+             checking with $(b,shadowdb_check conform).")
+  in
+  let monitor =
+    Arg.(
+      value & flag
+      & info [ "monitor" ]
+          ~doc:
+            "Run the in-process conformance monitor while the cluster \
+             executes: per-link FIFO and state-fingerprint agreement; a \
+             violation fails the run.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Deploy a replicated database and drive a workload.")
     Term.(
       const run_cluster $ runtime $ mode $ wl $ shards $ clients $ count
-      $ crash $ seed $ diverse $ window)
+      $ crash $ seed $ diverse $ window $ trace $ monitor)
 
 let sql_cmd =
   let backend =

@@ -4,7 +4,15 @@
    of a protocol scenario under the simulator's scheduler hook, checking
    runtime invariant monitors on every run and reporting distinct-state
    coverage; on a violation it saves a shrunk, replayable counterexample
-   trace. `shadowdb_check replay` re-executes a saved trace exactly. *)
+   trace. `shadowdb_check replay` re-executes a saved trace exactly.
+
+   `shadowdb_check conform` is the runtime conformance checker: it loads
+   a recorded event trace (from any of the three runtimes) and replays
+   it through the Logic-of-Events delivery spec and the invariant
+   monitors. `conform-record` produces reference traces — optionally
+   run through a deliberately-divergent mutator — and
+   `conform-selftest` proves in-process that a clean trace passes and
+   every divergent fixture is rejected. *)
 
 open Cmdliner
 
@@ -68,6 +76,77 @@ let replay file =
               Fmt.pr "no violation on replay (%d events, depth %d)@."
                 out.Check.Scenario.events out.Check.Scenario.depth;
               0))
+
+(* ------------------------ conformance checking ------------------------ *)
+
+let conform file max_delivers =
+  match Conform.Trace_file.load file with
+  | Error msg ->
+      Fmt.epr "cannot load trace %s: %s@." file msg;
+      64
+  | Ok (meta, events) ->
+      let spec_exec = Conform.Replay.spec_exec_of_meta meta in
+      let replay = Conform.Replay.check ?spec_exec ~max_delivers events in
+      let monitors = Conform.Monitors.check ~meta events in
+      Fmt.pr "%a@." Conform.Replay.pp_report replay;
+      Fmt.pr "%a@." Conform.Monitors.pp_report monitors;
+      if Conform.Replay.ok replay && Conform.Monitors.ok monitors then 0 else 2
+
+let conform_record seed clients count rows fixture out =
+  let run = Conform.Record.sim_bank ~seed ~clients ~count ~rows () in
+  let recorder = run.Conform.Record.recorder in
+  let events = Conform.Recorder.events recorder in
+  let meta = Conform.Recorder.meta recorder in
+  let events =
+    match fixture with
+    | None -> Ok events
+    | Some name -> Conform.Mutate.apply name events
+  in
+  match events with
+  | Error msg ->
+      Fmt.epr "fixture failed: %s@." msg;
+      64
+  | Ok events -> (
+      match Conform.Trace_file.save ~path:out ~meta events with
+      | () ->
+          Fmt.pr "recorded %d events (%d commits) to %s%s@."
+            (List.length events) run.Conform.Record.commits out
+            (match fixture with
+            | None -> ""
+            | Some f -> Printf.sprintf " [divergent fixture: %s]" f);
+          0)
+
+let conform_selftest seed =
+  let run = Conform.Record.sim_bank ~seed ~clients:2 ~count:20 ~rows:64 () in
+  let recorder = run.Conform.Record.recorder in
+  let events = Conform.Recorder.events recorder in
+  let meta = Conform.Recorder.meta recorder in
+  let failures = ref 0 in
+  let expect what cond =
+    if cond then Fmt.pr "ok: %s@." what
+    else begin
+      Fmt.pr "FAIL: %s@." what;
+      incr failures
+    end
+  in
+  expect "recorded run completed"
+    (run.Conform.Record.completed = run.Conform.Record.clients
+    && run.Conform.Record.commits > 0);
+  expect "clean trace is conformant" (Conform.Record.conformant ~meta events);
+  (match Conform.Trace_file.decode (Conform.Trace_file.encode ~meta events) with
+  | Ok (m2, ev2) -> expect "trace codec round-trips" (m2 = meta && ev2 = events)
+  | Error e -> expect (Printf.sprintf "trace codec round-trips (%s)" e) false);
+  List.iter
+    (fun name ->
+      match Conform.Mutate.apply name events with
+      | Error msg ->
+          expect (Printf.sprintf "fixture %s applies (%s)" name msg) false
+      | Ok mutated ->
+          expect
+            (Printf.sprintf "divergent fixture %s is rejected" name)
+            (not (Conform.Record.conformant ~meta mutated)))
+    Conform.Mutate.fixtures;
+  if !failures = 0 then 0 else 1
 
 let explore_term =
   let protocol =
@@ -171,6 +250,80 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Re-execute a saved counterexample trace exactly.")
     Term.(const replay $ file)
 
+let conform_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"Event trace recorded by a runtime or conform-record.")
+  in
+  let max_delivers =
+    Arg.(
+      value
+      & opt int Conform.Replay.default_max_delivers
+      & info [ "max-delivers" ]
+          ~doc:
+            "Per-incarnation cap on deliveries replayed through the LoE \
+             spec machine (its denotational evaluation is quadratic).")
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Replay a recorded event trace through the LoE delivery spec and \
+          the invariant monitors; exit 2 on divergence.")
+    Term.(const conform $ file $ max_delivers)
+
+let conform_record_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
+  in
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Closed-loop clients.")
+  in
+  let count =
+    Arg.(
+      value & opt int 40
+      & info [ "count" ] ~doc:"Transactions per client.")
+  in
+  let rows =
+    Arg.(value & opt int 512 & info [ "rows" ] ~doc:"Bank accounts.")
+  in
+  let fixture =
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun f -> (f, f)) Conform.Mutate.fixtures)))
+          None
+      & info [ "fixture" ] ~docv:"NAME"
+          ~doc:
+            "Apply a deliberately-divergent mutation before saving: \
+             skip-batch, reorder, or tamper-hash.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the trace to this file.")
+  in
+  Cmd.v
+    (Cmd.info "conform-record"
+       ~doc:
+         "Record a seeded bank workload on the simulator and save its event \
+          trace (optionally mutated into a divergent fixture).")
+    Term.(
+      const conform_record $ seed $ clients $ count $ rows $ fixture $ out)
+
+let conform_selftest_cmd =
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Simulation seed.")
+  in
+  Cmd.v
+    (Cmd.info "conform-selftest"
+       ~doc:
+         "Record a reference trace in-process, check it passes, and check \
+          every divergent fixture is rejected.")
+    Term.(const conform_selftest $ seed)
+
 let () =
   let info =
     Cmd.info "shadowdb_check"
@@ -180,4 +333,11 @@ let () =
      [shadowdb_check --protocol paxos --budget 2000] works bare. *)
   exit
     (Cmd.eval'
-       (Cmd.group ~default:explore_term info [ explore_cmd; replay_cmd ]))
+       (Cmd.group ~default:explore_term info
+          [
+            explore_cmd;
+            replay_cmd;
+            conform_cmd;
+            conform_record_cmd;
+            conform_selftest_cmd;
+          ]))

@@ -139,10 +139,25 @@ let run rt clients count group_commit snapshot_every torn data_dir json_path
       ~dec_core:Shadowdb.Codec.decode_core_paxos
   in
   let rt_name = match rt with Rt_live -> "live" | Rt_loop -> "loop" in
+  (* Always-on conformance recording: the drill's whole trace — including
+     the crash/restart window — is saved next to the durable state and
+     replayed through the LoE spec as one of the verdict's checks. *)
+  let recorder =
+    Conform.Recorder.create
+      ~meta:
+        [
+          ("workload", "bank");
+          ("rows", string_of_int bank_rows);
+          ("runtime", rt_name);
+          ("drill", "crash-recover");
+        ]
+      ()
+  in
+  let tap = Conform.Recorder.tap recorder ~enc:codec.Runtime.enc in
   let live =
     match rt with
-    | Rt_live -> Runtime.Driver.live ~codec ()
-    | Rt_loop -> Runtime.Driver.loop ~record_delivery:true ~codec ()
+    | Rt_live -> Runtime.Driver.live ~tap ~codec ()
+    | Rt_loop -> Runtime.Driver.loop ~record_delivery:true ~tap ~codec ()
   in
   let world = live.Runtime.Driver.world in
   let mu = Mutex.create () in
@@ -266,6 +281,31 @@ let run rt clients count group_commit snapshot_every torn data_dir json_path
   List.iter
     (fun e -> Printf.eprintf "live runtime error: %s\n%!" e)
     (live.Runtime.Driver.errors ());
+  (* Conformance: save the recorded trace and replay it through the LoE
+     delivery spec plus the invariant monitors. *)
+  let trace_path = Filename.concat data_dir "drill.ctrace" in
+  Conform.Recorder.save recorder trace_path;
+  let trace_events = Conform.Recorder.events recorder in
+  let conform_replay, conform_monitors =
+    let meta = Conform.Recorder.meta recorder in
+    let spec_exec = Conform.Replay.spec_exec_of_meta meta in
+    ( Conform.Replay.check ?spec_exec trace_events,
+      Conform.Monitors.check ~meta trace_events )
+  in
+  let conform_ok =
+    Conform.Replay.ok conform_replay && Conform.Monitors.ok conform_monitors
+  in
+  Printf.printf "conformance: %s (%d events, %d deliveries replayed)\n%!"
+    (if conform_ok then "trace matches the LoE spec" else "DIVERGENT")
+    (List.length trace_events) conform_replay.Conform.Replay.r_delivers;
+  if not conform_ok then begin
+    List.iter
+      (fun d -> Printf.printf "conformance: %s\n" (Format.asprintf "%a" Conform.Replay.pp_divergence d))
+      conform_replay.Conform.Replay.r_divergences;
+    List.iter
+      (fun (n, m) -> Printf.printf "conformance: [%s] %s\n" n m)
+      conform_monitors.Conform.Monitors.m_violations
+  end;
   (* Verdict. Every check is computed from the recovery report plus
      read-only inspection of the on-disk images. *)
   let surv_snap, surv_log = Durable.File.read_dir (node_dir data_dir survivor) in
@@ -330,6 +370,7 @@ let run rt clients count group_commit snapshot_every torn data_dir json_path
               ("recovery_ms", Json.Num ((back_at -. restart_at) *. 1e3));
             ] )
   in
+  let checks = checks @ [ ("conformance", conform_ok) ] in
   let ok = List.for_all snd checks in
   let down_commits =
     Stats.Series.between commit_series killed_at
@@ -366,6 +407,24 @@ let run rt clients count group_commit snapshot_every torn data_dir json_path
               ("torn_bytes", Json.int pre.Durable.Manager.i_torn);
             ] );
         ("recovery", recovery_json);
+        ( "conformance",
+          Json.Obj
+            [
+              ("trace", Json.Str trace_path);
+              ("events", Json.int (List.length trace_events));
+              ( "delivers_replayed",
+                Json.int conform_replay.Conform.Replay.r_delivers );
+              ( "checkpoints",
+                Json.int conform_replay.Conform.Replay.r_checkpoints );
+              ( "divergences",
+                Json.int
+                  (List.length conform_replay.Conform.Replay.r_divergences) );
+              ( "monitor_violations",
+                Json.int
+                  (List.length conform_monitors.Conform.Monitors.m_violations)
+              );
+              ("ok", Json.Bool conform_ok);
+            ] );
         ( "delivery",
           match rt with
           | Rt_loop ->

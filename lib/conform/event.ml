@@ -1,0 +1,56 @@
+(* The structured trace event: one observable step of one node.
+
+   A trace is what runtime conformance checking consumes: enough of an
+   execution to replay it against the verified specification without
+   re-running the system. Events carry the node that observed them, the
+   node's logical step (its dispatch count — comparable across runtimes,
+   unlike wall-clock time), the observing node's clock, and the payload:
+
+   - [Init]/[Timer]/[Recv] — the inputs the runtime dispatched, with the
+     wire bytes of received messages (the trace is runtime-independent:
+     sim messages are encoded through the same codec the sockets use);
+   - [Send] — every outbound message, as wire bytes;
+   - [Deliver]/[Checkpoint] — the replicated state machine's view: a
+     totally-ordered entry reached the replica, and the state fingerprint
+     right after applying it (these come from protocol code, because SMR
+     self-deliveries never cross the wire);
+   - [Crash]/[Restart] — fault-injection boundaries, splitting a node's
+     stream into incarnations. *)
+
+type kind =
+  | Init
+  | Recv of { src : int; bytes : string }
+  | Timer of { id : int; tag : string }
+  | Send of { dst : int; bytes : string }
+  | Deliver of { seqno : int; origin : int; id : int; payload : string }
+  | Checkpoint of { gseq : int; seqno : int; hash : int }
+  | Crash
+  | Restart
+
+type t = { node : int; step : int; at : float; kind : kind }
+
+let kind_name = function
+  | Init -> "init"
+  | Recv _ -> "recv"
+  | Timer _ -> "timer"
+  | Send _ -> "send"
+  | Deliver _ -> "deliver"
+  | Checkpoint _ -> "checkpoint"
+  | Crash -> "crash"
+  | Restart -> "restart"
+
+let pp ppf e =
+  let detail =
+    match e.kind with
+    | Init | Crash | Restart -> ""
+    | Recv { src; bytes } -> Printf.sprintf " src=%d %dB" src (String.length bytes)
+    | Timer { id; tag } -> Printf.sprintf " id=%d tag=%s" id tag
+    | Send { dst; bytes } -> Printf.sprintf " dst=%d %dB" dst (String.length bytes)
+    | Deliver { seqno; origin; id; payload } ->
+        Printf.sprintf " seqno=%d origin=%d id=%d %dB" seqno origin id
+          (String.length payload)
+    | Checkpoint { gseq; seqno; hash } ->
+        Printf.sprintf " gseq=%d seqno=%d hash=%x" gseq seqno hash
+  in
+  Format.fprintf ppf "node=%d step=%d t=%.6f %s%s" e.node e.step e.at
+    (kind_name e.kind) detail

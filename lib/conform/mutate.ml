@@ -1,0 +1,92 @@
+(* Deliberately-divergent trace fixtures.
+
+   Each mutator takes a conformant trace and produces one that a correct
+   replica could not have generated — the checker's sensitivity is
+   demonstrated (and CI-enforced) by these being rejected:
+
+   - [skip-batch]: drop one delivery that the node later built on — the
+     replica's recorded state then claims an entry it never applied;
+   - [reorder]: swap two deliveries of one node — a total-order
+     violation the spec machine flags directly;
+   - [tamper-hash]: corrupt one fingerprint checkpoint — the recorded
+     state no longer matches the spec execution.
+
+   The generic [droppable]/[drop_at] pair is shared with the qcheck
+   sensitivity property, which mutates a random eligible event. *)
+
+(* Indices (into the event list) of Deliver events that are followed by
+   another Deliver of the same node — dropping one of these always
+   leaves later evidence (a later delivery or its checkpoint) that the
+   entry went missing. *)
+let droppable (events : Event.t list) : int list =
+  let arr = Array.of_list events in
+  let has_later node i =
+    let rec go j =
+      j < Array.length arr
+      && ((arr.(j).Event.node = node
+          && match arr.(j).Event.kind with Event.Deliver _ -> true | _ -> false)
+         || go (j + 1))
+    in
+    go (i + 1)
+  in
+  let acc = ref [] in
+  Array.iteri
+    (fun i (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Deliver _ when has_later e.Event.node i -> acc := i :: !acc
+      | _ -> ())
+    arr;
+  List.rev !acc
+
+let drop_at i (events : Event.t list) : Event.t list =
+  List.filteri (fun j _ -> j <> i) events
+
+let skip_batch events =
+  match droppable events with
+  | [] -> Error "trace has no droppable delivery"
+  | i :: _ -> Ok (drop_at i events)
+
+(* Swap the first two Deliver events of the first node that has two. *)
+let reorder (events : Event.t list) : (Event.t list, string) result =
+  let arr = Array.of_list events in
+  let first : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let pair = ref None in
+  Array.iteri
+    (fun i (e : Event.t) ->
+      match (e.Event.kind, !pair) with
+      | Event.Deliver _, None -> (
+          match Hashtbl.find_opt first e.Event.node with
+          | None -> Hashtbl.replace first e.Event.node i
+          | Some j -> pair := Some (j, i))
+      | _ -> ())
+    arr;
+  match !pair with
+  | None -> Error "trace has no node with two deliveries"
+  | Some (i, j) ->
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp;
+      Ok (Array.to_list arr)
+
+let tamper_hash (events : Event.t list) : (Event.t list, string) result =
+  let done_ = ref false in
+  let events =
+    List.map
+      (fun (e : Event.t) ->
+        match e.Event.kind with
+        | Event.Checkpoint { gseq; seqno; hash } when not !done_ ->
+            done_ := true;
+            { e with Event.kind = Event.Checkpoint { gseq; seqno; hash = hash lxor 0x5a5a5a } }
+        | _ -> e)
+      events
+  in
+  if !done_ then Ok events else Error "trace has no checkpoint to tamper with"
+
+let fixtures = [ "skip-batch"; "reorder"; "tamper-hash" ]
+
+let apply name events =
+  match name with
+  | "skip-batch" -> skip_batch events
+  | "reorder" -> reorder events
+  | "tamper-hash" -> tamper_hash events
+  | other -> Error (Printf.sprintf "unknown fixture %S" other)

@@ -14,6 +14,20 @@ type 'm input =
   | Recv of { src : Sim.Node_id.t; msg : 'm }  (** A message arrival. *)
   | Timer of { id : int; tag : string }  (** An armed timer fired. *)
 
+type 'm obs =
+  | Ob_input of 'm input  (** The runtime dispatched an input to a node. *)
+  | Ob_send of { dst : Sim.Node_id.t; msg : 'm }  (** The node sent. *)
+  | Ob_deliver of { seqno : int; origin : int; id : int; payload : string }
+      (** A totally-ordered entry reached the replicated state machine. *)
+  | Ob_checkpoint of { gseq : int; seqno : int; hash : int }
+      (** State fingerprint right after applying delivery [seqno]. *)
+  | Ob_crash
+  | Ob_restart
+(** One observable step of a node's execution. Inputs, sends, crashes and
+    restarts are emitted by the runtimes themselves; delivery and
+    checkpoint observations are emitted by protocol code (the SMR replica)
+    through {!observe}, because self-deliveries never cross the wire. *)
+
 type 'm ctx = {
   ctx_self : Sim.Node_id.t;
   ctx_now : unit -> float;
@@ -22,6 +36,9 @@ type 'm ctx = {
   ctx_cancel_timer : int -> unit;
   ctx_charge : float -> unit;
   ctx_trace : string -> unit;
+  ctx_observe : ('m obs -> unit) option;
+      (** Conformance observation sink; [None] (the default) keeps the
+          hot path a single branch per observation site. *)
 }
 (** What a node may do while processing an input. On the simulator these
     capabilities map to {!Sim.Engine}'s handler operations (virtual time,
@@ -64,3 +81,41 @@ let set_timer c delay tag = c.ctx_set_timer delay tag
 let cancel_timer c id = c.ctx_cancel_timer id
 let charge c seconds = c.ctx_charge seconds
 let trace c line = c.ctx_trace line
+
+(* Conformance observation. [observing] lets protocol code skip expensive
+   observation arguments (state fingerprints) when nothing listens. *)
+
+let observing c = c.ctx_observe <> None
+let observe c ob = match c.ctx_observe with None -> () | Some f -> f ob
+
+type 'm tap = self:Sim.Node_id.t -> now:float -> 'm obs -> unit
+(** A runtime-level observation sink: every observable step of every node,
+    stamped with the observing node and its clock. Attached at runtime
+    construction ([Of_sim.of_engine ?tap], [Live.create ?tap],
+    [Loop.create ?tap]); a tap must be cheap and, on threaded runtimes,
+    thread-safe — it runs inline on the dispatching thread. *)
+
+let tap_all (taps : 'm tap list) : 'm tap =
+ fun ~self ~now ob -> List.iter (fun t -> t ~self ~now ob) taps
+
+(* Helpers the runtimes share to wire a tap into their dispatch paths
+   without duplicating the option plumbing. *)
+
+let instrument (tap : 'm tap option) (c : 'm ctx) : 'm ctx =
+  match tap with
+  | None -> c
+  | Some tap ->
+      let emit ob = tap ~self:c.ctx_self ~now:(c.ctx_now ()) ob in
+      {
+        c with
+        ctx_send =
+          (fun ~size dst m ->
+            emit (Ob_send { dst; msg = m });
+            c.ctx_send ~size dst m);
+        ctx_observe = Some emit;
+      }
+
+let tap_input (tap : 'm tap option) (c : 'm ctx) (i : 'm input) =
+  match tap with
+  | None -> ()
+  | Some tap -> tap ~self:c.ctx_self ~now:(c.ctx_now ()) (Ob_input i)

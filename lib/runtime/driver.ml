@@ -23,8 +23,8 @@ type 'm t = {
   fifo_violations : unit -> int;
 }
 
-let live ~codec () =
-  let rt = Live.create ~codec () in
+let live ?tap ~codec () =
+  let rt = Live.create ?tap ~codec () in
   {
     world = Live.runtime rt;
     start = (fun () -> Live.start rt);
@@ -39,9 +39,10 @@ let live ~codec () =
     fifo_violations = (fun () -> 0);
   }
 
-let loop ?high ?low ?direct ?on_backpressure ?record_delivery ~codec () =
+let loop ?high ?low ?direct ?on_backpressure ?record_delivery ?tap ~codec () =
   let rt =
-    Loop.create ?high ?low ?direct ?on_backpressure ?record_delivery ~codec ()
+    Loop.create ?high ?low ?direct ?on_backpressure ?record_delivery ?tap
+      ~codec ()
   in
   {
     world = Loop.runtime rt;
@@ -60,9 +61,9 @@ let loop ?high ?low ?direct ?on_backpressure ?record_delivery ~codec () =
     fifo_violations = (fun () -> Loop.fifo_violations rt);
   }
 
-let of_kind ?high ?low ?direct ?on_backpressure ?record_delivery kind ~codec ()
-    =
+let of_kind ?high ?low ?direct ?on_backpressure ?record_delivery ?tap kind
+    ~codec () =
   match kind with
   | Core.Loop ->
-      loop ?high ?low ?direct ?on_backpressure ?record_delivery ~codec ()
-  | Core.Live | Core.Sim -> live ~codec ()
+      loop ?high ?low ?direct ?on_backpressure ?record_delivery ?tap ~codec ()
+  | Core.Live | Core.Sim -> live ?tap ~codec ()

@@ -48,6 +48,7 @@ type 'm node = {
 
 type 'm t = {
   codec : 'm Core.codec;
+  tap : 'm Core.tap option;  (* conformance observation sink *)
   lock : Mutex.t;
   mutable nodes : 'm node list;  (* newest first *)
   ports : (Sim.Node_id.t, int) Hashtbl.t;
@@ -71,7 +72,7 @@ let now t =
       if raw > t.mono_last then t.mono_last <- raw;
       t.mono_last)
 
-let create ~codec () =
+let create ?tap ~codec () =
   (* A node crashed mid-run leaves peers holding half-closed sockets;
      their next write must surface as EPIPE (handled per-connection),
      not kill the whole process group. *)
@@ -79,6 +80,7 @@ let create ~codec () =
    with Invalid_argument _ | Sys_error _ -> ());
   {
     codec;
+    tap;
     lock = Mutex.create ();
     nodes = [];
     ports = Hashtbl.create 16;
@@ -158,6 +160,7 @@ let node_now t node =
   node.n_last_now
 
 let ctx_of t node : 'm Core.ctx =
+  Core.instrument t.tap
   {
     Core.ctx_self = node.n_id;
     ctx_now = (fun () -> node_now t node);
@@ -179,10 +182,13 @@ let ctx_of t node : 'm Core.ctx =
       (fun line ->
         let at = node_now t node in
         locked t (fun () -> t.traces <- (at, node.n_id, line) :: t.traces));
+    ctx_observe = None;
   }
 
 let dispatch t node handler input =
-  try handler (ctx_of t node) input
+  let c = ctx_of t node in
+  Core.tap_input t.tap c input;
+  try handler c input
   with e ->
     record_error t
       (Printf.sprintf "node %d (%s): handler raised %s" node.n_id node.n_name
@@ -356,7 +362,10 @@ let crash t id =
   | Some node ->
       Atomic.set node.n_stop true;
       (match node.n_thread with Some th -> Thread.join th | None -> ());
-      locked t (fun () -> Hashtbl.remove t.ports id)
+      locked t (fun () -> Hashtbl.remove t.ports id);
+      (match t.tap with
+      | None -> ()
+      | Some tap -> tap ~self:id ~now:(now t) Core.Ob_crash)
 
 (* Restart a crashed node under the same id: fresh sockets (a new port,
    republished in the port table so peers reconnect lazily after their
@@ -398,6 +407,9 @@ let restart t id =
       locked t (fun () ->
           Hashtbl.replace t.ports id port;
           t.nodes <- node :: t.nodes);
+      (match t.tap with
+      | None -> ()
+      | Some tap -> tap ~self:id ~now:(now t) Core.Ob_restart);
       if Atomic.get t.phase = 1 then launch t node
 
 (* Poll [pred] until it holds or [timeout] elapses; true iff it held. *)

@@ -149,6 +149,7 @@ type cmd = Crash of Sim.Node_id.t | Restart of Sim.Node_id.t
 
 type 'm t = {
   codec : 'm Core.codec;
+  tap : 'm Core.tap option;  (* conformance observation sink *)
   lock : Mutex.t;
   cond : Condition.t;
   mutable cmds : cmd list;  (* FIFO, oldest first *)
@@ -223,7 +224,8 @@ let errors t = locked t (fun () -> List.rev t.errors)
 let get_trace t = locked t (fun () -> List.rev t.traces)
 
 let create ?(high = Outbox.default_high) ?(low = Outbox.default_low)
-    ?(direct = true) ?on_backpressure ?(record_delivery = false) ~codec () =
+    ?(direct = true) ?on_backpressure ?(record_delivery = false) ?tap ~codec ()
+    =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let wake_r, wake_w = Unix.pipe () in
@@ -231,6 +233,7 @@ let create ?(high = Outbox.default_high) ?(low = Outbox.default_low)
   Unix.set_nonblock wake_w;
   {
     codec;
+    tap;
     lock = Mutex.create ();
     cond = Condition.create ();
     cmds = [];
@@ -381,7 +384,9 @@ let rec dispatch t node input =
          node still booting. *)
       ()
   | Some handler -> (
-      try handler (ctx_for t node) input
+      let c = ctx_for t node in
+      Core.tap_input t.tap c input;
+      try handler c input
       with e ->
         record_error t
           (Printf.sprintf "node %d (%s): handler raised %s" node.n_id
@@ -416,8 +421,10 @@ and ctx_for t node =
               let at = node_now t node in
               locked t (fun () ->
                   t.traces <- (at, node.n_id, line) :: t.traces));
+          ctx_observe = None;
         }
       in
+      let c = Core.instrument t.tap c in
       node.n_ctx <- Some c;
       c
 
@@ -654,7 +661,10 @@ let do_crash t id =
         (fun _ m -> m.m_waiters <- List.filter (fun n -> n != node) m.m_waiters)
         t.muxes;
       node.n_parked <- 0;
-      record_crash t id
+      record_crash t id;
+      (match t.tap with
+      | None -> ()
+      | Some tap -> tap ~self:id ~now:(now t) Core.Ob_crash)
   | _ -> ()
 
 let do_restart t id =
@@ -666,7 +676,10 @@ let do_restart t id =
       node.n_alive <- true;
       node.n_charged <- 0.0;
       t.init_dirty <- true;
-      locked t (fun () -> Hashtbl.replace t.ports id port)
+      locked t (fun () -> Hashtbl.replace t.ports id port);
+      (match t.tap with
+      | None -> ()
+      | Some tap -> tap ~self:id ~now:(now t) Core.Ob_restart)
   | _ -> ()
 
 let apply_cmd t = function
@@ -862,8 +875,11 @@ let reactor_entry t =
 
 (* Shadow the state-only constructor: a runtime is born with its parked
    reactor thread attached. *)
-let create ?high ?low ?direct ?on_backpressure ?record_delivery ~codec () =
-  let t = create ?high ?low ?direct ?on_backpressure ?record_delivery ~codec () in
+let create ?high ?low ?direct ?on_backpressure ?record_delivery ?tap ~codec ()
+    =
+  let t =
+    create ?high ?low ?direct ?on_backpressure ?record_delivery ?tap ~codec ()
+  in
   t.thread <- Some (Thread.create reactor_entry t);
   t
 

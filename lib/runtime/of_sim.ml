@@ -22,9 +22,13 @@ let ctx (ectx : 'm E.ctx) : 'm Core.ctx =
     ctx_cancel_timer = (fun id -> E.cancel_timer ectx id);
     ctx_charge = (fun s -> E.charge ectx s);
     ctx_trace = (fun line -> E.trace ectx line);
+    ctx_observe = None;
   }
 
-let of_engine (e : 'm E.t) : 'm Core.t =
+(* [tap] observes every dispatch without touching the engine's event
+   queue, so an observed same-seed run schedules exactly what an
+   unobserved one does. *)
+let of_engine ?(tap : 'm Core.tap option) (e : 'm E.t) : 'm Core.t =
   {
     Core.rt_kind = Core.Sim;
     rt_now = (fun () -> E.now e);
@@ -32,5 +36,9 @@ let of_engine (e : 'm E.t) : 'm Core.t =
       (fun ~name ~cpu_factor factory ->
         E.spawn e ~name ~cpu_factor (fun () ->
             let h = factory () in
-            fun ectx i -> h (ctx ectx) (input i)));
+            fun ectx i ->
+              let c = Core.instrument tap (ctx ectx) in
+              let i = input i in
+              Core.tap_input tap c i;
+              h c i));
   }

@@ -1014,6 +1014,15 @@ module Make (C : Consensus.Consensus_intf.S) = struct
              database but not the lock/stage tables, so sharded replicas
              recover by full-log replay. *)
           if r.role = Active then begin
+            if R.observing ctx then
+              R.observe ctx
+                (R.Ob_deliver
+                   {
+                     seqno = d.Tob.seqno;
+                     origin = d.Tob.entry.Tob.origin;
+                     id = d.Tob.entry.Tob.id;
+                     payload = d.Tob.entry.Tob.payload;
+                   });
             x2pc_apply ~sreg:r.sreg ~db:r.sdb x
               (decode_payload d.Tob.entry.Tob.payload)
               ~exec_reply:(fun txn -> smr_exec ctx r txn)
@@ -1025,22 +1034,47 @@ module Make (C : Consensus.Consensus_intf.S) = struct
                 send_db ctx x.xcfg.xc_coord
                   (Db_msg.Vote
                      { shard = x.xcfg.xc_shard; participants; vote; vtxn }));
-            match r.sdur with
+            (match r.sdur with
             | None -> ()
-            | Some mgr -> Durable.Manager.append mgr (smr_durable_record r d)
+            | Some mgr -> Durable.Manager.append mgr (smr_durable_record r d));
+            if R.observing ctx then
+              R.observe ctx
+                (R.Ob_checkpoint
+                   {
+                     gseq = r.sgseq;
+                     seqno = d.Tob.seqno;
+                     hash = Database.content_hash r.sdb;
+                   })
           end
       | None -> (
       match decode_payload d.Tob.entry.Tob.payload with
       | P_txn txn -> (
           match r.role with
-          | Active -> (
+          | Active ->
+              if R.observing ctx then
+                R.observe ctx
+                  (R.Ob_deliver
+                     {
+                       seqno = d.Tob.seqno;
+                       origin = d.Tob.entry.Tob.origin;
+                       id = d.Tob.entry.Tob.id;
+                       payload = d.Tob.entry.Tob.payload;
+                     });
               smr_exec ctx r txn;
-              match r.sdur with
+              (match r.sdur with
               | None -> ()
               | Some mgr ->
                   Durable.Manager.append mgr (smr_durable_record r d);
                   Durable.Manager.maybe_snapshot mgr ~payload:(fun () ->
-                      smr_durable_image ctx r))
+                      smr_durable_image ctx r));
+              if R.observing ctx then
+                R.observe ctx
+                  (R.Ob_checkpoint
+                     {
+                       gseq = r.sgseq;
+                       seqno = d.Tob.seqno;
+                       hash = Database.content_hash r.sdb;
+                     })
           | Syncing -> r.buffered <- r.buffered @ [ txn ]
           | Sparing -> ())
       | P_reconfig (proposal, _, proposer) ->

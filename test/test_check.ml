@@ -398,6 +398,44 @@ let prop_recovery_plan_shape =
           a = b && d2 > d1
       | _ -> false)
 
+(* ---- runtime conformance properties ----------------------------------- *)
+
+(* Soundness: a trace recorded from a correct run — any seed — replays
+   clean through the LoE spec and the invariant monitors. *)
+let prop_conform_recorded_clean =
+  QCheck.Test.make ~count:4 ~name:"recorded sim traces replay clean"
+    QCheck.(small_int)
+    (fun seed ->
+      let run =
+        Conform.Record.sim_bank ~seed:(1 + (abs seed mod 1000)) ~clients:2
+          ~count:8 ~rows:64 ()
+      in
+      Conform.Record.conformant
+        ~meta:(Conform.Recorder.meta run.Conform.Record.recorder)
+        (Conform.Recorder.events run.Conform.Record.recorder))
+
+(* One reference trace, mutated many ways: sensitivity is per-event, not
+   just per-fixture. *)
+let conform_reference =
+  lazy
+    (let run = Conform.Record.sim_bank ~seed:5 ~clients:2 ~count:12 ~rows:64 () in
+     ( Conform.Recorder.meta run.Conform.Record.recorder,
+       Conform.Recorder.events run.Conform.Record.recorder ))
+
+(* Sensitivity: dropping any single delivery that the trace later builds
+   on is rejected by the checker. *)
+let prop_conform_drop_rejected =
+  QCheck.Test.make ~count:25
+    ~name:"dropping any one built-on delivery is rejected"
+    QCheck.(small_int)
+    (fun pick ->
+      let meta, events = Lazy.force conform_reference in
+      match Conform.Mutate.droppable events with
+      | [] -> QCheck.Test.fail_report "reference trace has no droppable event"
+      | eligible ->
+          let i = List.nth eligible (abs pick mod List.length eligible) in
+          not (Conform.Record.conformant ~meta (Conform.Mutate.drop_at i events)))
+
 let () =
   Alcotest.run "check"
     [
@@ -475,5 +513,7 @@ let () =
             prop_paxos_never_violates;
             prop_buggy_counterexamples_replay;
             prop_recovery_plan_shape;
+            prop_conform_recorded_clean;
+            prop_conform_drop_rejected;
           ] );
     ]

@@ -399,6 +399,77 @@ let test_runtime_conformance () =
         true (lh = ph)
   | _ -> Alcotest.fail "a runtime produced no executed replicas"
 
+(* Recorded cross-runtime differential: the same seeded bank workload on
+   all three runtimes, each run recorded through the conformance tap;
+   every trace must replay clean through the LoE spec and the invariant
+   monitors, and the most-advanced replica's final state fingerprint must
+   be identical across sim, live and loop (the deposit set is determined
+   by (client, seq), so the committed state is schedule-independent). *)
+
+let final_fingerprint events =
+  List.fold_left
+    (fun acc (e : Conform.Event.t) ->
+      match (e.Conform.Event.kind, acc) with
+      | Conform.Event.Checkpoint { seqno; hash; _ }, Some (s, _) when seqno > s
+        ->
+          Some (seqno, hash)
+      | Conform.Event.Checkpoint { seqno; hash; _ }, None -> Some (seqno, hash)
+      | _ -> acc)
+    None events
+
+let test_recorded_differential () =
+  let clients = 3 and count = 20 and rows = 1_000 in
+  (* Sim leg: the shared recorded-reference-run helper (same workload
+     formula as run_smr_bank). *)
+  let sim = Conform.Record.sim_bank ~seed:11 ~clients ~count ~rows () in
+  Alcotest.(check int)
+    "sim clients completed" clients sim.Conform.Record.completed;
+  let sim_events = Conform.Recorder.events sim.Conform.Record.recorder in
+  let sim_meta = Conform.Recorder.meta sim.Conform.Record.recorder in
+  Alcotest.(check bool) "sim trace conformant" true
+    (Conform.Record.conformant ~meta:sim_meta sim_events);
+  (* Live and loop legs: the acceptance harness with a recorder tapped
+     into the driver. *)
+  let record_leg rt_name make_driver =
+    let meta =
+      [
+        ("workload", "bank");
+        ("rows", string_of_int rows);
+        ("runtime", rt_name);
+      ]
+    in
+    let r = Conform.Recorder.create ~meta () in
+    let tap = Conform.Recorder.tap r ~enc:(smr_codec ()).R.enc in
+    let d = make_driver tap in
+    let _ =
+      run_smr_bank d ~label:("differential/" ^ rt_name) ~clients ~count
+    in
+    let events = Conform.Recorder.events r in
+    Alcotest.(check bool)
+      (rt_name ^ " trace conformant")
+      true
+      (Conform.Record.conformant ~meta events);
+    events
+  in
+  let live_events =
+    record_leg "live" (fun tap -> R.Driver.live ~tap ~codec:(smr_codec ()) ())
+  in
+  let loop_events =
+    record_leg "loop" (fun tap -> R.Driver.loop ~tap ~codec:(smr_codec ()) ())
+  in
+  match
+    ( final_fingerprint sim_events,
+      final_fingerprint live_events,
+      final_fingerprint loop_events )
+  with
+  | Some (_, a), Some (_, b), Some (_, c) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "final fingerprints agree across runtimes (%x %x %x)"
+           a b c)
+        true
+        (a = b && b = c)
+  | _ -> Alcotest.fail "a recorded trace has no state checkpoints"
+
 let () =
   Alcotest.run "runtime"
     [
@@ -428,5 +499,11 @@ let () =
             `Quick test_loop_outbox_saturation;
           Alcotest.test_case "live vs loop committed-state conformance" `Slow
             test_runtime_conformance;
+        ] );
+      ( "conform",
+        [
+          Alcotest.test_case
+            "recorded sim/live/loop traces replay clean, fingerprints agree"
+            `Slow test_recorded_differential;
         ] );
     ]
