@@ -43,6 +43,22 @@ let lint all target json sweep_dirs =
   else Fmt.pr "%a" Analysis.Lint.pp_human reports;
   if Analysis.Lint.total_findings reports = 0 then 0 else 1
 
+let impl src_dirs json =
+  let src_dirs = if src_dirs = [] then [ "lib" ] else src_dirs in
+  let missing = List.filter (fun d -> not (Sys.file_exists d)) src_dirs in
+  if missing <> [] then begin
+    Fmt.epr
+      "source director%s not found: %s — run from the repo root (the impl \
+       passes read .ml sources)@."
+      (if List.length missing = 1 then "y" else "ies")
+      (String.concat ", " missing);
+    exit 64
+  end;
+  let reports = Analysis.Impl.run ~src_dirs () in
+  if json then print_endline (Analysis.Lint.to_json reports)
+  else Fmt.pr "%a" Analysis.Lint.pp_human reports;
+  if Analysis.Lint.total_findings reports = 0 then 0 else 1
+
 let selftest json =
   let outcomes = Analysis.Lint.selftest () in
   if json then begin
@@ -110,6 +126,24 @@ let lint_cmd =
        ~doc:"Run all analysis passes over the registered specifications.")
     lint_term
 
+let impl_cmd =
+  let src =
+    Arg.(
+      value & opt_all string []
+      & info [ "src" ] ~docv:"DIR"
+          ~doc:
+            "Source directory to analyse (repeatable; default $(b,lib)). \
+             Requires running from the repo root — the impl passes parse \
+             .ml sources with compiler-libs.")
+  in
+  Cmd.v
+    (Cmd.info "impl"
+       ~doc:
+         "AST-based implementation lints: reactor-blocking reachability, \
+          lock discipline, durability ordering, and the forbidden-pattern \
+          sweep, over the repo's own OCaml sources.")
+    Term.(const impl $ src $ json_flag)
+
 let selftest_cmd =
   Cmd.v
     (Cmd.info "selftest"
@@ -125,4 +159,6 @@ let () =
         "Static analysis / lint over the EventML specifications, GPM \
          machines, and check scenarios."
   in
-  exit (Cmd.eval' (Cmd.group ~default:lint_term info [ lint_cmd; selftest_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default:lint_term info [ lint_cmd; impl_cmd; selftest_cmd ]))

@@ -1,0 +1,76 @@
+(* AST loading for the implementation-level lints.
+
+   PR 5's spec passes analyse EventML class terms the process constructs
+   in memory; the impl passes analyse the repo's own OCaml sources. This
+   module turns .ml files (or in-memory fixture strings) into compiler
+   Parsetree structures via compiler-libs — real parsing, so downstream
+   passes see code the way the compiler does: comments and string
+   literals are not code, [List.hd(x)] is still an application of
+   [List.hd], and a line number always points at a real expression.
+
+   Parsing only, no typing: passes work on syntactic names resolved
+   through a per-file module environment (see {!Callgraph}). That keeps
+   the analyzer independent of build artifacts (no .cmt files), which
+   matters because the dune test sandbox has no sources — fixtures are
+   parsed from strings, and the pass over the real tree is opt-in from
+   the repo root (`shadowdb_lint impl --src lib`), like the sweep. *)
+
+type source = { src_path : string; src_str : Parsetree.structure }
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+let site ~path loc = Printf.sprintf "%s:%d" path (line_of loc)
+
+(* Module identity of a source file: capitalized parent directory
+   (standing in for the dune library) and capitalized basename, so
+   lib/runtime/loop.ml is [("Runtime", "Loop")] and two libraries may
+   both own a [runtime.ml] without colliding. *)
+let module_key path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  let dir = Filename.basename (Filename.dirname path) in
+  (String.capitalize_ascii dir, String.capitalize_ascii base)
+
+let parse_string ~path text =
+  let lexbuf = Lexing.from_string text in
+  lexbuf.Lexing.lex_curr_p <-
+    { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+  match Parse.implementation lexbuf with
+  | str -> Ok { src_path = path; src_str = str }
+  | exception e ->
+      Error
+        (Diag.v ~pass:"ast" ~target:"sources" ~code:"parse-error" ~site:path
+           "source does not parse: %s" (Printexc.to_string e))
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path =
+  match read_whole path with
+  | text -> parse_string ~path text
+  | exception Sys_error msg ->
+      Error
+        (Diag.v ~pass:"ast" ~target:"sources" ~code:"parse-error" ~site:path
+           "source unreadable: %s" msg)
+
+let rec ml_files path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> []
+  | false -> if Filename.check_suffix path ".ml" then [ path ] else []
+  | true ->
+      Array.to_list (Sys.readdir path)
+      |> List.sort String.compare
+      |> List.concat_map (fun f -> ml_files (Filename.concat path f))
+
+(* Parse every .ml under [dirs]; unparsable files become diagnostics, not
+   exceptions — an analyzer that dies on one bad file checks nothing. *)
+let load dirs =
+  List.fold_left
+    (fun (srcs, diags) path ->
+      match parse_file path with
+      | Ok s -> (s :: srcs, diags)
+      | Error d -> (srcs, d :: diags))
+    ([], [])
+    (List.concat_map ml_files dirs)
+  |> fun (srcs, diags) -> (List.rev srcs, List.rev diags)

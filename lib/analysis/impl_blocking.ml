@@ -1,0 +1,90 @@
+(* Reactor-blocking pass.
+
+   The Loop runtime (PR 8) is a single reactor thread: every node, peer
+   and client shares one [Unix.select], so ANY blocking syscall reachable
+   from handler dispatch stalls the whole deployment — timers, other
+   nodes' handlers, accepts, everything. The convention so far was "keep
+   fds non-blocking and never sleep on the reactor"; this pass makes it a
+   checked invariant: BFS over the call graph from the reactor entry
+   points, and every edge into a known-blocking primitive must be on the
+   blessed list (caller x callee), each blessing carrying its
+   justification (non-blocking fd with EAGAIN handling, or the one
+   multiplexing wait itself).
+
+   Entries that no longer resolve raise [missing-entry] — a renamed
+   entry point must update the config, otherwise the pass would silently
+   check nothing (anti-rot). *)
+
+(* Primitives that can block the calling thread. [Condition.wait] is
+   blocking but releases its mutex; the lock-discipline pass treats it
+   specially, here it is simply blocking. *)
+let blocking_calls =
+  [
+    "Unix.select";
+    "Unix.read";
+    "Unix.write";
+    "Unix.write_substring";
+    "Unix.single_write";
+    "Unix.single_write_substring";
+    "Unix.connect";
+    "Unix.accept";
+    "Unix.sleep";
+    "Unix.sleepf";
+    "Unix.recv";
+    "Unix.send";
+    "Unix.sendto";
+    "Unix.recvfrom";
+    "Unix.waitpid";
+    "Unix.system";
+    "Unix.fsync";
+    "Thread.delay";
+    "Thread.join";
+    "Condition.wait";
+  ]
+
+let is_blocking callee = List.mem callee blocking_calls
+
+type config = {
+  entries : string list; (* dispatch roots, fully qualified *)
+  blessed : (string * string * string) list; (* caller, callee, why *)
+}
+
+let pass ~target (g : Callgraph.t) (cfg : config) =
+  let diag = Diag.v ~pass:"impl-blocking" ~target in
+  let missing =
+    List.filter (fun e -> Callgraph.find_def g e = None) cfg.entries
+  in
+  if missing <> [] then
+    List.map
+      (fun e ->
+        diag ~code:"missing-entry"
+          "configured reactor entry %s not found in the call graph — \
+           update the impl-blocking config"
+          e)
+      missing
+  else
+    let r = Callgraph.reach g ~roots:cfg.entries in
+    let blessed caller callee =
+      List.exists (fun (c, k, _) -> c = caller && k = callee) cfg.blessed
+    in
+    let out = ref [] in
+    List.iter
+      (fun (d : Callgraph.def) ->
+        if Callgraph.reached r d.Callgraph.d_name then
+          List.iter
+            (fun (e : Callgraph.edge) ->
+              if
+                is_blocking e.Callgraph.e_callee
+                && not (blessed d.Callgraph.d_name e.Callgraph.e_callee)
+              then
+                out :=
+                  diag ~code:"reactor-blocking" ~site:e.Callgraph.e_site
+                    "blocking call %s reachable from reactor dispatch \
+                     (%s -> %s)"
+                    e.Callgraph.e_callee
+                    (Callgraph.chain r d.Callgraph.d_name)
+                    e.Callgraph.e_callee
+                  :: !out)
+            (Callgraph.edges d))
+      (Callgraph.defs g);
+    List.rev !out

@@ -1,0 +1,229 @@
+(* Durability-ordering pass.
+
+   The file backend's crash-safety argument (PR 6) is ordering: a
+   snapshot is written to a temp file, fsync'd, THEN renamed over the
+   live name (so a crash never exposes a torn snapshot), and the rename
+   itself is made durable by an fsync of the directory; the WAL ack path
+   reaches [Unix.fsync] before any caller returns an ack. Those are
+   conventions about call order inside [lib/durable/file.ml] — this pass
+   checks them on the call graph:
+
+   - [rename-before-fsync]: within a definition in the file-backend
+     module, a [Unix.rename] edge with no earlier edge that reaches
+     [Unix.fsync] (source order; the graph preserves it) — the
+     torn-snapshot defect;
+   - [rename-unsynced]: a [Unix.rename] with no later fsync-reaching
+     edge — the rename itself could be lost by a directory-metadata
+     crash;
+   - [append-no-sync]: the WAL sync closure ([log_sync] field impl in
+     the file-backend module) does not reach [Unix.fsync], or a
+     configured append-side caller does not reach the [field:log_sync]
+     node at all — either way an ack could precede durability;
+   - [sync-swallowed]: a [try]/[match-exception] handler that covers a
+     [Unix.fsync] and catches [Unix_error] (or everything) with a
+     catch-all pattern — an fsync failure silently dropped is an ack
+     for data that never reached disk. A narrowed errno set (or-pattern
+     of specific errnos) is allowed; [Durable.File.fsync_dir] is the
+     blessed narrow case, see its comment. *)
+
+[@@@ocaml.warning "-4"]
+
+open Parsetree
+
+type config = {
+  file_module : string; (* e.g. "Durable.File" *)
+  append_callers : string list; (* ack-returning append entries *)
+  sync_field : string; (* record field holding the sync closure *)
+  require_wal : bool; (* demand a sync_field impl in the module *)
+}
+
+let pass ~target (g : Callgraph.t) ~(sources : Ast_load.source list)
+    (cfg : config) =
+  let diag = Diag.v ~pass:"impl-durable" ~target in
+  let out = ref [] in
+  let prefix = cfg.file_module ^ "." in
+  let module_defs = Callgraph.defs_with_prefix g prefix in
+  let reaches_fsync name = Callgraph.reaches g ~from:name "Unix.fsync" in
+  let edge_reaches_fsync (e : Callgraph.edge) =
+    e.Callgraph.e_callee = "Unix.fsync" || reaches_fsync e.Callgraph.e_callee
+  in
+  (* (a) fsync dominates rename, and rename is followed by a sync *)
+  List.iter
+    (fun (d : Callgraph.def) ->
+      let es = Array.of_list (Callgraph.edges d) in
+      Array.iteri
+        (fun i (e : Callgraph.edge) ->
+          if e.Callgraph.e_callee = "Unix.rename" then begin
+            let before = Array.sub es 0 i in
+            let after = Array.sub es (i + 1) (Array.length es - i - 1) in
+            if not (Array.exists edge_reaches_fsync before) then
+              out :=
+                diag ~code:"rename-before-fsync" ~site:e.Callgraph.e_site
+                  "%s renames into place without first syncing the data \
+                   (torn snapshot on crash)"
+                  d.Callgraph.d_name
+                :: !out;
+            if not (Array.exists edge_reaches_fsync after) then
+              out :=
+                diag ~code:"rename-unsynced" ~site:e.Callgraph.e_site
+                  "%s does not sync the directory after rename — the \
+                   rename itself can be lost on crash"
+                  d.Callgraph.d_name
+                :: !out
+          end)
+        es)
+    module_defs;
+  (* (b) append reaches a sync *)
+  let sync_impls =
+    List.filter
+      (fun impl -> String.starts_with ~prefix impl)
+      (Callgraph.impls g cfg.sync_field)
+  in
+  if cfg.require_wal && sync_impls = [] then
+    out :=
+      diag ~code:"append-no-sync"
+        "no %s implementation registered in %s — the WAL cannot promise \
+         durability"
+        cfg.sync_field cfg.file_module
+      :: !out;
+  List.iter
+    (fun impl ->
+      if not (reaches_fsync impl) then
+        let site =
+          Option.map
+            (fun (d : Callgraph.def) -> d.Callgraph.d_site)
+            (Callgraph.find_def g impl)
+        in
+        out :=
+          diag ~code:"append-no-sync" ?site
+            "%s implementation %s never reaches Unix.fsync — acks would \
+             not be durable"
+            cfg.sync_field impl
+          :: !out)
+    sync_impls;
+  List.iter
+    (fun caller ->
+      match Callgraph.find_def g caller with
+      | None ->
+          out :=
+            diag ~code:"missing-entry"
+              "configured append caller %s not found in the call graph — \
+               update the impl-durable config"
+              caller
+            :: !out
+      | Some d ->
+          if
+            not
+              (Callgraph.reaches g ~from:caller
+                 ("field:" ^ cfg.sync_field)
+              || reaches_fsync caller)
+          then
+            out :=
+              diag ~code:"append-no-sync" ~site:d.Callgraph.d_site
+                "%s acks appends without reaching the %s sync point"
+                caller cfg.sync_field
+              :: !out)
+    cfg.append_callers;
+  (* (c) swallowed fsync errors: AST scan of the file-backend sources *)
+  let mentions_fsync e =
+    let found = ref false in
+    let open Ast_iterator in
+    let it =
+      {
+        default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; _ } -> (
+                match Callgraph.flatten txt with
+                | Some ([ "Unix"; "fsync" ] | [ "fsync" ]) -> found := true
+                | _ -> ())
+            | _ -> ());
+            default_iterator.expr self e);
+      }
+    in
+    it.expr it e;
+    !found
+  in
+  let rec swallow_all p =
+    (* catch-everything, or Unix_error with a wildcard errno *)
+    match p.ppat_desc with
+    | Ppat_any | Ppat_var _ -> true
+    | Ppat_alias (p, _) | Ppat_constraint (p, _) -> swallow_all p
+    | Ppat_or (a, b) -> swallow_all a || swallow_all b
+    | Ppat_construct ({ txt; _ }, arg) -> (
+        let is_unix_error =
+          match Callgraph.flatten txt with
+          | Some segs -> (
+              match List.rev segs with
+              | "Unix_error" :: _ -> true
+              | _ -> false)
+          | None -> false
+        in
+        if not is_unix_error then false
+        else
+          match arg with
+          | None -> true
+          | Some (_, ap) -> (
+              match ap.ppat_desc with
+              | Ppat_any | Ppat_var _ -> true
+              | Ppat_tuple (errno :: _) -> (
+                  match errno.ppat_desc with
+                  | Ppat_any | Ppat_var _ -> true
+                  | _ -> false (* specific errno(s): narrowed, allowed *))
+              | _ -> false))
+    | _ -> false
+  in
+  let check_cases ~path body cases =
+    if mentions_fsync body then
+      List.iter
+        (fun c ->
+          let p =
+            match c.pc_lhs.ppat_desc with
+            | Ppat_exception p -> Some p
+            | _ -> None
+          in
+          let p = match p with Some p -> Some p | None -> Some c.pc_lhs in
+          match p with
+          | Some p when swallow_all p ->
+              out :=
+                diag ~code:"sync-swallowed"
+                  ~site:(Ast_load.site ~path p.ppat_loc)
+                  "fsync failure swallowed by a catch-all handler — \
+                   narrow to the unsupported-errno set or propagate"
+                :: !out
+          | _ -> ())
+        cases
+  in
+  List.iter
+    (fun (s : Ast_load.source) ->
+      let dir, m = Ast_load.module_key s.Ast_load.src_path in
+      if dir ^ "." ^ m = cfg.file_module then begin
+        let path = s.Ast_load.src_path in
+        let open Ast_iterator in
+        let it =
+          {
+            default_iterator with
+            expr =
+              (fun self e ->
+                (match e.pexp_desc with
+                | Pexp_try (body, cases) -> check_cases ~path body cases
+                | Pexp_match (scrut, cases) ->
+                    let exc_cases =
+                      List.filter
+                        (fun c ->
+                          match c.pc_lhs.ppat_desc with
+                          | Ppat_exception _ -> true
+                          | _ -> false)
+                        cases
+                    in
+                    if exc_cases <> [] then
+                      check_cases ~path scrut exc_cases
+                | _ -> ());
+                default_iterator.expr self e);
+          }
+        in
+        List.iter (it.structure_item it) s.Ast_load.src_str
+      end)
+    sources;
+  List.rev !out

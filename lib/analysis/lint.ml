@@ -60,6 +60,6 @@ let selftest () =
         List.filter (fun c -> not (List.mem c fired)) f.Fixtures.expect
       in
       { fixture = f.Fixtures.name; missing; fired })
-    Fixtures.all
+    (Fixtures.all @ Impl_fixtures.all)
 
 let selftest_ok outcomes = List.for_all (fun o -> o.missing = []) outcomes

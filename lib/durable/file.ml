@@ -34,12 +34,32 @@ let read_dir dir =
   ( read_whole (Filename.concat dir snap_name),
     Option.value ~default:"" (read_whole (Filename.concat dir wal_name)) )
 
-let fsync_dir dir =
+(* Make a rename durable by syncing the containing directory. Successful
+   directory syncs count toward [Backend.sync_count] via [syncs].
+
+   This is the one blessed narrow-swallow site of the impl-durable pass
+   ([sync-swallowed] stays quiet because the errnos are explicit): some
+   filesystems refuse fsync on a directory fd — EINVAL (e.g. certain
+   network/overlay mounts) or EOPNOTSUPP — and on those the rename is
+   already as durable as the platform allows, so refusing to ack would
+   make the backend unusable there rather than safer. Any OTHER fsync
+   failure (EIO, ENOSPC) propagates: it means acked data may not be on
+   disk, which recovery must hear about. *)
+let fsync_dir ~syncs dir =
   match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
   | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      (try Unix.close fd with Unix.Unix_error _ -> ())
-  | exception Unix.Unix_error _ -> ()
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.fsync fd with
+          | () -> incr syncs
+          | exception Unix.Unix_error ((Unix.EINVAL | Unix.EOPNOTSUPP), _, _)
+            ->
+              ())
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.EACCES), _, _) ->
+      (* directory vanished or unreadable: nothing to sync against; the
+         subsequent reopen/recovery path reports the real story *)
+      ()
 
 let create ~dir () : Backend.t =
   mkdir_p dir;
@@ -80,7 +100,7 @@ let create ~dir () : Backend.t =
         if n <> String.length s then
           Sim.Invariant.fail "durable" "%s: short snapshot write" tmp_path;
         Unix.rename tmp_path snap_path;
-        fsync_dir dir;
+        fsync_dir ~syncs dir;
         incr syncs);
     sync_count = (fun () -> !syncs);
     close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());

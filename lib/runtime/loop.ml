@@ -866,11 +866,10 @@ let runtime t : 'm Core.t =
    deployment, not the OS. A stop before any start (phase 0 → 2) slides
    past the while loop straight into reactor cleanup. *)
 let reactor_entry t =
-  Mutex.lock t.lock;
-  while Atomic.get t.phase = 0 do
-    Condition.wait t.cond t.lock
-  done;
-  Mutex.unlock t.lock;
+  locked t (fun () ->
+      while Atomic.get t.phase = 0 do
+        Condition.wait t.cond t.lock
+      done);
   reactor t
 
 (* Shadow the state-only constructor: a runtime is born with its parked
@@ -915,11 +914,10 @@ let submit t cmd =
           t.cmd_seq)
     in
     wake t;
-    Mutex.lock t.lock;
-    while t.cmd_done < target && Atomic.get t.phase = 1 do
-      Condition.wait t.cond t.lock
-    done;
-    Mutex.unlock t.lock
+    locked t (fun () ->
+        while t.cmd_done < target && Atomic.get t.phase = 1 do
+          Condition.wait t.cond t.lock
+        done)
   end
 
 let crash t id = submit t (Crash id)

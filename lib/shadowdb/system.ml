@@ -132,18 +132,17 @@ module Make (C : Consensus.Consensus_intf.S) = struct
 
     let create () = { mu = Mutex.create (); tbl = Hashtbl.create 8 }
 
-    let set t l r =
+    let locked t f =
       Mutex.lock t.mu;
-      Hashtbl.replace t.tbl l r;
-      Mutex.unlock t.mu
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
+    let set t l r = locked t (fun () -> Hashtbl.replace t.tbl l r)
+
+    (* [f] is caller code: without Fun.protect, a raising observer would
+       leave the registry mutex held forever. *)
     let view t l f ~default =
-      Mutex.lock t.mu;
-      let v =
-        match Hashtbl.find_opt t.tbl l with Some r -> f r | None -> default
-      in
-      Mutex.unlock t.mu;
-      v
+      locked t (fun () ->
+          match Hashtbl.find_opt t.tbl l with Some r -> f r | None -> default)
   end
 
   (* Bounded cache of recently executed transactions (for catch-up). *)

@@ -141,6 +141,156 @@ let test_invariant_helpers () =
         (contains ~sub:"k" detail)
   | _ -> Alcotest.fail "assoc miss must raise a structured violation"
 
+(* ---------- impl passes: call graph on an in-test source ---------- *)
+
+(* Two tiny "files" in one directory: a module alias crossing between
+   them, a nested module, an external blocking call, and a closure
+   stored in a record field — the resolution features the impl passes
+   lean on. *)
+let cg_util_src = "let double x = x + x\n"
+
+let cg_main_src =
+  {|
+module F = Util
+
+let helper x = F.double x
+
+module Inner = struct
+  let deep y = helper y
+end
+
+let entry fd =
+  let b = Inner.deep 1 in
+  ignore (Unix.read fd (Bytes.create b) 0 b);
+  { on_event = (fun e -> helper e) }
+|}
+
+let test_callgraph_small () =
+  let parse path src =
+    match Analysis.Ast_load.parse_string ~path src with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail ("test source does not parse: " ^ path)
+  in
+  let g =
+    Analysis.Callgraph.build ~lock_helpers:[]
+      [ parse "test/util.ml" cg_util_src; parse "test/cg_main.ml" cg_main_src ]
+  in
+  let has name = Analysis.Callgraph.find_def g name <> None in
+  Alcotest.(check bool) "file-level def" true (has "Test.Cg_main.entry");
+  Alcotest.(check bool) "nested-module def" true (has "Test.Cg_main.Inner.deep");
+  Alcotest.(check bool)
+    "record-closure pseudo-def" true
+    (has "Test.Cg_main.entry.on_event");
+  Alcotest.(check (list string))
+    "field impls registered"
+    [ "Test.Cg_main.entry.on_event" ]
+    (Analysis.Callgraph.impls g "on_event");
+  let reaches from target = Analysis.Callgraph.reaches g ~from target in
+  Alcotest.(check bool)
+    "entry reaches the external blocking call" true
+    (reaches "Test.Cg_main.entry" "Unix.read");
+  Alcotest.(check bool)
+    "alias resolves across files: entry reaches Util.double" true
+    (reaches "Test.Cg_main.entry" "Test.Util.double");
+  Alcotest.(check bool)
+    "closure body attributed to the pseudo-def" true
+    (reaches "Test.Cg_main.entry.on_event" "Test.Util.double");
+  Alcotest.(check bool)
+    "helper does not reach Unix.read" false
+    (reaches "Test.Cg_main.helper" "Unix.read");
+  let r = Analysis.Callgraph.reach g ~roots:[ "Test.Cg_main.entry" ] in
+  Alcotest.(check bool)
+    "chain names the path" true
+    (contains ~sub:"Test.Cg_main.entry" (Analysis.Callgraph.chain r "Unix.read"))
+
+(* ---------- impl fixtures: each defective source is rejected ---------- *)
+
+let test_impl_fixtures_fire () =
+  List.iter
+    (fun (f : Analysis.Fixtures.t) ->
+      let fired =
+        codes (f.Analysis.Fixtures.run ())
+      in
+      Alcotest.(check (list string))
+        (f.Analysis.Fixtures.name ^ " fires exactly its promised codes")
+        (List.sort_uniq String.compare f.Analysis.Fixtures.expect)
+        fired)
+    Analysis.Impl_fixtures.all
+
+(* ---------- impl passes over the real sources: clean ---------- *)
+
+(* The dune sandbox may or may not expose the repo sources; probe for
+   them (tests execute under _build/default/test) and skip gracefully
+   when absent — the CLI + CI `impl-lint` job cover the from-repo-root
+   invocation. *)
+let test_impl_real_clean () =
+  let candidates =
+    [ "lib"; "../lib"; "../../lib"; "../../../lib"; "../../../../lib" ]
+  in
+  match
+    List.find_opt
+      (fun d -> Sys.file_exists (Filename.concat d "runtime/loop.ml"))
+      candidates
+  with
+  | None -> print_endline "impl-real-clean: sources not visible, skipping"
+  | Some d ->
+      let reports = Analysis.Impl.run ~src_dirs:[ d ] () in
+      List.iter
+        (fun (r : Analysis.Lint.report) ->
+          List.iter
+            (fun (diag : Analysis.Diag.t) ->
+              print_endline (Format.asprintf "%a" Analysis.Diag.pp diag))
+            r.Analysis.Lint.findings;
+          Alcotest.(check int)
+            (r.Analysis.Lint.target ^ " impl target is clean")
+            0
+            (List.length r.Analysis.Lint.findings))
+        reports;
+      Alcotest.(check bool)
+        "all four impl targets ran" true
+        (List.length reports >= 4)
+
+(* ---------- sweep v2 precision property ---------- *)
+
+(* For every banned pattern: occurrences confined to a comment and a
+   string literal are never flagged, while the same pattern as real code
+   fires exactly its one code — the two false classes of the textual v1. *)
+let sweep_banned =
+  [
+    ("failwith", "failwith");
+    ("invalid_arg", "invalid-arg");
+    ("List.hd", "list-hd");
+    ("List.assoc", "list-assoc");
+    ("Option.get", "option-get");
+    ("Obj.magic", "obj-magic");
+  ]
+
+let prop_sweep_precision =
+  QCheck.Test.make ~count:200
+    ~name:"sweep v2 flags code, never comments or string literals"
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (int_bound (List.length sweep_banned - 1))
+            (map (Printf.sprintf "w%d") (int_bound 99999))))
+    (fun (i, filler) ->
+      let pat, code = List.nth sweep_banned i in
+      let scan name src =
+        match Analysis.Ast_load.parse_string ~path:(name ^ ".ml") src with
+        | Ok s ->
+            codes
+              (Analysis.Sweep.scan_structure ~path:s.Analysis.Ast_load.src_path
+                 s.Analysis.Ast_load.src_str)
+        | Error _ -> [ "parse-error" ]
+      in
+      let quiet =
+        Printf.sprintf "(* %s %s *)\nlet s = \"%s %s\"\nlet use () = s\n"
+          filler pat pat filler
+      in
+      let loud = Printf.sprintf "let f x = %s x\n" pat in
+      scan "quiet" quiet = [] && scan "loud" loud = [ code ])
+
 (* ---------- soundness: flagged-dead headers never appear ---------- *)
 
 (* The dead-handler fixture's [ghost] header is flagged by coverage as
@@ -214,5 +364,13 @@ let () =
           Alcotest.test_case "Cls.pp structure" `Quick test_cls_pp;
           Alcotest.test_case "invariant helpers" `Quick test_invariant_helpers;
         ] );
-      ("soundness", [ qt prop_dead_header_sound ]);
+      ( "impl",
+        [
+          Alcotest.test_case "call graph on in-test sources" `Quick
+            test_callgraph_small;
+          Alcotest.test_case "defective impl fixtures rejected" `Quick
+            test_impl_fixtures_fire;
+          Alcotest.test_case "real sources clean" `Quick test_impl_real_clean;
+        ] );
+      ("soundness", [ qt prop_dead_header_sound; qt prop_sweep_precision ]);
     ]
